@@ -1,0 +1,22 @@
+# Canonical developer commands for the ACQUIRE reproduction.
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.harness all --save
+
+examples:
+	for script in examples/*.py; do echo "== $$script =="; python $$script; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

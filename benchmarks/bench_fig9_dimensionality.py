@@ -1,0 +1,38 @@
+"""Figure 9: effect of dimensionality (paper section 8.4.2).
+
+The headline shape: TQGen's query count explodes exponentially with
+the number of flexible predicates while ACQUIRE and Top-k degrade far
+more gently, and ACQUIRE keeps the lowest refinement scores.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import fig9_dimensionality
+
+
+def test_fig9_dimensionality(benchmark, record_experiment):
+    result = run_once(benchmark, fig9_dimensionality, scale_rows=4_000)
+    record_experiment(result)
+
+    tqgen_queries = dict(result.series("TQGen", "queries"))
+    dims = sorted(tqgen_queries)
+    # Exponential blow-up: query count strictly increasing in d, and
+    # the d=max count dwarfs d=1 by orders of magnitude.
+    counts = [tqgen_queries[d] for d in dims]
+    assert counts == sorted(counts)
+    assert counts[-1] >= 50 * counts[0]
+
+    # Top-k's executed-query count stays flat (one ranking query,
+    # paper: "execution time remains largely constant").
+    topk_queries = [q for _, q in result.series("Top-k", "queries")]
+    assert max(topk_queries) <= min(topk_queries) + len(dims) + 2
+
+    # ACQUIRE satisfies the constraint at every dimensionality.
+    assert all(
+        row.satisfied for row in result.rows if row.method == "ACQUIRE"
+    )
+
+    # ACQUIRE's refinement never exceeds the best baseline's by much;
+    # on average it is the smallest (paper figure 9c).
+    for method in ("Top-k", "TQGen", "BinSearch"):
+        factor = result.speedup("qscore", method)
+        assert factor is None or factor >= 0.95, (method, factor)

@@ -1,0 +1,29 @@
+"""Extension: method ordering across query shapes.
+
+The paper's evaluation uses one query shape (the Q2 star join). This
+bench re-runs the four-method comparison on a single wide fact table, a
+two-table FK join, and the three-table star to confirm the ordering is
+a property of the methods, not of the shape.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import shape_robustness
+
+
+def test_shape_robustness(benchmark, record_experiment):
+    result = run_once(benchmark, shape_robustness, scale_rows=8_000)
+    record_experiment(result)
+
+    shapes = {row.x_value for row in result.rows}
+    assert shapes == {"single-table", "fk-join", "star-join"}
+    for shape in shapes:
+        rows = {
+            row.method: row for row in result.rows if row.x_value == shape
+        }
+        assert rows["ACQUIRE"].satisfied, shape
+        # ACQUIRE's refinement is the smallest on every shape.
+        best = min(rows.values(), key=lambda row: row.qscore)
+        assert best.method == "ACQUIRE", shape
+        # TQGen is the slowest on every shape.
+        slowest = max(rows.values(), key=lambda row: row.time_ms)
+        assert slowest.method == "TQGen", shape

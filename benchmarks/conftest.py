@@ -1,0 +1,39 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures through
+:mod:`repro.harness.experiments`, records the full series to
+``benchmarks/results/<name>.txt``, and asserts the *shape* the paper
+reports (who wins, how curves trend) rather than absolute numbers.
+
+Scale with ``REPRO_BENCH_SCALE`` (default 1.0); the defaults finish on
+a single CPU core in a few minutes total.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.metrics import ExperimentResult
+from repro.harness.report import render_result, save_result
+
+
+@pytest.fixture()
+def record_experiment():
+    """Save the experiment report and echo it into the pytest output."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        path = save_result(result)
+        print()
+        print(render_result(result))
+        print(f"[report saved to {path}]")
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )

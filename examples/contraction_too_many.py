@@ -1,0 +1,54 @@
+"""Contracting a query that returns too much (paper section 7.2).
+
+The inverse problem: an analyst's export is capped at 2,000 rows but
+the query matches far more. ACQUIRE shrinks the predicates as little
+as possible (constraint operators <= / < select the contraction path;
+an over-shooting equality constraint is routed there automatically).
+
+Run:  python examples/contraction_too_many.py
+"""
+
+import numpy as np
+
+from repro import Acquire, AcquireConfig, Database, MemoryBackend, parse_acq
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    db = Database("logs")
+    db.create_table(
+        "events",
+        {
+            "latency_ms": np.round(rng.gamma(2.0, 40.0, 60_000), 1),
+            "payload_kb": np.round(rng.uniform(0.0, 512.0, 60_000), 1),
+        },
+    )
+
+    acq = parse_acq(
+        """
+        SELECT * FROM events
+        CONSTRAINT COUNT(*) <= 2000
+        WHERE latency_ms <= 200 AND payload_kb <= 256
+        """,
+        db,
+    )
+    print("Input ACQ (over-full):")
+    print(acq.describe())
+
+    result = Acquire(MemoryBackend(db)).run(
+        acq, AcquireConfig(gamma=10.0, delta=0.05)
+    )
+    print()
+    print(result.summary())
+    best = result.best
+    print("\nContracted filters (negative PScore = shrinkage):")
+    for predicate, score, interval in zip(
+        acq.refinable_predicates, best.pscores, best.intervals
+    ):
+        print(f"  {predicate.name}: shrink {abs(min(score, 0)):.1f}% "
+              f"-> {interval}")
+    print(f"\nRows now returned: {best.aggregate_value:,.0f} (cap 2,000)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: process one Aggregation Constrained Query end to end.
+
+Builds a small synthetic table, states an ACQ in the paper's SQL
+dialect (CONSTRAINT / NOREFINE), runs ACQUIRE, and prints the refined
+queries it recommends.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Acquire,
+    AcquireConfig,
+    Database,
+    MemoryBackend,
+    format_refined_query,
+    parse_acq,
+)
+
+
+def main() -> None:
+    # 1. A products table: 10,000 rows of price/rating/stock.
+    rng = np.random.default_rng(7)
+    db = Database("shop")
+    db.create_table(
+        "products",
+        {
+            "price": np.round(rng.uniform(1.0, 500.0, 10_000), 2),
+            "rating": np.round(rng.uniform(1.0, 5.0, 10_000), 2),
+            "stock": rng.integers(0, 100, 10_000),
+        },
+    )
+
+    # 2. The user wants ~1,000 products, but their filters are too
+    #    strict. The stock filter is business-critical: NOREFINE.
+    acq = parse_acq(
+        """
+        SELECT * FROM products
+        CONSTRAINT COUNT(*) = 1000
+        WHERE price <= 50
+          AND rating >= 4.5
+          AND (stock >= 1) NOREFINE
+        """,
+        db,
+    )
+    print("Input ACQ:")
+    print(acq.describe())
+    print()
+
+    # 3. Run ACQUIRE: gamma bounds how far answers may drift from the
+    #    optimum, delta is the acceptable aggregate error.
+    result = Acquire(MemoryBackend(db)).run(
+        acq, AcquireConfig(gamma=10.0, delta=0.05)
+    )
+
+    # 4. Inspect the outcome.
+    print(result.summary())
+    print()
+    print(f"Alternatives in the minimal-refinement layer: "
+          f"{len(result.answers)}")
+    print(result.alternatives_table())
+    for index, answer in enumerate(result.answers[:3], start=1):
+        print(f"\n--- alternative {index} "
+              f"(COUNT={answer.aggregate_value:g}, "
+              f"QScore={answer.qscore:.2f}) ---")
+        print(format_refined_query(answer))
+
+
+if __name__ == "__main__":
+    main()

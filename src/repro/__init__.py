@@ -1,0 +1,107 @@
+"""ACQUIRE — Refinement Driven Processing of Aggregation Constrained Queries.
+
+A complete, from-scratch reproduction of the EDBT 2016 paper by Vartak,
+Raghavan, Rundensteiner and Madden: the ACQ query model and SQL dialect
+(``CONSTRAINT`` / ``NOREFINE``), the ACQUIRE Expand/Explore search with
+incremental aggregate computation, two interchangeable evaluation
+layers (in-memory columnar and SQLite), the compared baseline
+techniques (Top-k, BinSearch, TQGen), a TPC-H-shaped data generator,
+and the full experiment harness regenerating the paper's figures.
+
+Quickstart::
+
+    from repro import (
+        Acquire, AcquireConfig, Database, MemoryBackend, parse_acq,
+    )
+
+    db = Database()
+    db.create_table("users", {"age": ages, "income": incomes})
+    query = parse_acq(
+        "SELECT * FROM users CONSTRAINT COUNT(*) = 1000 "
+        "WHERE users.age <= 30 AND users.income <= 50000",
+        db,
+    )
+    result = Acquire(MemoryBackend(db)).run(query, AcquireConfig(delta=0.05))
+    print(result.summary())
+"""
+
+from repro.core import (
+    AVG,
+    COUNT,
+    MAX,
+    MIN,
+    SUM,
+    Acquire,
+    AcquireConfig,
+    AcquireResult,
+    AggregateConstraint,
+    AggregateSpec,
+    CategoricalPredicate,
+    ConstraintOp,
+    Direction,
+    HingeError,
+    Interval,
+    JoinPredicate,
+    LInfNorm,
+    LpNorm,
+    OntologyTree,
+    Query,
+    RefinedQuery,
+    RefinedSpace,
+    SelectPredicate,
+    UserDefinedAggregate,
+    get_aggregate,
+)
+from repro.engine import (
+    Database,
+    EvaluationLayer,
+    MemoryBackend,
+    SamplingBackend,
+    SQLiteBackend,
+    Table,
+    col,
+    const,
+)
+from repro.sqlext import format_query, format_refined_query, parse_acq
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Acquire",
+    "AcquireConfig",
+    "AcquireResult",
+    "AggregateConstraint",
+    "AggregateSpec",
+    "AVG",
+    "CategoricalPredicate",
+    "col",
+    "const",
+    "ConstraintOp",
+    "COUNT",
+    "Database",
+    "Direction",
+    "EvaluationLayer",
+    "format_query",
+    "format_refined_query",
+    "get_aggregate",
+    "HingeError",
+    "Interval",
+    "JoinPredicate",
+    "LInfNorm",
+    "LpNorm",
+    "MAX",
+    "MemoryBackend",
+    "MIN",
+    "OntologyTree",
+    "parse_acq",
+    "Query",
+    "RefinedQuery",
+    "RefinedSpace",
+    "SamplingBackend",
+    "SelectPredicate",
+    "SQLiteBackend",
+    "SUM",
+    "Table",
+    "UserDefinedAggregate",
+    "__version__",
+]

@@ -1,0 +1,109 @@
+"""Hill-Climbing baseline [Bruno, Chaudhuri, Thomas; IEEE TKDE 2006].
+
+The paper's Table 1 groups this query-oriented technique with TQGen:
+it generates a query meeting a cardinality constraint by local search —
+from the current query, probe a step of refinement along each
+dimension, move to the neighbour whose cardinality lands closest to the
+target, halve the step when no neighbour improves, stop when converged.
+Like TQGen it disregards proximity to the original query and supports
+only COUNT.
+
+Included because Table 1 names it; the paper's plotted comparisons use
+Top-k / TQGen / BinSearch, so the figure experiments do too. Its
+capability row is probed alongside the others in the table1 bench.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.base import BaselineTechnique, MethodRun
+from repro.core.error import AggregateErrorFunction
+from repro.core.query import Query
+from repro.engine.backends import EvaluationLayer, ExecutionStats
+from repro.exceptions import QueryModelError
+
+
+class HillClimbing(BaselineTechnique):
+    """Greedy local search on the refinement-score vector (COUNT only)."""
+
+    name = "HillClimbing"
+
+    def __init__(
+        self,
+        delta: float = 0.05,
+        max_moves: int = 60,
+        initial_step_fraction: float = 0.25,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(delta=delta, **kwargs)  # type: ignore[arg-type]
+        if max_moves < 1:
+            raise QueryModelError("max_moves must be >= 1")
+        if not 0 < initial_step_fraction <= 1:
+            raise QueryModelError("initial_step_fraction must be in (0, 1]")
+        self.max_moves = max_moves
+        self.initial_step_fraction = initial_step_fraction
+
+    def _search(
+        self,
+        layer: EvaluationLayer,
+        prepared: object,
+        query: Query,
+        dim_caps: Sequence[float],
+        error_fn: AggregateErrorFunction,
+    ) -> MethodRun:
+        aggregate = query.constraint.spec.aggregate
+        target = query.constraint.target
+        d = query.dimensionality
+        caps = [float(cap) for cap in dim_caps]
+        steps = [
+            max(cap * self.initial_step_fraction, 1e-9) for cap in caps
+        ]
+        current = [0.0] * d
+        probes = 0
+
+        def evaluate(scores: Sequence[float]) -> tuple[float, float]:
+            nonlocal probes
+            probes += 1
+            state = layer.execute_box(prepared, tuple(scores))
+            actual = aggregate.finalize(state)
+            return actual, error_fn(target, actual)
+
+        actual, error = evaluate(current)
+        for _ in range(self.max_moves):
+            if error <= self.delta:
+                break
+            best_move: tuple[float, list[float], float] | None = None
+            for dim in range(d):
+                for direction in (+1.0, -1.0):
+                    candidate = list(current)
+                    candidate[dim] = min(
+                        max(candidate[dim] + direction * steps[dim], 0.0),
+                        caps[dim],
+                    )
+                    if candidate == current:
+                        continue
+                    neighbour_actual, neighbour_error = evaluate(candidate)
+                    if best_move is None or neighbour_error < best_move[0]:
+                        best_move = (
+                            neighbour_error, candidate, neighbour_actual
+                        )
+            if best_move is not None and best_move[0] < error:
+                error, current, actual = best_move
+                continue
+            # No improving neighbour: refine the step sizes.
+            steps = [step / 2.0 for step in steps]
+            if max(steps) < 1e-6:
+                break
+
+        return MethodRun(
+            method=self.name,
+            aggregate_value=actual,
+            error=error,
+            qscore=self._qscore(query, current),
+            pscores=tuple(current),
+            elapsed_s=0.0,
+            execution=ExecutionStats(),
+            satisfied=False,
+            details={"probes": probes},
+        )

@@ -1,0 +1,128 @@
+"""Skyline baseline [Koudas, Li, Tung, Vernica; VLDB 2006].
+
+The paper's Table 1 groups this tuple-oriented relaxation technique
+with Top-k: "Relaxing join and selection queries" returns near-miss
+tuples ordered by how little the query must relax to admit them, using
+skyline semantics — a tuple is preferred if no other tuple needs less
+relaxation on *every* predicate simultaneously.
+
+Implementation: compute each candidate tuple's per-dimension expansion
+need (clamped-at-zero signed score), then peel *skyline bands*: band 0
+is the set of non-dominated need vectors, band k the skyline after
+removing bands < k. Tuples are admitted band by band until the COUNT
+target is reached (ties within the final band broken by weighted L1
+need). Like Top-k it attains the cardinality trivially but has no
+notion of a bounding query; the paper assigns such techniques the
+per-dimension max refinement among admitted tuples.
+
+This baseline needs raw per-tuple scores, so it runs on the memory
+evaluation layer's prepared state directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineTechnique, MethodRun
+from repro.core.error import AggregateErrorFunction
+from repro.core.query import Query
+from repro.engine.backends import EvaluationLayer, ExecutionStats
+from repro.exceptions import EngineError, QueryModelError
+
+
+def skyline_bands(needs: np.ndarray, max_bands: int) -> np.ndarray:
+    """Assign each row of ``needs`` its skyline band (domination layer).
+
+    Row ``a`` dominates ``b`` when ``a <= b`` on every column and
+    ``a < b`` on at least one. Rows left after ``max_bands`` peels get
+    band ``max_bands``.
+    """
+    n = needs.shape[0]
+    bands = np.full(n, max_bands, dtype=np.int64)
+    remaining = np.arange(n)
+    # Lexicographic presort makes the peel scan O(n * skyline size).
+    order = np.lexsort(needs.T[::-1])
+    remaining = remaining[order]
+    for band in range(max_bands):
+        if len(remaining) == 0:
+            break
+        current = needs[remaining]
+        in_skyline = np.zeros(len(remaining), dtype=bool)
+        skyline_rows: list[np.ndarray] = []
+        for index in range(len(remaining)):
+            row = current[index]
+            dominated = False
+            for kept in skyline_rows:
+                if np.all(kept <= row) and np.any(kept < row):
+                    dominated = True
+                    break
+            if not dominated:
+                in_skyline[index] = True
+                skyline_rows.append(row)
+        bands[remaining[in_skyline]] = band
+        remaining = remaining[~in_skyline]
+    return bands
+
+
+class Skyline(BaselineTechnique):
+    """Tuple-oriented skyline relaxation (COUNT constraints only)."""
+
+    name = "Skyline"
+
+    def __init__(
+        self, delta: float = 0.05, max_bands: int = 64, **kwargs: object
+    ) -> None:
+        super().__init__(delta=delta, **kwargs)  # type: ignore[arg-type]
+        if max_bands < 1:
+            raise QueryModelError("max_bands must be >= 1")
+        self.max_bands = max_bands
+
+    def _search(
+        self,
+        layer: EvaluationLayer,
+        prepared: object,
+        query: Query,
+        dim_caps: Sequence[float],
+        error_fn: AggregateErrorFunction,
+    ) -> MethodRun:
+        candidate = getattr(prepared, "candidate", None)
+        if candidate is None:
+            raise EngineError(
+                "Skyline needs per-tuple refinement vectors; run it on "
+                "the memory evaluation layer"
+            )
+        target = query.constraint.target
+        k = max(int(math.ceil(target)), 0)
+        d = query.dimensionality
+        needs = np.maximum(candidate.scores, 0.0)
+        layer._count_query("box", rows=candidate.nrows)
+
+        if candidate.nrows == 0 or k == 0:
+            actual = 0.0
+            max_scores = tuple(0.0 for _ in range(d))
+        else:
+            bands = skyline_bands(needs, self.max_bands)
+            order = np.lexsort(
+                (needs @ np.asarray(query.weights), bands)
+            )
+            admitted = min(k, candidate.nrows)
+            chosen = order[:admitted]
+            actual = float(admitted)
+            max_scores = tuple(
+                float(np.max(needs[chosen, dim])) for dim in range(d)
+            )
+
+        return MethodRun(
+            method=self.name,
+            aggregate_value=actual,
+            error=error_fn(target, actual),
+            qscore=self._qscore(query, max_scores),
+            pscores=max_scores,
+            elapsed_s=0.0,
+            execution=ExecutionStats(),
+            satisfied=False,
+            details={"k": k, "bands": self.max_bands},
+        )

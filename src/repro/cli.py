@@ -1,0 +1,177 @@
+"""Command-line interface: run an ACQ against CSV data.
+
+Example::
+
+    python -m repro --csv users=users.csv \\
+        "SELECT * FROM users CONSTRAINT COUNT(*) = 1000 \\
+         WHERE age <= 30 AND income <= 50000"
+
+Loads each CSV into the in-memory engine (column types inferred), binds
+and runs the ACQ, prints the recommended refined queries, and — with
+``--show-rows N`` — the first N result tuples of the best alternative.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.acquire import Acquire, AcquireConfig
+from repro.core.scoring import LInfNorm, LpNorm
+from repro.engine.catalog import Database
+from repro.engine.memory_backend import MemoryBackend
+from repro.engine.sqlite_backend import SQLiteBackend
+from repro.exceptions import DataGenError, ReproError
+from repro.sqlext import format_refined_query, parse_acq
+
+
+def load_csv(database: Database, name: str, path: str) -> None:
+    """Load one CSV file as a table, inferring column types.
+
+    A column is INT if every value parses as an integer, FLOAT if every
+    value parses as a number, STR otherwise. Empty cells are not
+    supported (the engine has no NULLs, matching the paper's model).
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataGenError(f"{path}: empty CSV") from None
+        rows = list(reader)
+    if not header:
+        raise DataGenError(f"{path}: no columns")
+    columns: dict[str, np.ndarray] = {}
+    for index, column in enumerate(header):
+        raw = [row[index] for row in rows]
+        columns[column.strip()] = _infer_column(raw, column, path)
+    database.create_table(name, columns)
+
+
+def _infer_column(raw: Iterable[str], column: str, path: str) -> np.ndarray:
+    values = list(raw)
+    if any(value.strip() == "" for value in values):
+        raise DataGenError(
+            f"{path}: column {column!r} has empty cells (NULLs are not "
+            "supported)"
+        )
+    try:
+        return np.array([int(value) for value in values], dtype=np.int64)
+    except ValueError:
+        pass
+    try:
+        return np.array([float(value) for value in values])
+    except ValueError:
+        return np.array([value.strip() for value in values], dtype=object)
+
+
+def _parse_csv_spec(spec: str) -> tuple[str, str]:
+    name, separator, path = spec.partition("=")
+    if not separator or not name or not path:
+        raise ReproError(
+            f"--csv expects NAME=PATH, got {spec!r}"
+        )
+    return name, path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Process an Aggregation Constrained Query over CSVs.",
+    )
+    parser.add_argument(
+        "sql",
+        help="ACQ text (the paper's dialect: CONSTRAINT / NOREFINE)",
+    )
+    parser.add_argument(
+        "--csv",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="load a CSV file as table NAME (repeatable)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("memory", "sqlite"),
+        default="memory",
+    )
+    parser.add_argument("--gamma", type=float, default=10.0,
+                        help="refinement threshold (default 10)")
+    parser.add_argument("--delta", type=float, default=0.05,
+                        help="aggregate error threshold (default 0.05)")
+    parser.add_argument(
+        "--norm",
+        default="l1",
+        help="QScore norm: l1, l2, ... lp (any p>=1), or linf",
+    )
+    parser.add_argument("--alternatives", type=int, default=3,
+                        help="how many refined queries to print")
+    parser.add_argument("--show-rows", type=int, default=0,
+                        metavar="N",
+                        help="print the first N tuples of the best answer")
+    return parser
+
+
+def _norm_from_name(name: str):
+    lowered = name.lower()
+    if lowered == "linf":
+        return LInfNorm()
+    if lowered.startswith("l"):
+        try:
+            return LpNorm(float(lowered[1:]))
+        except ValueError:
+            pass
+    raise ReproError(f"unknown norm {name!r} (use l1, l2, lp, or linf)")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    database = Database("cli")
+    for spec in args.csv:
+        name, path = _parse_csv_spec(spec)
+        load_csv(database, name, path)
+    if not database.table_names:
+        print("error: no tables loaded; pass --csv NAME=PATH",
+              file=sys.stderr)
+        return 2
+
+    query = parse_acq(args.sql, database)
+    layer = (
+        MemoryBackend(database)
+        if args.backend == "memory"
+        else SQLiteBackend(database)
+    )
+    config = AcquireConfig(
+        gamma=args.gamma, delta=args.delta, norm=_norm_from_name(args.norm)
+    )
+    acquire = Acquire(layer)
+    result = acquire.run(query, config)
+
+    print(result.summary())
+    shown = result.answers[: args.alternatives] or (
+        [result.closest] if result.closest else []
+    )
+    for index, answer in enumerate(shown, start=1):
+        print(f"\n-- alternative {index}: A={answer.aggregate_value:g}, "
+              f"QScore={answer.qscore:.2f}, err={answer.error:.4f}")
+        print(format_refined_query(answer))
+
+    if args.show_rows > 0 and result.best is not None:
+        prepared = layer.prepare(
+            query, [config.dim_cap_default] * query.dimensionality
+        )
+        rows = layer.fetch_rows(
+            prepared, result.best.pscores, limit=args.show_rows
+        )
+        print(f"\n-- first {len(rows)} result tuples of the best answer --")
+        for row in rows:
+            print("  " + ", ".join(f"{k}={v}" for k, v in row.items()))
+    return 0 if result.satisfied else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

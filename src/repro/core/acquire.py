@@ -1,0 +1,346 @@
+"""The ACQUIRE driver (paper section 6, Algorithm 4).
+
+Putting it all together: iterate Expand and Explore, starting at the
+origin of the refined space, layer by layer in order of increasing
+QScore. For each grid query, compute the aggregate incrementally
+(Algorithm 3), compare against ``Aexp``:
+
+* within the error threshold ``delta`` — record the query and finish
+  the current layer, collecting every alternative with the same
+  refinement score, then stop;
+* overshooting by more than ``delta`` (equality constraints only) —
+  *repartition* the cell: probe ``b`` refined queries between the
+  cell's inner corner and the grid query by bisection, keeping the
+  best (Algorithm 4 lines 13-14; note the paper's pseudo-code prints
+  the overshoot test with a flipped inequality — the prose in
+  sections 3 and 6 makes clear repartitioning applies to overshoot,
+  which is what we implement);
+* otherwise — continue expanding.
+
+If no query ever satisfies the constraint, the query attaining the
+closest aggregate value is returned, as in the paper.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.error import AggregateErrorFunction, default_error_for
+from repro.core.expand import make_traversal
+from repro.core.explore import Explorer
+from repro.core.query import ConstraintOp, Query
+from repro.core.refined_space import RefinedSpace
+from repro.core.result import AcquireResult, RefinedQuery, SearchStats
+from repro.core.scoring import LpNorm, Norm
+from repro.engine.backends import EvaluationLayer
+from repro.exceptions import QueryModelError
+
+#: Tolerance when comparing QScores for layer membership.
+_LAYER_EPS = 1e-9
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class AcquireConfig:
+    """Tunable parameters of the search (paper's gamma, delta, b, norm).
+
+    Attributes:
+        gamma: refinement threshold — grid step is ``gamma / d`` and the
+            returned answers are within ``gamma`` of the optimum
+            (Theorem 1).
+        delta: aggregate error threshold ``Err_A <= delta``.
+        norm: QScore norm; defaults to the paper's L1.
+        step: explicit grid step override.
+        repartition_iterations: the paper's tunable ``b``.
+        traversal: ``auto`` / ``lp`` / ``linf`` (see
+            :func:`repro.core.expand.make_traversal`).
+        dim_cap_default: maximum PScore a dimension may receive when the
+            predicate carries no explicit limit; also bounds band-join
+            materialization in the memory backend.
+        max_grid_queries: safety valve on examined grid queries.
+        error_fn: custom aggregate error function; defaults to the
+            constraint-appropriate function from
+            :func:`repro.core.error.default_error_for`.
+        use_bitmap_index: consult the section 7.4 bitmap index (only
+            effective on backends that can build one).
+    """
+
+    gamma: float = 10.0
+    delta: float = 0.05
+    norm: Norm = field(default_factory=lambda: LpNorm(1))
+    step: Optional[float] = None
+    repartition_iterations: int = 8
+    traversal: str = "auto"
+    dim_cap_default: float = 400.0
+    max_grid_queries: int = 500_000
+    error_fn: Optional[AggregateErrorFunction] = None
+    use_bitmap_index: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 0:
+            raise QueryModelError("gamma must be > 0")
+        if self.delta < 0:
+            raise QueryModelError("delta must be >= 0")
+        if self.repartition_iterations < 0:
+            raise QueryModelError("repartition_iterations must be >= 0")
+
+
+class Acquire:
+    """Refinement-driven ACQ processor bound to an evaluation layer."""
+
+    def __init__(self, layer: EvaluationLayer) -> None:
+        self.layer = layer
+
+    # ------------------------------------------------------------------
+    def run(
+        self, query: Query, config: Optional[AcquireConfig] = None
+    ) -> AcquireResult:
+        """Process an ACQ, producing the refined answer set.
+
+        Expansion constraints (``=``, ``>=``, ``>``) run the main
+        Expand/Explore loop. Contraction constraints (``<=``, ``<``) —
+        and equality constraints whose original query already
+        overshoots — are delegated to the section 7.2 contraction
+        extension.
+        """
+        config = config or AcquireConfig()
+        if not query.constraint.op.is_expansion:
+            from repro.core.contraction import contract_query
+
+            return contract_query(self.layer, query, config)
+        return self._expand(query, config)
+
+    # ------------------------------------------------------------------
+    def _expand(self, query: Query, config: AcquireConfig) -> AcquireResult:
+        started = time.perf_counter()
+        layer_stats_before = self.layer.stats.snapshot()
+        constraint = query.constraint
+        aggregate = constraint.spec.aggregate
+        target = constraint.target
+        error_fn = config.error_fn or default_error_for(constraint.op)
+
+        dim_caps = [
+            predicate.limit if predicate.limit is not None
+            else config.dim_cap_default
+            for predicate in query.refinable_predicates
+        ]
+        prepared = self.layer.prepare(query, dim_caps)
+        useful = self.layer.useful_max_scores(prepared)
+        max_scores = [
+            min(cap, score) for cap, score in zip(dim_caps, useful)
+        ]
+        space = RefinedSpace(
+            query, config.gamma, max_scores, config.norm, config.step
+        )
+        bitmap = None
+        if config.use_bitmap_index:
+            bitmap = _maybe_bitmap_index(self.layer, prepared, space)
+        explorer = Explorer(
+            self.layer, prepared, space, aggregate, bitmap_index=bitmap
+        )
+        stats = SearchStats()
+
+        # Figure 2, step 1: estimate the original aggregate first; an
+        # equality query that already overshoots cannot be fixed by
+        # expansion — hand it to the contraction extension.
+        original_value = explorer.compute_aggregate(space.origin)
+        if (
+            constraint.op is ConstraintOp.EQ
+            and aggregate.monotone_expanding
+            and original_value > target
+            and error_fn(target, original_value) > config.delta
+        ):
+            from repro.core.contraction import contract_query
+
+            return contract_query(self.layer, query, config)
+
+        answers: list[RefinedQuery] = []
+        closest: Optional[RefinedQuery] = None
+        answer_layer = math.inf
+
+        # Early-stop bookkeeping for monotone aggregates with equality
+        # constraints: every query in layer k+1 contains some query in
+        # layer k, so once an entire layer overshoots target*(1+delta)
+        # no later layer can come back within the threshold.
+        check_overshoot = (
+            constraint.op is ConstraintOp.EQ and aggregate.monotone_expanding
+        )
+        layer_key: Optional[float] = None
+        layer_min_actual = math.inf
+
+        for coords in make_traversal(space, config.traversal):
+            qscore = space.qscore(coords)
+            if qscore > answer_layer + _LAYER_EPS:
+                break  # the answer layer is fully explored
+            if check_overshoot:
+                key = round(qscore, 9)
+                if layer_key is None:
+                    layer_key = key
+                elif key != layer_key:
+                    if layer_min_actual > target * (1 + config.delta):
+                        break  # the whole previous layer overshot
+                    layer_key = key
+                    layer_min_actual = math.inf
+            if stats.grid_queries_examined >= config.max_grid_queries:
+                break
+            stats.grid_queries_examined += 1
+
+            actual = explorer.compute_aggregate(coords)
+            error = error_fn(target, actual)
+            if check_overshoot and not math.isnan(actual):
+                layer_min_actual = min(layer_min_actual, actual)
+            refined = self._refined_query(
+                query, space, coords, actual, error
+            )
+            closest = _closer(closest, refined)
+
+            if error <= config.delta:
+                logger.debug(
+                    "answer at %s: A=%g err=%.4f QScore=%.3f",
+                    coords, actual, error, qscore,
+                )
+                answers.append(refined)
+                answer_layer = min(answer_layer, qscore)
+            elif (
+                constraint.op is ConstraintOp.EQ
+                and not math.isnan(actual)
+                and actual > target
+            ):
+                candidate = self._repartition(
+                    prepared, space, coords, target, error_fn, config, stats
+                )
+                if candidate is not None:
+                    closest = _closer(closest, candidate)
+                    if candidate.error <= config.delta:
+                        answers.append(candidate)
+                        answer_layer = min(answer_layer, qscore)
+
+        stats.cells_executed = explorer.cells_executed
+        stats.cells_skipped = explorer.cells_skipped
+        stats.layers_explored = len(
+            {round(space.qscore(a.coords), 9) for a in answers if a.coords}
+        ) or 0
+        stats.elapsed_s = time.perf_counter() - started
+        stats.execution = self.layer.stats.since(layer_stats_before)
+        logger.info(
+            "ACQUIRE %s: %d answers, %d grid queries, %d cells, %.1f ms",
+            query.name,
+            len(answers),
+            stats.grid_queries_examined,
+            stats.cells_executed,
+            stats.elapsed_s * 1000,
+        )
+
+        answers.sort(key=lambda a: (a.qscore, a.error))
+        return AcquireResult(
+            query=query,
+            answers=answers,
+            closest=closest,
+            original_value=original_value,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _refined_query(
+        self,
+        query: Query,
+        space: RefinedSpace,
+        coords: Sequence[int],
+        actual: float,
+        error: float,
+        scores: Optional[Sequence[float]] = None,
+    ) -> RefinedQuery:
+        if scores is None:
+            scores = space.scores(coords)
+            grid_coords: Optional[tuple[int, ...]] = tuple(coords)
+        else:
+            grid_coords = None
+        intervals = tuple(
+            predicate.interval_at(score)
+            for predicate, score in zip(query.refinable_predicates, scores)
+        )
+        return RefinedQuery(
+            query=query,
+            pscores=tuple(scores),
+            qscore=space.qscore_of_scores(scores),
+            aggregate_value=actual,
+            error=error,
+            intervals=intervals,
+            coords=grid_coords,
+        )
+
+    def _repartition(
+        self,
+        prepared: object,
+        space: RefinedSpace,
+        coords: Sequence[int],
+        target: float,
+        error_fn: AggregateErrorFunction,
+        config: AcquireConfig,
+        stats: SearchStats,
+    ) -> Optional[RefinedQuery]:
+        """Probe refined queries inside the overshooting cell.
+
+        Bisects the segment between the cell's inner corner (the
+        contained grid query one step back on every non-zero dimension)
+        and the overshooting query itself. For monotone aggregates the
+        aggregate is non-decreasing along the segment, so bisection
+        converges; for non-monotone aggregates the probes still improve
+        the "closest query" answer.
+        """
+        if config.repartition_iterations == 0:
+            return None
+        hi_scores = space.scores(coords)
+        lo_scores = tuple(
+            max(score - space.step, 0.0) for score in hi_scores
+        )
+        if hi_scores == lo_scores:
+            return None
+        aggregate = space.query.constraint.spec.aggregate
+        best: Optional[RefinedQuery] = None
+        low, high = 0.0, 1.0
+        for _ in range(config.repartition_iterations):
+            midpoint = (low + high) / 2.0
+            scores = tuple(
+                lo + midpoint * (hi - lo)
+                for lo, hi in zip(lo_scores, hi_scores)
+            )
+            state = self.layer.execute_box(prepared, scores)
+            actual = aggregate.finalize(state)
+            stats.repartition_probes += 1
+            error = error_fn(target, actual)
+            candidate = self._refined_query(
+                space.query, space, coords, actual, error, scores=scores
+            )
+            best = _closer(best, candidate)
+            if math.isnan(actual) or actual > target:
+                high = midpoint
+            else:
+                low = midpoint
+        return best
+
+
+def _closer(
+    current: Optional[RefinedQuery], candidate: RefinedQuery
+) -> RefinedQuery:
+    """Keep the query with smaller (error, qscore)."""
+    if current is None:
+        return candidate
+    if (candidate.error, candidate.qscore) < (current.error, current.qscore):
+        return candidate
+    return current
+
+
+def _maybe_bitmap_index(
+    layer: EvaluationLayer, prepared: object, space: RefinedSpace
+) -> Optional[object]:
+    """Build a section 7.4 bitmap index when the backend supports it."""
+    builder = getattr(layer, "build_bitmap_index", None)
+    if builder is None:
+        return None
+    return builder(prepared, space)

@@ -1,0 +1,274 @@
+"""Contracting queries with too many results (paper section 7.2).
+
+The paper: construct ``Q'_min`` with each predicate of the original
+query set to its minimum value; the refined space is then bounded by
+``Q`` and ``Q'_min`` and traversed "minimizing refinement with respect
+to Q instead of Q'_min".
+
+Implementation notes. Contraction reuses the signed-score predicate
+algebra: a grid point at contraction coordinates ``(c_1 .. c_d)``
+corresponds to the query with every dimension shrunk by ``c_i * step``
+percent (signed PScore ``-c_i * step``). Queries are generated
+best-first in order of increasing QScore magnitude — i.e. closest to
+``Q`` first — exactly mirroring the Expand phase.
+
+One deliberate departure from the expansion path: aggregates are
+computed by executing each shrunk query as a *box* query rather than
+through the incremental cell recurrence. The Explore recurrence
+(Equation 17) consumes sub-aggregates of *contained* queries, which the
+expansion traversal visits first; a contraction traversal ordered by
+proximity to ``Q`` visits *containing* queries first, so the recurrence
+inputs are not yet available. The paper gives no algorithmic detail for
+7.2 beyond the paragraph quoted above; the monotone pruning below
+(children of an over-shrunk query are skipped for monotone aggregates)
+keeps the number of executed queries close to the number of useful
+grid points.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.error import default_error_for
+from repro.core.query import ConstraintOp, Query
+from repro.core.result import AcquireResult, RefinedQuery, SearchStats
+from repro.core.scoring import Norm
+from repro.engine.backends import EvaluationLayer
+from repro.exceptions import QueryModelError
+
+if TYPE_CHECKING:  # pragma: no cover - circular import guard
+    from repro.core.acquire import AcquireConfig
+
+_LAYER_EPS = 1e-9
+
+Coords = tuple[int, ...]
+
+
+class ContractionSpace:
+    """Grid over shrinkage scores, bounded by ``Q`` and ``Q'_min``."""
+
+    def __init__(
+        self,
+        query: Query,
+        gamma: float,
+        norm: Norm,
+        step: Optional[float] = None,
+    ) -> None:
+        self.query = query
+        self.dims = query.refinable_predicates
+        self.d = len(self.dims)
+        if self.d == 0:
+            raise QueryModelError(
+                "query has no refinable predicates; nothing to contract"
+            )
+        self.norm = norm
+        self.step = float(step) if step is not None else gamma / self.d
+        if self.step <= 0:
+            raise QueryModelError("grid step must be > 0")
+        self.weights = query.weights
+        self.max_coords = tuple(
+            int(math.ceil(self._shrink_cap(predicate) / self.step - 1e-9))
+            if self._shrink_cap(predicate) > 0
+            else 0
+            for predicate in self.dims
+        )
+
+    @staticmethod
+    def _shrink_cap(predicate: object) -> float:
+        limit = getattr(predicate, "limit", None)
+        cap = predicate.max_shrink_score  # type: ignore[attr-defined]
+        if limit is not None:
+            cap = min(cap, limit)
+        return cap
+
+    @property
+    def origin(self) -> Coords:
+        return (0,) * self.d
+
+    def scores(self, coords: Sequence[int]) -> tuple[float, ...]:
+        """Signed PScores (all <= 0) of a contraction grid point."""
+        return tuple(-coord * self.step for coord in coords)
+
+    def qscore(self, coords: Sequence[int]) -> float:
+        magnitudes = [coord * self.step for coord in coords]
+        return self.norm.qscore(magnitudes, self.weights)
+
+    def qscore_of_scores(self, scores: Sequence[float]) -> float:
+        return self.norm.qscore([abs(score) for score in scores], self.weights)
+
+
+def contract_query(
+    layer: EvaluationLayer, query: Query, config: "AcquireConfig"
+) -> AcquireResult:
+    """Shrink ``query`` until its aggregate meets the constraint.
+
+    Handles ``<=``/``<`` constraints, and ``=`` constraints whose
+    original query overshoots the target (the :class:`Acquire` driver
+    delegates both cases here).
+    """
+    started = time.perf_counter()
+    layer_stats_before = layer.stats.snapshot()
+    constraint = query.constraint
+    aggregate = constraint.spec.aggregate
+    target = constraint.target
+    error_fn = config.error_fn or default_error_for(constraint.op)
+
+    prepared = layer.prepare(query, [0.0] * query.dimensionality)
+    space = ContractionSpace(query, config.gamma, config.norm, config.step)
+    stats = SearchStats()
+
+    original_state = layer.execute_box(prepared, (0.0,) * space.d)
+    original_value = aggregate.finalize(original_state)
+
+    answers: list[RefinedQuery] = []
+    closest: Optional[RefinedQuery] = None
+    answer_layer = math.inf
+
+    # Best-first over shrinkage grid, mirroring the Expand phase but
+    # with subtree pruning once a monotone aggregate falls below any
+    # value the constraint could still accept.
+    heap: list[tuple[float, int, Coords]] = [(0.0, 0, space.origin)]
+    queued: set[Coords] = {space.origin}
+    while heap:
+        qscore, total, coords = heapq.heappop(heap)
+        if qscore > answer_layer + _LAYER_EPS:
+            break
+        if stats.grid_queries_examined >= config.max_grid_queries:
+            break
+        stats.grid_queries_examined += 1
+
+        scores = space.scores(coords)
+        state = (
+            original_state
+            if coords == space.origin
+            else layer.execute_box(prepared, scores)
+        )
+        actual = aggregate.finalize(state)
+        error = error_fn(target, actual)
+        refined = _refined(query, space, scores, actual, error, coords)
+        closest = _closer(closest, refined)
+
+        overshrunk = (
+            aggregate.monotone_expanding
+            and not math.isnan(actual)
+            and actual < target
+        )
+        if error <= config.delta:
+            answers.append(refined)
+            answer_layer = min(answer_layer, qscore)
+        elif overshrunk and constraint.op is ConstraintOp.EQ:
+            candidate = _repartition_shrink(
+                layer,
+                prepared,
+                query,
+                space,
+                coords,
+                target,
+                error_fn,
+                config,
+                stats,
+            )
+            if candidate is not None:
+                closest = _closer(closest, candidate)
+                if candidate.error <= config.delta:
+                    answers.append(candidate)
+                    answer_layer = min(answer_layer, qscore)
+
+        if overshrunk:
+            continue  # monotone: deeper shrinkage only reduces further
+        for dim in range(space.d):
+            if coords[dim] >= space.max_coords[dim]:
+                continue
+            successor = coords[:dim] + (coords[dim] + 1,) + coords[dim + 1 :]
+            if successor in queued:
+                continue
+            queued.add(successor)
+            heapq.heappush(
+                heap, (space.qscore(successor), total + 1, successor)
+            )
+
+    stats.elapsed_s = time.perf_counter() - started
+    stats.execution = layer.stats.since(layer_stats_before)
+    answers.sort(key=lambda a: (a.qscore, a.error))
+    return AcquireResult(
+        query=query,
+        answers=answers,
+        closest=closest,
+        original_value=original_value,
+        stats=stats,
+    )
+
+
+def _refined(
+    query: Query,
+    space: ContractionSpace,
+    scores: Sequence[float],
+    actual: float,
+    error: float,
+    coords: Optional[Coords],
+) -> RefinedQuery:
+    intervals = tuple(
+        predicate.interval_at(score)
+        for predicate, score in zip(query.refinable_predicates, scores)
+    )
+    return RefinedQuery(
+        query=query,
+        pscores=tuple(scores),
+        qscore=space.qscore_of_scores(scores),
+        aggregate_value=actual,
+        error=error,
+        intervals=intervals,
+        coords=coords,
+    )
+
+
+def _repartition_shrink(
+    layer: EvaluationLayer,
+    prepared: object,
+    query: Query,
+    space: ContractionSpace,
+    coords: Coords,
+    target: float,
+    error_fn: object,
+    config: "AcquireConfig",
+    stats: SearchStats,
+) -> Optional[RefinedQuery]:
+    """Bisect between an over-shrunk grid query and its predecessor."""
+    if config.repartition_iterations == 0:
+        return None
+    aggregate = query.constraint.spec.aggregate
+    hi_scores = space.scores(coords)  # more shrunk (all <= 0)
+    lo_scores = tuple(min(score + space.step, 0.0) for score in hi_scores)
+    if hi_scores == lo_scores:
+        return None
+    best: Optional[RefinedQuery] = None
+    low, high = 0.0, 1.0
+    for _ in range(config.repartition_iterations):
+        midpoint = (low + high) / 2.0
+        scores = tuple(
+            lo + midpoint * (hi - lo) for lo, hi in zip(lo_scores, hi_scores)
+        )
+        state = layer.execute_box(prepared, scores)
+        actual = aggregate.finalize(state)
+        stats.repartition_probes += 1
+        error = error_fn(target, actual)  # type: ignore[operator]
+        candidate = _refined(query, space, scores, actual, error, None)
+        best = _closer(best, candidate)
+        if math.isnan(actual) or actual < target:
+            high = midpoint  # too shrunk: back off
+        else:
+            low = midpoint
+    return best
+
+
+def _closer(
+    current: Optional[RefinedQuery], candidate: RefinedQuery
+) -> RefinedQuery:
+    if current is None:
+        return candidate
+    if (candidate.error, candidate.qscore) < (current.error, current.qscore):
+        return candidate
+    return current

@@ -1,0 +1,98 @@
+"""Aggregate error functions (paper section 2.5, Equation 4).
+
+The default error is the relative error
+``Err_A = |Aexp - Aactual| / Aexp`` — appropriate for COUNT and AVG.
+For SUM/MIN/MAX with one-sided constraints the paper recommends a hinge
+function that only penalizes undershoot. Both are provided, and any
+user-supplied callable with the same signature may replace them
+(the paper's "sensible defaults" design principle).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+from repro.core.query import ConstraintOp
+
+
+class AggregateErrorFunction(Protocol):
+    """Signature of an aggregate error function."""
+
+    def __call__(self, expected: float, actual: float) -> float:
+        """Return a non-negative error; 0 means the constraint is met."""
+        ...
+
+
+class RelativeError:
+    """``|Aexp - Aactual| / Aexp`` (paper Equation 4)."""
+
+    def __call__(self, expected: float, actual: float) -> float:
+        if math.isnan(actual):
+            return math.inf
+        if expected == 0:
+            return 0.0 if actual == 0 else math.inf
+        return abs(expected - actual) / abs(expected)
+
+    def __repr__(self) -> str:
+        return "RelativeError()"
+
+
+class HingeError:
+    """One-sided relative error: penalize undershoot only.
+
+    The paper's hinge returns the raw gap ``Aexp - Aactual``; we
+    normalize by ``Aexp`` so a single threshold ``delta`` is meaningful
+    across aggregates of very different magnitudes. Set
+    ``normalized=False`` for the paper's literal definition.
+    """
+
+    def __init__(self, normalized: bool = True) -> None:
+        self.normalized = normalized
+
+    def __call__(self, expected: float, actual: float) -> float:
+        if math.isnan(actual):
+            return math.inf
+        gap = expected - actual
+        if gap <= 0:
+            return 0.0
+        if not self.normalized:
+            return gap
+        if expected == 0:
+            return math.inf
+        return gap / abs(expected)
+
+    def __repr__(self) -> str:
+        return f"HingeError(normalized={self.normalized})"
+
+
+def default_error_for(op: ConstraintOp) -> AggregateErrorFunction:
+    """Pick the paper's default error function for a constraint operator.
+
+    Equality constraints use the symmetric relative error; the
+    one-sided operators (>=, >) use the hinge, which treats any
+    overshoot as satisfying the constraint. The contraction-direction
+    operators (<=, <) use a mirrored hinge.
+    """
+    if op is ConstraintOp.EQ:
+        return RelativeError()
+    if op in (ConstraintOp.GE, ConstraintOp.GT):
+        return HingeError()
+    return _UpperHingeError()
+
+
+class _UpperHingeError:
+    """Hinge for <=/< constraints: penalize overshoot only."""
+
+    def __call__(self, expected: float, actual: float) -> float:
+        if math.isnan(actual):
+            return math.inf
+        gap = actual - expected
+        if gap <= 0:
+            return 0.0
+        if expected == 0:
+            return math.inf
+        return gap / abs(expected)
+
+    def __repr__(self) -> str:
+        return "UpperHingeError()"

@@ -1,0 +1,145 @@
+"""Phase I — Expand (paper section 4, Algorithms 1 and 2).
+
+The Expand phase generates grid queries in order of non-decreasing
+QScore, layer by layer, so that (Theorem 2) a query with QScore ``k``
+is only investigated after every query with smaller QScore, and
+(Theorem 3) every query is generated after all queries it contains.
+The Explore phase's incremental aggregate computation depends on that
+containment order.
+
+Two traversals are provided:
+
+* :class:`LpBestFirstTraversal` — Algorithm 1 generalized: a best-first
+  search keyed by ``(QScore, sum(coords), coords)``. For the default L1
+  norm with unit weights this degenerates to the paper's plain
+  breadth-first search; the extra key components guarantee containment
+  order for *any* monotone norm, including weighted norms and L-inf
+  (where two nested queries can share a QScore).
+* :class:`LInfLayerTraversal` — Algorithm 2: explicit enumeration of
+  the L-shaped layers of the L-infinity norm. Provided for fidelity and
+  tested equivalent (as a set, layer by layer) to the best-first
+  traversal under the L-inf norm.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator
+
+from repro.core.refined_space import RefinedSpace
+from repro.core.scoring import LInfNorm
+from repro.exceptions import SearchError
+
+Coords = tuple[int, ...]
+
+
+class Traversal:
+    """Iterator protocol over grid queries in non-decreasing QScore."""
+
+    def __iter__(self) -> Iterator[Coords]:
+        raise NotImplementedError
+
+
+class LpBestFirstTraversal(Traversal):
+    """Best-first expansion of the refined-space grid (Algorithm 1).
+
+    Every popped query pushes its d successors (one coordinate
+    incremented by one step), deduplicated exactly like the paper's
+    ``queryQue.Contains`` check. The priority key makes the stream
+    non-decreasing in QScore and consistent with containment:
+    ``u`` strictly contained in ``v`` implies ``QScore(u) <= QScore(v)``
+    and ``sum(u) < sum(v)``, so ``u`` pops first even on QScore ties.
+    """
+
+    def __init__(self, space: RefinedSpace) -> None:
+        self.space = space
+
+    def __iter__(self) -> Iterator[Coords]:
+        space = self.space
+        origin = space.origin
+        heap: list[tuple[float, int, Coords]] = [
+            (space.qscore(origin), 0, origin)
+        ]
+        queued: set[Coords] = {origin}
+        while heap:
+            qscore, total, coords = heapq.heappop(heap)
+            yield coords
+            for dim in range(space.d):
+                if coords[dim] >= space.max_coords[dim]:
+                    continue
+                successor = coords[:dim] + (coords[dim] + 1,) + coords[dim + 1 :]
+                if successor in queued:
+                    continue
+                queued.add(successor)
+                heapq.heappush(
+                    heap,
+                    (space.qscore(successor), total + 1, successor),
+                )
+
+
+class LInfLayerTraversal(Traversal):
+    """Layer-wise enumeration for the L-infinity norm (Algorithm 2).
+
+    Layer ``r`` holds every grid query whose maximum coordinate equals
+    ``r``; layers are L-shaped shells around the origin. Within a
+    layer, queries are produced class by class (class ``i`` pins
+    dimension ``i`` at ``r`` with earlier dimensions <= r and later
+    dimensions <= r-1, a disjoint and complete cover), in
+    lexicographic order — which preserves containment order.
+    """
+
+    def __init__(self, space: RefinedSpace) -> None:
+        if not isinstance(space.norm, LInfNorm):
+            raise SearchError(
+                "LInfLayerTraversal requires the L-infinity norm; "
+                f"got {space.norm!r}"
+            )
+        self.space = space
+
+    def __iter__(self) -> Iterator[Coords]:
+        space = self.space
+        max_layer = max(space.max_coords) if space.max_coords else 0
+        yield space.origin
+        for layer in range(1, max_layer + 1):
+            yield from self._layer(layer)
+
+    def _layer(self, layer: int) -> Iterator[Coords]:
+        """All in-bounds coordinates whose maximum equals ``layer``."""
+        space = self.space
+        for pinned in range(space.d):
+            if space.max_coords[pinned] < layer:
+                continue
+            axis_ranges = []
+            feasible = True
+            for dim in range(space.d):
+                if dim == pinned:
+                    axis_ranges.append((layer,))
+                    continue
+                cap = layer if dim < pinned else layer - 1
+                cap = min(cap, space.max_coords[dim])
+                if cap < 0:
+                    feasible = False
+                    break
+                axis_ranges.append(tuple(range(cap + 1)))
+            if not feasible:
+                continue
+            for coords in itertools.product(*axis_ranges):
+                yield coords
+
+
+def make_traversal(space: RefinedSpace, kind: str = "auto") -> Traversal:
+    """Pick a traversal implementation.
+
+    ``auto`` uses the layer enumerator for the L-infinity norm and the
+    best-first search otherwise; ``lp``/``linf`` force a choice.
+    """
+    if kind == "lp":
+        return LpBestFirstTraversal(space)
+    if kind == "linf":
+        return LInfLayerTraversal(space)
+    if kind == "auto":
+        if isinstance(space.norm, LInfNorm):
+            return LInfLayerTraversal(space)
+        return LpBestFirstTraversal(space)
+    raise SearchError(f"unknown traversal kind: {kind!r}")

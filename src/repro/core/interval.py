@@ -1,0 +1,75 @@
+"""Closed numeric intervals for predicate bounds (paper section 2.2).
+
+A predicate ``P_i`` is decomposed into a function ``P_i^F`` and an
+interval ``P_i^I = (min_i, max_i)`` of acceptable function values.
+Refinement moves one or both endpoints; this class is the shared
+representation for both the original and refined intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import QueryModelError
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]``; either end may be infinite."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise QueryModelError("interval endpoints must not be NaN")
+        if self.lo > self.hi:
+            raise QueryModelError(f"empty interval: lo={self.lo} > hi={self.hi}")
+
+    @classmethod
+    def point(cls, value: float) -> Interval:
+        return cls(value, value)
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def expand_upper(self, amount: float) -> Interval:
+        """Grow the upper endpoint by ``amount`` (>= 0)."""
+        if amount < 0:
+            raise QueryModelError("expansion amount must be non-negative")
+        return Interval(self.lo, self.hi + amount)
+
+    def expand_lower(self, amount: float) -> Interval:
+        """Lower the lower endpoint by ``amount`` (>= 0)."""
+        if amount < 0:
+            raise QueryModelError("expansion amount must be non-negative")
+        return Interval(self.lo - amount, self.hi)
+
+    def expand_both(self, amount: float) -> Interval:
+        if amount < 0:
+            raise QueryModelError("expansion amount must be non-negative")
+        return Interval(self.lo - amount, self.hi + amount)
+
+    def shrink(self, lower_amount: float, upper_amount: float) -> Interval:
+        """Shrink from each end; collapses to a point if over-shrunk."""
+        lo = self.lo + lower_amount
+        hi = self.hi - upper_amount
+        if lo > hi:
+            middle = (self.lo + self.hi) / 2.0
+            return Interval(middle, middle)
+        return Interval(lo, hi)
+
+    def intersects(self, other: Interval) -> bool:
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def __str__(self) -> str:
+        return f"[{self.lo:g}, {self.hi:g}]"

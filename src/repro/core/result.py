@@ -1,0 +1,168 @@
+"""Result objects returned by the ACQUIRE driver."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.interval import Interval
+from repro.core.query import Query
+from repro.engine.backends import ExecutionStats
+
+
+@dataclass(frozen=True)
+class RefinedQuery:
+    """One refined query recommended by ACQUIRE.
+
+    Attributes:
+        pscores: per-predicate refinement vector (paper Equation 2),
+            indexed like ``query.refinable_predicates``.
+        qscore: query refinement score under the configured norm.
+        aggregate_value: the actual aggregate ``Aactual`` of this query.
+        error: aggregate error ``Err_A`` against the constraint target.
+        coords: originating grid coordinates (``None`` for off-grid
+            queries produced by repartitioning).
+        intervals: refined value interval per refinable predicate.
+    """
+
+    query: Query
+    pscores: tuple[float, ...]
+    qscore: float
+    aggregate_value: float
+    error: float
+    intervals: tuple[Interval, ...]
+    coords: Optional[tuple[int, ...]] = None
+
+    def describe(self) -> str:
+        """Human-readable rendering of the refined predicates."""
+        parts = []
+        for predicate, score in zip(
+            self.query.refinable_predicates, self.pscores
+        ):
+            parts.append(predicate.describe(score))
+        for predicate in self.query.fixed_predicates:
+            parts.append(predicate.describe() + " /*NOREFINE*/")
+        where = "\n  AND ".join(parts) if parts else "1=1"
+        return (
+            f"SELECT * FROM {', '.join(self.query.tables)}\n"
+            f"WHERE {where}\n"
+            f"-- {self.query.constraint.spec.describe()} = "
+            f"{self.aggregate_value:g} (QScore {self.qscore:.3f})"
+        )
+
+
+@dataclass
+class SearchStats:
+    """Work performed by one ACQUIRE run."""
+
+    grid_queries_examined: int = 0
+    cells_executed: int = 0
+    cells_skipped: int = 0
+    layers_explored: int = 0
+    repartition_probes: int = 0
+    elapsed_s: float = 0.0
+    execution: ExecutionStats = field(default_factory=ExecutionStats)
+
+
+@dataclass
+class AcquireResult:
+    """Outcome of one ACQUIRE run (paper Definition 1's answer set).
+
+    ``answers`` holds every refined query in the terminating layer whose
+    aggregate error is within delta, ordered by (qscore, error).
+    ``closest`` is the examined query with smallest error — returned
+    per Algorithm 4 when no query satisfies the constraint.
+    """
+
+    query: Query
+    answers: list[RefinedQuery]
+    closest: Optional[RefinedQuery]
+    original_value: float
+    stats: SearchStats
+
+    @property
+    def satisfied(self) -> bool:
+        return bool(self.answers)
+
+    @property
+    def best(self) -> Optional[RefinedQuery]:
+        """The recommended query: best answer, else the closest one."""
+        if self.answers:
+            return self.answers[0]
+        return self.closest
+
+    @property
+    def qscore(self) -> float:
+        best = self.best
+        return best.qscore if best is not None else math.inf
+
+    @property
+    def error(self) -> float:
+        best = self.best
+        return best.error if best is not None else math.inf
+
+    def alternatives_table(self, limit: int = 10) -> str:
+        """Aligned text table of the answer set (the user-facing menu).
+
+        The paper's desired user experience: "The output of such a
+        search would be a set of refined queries ... Alice would then
+        simply pick the query that best meets her selection criteria."
+        """
+        candidates = self.answers[:limit] or (
+            [self.closest] if self.closest else []
+        )
+        if not candidates:
+            return "(no refined queries found)"
+        dims = self.query.refinable_predicates
+        header = ["#", "QScore", "A_actual", "err"] + [
+            predicate.name for predicate in dims
+        ]
+        body = []
+        for index, answer in enumerate(candidates, start=1):
+            body.append(
+                [
+                    str(index),
+                    f"{answer.qscore:.2f}",
+                    f"{answer.aggregate_value:g}",
+                    f"{answer.error:.4f}",
+                ]
+                + [str(interval) for interval in answer.intervals]
+            )
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body))
+            for i in range(len(header))
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in body:
+            lines.append(
+                "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        target = self.query.constraint.target
+        lines = [
+            f"query {self.query.name!r}: target "
+            f"{self.query.constraint.describe()} "
+            f"(original {self.original_value:g})",
+            f"  answers: {len(self.answers)} "
+            f"(satisfied={self.satisfied})",
+        ]
+        best = self.best
+        if best is not None:
+            lines.append(
+                f"  best: QScore={best.qscore:.3f} "
+                f"A={best.aggregate_value:g} err={best.error:.4f} "
+                f"(target {target:g})"
+            )
+        lines.append(
+            f"  work: {self.stats.grid_queries_examined} grid queries, "
+            f"{self.stats.cells_executed} cell executions, "
+            f"{self.stats.execution.queries_executed} backend queries, "
+            f"{self.stats.elapsed_s * 1000:.1f} ms"
+        )
+        return "\n".join(lines)

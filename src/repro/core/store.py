@@ -1,0 +1,147 @@
+"""Sub-aggregate storage backends for the Explore phase.
+
+The paper (section 5.1.1): "We must store only the aggregate values for
+the d + 1 sub-queries. The corresponding result tuples can either be
+stored in main memory or paged to disk." The default
+:class:`~repro.core.explore.SubAggregateStore` keeps everything in a
+dict; for very large refined spaces this module provides
+:class:`PagedSubAggregateStore`, which pages the per-grid-point state
+lists through an LRU-bounded memory cache into a SQLite file, keeping
+resident memory proportional to the cache size instead of the number of
+visited grid queries.
+
+Both stores expose the same ``put`` / ``get`` / ``__contains__`` /
+``__len__`` interface the :class:`~repro.core.explore.Explorer`
+consumes, so swapping them is a one-argument change.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import struct
+import tempfile
+from collections import OrderedDict
+from typing import Optional
+
+from repro.core.aggregates import AggState
+from repro.exceptions import SearchError
+
+Coords = tuple[int, ...]
+
+
+def _encode_coords(coords: Coords) -> bytes:
+    return struct.pack(f"<{len(coords)}q", *coords)
+
+
+def _encode_states(states: list[AggState]) -> bytes:
+    """Flatten a list of equal-arity float tuples."""
+    arity = len(states[0]) if states else 0
+    flat = [value for state in states for value in state]
+    return struct.pack(f"<2i{len(flat)}d", len(states), arity, *flat)
+
+
+def _decode_states(blob: bytes) -> list[AggState]:
+    count, arity = struct.unpack_from("<2i", blob)
+    flat = struct.unpack_from(f"<{count * arity}d", blob, offset=8)
+    return [
+        tuple(flat[index * arity : (index + 1) * arity])
+        for index in range(count)
+    ]
+
+
+class PagedSubAggregateStore:
+    """Disk-paged store with a bounded in-memory LRU cache.
+
+    Args:
+        cache_size: grid points kept resident; older entries are
+            evicted (they remain on disk and page back in on access).
+        path: SQLite file to use; defaults to a fresh temporary file
+            removed on :meth:`close`.
+    """
+
+    def __init__(
+        self, cache_size: int = 4096, path: Optional[str] = None
+    ) -> None:
+        if cache_size < 1:
+            raise SearchError("cache_size must be >= 1")
+        self.cache_size = cache_size
+        if path is None:
+            handle, path = tempfile.mkstemp(
+                prefix="acquire_store_", suffix=".sqlite"
+            )
+            os.close(handle)
+            self._owns_file = True
+        else:
+            self._owns_file = False
+        self.path = path
+        self._connection = sqlite3.connect(path)
+        self._connection.execute("PRAGMA journal_mode=OFF")
+        self._connection.execute("PRAGMA synchronous=OFF")
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS states "
+            "(coords BLOB PRIMARY KEY, payload BLOB NOT NULL)"
+        )
+        self._cache: OrderedDict[Coords, list[AggState]] = OrderedDict()
+        self._count = 0
+        self.page_ins = 0
+        self.evictions = 0
+
+    # -- SubAggregateStore interface -----------------------------------
+    def put(self, coords: Coords, states: list[AggState]) -> None:
+        if coords not in self:
+            self._count += 1
+        self._connection.execute(
+            "INSERT OR REPLACE INTO states VALUES (?, ?)",
+            (_encode_coords(coords), _encode_states(states)),
+        )
+        self._cache[coords] = states
+        self._cache.move_to_end(coords)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+
+    def get(self, coords: Coords) -> list[AggState]:
+        if coords in self._cache:
+            self._cache.move_to_end(coords)
+            return self._cache[coords]
+        row = self._connection.execute(
+            "SELECT payload FROM states WHERE coords = ?",
+            (_encode_coords(coords),),
+        ).fetchone()
+        if row is None:
+            raise SearchError(
+                f"sub-aggregates for {coords} requested before computation; "
+                "traversal violated containment order (Theorem 3)"
+            )
+        states = _decode_states(row[0])
+        self.page_ins += 1
+        self._cache[coords] = states
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+        return states
+
+    def __contains__(self, coords: object) -> bool:
+        if coords in self._cache:
+            return True
+        row = self._connection.execute(
+            "SELECT 1 FROM states WHERE coords = ?",
+            (_encode_coords(coords),),  # type: ignore[arg-type]
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        self._connection.close()
+        if self._owns_file and os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def __enter__(self) -> "PagedSubAggregateStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

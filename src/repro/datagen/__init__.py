@@ -1,0 +1,31 @@
+"""Synthetic data generation: TPC-H-shaped tables with a skew knob.
+
+The paper evaluates on TPC-H data of 1K-10M tuples, plus a skewed
+variant (Zipf z=1) produced with the Chaudhuri-Narasayya skewed TPC-D
+generator. :func:`generate_tpch` reproduces the schema, key integrity,
+value ranges and skew knob of the columns the experiments touch;
+:mod:`repro.datagen.synthetic` provides simpler tables for unit and
+property tests.
+"""
+
+from repro.datagen.distributions import (
+    clustered,
+    uniform_floats,
+    uniform_ints,
+    zipf_floats,
+    zipf_ints,
+)
+from repro.datagen.tpch import TPCHConfig, generate_tpch
+from repro.datagen.synthetic import numeric_table, users_table
+
+__all__ = [
+    "clustered",
+    "uniform_floats",
+    "uniform_ints",
+    "zipf_floats",
+    "zipf_ints",
+    "TPCHConfig",
+    "generate_tpch",
+    "numeric_table",
+    "users_table",
+]

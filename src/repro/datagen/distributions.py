@@ -1,0 +1,113 @@
+"""Primitive samplers: uniform, Zipfian, and clustered columns.
+
+Standard TPC-H data is uniform (Zipf z = 0); the paper additionally
+evaluates on data skewed with z = 1 using the Chaudhuri-Narasayya
+generator. :func:`zipf_ints` reproduces that generator's behaviour:
+values are drawn from a fixed domain with probability proportional to
+``1 / rank^z``, so ``z = 0`` degenerates to uniform and ``z = 1`` gives
+the paper's skewed setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataGenError
+
+
+def _check(n: int, low: float, high: float) -> None:
+    if n < 0:
+        raise DataGenError(f"negative row count: {n}")
+    if low > high:
+        raise DataGenError(f"empty domain: [{low}, {high}]")
+
+
+def uniform_ints(
+    rng: np.random.Generator, n: int, low: int, high: int
+) -> np.ndarray:
+    """Uniform integers in ``[low, high]`` inclusive."""
+    _check(n, low, high)
+    return rng.integers(low, high + 1, size=n, dtype=np.int64)
+
+
+def uniform_floats(
+    rng: np.random.Generator, n: int, low: float, high: float
+) -> np.ndarray:
+    """Uniform floats in ``[low, high)``."""
+    _check(n, low, high)
+    return rng.uniform(low, high, size=n)
+
+
+def zipf_probabilities(domain_size: int, z: float) -> np.ndarray:
+    """Normalized Zipf(z) rank probabilities over ``domain_size`` values."""
+    if domain_size <= 0:
+        raise DataGenError(f"domain size must be positive: {domain_size}")
+    if z < 0:
+        raise DataGenError(f"zipf exponent must be >= 0: {z}")
+    ranks = np.arange(1, domain_size + 1, dtype=np.float64)
+    weights = ranks ** (-z)
+    return weights / np.sum(weights)
+
+
+def zipf_ints(
+    rng: np.random.Generator,
+    n: int,
+    low: int,
+    high: int,
+    z: float,
+    shuffle_ranks: bool = True,
+) -> np.ndarray:
+    """Zipf-skewed integers over the inclusive domain ``[low, high]``.
+
+    ``shuffle_ranks`` assigns ranks to domain values in a random
+    permutation (seeded by ``rng``), matching the skewed TPC-D
+    generator's decoupling of frequency rank from value order.
+    """
+    _check(n, low, high)
+    domain = np.arange(low, high + 1, dtype=np.int64)
+    probabilities = zipf_probabilities(len(domain), z)
+    if shuffle_ranks:
+        domain = rng.permutation(domain)
+    return rng.choice(domain, size=n, p=probabilities)
+
+
+def zipf_floats(
+    rng: np.random.Generator,
+    n: int,
+    low: float,
+    high: float,
+    z: float,
+    buckets: int = 1024,
+) -> np.ndarray:
+    """Zipf-skewed floats: bucket the range, skew bucket frequencies,
+    then jitter uniformly within the chosen bucket."""
+    _check(n, low, high)
+    probabilities = zipf_probabilities(buckets, z)
+    chosen = rng.choice(
+        rng.permutation(np.arange(buckets)), size=n, p=probabilities
+    )
+    width = (high - low) / buckets
+    return low + (chosen + rng.random(n)) * width
+
+
+def clustered(
+    rng: np.random.Generator,
+    n: int,
+    centers: list[float],
+    spread: float,
+    low: float,
+    high: float,
+) -> np.ndarray:
+    """Mixture-of-Gaussians column clipped to ``[low, high]``.
+
+    Useful in tests for data with empty regions — the regime where the
+    section 7.4 bitmap index and cell skipping pay off.
+    """
+    _check(n, low, high)
+    if not centers:
+        raise DataGenError("clustered() needs at least one center")
+    if spread <= 0:
+        raise DataGenError(f"spread must be positive: {spread}")
+    assignment = rng.integers(0, len(centers), size=n)
+    values = rng.normal(np.asarray(centers)[assignment], spread)
+    return np.clip(values, low, high)

@@ -1,0 +1,68 @@
+"""Simple synthetic tables for examples, unit and property tests."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.datagen.distributions import uniform_floats, uniform_ints, zipf_floats
+from repro.engine.catalog import Database
+from repro.engine.table import Table
+from repro.exceptions import DataGenError
+
+
+def numeric_table(
+    name: str = "data",
+    n: int = 1000,
+    columns: Sequence[str] = ("x", "y", "z"),
+    low: float = 0.0,
+    high: float = 100.0,
+    seed: int = 0,
+    zipf_z: float = 0.0,
+) -> Table:
+    """A table of independent numeric columns over ``[low, high]``."""
+    if not columns:
+        raise DataGenError("numeric_table needs at least one column")
+    rng = np.random.default_rng(seed)
+    data = {}
+    for column in columns:
+        if zipf_z > 0:
+            data[column] = zipf_floats(rng, n, low, high, zipf_z)
+        else:
+            data[column] = uniform_floats(rng, n, low, high)
+    return Table.from_columns(name, data)
+
+
+def users_table(
+    n: int = 10_000, seed: int = 1, database: Optional[Database] = None
+) -> Database:
+    """The Example 1 scenario: an advertising audience table.
+
+    Columns mirror the demographic criteria of the paper's Q1:
+    age, income, engagement score (numeric) plus city and interest
+    (categorical, for the section 7.3 extension).
+    """
+    rng = np.random.default_rng(seed)
+    cities = np.array(
+        ["Boston", "NewYork", "Seattle", "Miami", "Austin",
+         "Chicago", "Denver", "Portland"],
+        dtype=object,
+    )
+    interests = np.array(
+        ["Retail", "Shopping", "Sports", "Travel", "Cooking", "Gaming"],
+        dtype=object,
+    )
+    database = database or Database("ads")
+    database.create_table(
+        "users",
+        {
+            "user_id": np.arange(1, n + 1, dtype=np.int64),
+            "age": uniform_ints(rng, n, 18, 75),
+            "income": np.round(uniform_floats(rng, n, 5_000.0, 250_000.0), 2),
+            "engagement": np.round(uniform_floats(rng, n, 0.0, 100.0), 3),
+            "city": rng.choice(cities, size=n),
+            "interest": rng.choice(interests, size=n),
+        },
+    )
+    return database

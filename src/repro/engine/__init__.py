@@ -1,0 +1,79 @@
+"""Evaluation-layer substrate: storage, expressions, execution backends.
+
+The paper delegates all query execution to PostgreSQL and stresses that
+the evaluation layer is modular.  This package provides two complete,
+interchangeable evaluation layers behind one interface
+(:class:`~repro.engine.backends.EvaluationLayer`):
+
+* :class:`~repro.engine.memory_backend.MemoryBackend` — a from-scratch
+  in-memory columnar engine on numpy arrays.
+* :class:`~repro.engine.sqlite_backend.SQLiteBackend` — compiles every
+  cell/box query to SQL and executes it against :mod:`sqlite3`, the
+  closest stand-in for the paper's Postgres deployment.
+
+Re-exports are resolved lazily (PEP 562) because the low-level modules
+here (``expression``, ``schema``) are imported by ``repro.core`` while
+the high-level backends import ``repro.core`` back; laziness keeps that
+dependency diamond acyclic at import time.
+"""
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "Column": "repro.engine.schema",
+    "ColumnType": "repro.engine.schema",
+    "TableSchema": "repro.engine.schema",
+    "Table": "repro.engine.table",
+    "Database": "repro.engine.catalog",
+    "Expression": "repro.engine.expression",
+    "col": "repro.engine.expression",
+    "const": "repro.engine.expression",
+    "parse_column_ref": "repro.engine.expression",
+    "EvaluationLayer": "repro.engine.backends",
+    "ExecutionStats": "repro.engine.backends",
+    "TopKAdmission": "repro.engine.backends",
+    "MemoryBackend": "repro.engine.memory_backend",
+    "SQLiteBackend": "repro.engine.sqlite_backend",
+    "GridBitmapIndex": "repro.engine.bitmap_index",
+    "SamplingBackend": "repro.engine.sampling",
+    "HistogramBackend": "repro.engine.histogram_backend",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro.engine' has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.engine.backends import (
+        EvaluationLayer,
+        ExecutionStats,
+        TopKAdmission,
+    )
+    from repro.engine.bitmap_index import GridBitmapIndex
+    from repro.engine.catalog import Database
+    from repro.engine.expression import (
+        Expression,
+        col,
+        const,
+        parse_column_ref,
+    )
+    from repro.engine.memory_backend import MemoryBackend
+    from repro.engine.histogram_backend import HistogramBackend
+    from repro.engine.sampling import SamplingBackend
+    from repro.engine.schema import Column, ColumnType, TableSchema
+    from repro.engine.sqlite_backend import SQLiteBackend
+    from repro.engine.table import Table

@@ -1,0 +1,195 @@
+"""The evaluation-layer interface (paper section 3, Figure 2).
+
+ACQUIRE "delegates all actual query execution tasks to an evaluation
+layer, which in this case is Postgres. However, the evaluation layer is
+modular and can be replaced." This module defines that seam: the
+abstract :class:`EvaluationLayer` plus the instrumentation every
+implementation shares.
+
+Execution requests come in three shapes:
+
+* *cell queries* — the highly selective unit of the Explore phase:
+  tuples whose per-dimension minimal refinement falls in a grid cell's
+  annulus;
+* *box queries* — a full refined query at an arbitrary (possibly
+  off-grid) PScore vector; used by the repartitioning step and by every
+  baseline technique;
+* *top-k admission* — order candidate tuples by total refinement
+  distance and admit the first k; used by the Top-k baseline.
+
+All three are instrumented (queries issued, rows scanned, execution
+time) so the harness can report machine-independent work alongside
+wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.aggregates import AggState
+    from repro.core.query import Query
+    from repro.core.refined_space import RefinedSpace
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated by an evaluation layer."""
+
+    queries_executed: int = 0
+    cell_queries: int = 0
+    box_queries: int = 0
+    rows_scanned: int = 0
+    execution_time_s: float = 0.0
+
+    def snapshot(self) -> "ExecutionStats":
+        return ExecutionStats(
+            queries_executed=self.queries_executed,
+            cell_queries=self.cell_queries,
+            box_queries=self.box_queries,
+            rows_scanned=self.rows_scanned,
+            execution_time_s=self.execution_time_s,
+        )
+
+    def since(self, earlier: "ExecutionStats") -> "ExecutionStats":
+        """Counter deltas relative to an earlier snapshot."""
+        return ExecutionStats(
+            queries_executed=self.queries_executed - earlier.queries_executed,
+            cell_queries=self.cell_queries - earlier.cell_queries,
+            box_queries=self.box_queries - earlier.box_queries,
+            rows_scanned=self.rows_scanned - earlier.rows_scanned,
+            execution_time_s=self.execution_time_s - earlier.execution_time_s,
+        )
+
+
+@dataclass
+class TopKAdmission:
+    """Result of a top-k-by-refinement-distance request.
+
+    ``admitted`` is the number of tuples returned (== k unless fewer
+    candidates exist); ``max_scores`` is the per-dimension maximum
+    PScore among admitted tuples — the bounding refined query implied
+    by the selected tuple set, used to assign Top-k a refinement score
+    (paper Figure 8c compares refinement scores across methods).
+    """
+
+    admitted: int
+    max_scores: tuple[float, ...]
+
+
+class PreparedQuery(Protocol):
+    """Marker protocol for backend-specific prepared state."""
+
+    query: Query
+
+
+class _Timer:
+    """Context manager adding elapsed time to a stats object."""
+
+    def __init__(self, stats: ExecutionStats) -> None:
+        self._stats = stats
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stats.execution_time_s += time.perf_counter() - self._start
+
+
+class EvaluationLayer:
+    """Abstract evaluation layer; see module docstring.
+
+    ``dim_caps`` passed to :meth:`prepare` bound the refinement each
+    dimension can ever receive (from predicate limits and the driver's
+    configuration); backends may use them to bound materialization,
+    e.g. the half-width of a relaxed band join.
+    """
+
+    def __init__(self) -> None:
+        self.stats = ExecutionStats()
+
+    # -- lifecycle -------------------------------------------------------
+    def prepare(
+        self, query: Query, dim_caps: Optional[Sequence[float]] = None
+    ) -> PreparedQuery:
+        raise NotImplementedError
+
+    def useful_max_scores(self, prepared: PreparedQuery) -> list[float]:
+        """Per-dimension maximum *useful* PScore.
+
+        Expanding a predicate past the observed attribute domain admits
+        no new tuples, so the refined-space grid is clipped at these
+        scores. Backends return ``math.inf`` for dimensions they cannot
+        bound; the driver then falls back to its configured cap.
+        """
+        raise NotImplementedError
+
+    # -- execution --------------------------------------------------------
+    def execute_cell(
+        self,
+        prepared: PreparedQuery,
+        space: RefinedSpace,
+        coords: Sequence[int],
+    ) -> AggState:
+        """Aggregate state of the grid cell at ``coords``."""
+        raise NotImplementedError
+
+    def execute_box(
+        self, prepared: PreparedQuery, scores: Sequence[float]
+    ) -> AggState:
+        """Aggregate state of the full refined query at ``scores``."""
+        raise NotImplementedError
+
+    def execute_original(self, prepared: PreparedQuery) -> AggState:
+        """Aggregate state of the unrefined query (all scores zero)."""
+        dims = len(prepared.query.refinable_predicates)
+        return self.execute_box(prepared, (0.0,) * dims)
+
+    def topk_admission(
+        self, prepared: PreparedQuery, k: int
+    ) -> TopKAdmission:
+        """Admit the k candidate tuples with smallest total refinement."""
+        raise NotImplementedError
+
+    def fetch_rows(
+        self,
+        prepared: PreparedQuery,
+        scores: Sequence[float],
+        limit: Optional[int] = None,
+    ) -> list[dict]:
+        """Materialize the result tuples of a refined query.
+
+        Returns dicts keyed by fully-qualified ``table.column`` names.
+        This is the paper's note that "the corresponding result tuples
+        can either be stored in main memory or paged to disk" made
+        concrete: once the user picks one of ACQUIRE's alternatives,
+        this returns its actual rows.
+        """
+        raise NotImplementedError
+
+    # -- bookkeeping -------------------------------------------------------
+    def _count_query(self, kind: str, rows: int = 0) -> None:
+        self.stats.queries_executed += 1
+        self.stats.rows_scanned += rows
+        if kind == "cell":
+            self.stats.cell_queries += 1
+        elif kind == "box":
+            self.stats.box_queries += 1
+
+    def _timed(self) -> _Timer:
+        return _Timer(self.stats)
+
+    def reset_stats(self) -> None:
+        self.stats = ExecutionStats()
+
+
+__all__ = [
+    "EvaluationLayer",
+    "ExecutionStats",
+    "PreparedQuery",
+    "TopKAdmission",
+]

@@ -1,0 +1,82 @@
+"""Database catalog: named tables plus their statistics."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.engine.statistics import ColumnStats, TableStats
+from repro.engine.table import Table
+from repro.exceptions import SchemaError, UnknownTableError
+
+
+class Database:
+    """A collection of named tables with per-column statistics.
+
+    This is the catalog both evaluation layers and the SQL binder work
+    against. Tables are registered once; statistics are computed lazily
+    and cached.
+    """
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._stats: dict[str, TableStats] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise SchemaError(f"table {table.name!r} already registered")
+        self._tables[table.name] = table
+        self._stats[table.name] = TableStats(table)
+        return table
+
+    def create_table(
+        self, name: str, columns: Mapping[str, Sequence[Any] | np.ndarray]
+    ) -> Table:
+        """Build a table from column data and register it."""
+        return self.add_table(Table.from_columns(name, columns))
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise UnknownTableError(name)
+        del self._tables[name]
+        del self._stats[name]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def stats(self, table_name: str) -> TableStats:
+        if table_name not in self._stats:
+            raise UnknownTableError(table_name)
+        return self._stats[table_name]
+
+    def column_stats(self, table_name: str, column_name: str) -> ColumnStats:
+        return self.stats(table_name).column(column_name)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = {name: len(table) for name, table in self._tables.items()}
+        return f"Database({self.name!r}, tables={sizes})"

@@ -1,0 +1,213 @@
+"""Expression trees over table columns.
+
+Predicate functions in the paper (section 2.2) are monotonic functions
+of relation attributes: plain columns (``B.y``), arithmetic combinations
+(``2*A.x``), and distance functions between two sides of a join
+(``|A.x - B.x|``). This module provides the small expression language
+that represents them, with two evaluators:
+
+* :meth:`Expression.evaluate` — vectorized numpy evaluation against a
+  batch of column arrays (memory backend).
+* :meth:`Expression.to_sql` — rendering to a SQL scalar expression
+  (SQLite backend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+import numpy as np
+
+from repro.exceptions import ExpressionError
+
+#: Column batches map a fully-qualified "table.column" name to an array.
+ColumnBatch = Mapping[str, np.ndarray]
+
+_ARITH_OPS = {"+", "-", "*", "/"}
+
+
+def _qualify(table: str, column: str) -> str:
+    return f"{table}.{column}"
+
+
+def parse_column_ref(ref: str, default_table: str | None = None) -> tuple[str, str]:
+    """Split ``"table.column"`` (or bare ``"column"``) into its parts."""
+    if "." in ref:
+        table, _, column = ref.partition(".")
+        if not table or not column:
+            raise ExpressionError(f"malformed column reference: {ref!r}")
+        return table, column
+    if default_table is None:
+        raise ExpressionError(f"unqualified column {ref!r} needs a default table")
+    return default_table, ref
+
+
+class Expression:
+    """Base class for scalar expressions over one or more tables."""
+
+    def evaluate(self, batch: ColumnBatch) -> np.ndarray:
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+    def tables(self) -> set[str]:
+        """Names of every table whose columns the expression touches."""
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Fully-qualified names of every referenced column."""
+        raise NotImplementedError
+
+    # Operator sugar so tests and examples read naturally.
+    def __add__(self, other: ExpressionLike) -> Expression:
+        return BinaryOp("+", self, wrap(other))
+
+    def __sub__(self, other: ExpressionLike) -> Expression:
+        return BinaryOp("-", self, wrap(other))
+
+    def __mul__(self, other: ExpressionLike) -> Expression:
+        return BinaryOp("*", self, wrap(other))
+
+    def __truediv__(self, other: ExpressionLike) -> Expression:
+        return BinaryOp("/", self, wrap(other))
+
+    def __radd__(self, other: ExpressionLike) -> Expression:
+        return BinaryOp("+", wrap(other), self)
+
+    def __rsub__(self, other: ExpressionLike) -> Expression:
+        return BinaryOp("-", wrap(other), self)
+
+    def __rmul__(self, other: ExpressionLike) -> Expression:
+        return BinaryOp("*", wrap(other), self)
+
+
+ExpressionLike = Union[Expression, int, float]
+
+
+def wrap(value: ExpressionLike) -> Expression:
+    """Coerce plain numbers to :class:`Constant` expressions."""
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, (int, float)):
+        return Constant(float(value))
+    raise ExpressionError(f"cannot use {value!r} as an expression")
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """Reference to ``table.column``."""
+
+    table: str
+    column: str
+
+    def evaluate(self, batch: ColumnBatch) -> np.ndarray:
+        key = _qualify(self.table, self.column)
+        try:
+            return batch[key]
+        except KeyError:
+            raise ExpressionError(f"column {key!r} missing from batch") from None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.{self.column}"
+
+    def tables(self) -> set[str]:
+        return {self.table}
+
+    def columns(self) -> set[str]:
+        return {_qualify(self.table, self.column)}
+
+    def __repr__(self) -> str:
+        return f"col({self.table}.{self.column})"
+
+
+@dataclass(frozen=True)
+class Constant(Expression):
+    """A literal numeric constant."""
+
+    value: float
+
+    def evaluate(self, batch: ColumnBatch) -> np.ndarray:
+        return np.asarray(self.value, dtype=np.float64)
+
+    def to_sql(self) -> str:
+        if float(self.value).is_integer():
+            return str(int(self.value))
+        return repr(float(self.value))
+
+    def tables(self) -> set[str]:
+        return set()
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return f"const({self.value})"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Arithmetic between two sub-expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITH_OPS:
+            raise ExpressionError(f"unsupported arithmetic operator: {self.op!r}")
+
+    def evaluate(self, batch: ColumnBatch) -> np.ndarray:
+        left = np.asarray(self.left.evaluate(batch), dtype=np.float64)
+        right = np.asarray(self.right.evaluate(batch), dtype=np.float64)
+        if self.op == "+":
+            return left + right
+        if self.op == "-":
+            return left - right
+        if self.op == "*":
+            return left * right
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return left / right
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+    def tables(self) -> set[str]:
+        return self.left.tables() | self.right.tables()
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+
+@dataclass(frozen=True)
+class Abs(Expression):
+    """Absolute value — the default join distance function Delta."""
+
+    operand: Expression
+
+    def evaluate(self, batch: ColumnBatch) -> np.ndarray:
+        return np.abs(np.asarray(self.operand.evaluate(batch), dtype=np.float64))
+
+    def to_sql(self) -> str:
+        return f"ABS({self.operand.to_sql()})"
+
+    def tables(self) -> set[str]:
+        return self.operand.tables()
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+
+def col(ref: str, default_table: str | None = None) -> ColumnRef:
+    """Build a column reference from ``"table.column"`` text."""
+    table, column = parse_column_ref(ref, default_table)
+    return ColumnRef(table, column)
+
+
+def const(value: float) -> Constant:
+    return Constant(float(value))
+
+
+def absolute(expr: ExpressionLike) -> Abs:
+    return Abs(wrap(expr))

@@ -1,0 +1,113 @@
+"""Table schemas and the column type system.
+
+The engine is deliberately small: three column types (integer, float,
+string) cover everything the paper's experiments need — numeric range
+and join predicates over TPC-H-shaped tables, plus string columns for
+the categorical-ontology extension (paper section 7.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SchemaError, UnknownColumnError
+
+
+class ColumnType(enum.Enum):
+    """Storage type of a column."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+
+    @property
+    def numpy_dtype(self) -> type:
+        """The numpy dtype used to store values of this type."""
+        if self is ColumnType.INT:
+            return np.int64
+        if self is ColumnType.FLOAT:
+            return np.float64
+        return np.object_
+
+    @property
+    def is_numeric(self) -> bool:
+        return self is not ColumnType.STR
+
+    @property
+    def sql_type(self) -> str:
+        """The SQLite column type used by the SQL backend."""
+        if self is ColumnType.INT:
+            return "INTEGER"
+        if self is ColumnType.FLOAT:
+            return "REAL"
+        return "TEXT"
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition.
+
+    Attributes:
+        name: column name, unique within its table.
+        ctype: storage type.
+    """
+
+    name: str
+    ctype: ColumnType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+
+@dataclass
+class TableSchema:
+    """An ordered collection of columns belonging to one table.
+
+    Column order matters for row-oriented loading; lookups by name are
+    O(1) via an internal index.
+    """
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid table name: {self.name!r}")
+        seen: set[str] = set()
+        for column in self.columns:
+            if column.name in seen:
+                raise SchemaError(
+                    f"duplicate column {column.name!r} in table {self.name!r}"
+                )
+            seen.add(column.name)
+        self._by_name = {column.name: column for column in self.columns}
+
+    @classmethod
+    def build(cls, name: str, **column_types: ColumnType) -> TableSchema:
+        """Convenience constructor: ``TableSchema.build('t', a=INT, b=FLOAT)``."""
+        columns = [Column(cname, ctype) for cname, ctype in column_types.items()]
+        return cls(name, columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name, raising :class:`UnknownColumnError`."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownColumnError(name, self.name) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name

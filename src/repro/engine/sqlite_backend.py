@@ -1,0 +1,356 @@
+"""SQLite evaluation layer.
+
+The closest stand-in for the paper's deployment: ACQUIRE "sits outside
+the DBMS ... all query execution tasks are delegated to the DBMS".
+Every cell/box/top-k request is compiled to SQL and executed against an
+in-memory :mod:`sqlite3` database loaded from the catalog, so each cell
+query is a genuine database query with real planning, filtering and
+aggregation cost.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.aggregates import AggState
+from repro.core.interval import Interval
+from repro.core.predicate import (
+    CategoricalPredicate,
+    Direction,
+    JoinPredicate,
+    Predicate,
+    SelectPredicate,
+)
+from repro.core.query import Query
+from repro.core.refined_space import RefinedSpace
+from repro.engine.backends import EvaluationLayer, TopKAdmission
+from repro.engine.catalog import Database
+from repro.engine.schema import ColumnType
+from repro.exceptions import EngineError
+
+
+@dataclass
+class _SQLitePrepared:
+    query: Query
+    dim_caps: list[float]
+    from_sql: str
+    fixed_sql: list[str]
+
+
+class SQLiteBackend(EvaluationLayer):
+    """Evaluation layer that compiles every request to SQL."""
+
+    def __init__(
+        self, database: Database, create_indexes: bool = True
+    ) -> None:
+        super().__init__()
+        self.database = database
+        self.create_indexes = create_indexes
+        self._connection = sqlite3.connect(":memory:")
+        self._loaded: set[str] = set()
+        self._indexed: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "SQLiteBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_loaded(self, table_name: str) -> None:
+        if table_name in self._loaded:
+            return
+        table = self.database.table(table_name)
+        columns_sql = ", ".join(
+            f"{column.name} {column.ctype.sql_type}"
+            for column in table.schema.columns
+        )
+        cursor = self._connection.cursor()
+        cursor.execute(f"CREATE TABLE {table_name} ({columns_sql})")
+        names = table.schema.column_names
+        placeholders = ", ".join("?" for _ in names)
+        column_lists = [table.column(name).tolist() for name in names]
+        cursor.executemany(
+            f"INSERT INTO {table_name} VALUES ({placeholders})",
+            zip(*column_lists) if column_lists else [],
+        )
+        self._connection.commit()
+        self._loaded.add(table_name)
+        self.stats.rows_scanned += len(table)
+
+    def _ensure_index(self, table_name: str, column_name: str) -> None:
+        key = f"{table_name}.{column_name}"
+        if not self.create_indexes or key in self._indexed:
+            return
+        cursor = self._connection.cursor()
+        cursor.execute(
+            f"CREATE INDEX IF NOT EXISTS idx_{table_name}_{column_name} "
+            f"ON {table_name} ({column_name})"
+        )
+        self._indexed.add(key)
+
+    # ------------------------------------------------------------------
+    # Preparation
+    # ------------------------------------------------------------------
+    def prepare(
+        self, query: Query, dim_caps: Optional[Sequence[float]] = None
+    ) -> _SQLitePrepared:
+        if dim_caps is None:
+            dim_caps = [0.0] * query.dimensionality
+        with self._timed():
+            for table_name in query.tables:
+                self._ensure_loaded(table_name)
+            for predicate in query.predicates:
+                for ref in _predicate_columns(predicate):
+                    table_name, column_name = ref.split(".", 1)
+                    column = self.database.table(table_name).schema.column(
+                        column_name
+                    )
+                    if column.ctype is not ColumnType.STR:
+                        self._ensure_index(table_name, column_name)
+        fixed_sql = [
+            predicate.sql_condition(0.0) for predicate in query.fixed_predicates
+        ]
+        return _SQLitePrepared(
+            query=query,
+            dim_caps=[float(cap) for cap in dim_caps],
+            from_sql=", ".join(query.tables),
+            fixed_sql=fixed_sql,
+        )
+
+    def useful_max_scores(self, prepared: _SQLitePrepared) -> list[float]:
+        """Bound each dimension from per-table MIN/MAX statistics."""
+        scores = []
+        for predicate in prepared.query.refinable_predicates:
+            if isinstance(predicate, SelectPredicate):
+                tables = predicate.expr.tables()
+                if len(tables) == 1:
+                    domain = self._expr_domain(
+                        predicate.expr.to_sql(), next(iter(tables))
+                    )
+                    scores.append(predicate.max_useful_score(domain))
+                else:
+                    scores.append(math.inf)
+            elif isinstance(predicate, CategoricalPredicate):
+                scores.append(
+                    predicate.max_useful_score(Interval(0.0, 0.0))
+                )
+            else:
+                scores.append(math.inf)
+        return scores
+
+    def _expr_domain(self, expr_sql: str, table_name: str) -> Interval:
+        cursor = self._connection.cursor()
+        with self._timed():
+            row = cursor.execute(
+                f"SELECT MIN({expr_sql}), MAX({expr_sql}) FROM {table_name}"
+            ).fetchone()
+        self._count_query("box")
+        if row is None or row[0] is None:
+            return Interval(0.0, 0.0)
+        return Interval(float(row[0]), float(row[1]))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _run_aggregate(
+        self, prepared: _SQLitePrepared, conditions: list[str], kind: str
+    ) -> AggState:
+        spec = prepared.query.constraint.spec
+        attribute_sql = (
+            spec.attribute.to_sql() if spec.attribute is not None else None
+        )
+        selects = ", ".join(spec.aggregate.sql_selects(attribute_sql))
+        where = " AND ".join(f"({c})" for c in conditions) or "1=1"
+        sql = f"SELECT {selects} FROM {prepared.from_sql} WHERE {where}"
+        cursor = self._connection.cursor()
+        with self._timed():
+            row = cursor.execute(sql).fetchone()
+        self._count_query(kind)
+        return spec.aggregate.state_from_sql(tuple(row))
+
+    def execute_cell(
+        self,
+        prepared: _SQLitePrepared,
+        space: RefinedSpace,
+        coords: Sequence[int],
+    ) -> AggState:
+        conditions = list(prepared.fixed_sql)
+        for predicate, (low, high) in zip(
+            space.dims, space.cell_ranges(coords)
+        ):
+            conditions.append(predicate.sql_annulus(low, high))
+        return self._run_aggregate(prepared, conditions, "cell")
+
+    def execute_box(
+        self, prepared: _SQLitePrepared, scores: Sequence[float]
+    ) -> AggState:
+        dims = prepared.query.refinable_predicates
+        if len(scores) != len(dims):
+            raise EngineError(
+                f"box arity {len(scores)} != dimensionality {len(dims)}"
+            )
+        conditions = list(prepared.fixed_sql)
+        for predicate, score in zip(dims, scores):
+            conditions.append(predicate.sql_condition(score))
+        return self._run_aggregate(prepared, conditions, "box")
+
+    def fetch_rows(
+        self,
+        prepared: _SQLitePrepared,
+        scores: Sequence[float],
+        limit: Optional[int] = None,
+    ) -> list[dict]:
+        """Materialize tuples admitted by a refined query via SQL."""
+        dims = prepared.query.refinable_predicates
+        conditions = list(prepared.fixed_sql)
+        for predicate, score in zip(dims, scores):
+            conditions.append(predicate.sql_condition(score))
+        where = " AND ".join(f"({c})" for c in conditions) or "1=1"
+        select_items = []
+        keys = []
+        for table_name in prepared.query.tables:
+            table = self.database.table(table_name)
+            for column in table.schema.column_names:
+                keys.append(f"{table_name}.{column}")
+                select_items.append(
+                    f'{table_name}.{column} AS "{table_name}.{column}"'
+                )
+        sql = (
+            f"SELECT {', '.join(select_items)} "
+            f"FROM {prepared.from_sql} WHERE {where}"
+        )
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        cursor = self._connection.cursor()
+        with self._timed():
+            fetched = cursor.execute(sql).fetchall()
+        self._count_query("box")
+        return [dict(zip(keys, row)) for row in fetched]
+
+    # ------------------------------------------------------------------
+    # Top-k baseline support
+    # ------------------------------------------------------------------
+    def topk_admission(self, prepared: _SQLitePrepared, k: int) -> TopKAdmission:
+        """The paper's Top-k rewrite: ORDER BY refinement distance LIMIT k."""
+        dims = prepared.query.refinable_predicates
+        need_exprs = [_need_sql(predicate) for predicate in dims]
+        total = (
+            " + ".join(
+                f"{predicate.weight!r} * ({need})"
+                for predicate, need in zip(dims, need_exprs)
+            )
+            or "0"
+        )
+        conditions = list(prepared.fixed_sql)
+        for predicate, cap in zip(dims, prepared.dim_caps):
+            admissible = _admissible_sql(predicate, cap)
+            if admissible:
+                conditions.append(admissible)
+        where = " AND ".join(f"({c})" for c in conditions) or "1=1"
+        inner_selects = ", ".join(
+            f"({need}) AS need_{index}" for index, need in enumerate(need_exprs)
+        )
+        outer_selects = ", ".join(
+            ["COUNT(*)"] + [f"MAX(need_{index})" for index in range(len(dims))]
+        )
+        sql = (
+            f"SELECT {outer_selects} FROM ("
+            f"SELECT {inner_selects} FROM {prepared.from_sql} "
+            f"WHERE {where} ORDER BY ({total}) LIMIT {int(k)})"
+        )
+        cursor = self._connection.cursor()
+        with self._timed():
+            row = cursor.execute(sql).fetchone()
+        self._count_query("box")
+        admitted = int(row[0])
+        max_scores = tuple(
+            0.0 if value is None else float(value) for value in row[1:]
+        )
+        return TopKAdmission(admitted=admitted, max_scores=max_scores)
+
+
+# ----------------------------------------------------------------------
+# SQL fragments
+# ----------------------------------------------------------------------
+def _need_sql(predicate: Predicate) -> str:
+    """SQL for a tuple's expansion need (clamped-at-zero PScore)."""
+    if isinstance(predicate, SelectPredicate):
+        expr = predicate.expr.to_sql()
+        scale = 100.0 / predicate.effective_denominator
+        if predicate.direction is Direction.UPPER:
+            hi = predicate.interval.hi
+            return (
+                f"CASE WHEN {expr} <= {hi!r} THEN 0.0 "
+                f"ELSE ({expr} - {hi!r}) * {scale!r} END"
+            )
+        if predicate.direction is Direction.LOWER:
+            lo = predicate.interval.lo
+            return (
+                f"CASE WHEN {expr} >= {lo!r} THEN 0.0 "
+                f"ELSE ({lo!r} - {expr}) * {scale!r} END"
+            )
+        center = predicate.interval.lo
+        return f"ABS({expr} - {center!r}) * {scale!r}"
+    if isinstance(predicate, JoinPredicate):
+        delta = predicate.delta_sql()
+        scale = 100.0 / predicate.denominator
+        return (
+            f"CASE WHEN {delta} <= {predicate.tolerance!r} THEN 0.0 "
+            f"ELSE ({delta} - {predicate.tolerance!r}) * {scale!r} END"
+        )
+    # Categorical: a CASE ladder over roll-up levels.
+    assert isinstance(predicate, CategoricalPredicate)
+    column = predicate.column.to_sql()
+    clauses = []
+    previous: frozenset[str] = frozenset()
+    for level in range(predicate.ontology.depth + 1):
+        covered = predicate.ontology.expand(predicate.accepted, level)
+        fresh = covered - previous
+        previous = covered
+        if not fresh:
+            continue
+        in_list = ", ".join(
+            "'" + value.replace("'", "''") + "'" for value in sorted(fresh)
+        )
+        clauses.append(
+            f"WHEN {column} IN ({in_list}) "
+            f"THEN {level * predicate.level_scale!r}"
+        )
+    return "CASE " + " ".join(clauses) + " ELSE 1e18 END"
+
+
+def _admissible_sql(predicate: Predicate, cap: float) -> str | None:
+    """Filter for tuples admissible within the dimension cap."""
+    if isinstance(predicate, SelectPredicate):
+        outer = predicate.interval_at(cap if predicate.refinable else 0.0)
+        expr = predicate.expr.to_sql()
+        parts = []
+        if math.isfinite(outer.lo):
+            parts.append(f"{expr} >= {outer.lo!r}")
+        if math.isfinite(outer.hi):
+            parts.append(f"{expr} <= {outer.hi!r}")
+        return " AND ".join(parts) if parts else None
+    if isinstance(predicate, JoinPredicate):
+        band = predicate.band_at(cap if predicate.refinable else 0.0)
+        if band == 0:
+            return f"{predicate.left.to_sql()} = {predicate.right.to_sql()}"
+        return f"{predicate.delta_sql()} <= {band!r}"
+    assert isinstance(predicate, CategoricalPredicate)
+    return predicate.sql_condition(cap if predicate.refinable else 0.0)
+
+
+def _predicate_columns(predicate: Predicate) -> set[str]:
+    if isinstance(predicate, SelectPredicate):
+        return predicate.expr.columns()
+    if isinstance(predicate, JoinPredicate):
+        return predicate.left.columns() | predicate.right.columns()
+    return predicate.column.columns()

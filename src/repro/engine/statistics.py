@@ -1,0 +1,136 @@
+"""Per-column statistics used to bound refinement.
+
+ACQUIRE's refined space is finite in practice because expanding a
+predicate past the attribute's observed domain admits no new tuples.
+The catalog keeps cheap min/max/ndv statistics plus an equi-width
+histogram per numeric column; the workload generator also uses the
+histograms to place predicate bounds at chosen selectivities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.schema import ColumnType
+from repro.engine.table import Table
+
+_DEFAULT_BINS = 64
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics for a single numeric column."""
+
+    name: str
+    min_value: float
+    max_value: float
+    ndv: int
+    count: int
+    histogram: np.ndarray
+    bin_edges: np.ndarray
+
+    @property
+    def width(self) -> float:
+        return self.max_value - self.min_value
+
+    def quantile_value(self, fraction: float) -> float:
+        """Approximate value at the given cumulative fraction of rows.
+
+        Uses the histogram, which is all the workload generator needs
+        to place a predicate bound at a target selectivity.
+        """
+        fraction = min(max(fraction, 0.0), 1.0)
+        cumulative = np.cumsum(self.histogram)
+        total = cumulative[-1] if len(cumulative) else 0
+        if total == 0:
+            return self.min_value
+        target = fraction * total
+        bin_index = int(np.searchsorted(cumulative, target, side="left"))
+        bin_index = min(bin_index, len(self.histogram) - 1)
+        prev = cumulative[bin_index - 1] if bin_index > 0 else 0
+        in_bin = self.histogram[bin_index]
+        left = self.bin_edges[bin_index]
+        right = self.bin_edges[bin_index + 1]
+        if in_bin == 0:
+            return float(left)
+        offset = (target - prev) / in_bin
+        return float(left + offset * (right - left))
+
+    def selectivity_below(self, value: float) -> float:
+        """Approximate fraction of rows with column <= value."""
+        if self.count == 0:
+            return 0.0
+        if value <= self.min_value:
+            return 0.0
+        if value >= self.max_value:
+            return 1.0
+        bin_index = int(
+            np.searchsorted(self.bin_edges, value, side="right") - 1
+        )
+        bin_index = min(max(bin_index, 0), len(self.histogram) - 1)
+        below = float(np.sum(self.histogram[:bin_index]))
+        left = self.bin_edges[bin_index]
+        right = self.bin_edges[bin_index + 1]
+        if right > left:
+            below += self.histogram[bin_index] * (value - left) / (right - left)
+        return below / self.count
+
+
+class TableStats:
+    """Lazily-computed statistics for every numeric column of a table."""
+
+    def __init__(self, table: Table, bins: int = _DEFAULT_BINS) -> None:
+        self._table = table
+        self._bins = bins
+        self._cache: dict[str, ColumnStats] = {}
+
+    def column(self, name: str) -> ColumnStats:
+        if name not in self._cache:
+            self._cache[name] = self._compute(name)
+        return self._cache[name]
+
+    def _compute(self, name: str) -> ColumnStats:
+        column_def = self._table.schema.column(name)
+        values = self._table.column(name)
+        if column_def.ctype is ColumnType.STR:
+            # Strings get degenerate stats; ontology predicates never
+            # consult numeric bounds.
+            unique = len(set(values.tolist()))
+            return ColumnStats(
+                name=name,
+                min_value=float("nan"),
+                max_value=float("nan"),
+                ndv=unique,
+                count=len(values),
+                histogram=np.zeros(1, dtype=np.int64),
+                bin_edges=np.array([0.0, 1.0]),
+            )
+        if len(values) == 0:
+            return ColumnStats(
+                name=name,
+                min_value=0.0,
+                max_value=0.0,
+                ndv=0,
+                count=0,
+                histogram=np.zeros(self._bins, dtype=np.int64),
+                bin_edges=np.linspace(0.0, 1.0, self._bins + 1),
+            )
+        numeric = values.astype(np.float64)
+        low = float(np.min(numeric))
+        high = float(np.max(numeric))
+        # Degenerate or subnormal ranges cannot be split into finite
+        # bins; widen to a unit interval (the stats stay exact).
+        if high == low or (high - low) / self._bins == 0.0:
+            high = low + 1.0
+        histogram, edges = np.histogram(numeric, bins=self._bins, range=(low, high))
+        return ColumnStats(
+            name=name,
+            min_value=float(np.min(numeric)),
+            max_value=float(np.max(numeric)),
+            ndv=int(len(np.unique(numeric))),
+            count=len(values),
+            histogram=histogram.astype(np.int64),
+            bin_edges=edges,
+        )

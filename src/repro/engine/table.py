@@ -1,0 +1,139 @@
+"""Columnar in-memory table.
+
+Rows are stored column-wise in numpy arrays; all filter and aggregate
+work in the memory backend operates on these arrays directly. This is
+the storage substrate underneath the paper's "evaluation layer".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.exceptions import SchemaError, UnknownColumnError
+
+
+class Table:
+    """An immutable-after-load columnar table.
+
+    Construction paths:
+
+    * ``Table(schema)`` then :meth:`load_rows` / :meth:`load_columns`.
+    * :meth:`from_columns` for the common dict-of-arrays case.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._columns: dict[str, np.ndarray] = {
+            column.name: np.empty(0, dtype=column.ctype.numpy_dtype)
+            for column in schema.columns
+        }
+        self._nrows = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls, name: str, columns: Mapping[str, Sequence[Any] | np.ndarray]
+    ) -> Table:
+        """Build a table by inferring a schema from column data.
+
+        Integer arrays become INT columns, floating arrays FLOAT, and
+        anything else STR.
+        """
+        schema_columns = []
+        arrays: dict[str, np.ndarray] = {}
+        for cname, values in columns.items():
+            array = np.asarray(values)
+            if np.issubdtype(array.dtype, np.integer):
+                ctype = ColumnType.INT
+            elif np.issubdtype(array.dtype, np.floating):
+                ctype = ColumnType.FLOAT
+            else:
+                ctype = ColumnType.STR
+                array = array.astype(object)
+            schema_columns.append(Column(cname, ctype))
+            arrays[cname] = array.astype(ctype.numpy_dtype)
+        table = cls(TableSchema(name, schema_columns))
+        table.load_columns(arrays)
+        return table
+
+    def load_columns(self, columns: Mapping[str, Sequence[Any] | np.ndarray]) -> None:
+        """Replace the table contents with the given column arrays."""
+        missing = set(self.schema.column_names) - set(columns)
+        if missing:
+            raise SchemaError(f"missing columns on load: {sorted(missing)}")
+        extra = set(columns) - set(self.schema.column_names)
+        if extra:
+            raise SchemaError(f"unexpected columns on load: {sorted(extra)}")
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged column lengths: {sorted(lengths)}")
+        for column in self.schema.columns:
+            array = np.asarray(columns[column.name])
+            self._columns[column.name] = array.astype(column.ctype.numpy_dtype)
+        self._nrows = lengths.pop() if lengths else 0
+
+    def load_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Load row tuples ordered as in the schema."""
+        materialized = list(rows)
+        names = self.schema.column_names
+        if materialized and len(materialized[0]) != len(names):
+            raise SchemaError(
+                f"row arity {len(materialized[0])} != schema arity {len(names)}"
+            )
+        columns = {
+            name: [row[index] for row in materialized]
+            for index, name in enumerate(names)
+        }
+        self.load_columns(columns)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def nrows(self) -> int:
+        return self._nrows
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def column(self, name: str) -> np.ndarray:
+        """The full column array (shared, do not mutate)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise UnknownColumnError(name, self.name) from None
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Materialize a single row as a dict (for debugging/tests)."""
+        return {name: self._columns[name][index] for name in self.schema.column_names}
+
+    def iter_rows(self) -> Iterable[tuple[Any, ...]]:
+        """Yield rows as tuples in schema column order."""
+        arrays = [self._columns[name] for name in self.schema.column_names]
+        for index in range(self._nrows):
+            yield tuple(array[index] for array in arrays)
+
+    def select(self, mask: np.ndarray) -> Table:
+        """Return a new table with only the rows where ``mask`` is True."""
+        result = Table(self.schema)
+        result.load_columns(
+            {name: array[mask] for name, array in self._columns.items()}
+        )
+        return result
+
+    def take(self, indices: np.ndarray) -> dict[str, np.ndarray]:
+        """Gather rows by position, returned as bare column arrays."""
+        return {name: array[indices] for name, array in self._columns.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={self._nrows}, cols={len(self.schema)})"

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the ACQUIRE reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class. Sub-classes are grouped by the
+subsystem that raises them (engine, parser, core algorithm, data
+generation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class EngineError(ReproError):
+    """Base class for evaluation-layer (storage/execution) errors."""
+
+
+class SchemaError(EngineError):
+    """A table or column definition is invalid or inconsistent."""
+
+
+class UnknownTableError(EngineError):
+    """A query referenced a table that is not in the catalog."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown table: {name!r}")
+        self.name = name
+
+
+class UnknownColumnError(EngineError):
+    """A query referenced a column that does not exist."""
+
+    def __init__(self, name: str, table: str | None = None) -> None:
+        where = f" in table {table!r}" if table else ""
+        super().__init__(f"unknown column: {name!r}{where}")
+        self.name = name
+        self.table = table
+
+
+class ExpressionError(EngineError):
+    """An expression tree is malformed or cannot be evaluated."""
+
+
+class QueryModelError(ReproError):
+    """An ACQ (query/predicate/constraint) object is invalid."""
+
+
+class NotRefinableError(QueryModelError):
+    """An operation required a refinable predicate but got NOREFINE."""
+
+
+class OSPViolationError(QueryModelError):
+    """The aggregate lacks the optimal substructure property (paper 2.6).
+
+    Raised, for instance, when a user asks for STDDEV: the paper
+    explicitly excludes aggregates whose value over a containing query
+    cannot be combined from sub-query aggregates.
+    """
+
+
+class SearchError(ReproError):
+    """The Expand/Explore search reached an inconsistent state."""
+
+
+class ParseError(ReproError):
+    """The ACQ SQL dialect text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(ReproError):
+    """A parsed query could not be bound against the catalog."""
+
+
+class DataGenError(ReproError):
+    """Synthetic data generation was mis-configured."""
+
+
+class OntologyError(ReproError):
+    """A categorical ontology tree is malformed or a value is missing."""

@@ -1,0 +1,44 @@
+"""Experiment harness regenerating the paper's evaluation (section 8).
+
+One function per figure (:mod:`repro.harness.experiments`), a method
+runner that executes ACQUIRE and every baseline through the same
+evaluation layer (:mod:`repro.harness.runner`), and plain-text series
+reporting (:mod:`repro.harness.report`). ``python -m repro.harness``
+runs any experiment from the command line.
+"""
+
+from repro.harness.metrics import ExperimentResult, Row
+from repro.harness.runner import make_backend, run_acquire, run_method
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    evaluation_layers,
+    fig8_aggregate_ratio,
+    fig9_dimensionality,
+    fig10a_table_size,
+    fig10b_refinement_threshold,
+    fig10c_cardinality_threshold,
+    fig11_aggregate_types,
+    skew_distribution,
+    table1_capabilities,
+)
+from repro.harness.report import render_rows, save_result
+
+__all__ = [
+    "ExperimentResult",
+    "Row",
+    "make_backend",
+    "run_acquire",
+    "run_method",
+    "EXPERIMENTS",
+    "evaluation_layers",
+    "fig8_aggregate_ratio",
+    "fig9_dimensionality",
+    "fig10a_table_size",
+    "fig10b_refinement_threshold",
+    "fig10c_cardinality_threshold",
+    "fig11_aggregate_types",
+    "skew_distribution",
+    "table1_capabilities",
+    "render_rows",
+    "save_result",
+]

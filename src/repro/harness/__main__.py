@@ -1,0 +1,51 @@
+"""Command-line entry point: ``python -m repro.harness [experiment...]``.
+
+Runs the named experiments (default: all of them) and prints each
+report; pass ``--save`` to also write ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.report import render_result, save_result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*EXPERIMENTS, "all"],
+        default=["all"],
+        help="experiment ids (fig8, fig9, fig10a, fig10b, fig10c, "
+        "fig11, skew, table1) or 'all'",
+    )
+    parser.add_argument(
+        "--save",
+        action="store_true",
+        help="also write reports under benchmarks/results/",
+    )
+    args = parser.parse_args(argv)
+    names = (
+        list(EXPERIMENTS)
+        if "all" in args.experiments
+        else list(dict.fromkeys(args.experiments))
+    )
+    for name in names:
+        result = EXPERIMENTS[name]()
+        print(render_result(result))
+        print()
+        if args.save:
+            path = save_result(result)
+            print(f"[saved {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,764 @@
+"""Per-figure experiment definitions (paper section 8).
+
+Every public function regenerates one table/figure of the paper's
+evaluation and returns an :class:`ExperimentResult` whose rows carry
+the same metrics the paper plots: execution time, relative aggregate
+error, and refinement score.
+
+Scaling note: the paper ran on 1M-tuple TPC-H with a Postgres backend
+on 2006-era hardware; defaults here are sized for a single-core CI
+machine (tens of thousands of tuples, SQLite backend). Shapes — who
+wins, how curves trend — are the reproduction target, not absolute
+milliseconds; every default can be scaled up via the function
+arguments or the ``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Optional, Sequence
+
+from repro.core.acquire import AcquireConfig
+from repro.core.query import ConstraintOp
+from repro.datagen.tpch import TPCHConfig, generate_tpch
+from repro.engine.backends import EvaluationLayer
+from repro.engine.catalog import Database
+from repro.exceptions import QueryModelError
+from repro.harness.metrics import ExperimentResult, Row
+from repro.harness.runner import make_backend, run_method
+from repro.workloads.generator import build_ratio_workload
+from repro.workloads.templates import Q2_JOINS, Q2_TABLES, q2_flex_specs
+
+ALL_METHODS = ("ACQUIRE", "Top-k", "TQGen", "BinSearch")
+RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+#: Per-dimension base selectivity of flexible predicates. Low base
+#: selectivity with domain-width PScore denominators reproduces the
+#: paper's regime of small refinement scores (Figure 8c's 1-6 for
+#: ACQUIRE): narrow slivers in dense regions grow fast per unit of
+#: percent refinement.
+BASE_SELECTIVITY = 0.2
+
+
+def bench_scale() -> float:
+    """Global size multiplier from the environment (default 1.0)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def _scaled(rows: int) -> int:
+    return max(int(rows * bench_scale()), 200)
+
+
+def _tpch(scale_rows: int, zipf_z: float = 0.0, seed: int = 7) -> Database:
+    return generate_tpch(
+        TPCHConfig(
+            scale_rows=scale_rows,
+            zipf_z=zipf_z,
+            seed=seed,
+            tables=("supplier", "part", "partsupp"),
+        )
+    )
+
+
+def _baseline_kwargs(method: str, tqgen: Optional[dict]) -> dict:
+    if method == "TQGen" and tqgen:
+        return dict(tqgen)
+    return {}
+
+
+def _run_point(
+    rows: list[Row],
+    x_name: str,
+    x_value: object,
+    methods: Sequence[str],
+    layer: EvaluationLayer,
+    workload,
+    config: AcquireConfig,
+    tqgen: Optional[dict] = None,
+) -> None:
+    for method in methods:
+        run = run_method(
+            method,
+            layer,
+            workload.query,
+            acquire_config=config,
+            baseline_kwargs=_baseline_kwargs(method, tqgen),
+        )
+        row = Row.from_run(x_name, x_value, run)
+        row.extra.setdefault("target", workload.target)
+        row.extra.setdefault("original", workload.original_value)
+        rows.append(row)
+
+
+# ----------------------------------------------------------------------
+# Figure 8: varying aggregate ratio
+# ----------------------------------------------------------------------
+def fig8_aggregate_ratio(
+    scale_rows: int = 30_000,
+    ratios: Sequence[float] = RATIOS,
+    methods: Sequence[str] = ALL_METHODS,
+    backend: str = "sqlite",
+    gamma: float = 10.0,
+    delta: float = 0.05,
+    selectivity: float = BASE_SELECTIVITY,
+    tqgen: Optional[dict] = None,
+) -> ExperimentResult:
+    """Figure 8: COUNT ACQ on the Q2 join, 3 flexible predicates,
+    aggregate ratio swept 0.1-0.9, delta = 0.05."""
+    tqgen = tqgen or {"grid_points": 5, "rounds": 4}
+    database = _tpch(_scaled(scale_rows))
+    layer = make_backend(database, backend)
+    config = AcquireConfig(gamma=gamma, delta=delta)
+    rows: list[Row] = []
+    for ratio in ratios:
+        workload = build_ratio_workload(
+            database,
+            Q2_TABLES,
+            q2_flex_specs(3, selectivity),
+            ratio,
+            aggregate="COUNT",
+            joins=Q2_JOINS,
+            name=f"fig8_r{ratio:g}",
+        )
+        _run_point(
+            rows, "ratio", ratio, methods, layer, workload, config, tqgen
+        )
+    return ExperimentResult(
+        name="fig8",
+        title="Fig 8: performance vs aggregate ratio (time / error / refinement)",
+        paper_expectation=(
+            "ACQUIRE time grows as the ratio shrinks; TQGen is slowest "
+            "(paper: ~100X over ACQUIRE), BinSearch ~2X slower than "
+            "ACQUIRE with erratic error, Top-k ~3.7X slower on average; "
+            "ACQUIRE error always <= delta; ACQUIRE refinement scores "
+            "2-3X below every baseline."
+        ),
+        rows=rows,
+        settings={
+            "scale_rows": _scaled(scale_rows),
+            "backend": backend,
+            "gamma": gamma,
+            "delta": delta,
+            "selectivity": selectivity,
+            "tqgen": tqgen,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9: varying dimensionality
+# ----------------------------------------------------------------------
+def fig9_dimensionality(
+    scale_rows: int = 6_000,
+    dims: Sequence[int] = (1, 2, 3, 4, 5),
+    ratio: float = 0.3,
+    methods: Sequence[str] = ALL_METHODS,
+    backend: str = "sqlite",
+    gamma: float = 10.0,
+    delta: float = 0.05,
+    step: float = 5.0,
+    tqgen: Optional[dict] = None,
+) -> ExperimentResult:
+    """Figure 9: ratio fixed at 0.3, flexible predicates swept 1-5.
+
+    Two disclosed calibrations keep high-d runs tractable at laptop
+    scale (both noted in EXPERIMENTS.md): the grid step is pinned at
+    ``step`` for every d instead of the gamma/d rule (which at d=5
+    would mean exploring ~10^6 grid cells on our data), and per-
+    dimension base selectivity follows a per-d schedule so the original
+    query's cardinality stays non-degenerate while the ratio-0.3 target
+    remains attainable within a few grid steps at every d.
+    """
+    tqgen = tqgen or {"grid_points": 4, "rounds": 4}
+    database = _tpch(_scaled(scale_rows))
+    layer = make_backend(database, backend)
+    config = AcquireConfig(gamma=gamma, delta=delta, step=step)
+    # Per-d base selectivity: keeps the original cardinality
+    # non-degenerate while the growth to the ratio-0.3 target stays
+    # within a few grid steps per dimension at every d.
+    selectivities = {1: 0.27, 2: 0.52, 3: 0.55, 4: 0.45, 5: 0.40}
+    rows: list[Row] = []
+    for d in dims:
+        selectivity_d = selectivities.get(d, 0.4)
+        workload = build_ratio_workload(
+            database,
+            Q2_TABLES,
+            q2_flex_specs(d, selectivity_d),
+            ratio,
+            aggregate="COUNT",
+            joins=Q2_JOINS,
+            name=f"fig9_d{d}",
+        )
+        _run_point(rows, "dims", d, methods, layer, workload, config, tqgen)
+    return ExperimentResult(
+        name="fig9",
+        title="Fig 9: performance vs number of flexible predicates",
+        paper_expectation=(
+            "TQGen explodes exponentially with d (paper: up to 500X over "
+            "ACQUIRE at d=5); ACQUIRE grows far slower; Top-k stays "
+            "~flat; BinSearch error is unstable (up to 45%); ACQUIRE "
+            "keeps the lowest refinement scores."
+        ),
+        rows=rows,
+        settings={
+            "scale_rows": _scaled(scale_rows),
+            "ratio": ratio,
+            "backend": backend,
+            "tqgen": tqgen,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 10a: varying table size
+# ----------------------------------------------------------------------
+def fig10a_table_size(
+    sizes: Sequence[int] = (1_000, 10_000, 50_000),
+    ratio: float = 0.3,
+    methods: Sequence[str] = ALL_METHODS,
+    backend: str = "sqlite",
+    gamma: float = 10.0,
+    delta: float = 0.05,
+    selectivity: float = BASE_SELECTIVITY,
+    tqgen: Optional[dict] = None,
+) -> ExperimentResult:
+    """Figure 10a: 1K-tuple (sampling-sized) through larger tables."""
+    tqgen = tqgen or {"grid_points": 5, "rounds": 4}
+    config = AcquireConfig(gamma=gamma, delta=delta)
+    rows: list[Row] = []
+    for size in sizes:
+        database = _tpch(_scaled(size))
+        layer = make_backend(database, backend)
+        workload = build_ratio_workload(
+            database,
+            Q2_TABLES,
+            q2_flex_specs(3, selectivity),
+            ratio,
+            aggregate="COUNT",
+            joins=Q2_JOINS,
+            name=f"fig10a_n{size}",
+        )
+        _run_point(
+            rows, "table_size", _scaled(size), methods, layer, workload,
+            config, tqgen,
+        )
+    return ExperimentResult(
+        name="fig10a",
+        title="Fig 10a: execution time vs table size",
+        paper_expectation=(
+            "All methods grow ~proportionally with table size; Top-k is "
+            "competitive only at the smallest (sample-sized) tables and "
+            "degrades fastest as size grows."
+        ),
+        rows=rows,
+        settings={"sizes": [_scaled(s) for s in sizes], "ratio": ratio,
+                  "backend": backend},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 10b/10c: ACQUIRE parameter studies
+# ----------------------------------------------------------------------
+def fig10b_refinement_threshold(
+    scale_rows: int = 20_000,
+    gammas: Sequence[float] = (2, 4, 6, 8, 10, 12),
+    ratio: float = 0.3,
+    backend: str = "sqlite",
+    delta: float = 0.05,
+    selectivity: float = BASE_SELECTIVITY,
+) -> ExperimentResult:
+    """Figure 10b: ACQUIRE execution time vs refinement threshold gamma."""
+    database = _tpch(_scaled(scale_rows))
+    layer = make_backend(database, backend)
+    workload = build_ratio_workload(
+        database,
+        Q2_TABLES,
+        q2_flex_specs(3, selectivity),
+        ratio,
+        aggregate="COUNT",
+        joins=Q2_JOINS,
+        name="fig10b",
+    )
+    rows: list[Row] = []
+    for gamma in gammas:
+        config = AcquireConfig(gamma=float(gamma), delta=delta)
+        _run_point(rows, "gamma", gamma, ("ACQUIRE",), layer, workload, config)
+    return ExperimentResult(
+        name="fig10b",
+        title="Fig 10b: ACQUIRE time vs refinement threshold",
+        paper_expectation=(
+            "A stringent (small) refinement threshold means a finer grid "
+            "and proportionally more explored queries, hence more time."
+        ),
+        rows=rows,
+        settings={"scale_rows": _scaled(scale_rows), "ratio": ratio,
+                  "delta": delta},
+    )
+
+
+def fig10c_cardinality_threshold(
+    scale_rows: int = 20_000,
+    deltas: Sequence[float] = (0.0001, 0.001, 0.01, 0.1),
+    ratio: float = 0.3,
+    backend: str = "sqlite",
+    gamma: float = 10.0,
+    selectivity: float = 0.5,
+) -> ExperimentResult:
+    """Figure 10c: ACQUIRE execution time vs cardinality threshold delta.
+
+    Base selectivity is raised to 0.5 per dimension so the original
+    cardinality is large enough that the strictest threshold (1e-4 of
+    the target) is attainable with integer counts — the regime the
+    paper's 1M-tuple runs were in."""
+    database = _tpch(_scaled(scale_rows))
+    layer = make_backend(database, backend)
+    workload = build_ratio_workload(
+        database,
+        Q2_TABLES,
+        q2_flex_specs(3, selectivity),
+        ratio,
+        aggregate="COUNT",
+        joins=Q2_JOINS,
+        name="fig10c",
+    )
+    rows: list[Row] = []
+    for delta in deltas:
+        config = AcquireConfig(gamma=gamma, delta=float(delta))
+        _run_point(rows, "delta", delta, ("ACQUIRE",), layer, workload, config)
+    return ExperimentResult(
+        name="fig10c",
+        title="Fig 10c: ACQUIRE time vs cardinality threshold",
+        paper_expectation=(
+            "Tighter cardinality thresholds require exploring more "
+            "queries (and repartitioning more cells), increasing time "
+            "proportionally."
+        ),
+        rows=rows,
+        settings={"scale_rows": _scaled(scale_rows), "ratio": ratio,
+                  "gamma": gamma},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11: aggregate types
+# ----------------------------------------------------------------------
+def fig11_aggregate_types(
+    scale_rows: int = 20_000,
+    ratios: Sequence[float] = RATIOS,
+    backend: str = "sqlite",
+    gamma: float = 10.0,
+    delta: float = 0.05,
+    selectivity: float = BASE_SELECTIVITY,
+) -> ExperimentResult:
+    """Figure 11: ACQUIRE with SUM, COUNT and MAX constraints.
+
+    MIN is omitted exactly as in the paper (MIN(x) = -MAX(-x)). The
+    SUM constraint mirrors Q2' (SUM(ps_availqty) >=); MAX reads
+    p_retailprice, which co-moves with a flexible predicate so the
+    ratio sweep is meaningful. MAX targets beyond the attribute domain
+    are unattainable at any refinement; those points are recorded with
+    ``attainable=False`` instead of burning time proving it.
+    """
+    database = _tpch(_scaled(scale_rows))
+    layer = make_backend(database, backend)
+    config = AcquireConfig(gamma=gamma, delta=delta)
+    aggregates = (
+        ("COUNT", None, ConstraintOp.EQ),
+        ("SUM", "partsupp.ps_availqty", ConstraintOp.GE),
+        ("MAX", "part.p_retailprice", ConstraintOp.GE),
+    )
+    max_domain = database.column_stats("part", "p_retailprice").max_value
+    rows: list[Row] = []
+    for agg_name, attr, op in aggregates:
+        for ratio in ratios:
+            workload = build_ratio_workload(
+                database,
+                Q2_TABLES,
+                q2_flex_specs(3, selectivity),
+                ratio,
+                aggregate=agg_name,
+                aggregate_attr=attr,
+                joins=Q2_JOINS,
+                op=op,
+                name=f"fig11_{agg_name}_{ratio:g}",
+            )
+            if agg_name == "MAX" and workload.target > max_domain:
+                rows.append(
+                    Row(
+                        x_name="ratio",
+                        x_value=ratio,
+                        method=agg_name,
+                        time_ms=0.0,
+                        error=math.inf,
+                        qscore=math.inf,
+                        aggregate_value=math.nan,
+                        queries=0,
+                        rows_scanned=0,
+                        satisfied=False,
+                        extra={"attainable": False,
+                               "target": workload.target},
+                    )
+                )
+                continue
+            run = run_method(
+                "ACQUIRE", layer, workload.query, acquire_config=config
+            )
+            run.method = agg_name  # series label = the aggregate
+            row = Row.from_run("ratio", ratio, run)
+            row.extra["target"] = workload.target
+            rows.append(row)
+    return ExperimentResult(
+        name="fig11",
+        title="Fig 11: ACQUIRE across aggregate types (SUM/COUNT/MAX)",
+        paper_expectation=(
+            "ACQUIRE reaches the aggregate threshold for every OSP "
+            "aggregate, with time/refinement trends matching COUNT's."
+        ),
+        rows=rows,
+        settings={"scale_rows": _scaled(scale_rows), "gamma": gamma,
+                  "delta": delta},
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 8.4.4: data distributions
+# ----------------------------------------------------------------------
+def skew_distribution(
+    scale_rows: int = 20_000,
+    zipf_zs: Sequence[float] = (0.0, 1.0),
+    ratio: float = 0.3,
+    methods: Sequence[str] = ALL_METHODS,
+    backend: str = "sqlite",
+    gamma: float = 10.0,
+    delta: float = 0.05,
+    selectivity: float = BASE_SELECTIVITY,
+    tqgen: Optional[dict] = None,
+) -> ExperimentResult:
+    """Section 8.4.4: re-run the comparison on Zipf z=1 skewed data."""
+    tqgen = tqgen or {"grid_points": 5, "rounds": 4}
+    config = AcquireConfig(gamma=gamma, delta=delta)
+    rows: list[Row] = []
+    for z in zipf_zs:
+        database = _tpch(_scaled(scale_rows), zipf_z=z)
+        layer = make_backend(database, backend)
+        workload = build_ratio_workload(
+            database,
+            Q2_TABLES,
+            q2_flex_specs(3, selectivity),
+            ratio,
+            aggregate="COUNT",
+            joins=Q2_JOINS,
+            name=f"skew_z{z:g}",
+        )
+        _run_point(rows, "zipf_z", z, methods, layer, workload, config, tqgen)
+    return ExperimentResult(
+        name="skew",
+        title="Sec 8.4.4: uniform (z=0) vs skewed (z=1) data",
+        paper_expectation=(
+            "Trends on skewed data match the uniform case: same method "
+            "ordering for time, error and refinement."
+        ),
+        rows=rows,
+        settings={"scale_rows": _scaled(scale_rows), "ratio": ratio},
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 1: related-work capability matrix
+# ----------------------------------------------------------------------
+def table1_capabilities(
+    scale_rows: int = 2_000, backend: str = "memory"
+) -> ExperimentResult:
+    """Table 1: probe each implementation's actual capabilities.
+
+    Aggregate support is probed empirically — each technique is asked
+    to run a workload per aggregate and either completes or refuses —
+    rather than asserted, so the matrix is a living property of the
+    code.
+    """
+    database = _tpch(_scaled(scale_rows))
+    layer = make_backend(database, backend)
+    config = AcquireConfig(gamma=10.0, delta=0.1)
+    aggregates = (
+        ("COUNT", None, ConstraintOp.EQ),
+        ("SUM", "partsupp.ps_availqty", ConstraintOp.GE),
+        ("MIN", "part.p_retailprice", ConstraintOp.GE),
+        ("MAX", "part.p_retailprice", ConstraintOp.GE),
+        ("AVG", "part.p_retailprice", ConstraintOp.EQ),
+    )
+    rows: list[Row] = []
+    for method in (*ALL_METHODS, "HillClimbing", "Skyline"):
+        supported = []
+        for agg_name, attr, op in aggregates:
+            workload = build_ratio_workload(
+                database,
+                Q2_TABLES,
+                q2_flex_specs(2, 0.4),
+                0.8,
+                aggregate=agg_name,
+                aggregate_attr=attr,
+                joins=Q2_JOINS,
+                op=op,
+                name=f"table1_{method}_{agg_name}",
+            )
+            try:
+                run = run_method(
+                    method, layer, workload.query, acquire_config=config
+                )
+                supported.append(agg_name)
+                del run
+            except QueryModelError:
+                continue
+        rows.append(
+            Row(
+                x_name="capability",
+                x_value="aggregates",
+                method=method,
+                time_ms=0.0,
+                error=0.0,
+                qscore=0.0,
+                aggregate_value=float(len(supported)),
+                queries=0,
+                rows_scanned=0,
+                satisfied=True,
+                extra={
+                    "aggregates": supported,
+                    "proximity": method in ("ACQUIRE", "Top-k",
+                                            "Skyline"),
+                    "cardinality": True,
+                    "query_output": method in ("ACQUIRE", "TQGen",
+                                               "BinSearch",
+                                               "HillClimbing"),
+                },
+            )
+        )
+    return ExperimentResult(
+        name="table1",
+        title="Table 1: technique capability matrix (probed)",
+        paper_expectation=(
+            "Only ACQUIRE supports COUNT, SUM, MIN, MAX and AVG with "
+            "both proximity and cardinality criteria while emitting "
+            "refined queries; the baselines are COUNT-only."
+        ),
+        rows=rows,
+        settings={"scale_rows": _scaled(scale_rows)},
+    )
+
+
+# ----------------------------------------------------------------------
+# Query-shape robustness (generalization beyond the paper's one shape)
+# ----------------------------------------------------------------------
+def shape_robustness(
+    scale_rows: int = 10_000,
+    ratio: float = 0.3,
+    methods: Sequence[str] = ALL_METHODS,
+    backend: str = "sqlite",
+    gamma: float = 10.0,
+    delta: float = 0.05,
+    selectivity: float = BASE_SELECTIVITY,
+    tqgen: Optional[dict] = None,
+) -> ExperimentResult:
+    """The paper evaluates one query shape (the Q2 star join); this
+    extension re-runs the comparison on three shapes — a single wide
+    fact table, a two-table FK join, and the three-table star — to
+    check the method ordering is not an artifact of the shape."""
+    from repro.datagen.tpch import TPCHConfig, generate_tpch
+    from repro.workloads.templates import (
+        LINEITEM_JOINS,
+        lineitem_flex_specs,
+    )
+
+    tqgen = tqgen or {"grid_points": 4, "rounds": 4}
+    database = generate_tpch(
+        TPCHConfig(scale_rows=_scaled(scale_rows), seed=7)
+    )
+    layer = make_backend(database, backend)
+    config = AcquireConfig(gamma=gamma, delta=delta)
+    shapes = (
+        (
+            "single-table",
+            ("lineitem",),
+            lineitem_flex_specs(3, selectivity),
+            (),
+        ),
+        (
+            "fk-join",
+            ("lineitem", "orders"),
+            lineitem_flex_specs(3, selectivity, with_orders=True),
+            LINEITEM_JOINS,
+        ),
+        ("star-join", Q2_TABLES, q2_flex_specs(3, selectivity), Q2_JOINS),
+    )
+    rows: list[Row] = []
+    for name, tables, flexible, joins in shapes:
+        workload = build_ratio_workload(
+            database,
+            tables,
+            flexible,
+            ratio,
+            aggregate="COUNT",
+            joins=joins,
+            name=f"shape_{name}",
+        )
+        _run_point(rows, "shape", name, methods, layer, workload, config,
+                   tqgen)
+    return ExperimentResult(
+        name="shapes",
+        title="Extension: method ordering across query shapes",
+        paper_expectation=(
+            "ACQUIRE meets delta with the lowest refinement on every "
+            "shape; TQGen stays the slowest; the ordering is not an "
+            "artifact of the Q2 star join."
+        ),
+        rows=rows,
+        settings={"scale_rows": _scaled(scale_rows), "ratio": ratio,
+                  "backend": backend},
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 3's modular evaluation layer: exact vs sampling vs estimation
+# ----------------------------------------------------------------------
+def evaluation_layers(
+    scale_rows: int = 30_000,
+    ratio: float = 0.3,
+    gamma: float = 10.0,
+    delta: float = 0.05,
+    sampling_fraction: float = 0.1,
+    selectivity: float = BASE_SELECTIVITY,
+) -> ExperimentResult:
+    """Paper section 3: "the evaluation layer is modular and can be
+    replaced with other techniques such as estimation, and/or sampling."
+
+    Runs the same ACQ through four layers — exact (memory), exact
+    (SQLite), Bernoulli sampling, and histogram estimation — and
+    reports each layer's cost plus the *validated* error: the
+    recommended refined query re-executed exactly, which is what the
+    user ultimately experiences.
+    """
+    from repro.core.aggregates import COUNT as _COUNT
+    from repro.engine.histogram_backend import HistogramBackend
+    from repro.engine.memory_backend import MemoryBackend
+    from repro.engine.sampling import SamplingBackend
+    from repro.engine.sqlite_backend import SQLiteBackend
+
+    database = _tpch(_scaled(scale_rows))
+    workload = build_ratio_workload(
+        database,
+        Q2_TABLES,
+        q2_flex_specs(3, selectivity),
+        ratio,
+        aggregate="COUNT",
+        joins=Q2_JOINS,
+        name="layers",
+    )
+    config = AcquireConfig(gamma=gamma, delta=delta)
+    validator = MemoryBackend(database)
+    validator_prepared = validator.prepare(
+        workload.query, [config.dim_cap_default] * 3
+    )
+    layers = (
+        ("memory", MemoryBackend(database)),
+        ("sqlite", SQLiteBackend(database)),
+        ("sampling",
+         SamplingBackend(database, sampling_fraction, seed=3,
+                         tables=("partsupp",))),
+        ("histogram", HistogramBackend(database)),
+    )
+    rows: list[Row] = []
+    for name, layer in layers:
+        run = run_method("ACQUIRE", layer, workload.query,
+                         acquire_config=config)
+        run.method = name
+        if run.pscores:
+            true_value = _COUNT.finalize(
+                validator.execute_box(validator_prepared, run.pscores)
+            )
+            run.details["validated_value"] = true_value
+            run.details["validated_error"] = (
+                abs(workload.target - true_value) / workload.target
+            )
+        rows.append(Row.from_run("layer", name, run))
+    return ExperimentResult(
+        name="layers",
+        title="Sec 3: evaluation-layer substitution "
+              "(exact / sampling / estimation)",
+        paper_expectation=(
+            "ACQUIRE runs unchanged over approximate evaluation layers; "
+            "sampling and estimation cut execution cost while the "
+            "recommended query's validated error stays small."
+        ),
+        rows=rows,
+        settings={
+            "scale_rows": _scaled(scale_rows),
+            "ratio": ratio,
+            "sampling_fraction": sampling_fraction,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 8.4.1's BinSearch critique: ordering sensitivity
+# ----------------------------------------------------------------------
+def binsearch_order_sensitivity(
+    scale_rows: int = 20_000,
+    ratio: float = 0.15,
+    backend: str = "sqlite",
+    delta: float = 0.05,
+) -> ExperimentResult:
+    """Reproduce "even a single change to the order can change the
+    error by a factor of 100" (section 8.4.1).
+
+    Runs BinSearch under every permutation of three flexible
+    predicates — one of them the coarse integer ``p_size`` whose
+    cardinality jumps make bisection land far from the target — and
+    reports the per-ordering error spread.
+    """
+    import itertools as _it
+
+    from repro.harness.runner import baseline_for
+
+    database = _tpch(_scaled(scale_rows))
+    layer = make_backend(database, backend)
+    specs = q2_flex_specs(4, BASE_SELECTIVITY)
+    chosen = [specs[0], specs[3], specs[2]]  # retailprice, p_size, supplycost
+    workload = build_ratio_workload(
+        database,
+        Q2_TABLES,
+        chosen,
+        ratio,
+        aggregate="COUNT",
+        joins=Q2_JOINS,
+        name="binsearch_order",
+    )
+    rows: list[Row] = []
+    for order in _it.permutations(range(3)):
+        technique = baseline_for("BinSearch", delta=delta, order=order)
+        run = technique.run(layer, workload.query)
+        rows.append(Row.from_run("order", "".join(map(str, order)), run))
+    return ExperimentResult(
+        name="binsearch_order",
+        title="Sec 8.4.1: BinSearch error vs predicate refinement order",
+        paper_expectation=(
+            "BinSearch error varies wildly across predicate orderings "
+            "(paper: 0.002 vs 0.19 — a 100X swing — between two orders)."
+        ),
+        rows=rows,
+        settings={"scale_rows": _scaled(scale_rows), "ratio": ratio},
+    )
+
+
+EXPERIMENTS = {
+    "fig8": fig8_aggregate_ratio,
+    "fig9": fig9_dimensionality,
+    "fig10a": fig10a_table_size,
+    "fig10b": fig10b_refinement_threshold,
+    "fig10c": fig10c_cardinality_threshold,
+    "fig11": fig11_aggregate_types,
+    "skew": skew_distribution,
+    "table1": table1_capabilities,
+    "binsearch_order": binsearch_order_sensitivity,
+    "layers": evaluation_layers,
+    "shapes": shape_robustness,
+}

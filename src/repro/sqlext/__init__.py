@@ -1,0 +1,31 @@
+"""ACQ SQL dialect (paper section 2.1).
+
+Two keywords extend plain SQL: ``CONSTRAINT AGG(attr) Op X`` states the
+aggregate constraint and ``NOREFINE`` pins a predicate. Example (the
+paper's Q2')::
+
+    SELECT * FROM supplier, part, partsupp
+    CONSTRAINT SUM(ps_availqty) >= 0.1M
+    WHERE (s_suppkey = ps_suppkey) NOREFINE AND
+          (p_partkey = ps_partkey) NOREFINE AND
+          (p_retailprice < 1000) AND (s_acctbal < 2000) AND
+          (p_size = 10) NOREFINE AND
+          (p_type = 'SMALL BURNISHED STEEL') NOREFINE
+
+:func:`parse_acq` turns dialect text into a bound
+:class:`repro.core.query.Query`; :func:`format_query` renders it back;
+:func:`format_refined_query` renders an ACQUIRE answer as the plain SQL
+a user would run.
+"""
+
+from repro.sqlext.parser import parse_statement
+from repro.sqlext.binder import bind_statement, parse_acq
+from repro.sqlext.formatter import format_query, format_refined_query
+
+__all__ = [
+    "parse_statement",
+    "bind_statement",
+    "parse_acq",
+    "format_query",
+    "format_refined_query",
+]

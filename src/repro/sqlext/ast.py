@@ -1,0 +1,102 @@
+"""Parse tree for the ACQ SQL dialect (pre-binding)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+# -- scalar expressions -------------------------------------------------
+@dataclass(frozen=True)
+class NumberLit:
+    value: float
+
+
+@dataclass(frozen=True)
+class StringLit:
+    value: str
+
+
+@dataclass(frozen=True)
+class ColRef:
+    column: str
+    table: Optional[str] = None
+
+    def display(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    left: "ExprNode"
+    right: "ExprNode"
+
+
+@dataclass(frozen=True)
+class AbsCall:
+    operand: "ExprNode"
+
+
+ExprNode = Union[NumberLit, StringLit, ColRef, BinOp, AbsCall]
+
+
+# -- predicates ----------------------------------------------------------
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right``; chained comparisons (``a <= x <= b``) are
+    parsed into :class:`RangeCondition`."""
+
+    op: str
+    left: ExprNode
+    right: ExprNode
+
+
+@dataclass(frozen=True)
+class RangeCondition:
+    """``low <= expr <= high`` or ``expr BETWEEN low AND high``.
+
+    ``low_strict`` / ``high_strict`` record ``<`` vs ``<=``.
+    """
+
+    expr: ExprNode
+    low: ExprNode
+    high: ExprNode
+    low_strict: bool = False
+    high_strict: bool = False
+
+
+@dataclass(frozen=True)
+class InCondition:
+    column: ColRef
+    values: tuple[ExprNode, ...]
+
+
+ConditionNode = Union[Comparison, RangeCondition, InCondition]
+
+
+@dataclass(frozen=True)
+class Conjunct:
+    """One WHERE conjunct, optionally pinned with NOREFINE."""
+
+    condition: ConditionNode
+    norefine: bool = False
+
+
+# -- statement -----------------------------------------------------------
+@dataclass(frozen=True)
+class ConstraintClause:
+    """``CONSTRAINT AGG(attr) Op X``."""
+
+    function: str
+    argument: Optional[ExprNode]  # None for COUNT(*)
+    op: str
+    target: float
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    projection: tuple[str, ...]  # ("*",) or column names
+    tables: tuple[str, ...]
+    constraint: Optional[ConstraintClause]
+    conjuncts: tuple[Conjunct, ...]

@@ -1,0 +1,360 @@
+"""Bind parsed ACQ statements to the catalog, producing core queries.
+
+Binding performs the paper's section 2.2 decomposition:
+
+* each numeric condition becomes a predicate function + interval, with
+  the interval's anchored side taken from catalog statistics ("if the
+  minimum value of B.y is 0, the predicate (B.y < 50) is decomposed
+  into P_F = B.y and P_I = (0, 50)");
+* range conditions (``10 < y < 50`` or BETWEEN) are rewritten into two
+  one-sided predicates so either side refines independently;
+* cross-table equalities become (refinable) equi-join predicates with
+  the denominator-100 convention; other cross-table comparisons become
+  one-sided predicates over the difference expression;
+* string equality / IN on a string column becomes a categorical
+  predicate, refined through an ontology tree (section 7.3) — an
+  explicitly supplied one, or a flat fallback built from the column's
+  distinct values (which can only relax to "any value");
+* the CONSTRAINT clause binds to an OSP aggregate (section 2.6),
+  rejecting STDDEV and friends.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+from repro.core.aggregates import AggregateSpec, get_aggregate
+from repro.core.interval import Interval
+from repro.core.ontology import OntologyTree
+from repro.core.predicate import (
+    CategoricalPredicate,
+    Direction,
+    JoinPredicate,
+    Predicate,
+    SelectPredicate,
+)
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.engine import expression as engine_expr
+from repro.engine.catalog import Database
+from repro.engine.schema import ColumnType
+from repro.exceptions import BindError
+from repro.sqlext import ast
+from repro.sqlext.parser import parse_statement
+
+
+def parse_acq(
+    text: str,
+    database: Database,
+    ontologies: Optional[Mapping[str, OntologyTree]] = None,
+    name: str = "acq",
+) -> Query:
+    """Parse and bind ACQ dialect text in one call."""
+    return bind_statement(parse_statement(text), database, ontologies, name)
+
+
+def bind_statement(
+    statement: ast.SelectStatement,
+    database: Database,
+    ontologies: Optional[Mapping[str, OntologyTree]] = None,
+    name: str = "acq",
+) -> Query:
+    """Bind a parse tree against a catalog."""
+    return _Binder(database, ontologies or {}).bind(statement, name)
+
+
+class _Binder:
+    def __init__(
+        self, database: Database, ontologies: Mapping[str, OntologyTree]
+    ) -> None:
+        self.database = database
+        self.ontologies = ontologies
+        self.tables: tuple[str, ...] = ()
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, statement: ast.SelectStatement, name: str) -> Query:
+        for table in statement.tables:
+            if not self.database.has_table(table):
+                raise BindError(f"unknown table {table!r} in FROM clause")
+        self.tables = statement.tables
+
+        if statement.constraint is None:
+            raise BindError(
+                "an ACQ requires a CONSTRAINT clause "
+                "(CONSTRAINT AGG(attr) Op X)"
+            )
+        constraint = self._bind_constraint(statement.constraint)
+
+        predicates: list[Predicate] = []
+        for conjunct in statement.conjuncts:
+            predicates.extend(self._bind_conjunct(conjunct))
+        return Query.build(name, statement.tables, predicates, constraint)
+
+    # ------------------------------------------------------------------
+    def _bind_constraint(
+        self, clause: ast.ConstraintClause
+    ) -> AggregateConstraint:
+        aggregate = get_aggregate(clause.function)
+        attribute = None
+        if clause.argument is not None:
+            attribute = self._bind_expr(clause.argument)
+        elif aggregate.needs_attribute:
+            raise BindError(f"{aggregate.name} requires an attribute argument")
+        spec = AggregateSpec(aggregate, attribute)
+        return AggregateConstraint(
+            spec, ConstraintOp.parse(clause.op), clause.target
+        )
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def _bind_conjunct(self, conjunct: ast.Conjunct) -> list[Predicate]:
+        condition = conjunct.condition
+        refinable = not conjunct.norefine
+        if isinstance(condition, ast.InCondition):
+            return [self._bind_in(condition, refinable)]
+        if isinstance(condition, ast.RangeCondition):
+            return self._bind_range(condition, refinable)
+        return self._bind_comparison(condition, refinable)
+
+    def _bind_comparison(
+        self, condition: ast.Comparison, refinable: bool
+    ) -> list[Predicate]:
+        # String equality => categorical predicate.
+        for left, right in (
+            (condition.left, condition.right),
+            (condition.right, condition.left),
+        ):
+            if isinstance(right, ast.StringLit) and isinstance(left, ast.ColRef):
+                if condition.op != "=":
+                    raise BindError(
+                        "string predicates only support '=' and IN"
+                    )
+                return [
+                    self._categorical(
+                        left, frozenset({right.value}), refinable
+                    )
+                ]
+
+        left = self._bind_expr(condition.left)
+        right = self._bind_expr(condition.right)
+        left_tables = left.tables()
+        right_tables = right.tables()
+
+        if left_tables and right_tables and left_tables != right_tables:
+            # Cross-table condition.
+            if condition.op == "=":
+                return [
+                    JoinPredicate(
+                        name=self._name("join"),
+                        left=left,
+                        right=right,
+                        refinable=refinable,
+                    )
+                ]
+            # Non-equi cross-table comparison: one-sided predicate on
+            # the difference expression (paper 2.2's Delta form).
+            difference = engine_expr.BinaryOp("-", left, right)
+            return [
+                self._one_sided(
+                    difference, condition.op, 0.0, refinable, compound=True
+                )
+            ]
+
+        # Single-relation numeric condition: normalize to expr OP const.
+        expr, op, bound = self._normalize(left, condition.op, right)
+        if op == "=":
+            return [
+                SelectPredicate(
+                    name=self._name("eq"),
+                    expr=expr,
+                    interval=Interval.point(bound),
+                    direction=Direction.POINT,
+                    refinable=refinable,
+                )
+            ]
+        return [self._one_sided(expr, op, bound, refinable)]
+
+    def _normalize(
+        self,
+        left: engine_expr.Expression,
+        op: str,
+        right: engine_expr.Expression,
+    ) -> tuple[engine_expr.Expression, str, float]:
+        """Rewrite so the column expression is on the left."""
+        flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "="}
+        left_const = isinstance(left, engine_expr.Constant)
+        right_const = isinstance(right, engine_expr.Constant)
+        if left_const and right_const:
+            raise BindError(
+                "comparison between two constants is not a predicate"
+            )
+        if left_const:
+            return right, flipped[op], float(left.value)
+        if right_const:
+            return left, op, float(right.value)
+        raise BindError(
+            "single-table comparisons must compare an expression "
+            "against a constant"
+        )
+
+    def _one_sided(
+        self,
+        expr: engine_expr.Expression,
+        op: str,
+        bound: float,
+        refinable: bool,
+        compound: bool = False,
+    ) -> SelectPredicate:
+        """Build a one-sided select predicate anchored at the domain."""
+        domain = self._expr_domain(expr) if not compound else None
+        if op in ("<", "<="):
+            low = domain.min_value if domain is not None else -math.inf
+            low = min(low, bound)
+            return SelectPredicate(
+                name=self._name("le"),
+                expr=expr,
+                interval=Interval(low, bound),
+                direction=Direction.UPPER,
+                refinable=refinable,
+            )
+        if op in (">", ">="):
+            high = domain.max_value if domain is not None else math.inf
+            high = max(high, bound)
+            return SelectPredicate(
+                name=self._name("ge"),
+                expr=expr,
+                interval=Interval(bound, high),
+                direction=Direction.LOWER,
+                refinable=refinable,
+            )
+        raise BindError(f"unsupported comparison operator {op!r}")
+
+    def _bind_range(
+        self, condition: ast.RangeCondition, refinable: bool
+    ) -> list[Predicate]:
+        """Rewrite ``low <= expr <= high`` as two one-sided predicates
+        (paper section 2.2) so each side refines independently."""
+        expr = self._bind_expr(condition.expr)
+        low = self._constant(condition.low, "range lower bound")
+        high = self._constant(condition.high, "range upper bound")
+        if low > high:
+            raise BindError(f"empty range: {low} > {high}")
+        lower_pred = self._one_sided(expr, ">=", low, refinable)
+        upper_pred = self._one_sided(expr, "<=", high, refinable)
+        return [lower_pred, upper_pred]
+
+    def _bind_in(
+        self, condition: ast.InCondition, refinable: bool
+    ) -> Predicate:
+        values = []
+        for node in condition.values:
+            if not isinstance(node, ast.StringLit):
+                raise BindError(
+                    "IN lists support string values only (numeric IN "
+                    "does not define a refinement direction)"
+                )
+            values.append(node.value)
+        return self._categorical(
+            condition.column, frozenset(values), refinable
+        )
+
+    def _categorical(
+        self, column_node: ast.ColRef, accepted: frozenset[str], refinable: bool
+    ) -> CategoricalPredicate:
+        column = self._resolve_column(column_node)
+        table = self.database.table(column.table)
+        if table.schema.column(column.column).ctype is not ColumnType.STR:
+            raise BindError(
+                f"categorical predicate on non-string column "
+                f"{column.to_sql()!r}"
+            )
+        ontology = self.ontologies.get(
+            f"{column.table}.{column.column}"
+        ) or self.ontologies.get(column.column)
+        if ontology is None:
+            ontology = self._flat_ontology(column)
+        for value in accepted:
+            if value not in ontology:
+                raise BindError(
+                    f"value {value!r} not present in the ontology for "
+                    f"{column.to_sql()}"
+                )
+        return CategoricalPredicate(
+            name=self._name("cat"),
+            column=column,
+            accepted=accepted,
+            ontology=ontology,
+            refinable=refinable,
+        )
+
+    def _flat_ontology(self, column: engine_expr.ColumnRef) -> OntologyTree:
+        """Depth-1 fallback: one roll-up step relaxes to 'any value'."""
+        tree = OntologyTree(root=f"any_{column.column}")
+        table = self.database.table(column.table)
+        for value in sorted(set(table.column(column.column).tolist())):
+            tree.add_edge(tree.root, str(value))
+        return tree
+
+    # ------------------------------------------------------------------
+    # Expressions and names
+    # ------------------------------------------------------------------
+    def _bind_expr(self, node: ast.ExprNode) -> engine_expr.Expression:
+        if isinstance(node, ast.NumberLit):
+            return engine_expr.Constant(node.value)
+        if isinstance(node, ast.StringLit):
+            raise BindError(
+                f"string literal {node.value!r} in numeric context"
+            )
+        if isinstance(node, ast.ColRef):
+            return self._resolve_column(node)
+        if isinstance(node, ast.BinOp):
+            return engine_expr.BinaryOp(
+                node.op, self._bind_expr(node.left), self._bind_expr(node.right)
+            )
+        if isinstance(node, ast.AbsCall):
+            return engine_expr.Abs(self._bind_expr(node.operand))
+        raise BindError(f"cannot bind expression node {node!r}")
+
+    def _resolve_column(self, node: ast.ColRef) -> engine_expr.ColumnRef:
+        if node.table is not None:
+            if node.table not in self.tables:
+                raise BindError(
+                    f"table {node.table!r} (in {node.display()}) "
+                    "is not in the FROM clause"
+                )
+            if not self.database.table(node.table).schema.has_column(
+                node.column
+            ):
+                raise BindError(f"unknown column {node.display()!r}")
+            return engine_expr.ColumnRef(node.table, node.column)
+        owners = [
+            table
+            for table in self.tables
+            if self.database.table(table).schema.has_column(node.column)
+        ]
+        if not owners:
+            raise BindError(f"unknown column {node.column!r}")
+        if len(owners) > 1:
+            raise BindError(
+                f"ambiguous column {node.column!r} "
+                f"(in tables {', '.join(owners)})"
+            )
+        return engine_expr.ColumnRef(owners[0], node.column)
+
+    def _constant(self, node: ast.ExprNode, what: str) -> float:
+        bound = self._bind_expr(node)
+        if not isinstance(bound, engine_expr.Constant):
+            raise BindError(f"{what} must be a numeric constant")
+        return float(bound.value)
+
+    def _expr_domain(self, expr: engine_expr.Expression):
+        """Column statistics when the expression is a bare column."""
+        if isinstance(expr, engine_expr.ColumnRef):
+            return self.database.column_stats(expr.table, expr.column)
+        return None
+
+    def _name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"

@@ -1,0 +1,96 @@
+"""Render core queries back to SQL text.
+
+Two renderings:
+
+* :func:`format_query` — the ACQ dialect (CONSTRAINT / NOREFINE),
+  round-trippable through the parser;
+* :func:`format_refined_query` — plain executable SQL for one of
+  ACQUIRE's refined answers, which is what the user would paste into
+  their real database once they pick an alternative.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.predicate import (
+    CategoricalPredicate,
+    JoinPredicate,
+    Predicate,
+    SelectPredicate,
+)
+from repro.core.query import Query
+from repro.core.result import RefinedQuery
+
+
+def _number(value: float) -> str:
+    if math.isinf(value):
+        return "1e308" if value > 0 else "-1e308"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value!r}"
+
+
+def _predicate_sql(
+    predicate: Predicate, score: float, dialect: bool = False
+) -> str:
+    """SQL condition of one predicate at a given refinement score.
+
+    ``dialect=True`` renders the ACQ-dialect form, where one-sided
+    predicates show only their *moving* bound (the anchored side is the
+    attribute domain, re-derived from statistics on re-parse);
+    ``dialect=False`` renders fully-bounded plain SQL, exactly matching
+    the evaluation layers' admission semantics.
+    """
+    if isinstance(predicate, SelectPredicate):
+        refined = predicate.interval_at(score)
+        expr = predicate.expr.to_sql()
+        if dialect:
+            from repro.core.predicate import Direction
+
+            if predicate.direction is Direction.UPPER:
+                return f"{expr} <= {_number(refined.hi)}"
+            if predicate.direction is Direction.LOWER:
+                return f"{expr} >= {_number(refined.lo)}"
+            if refined.is_point:
+                return f"{expr} = {_number(refined.lo)}"
+        parts = []
+        if math.isfinite(refined.lo):
+            parts.append(f"{expr} >= {_number(refined.lo)}")
+        if math.isfinite(refined.hi):
+            parts.append(f"{expr} <= {_number(refined.hi)}")
+        return " AND ".join(parts) if parts else "1=1"
+    if isinstance(predicate, JoinPredicate):
+        return predicate.sql_condition(score)
+    assert isinstance(predicate, CategoricalPredicate)
+    return predicate.sql_condition(score)
+
+
+def format_query(query: Query) -> str:
+    """Render a core query in the ACQ dialect of paper section 2.1."""
+    lines = [f"SELECT * FROM {', '.join(query.tables)}"]
+    lines.append(f"CONSTRAINT {query.constraint.describe()}")
+    conditions = []
+    for predicate in query.predicates:
+        text = f"({_predicate_sql(predicate, 0.0, dialect=True)})"
+        if not predicate.refinable:
+            text += " NOREFINE"
+        conditions.append(text)
+    if conditions:
+        lines.append("WHERE " + "\n  AND ".join(conditions))
+    return "\n".join(lines)
+
+
+def format_refined_query(refined: RefinedQuery) -> str:
+    """Render an ACQUIRE answer as plain SQL with refined bounds."""
+    query = refined.query
+    conditions = []
+    for predicate, score in zip(query.refinable_predicates, refined.pscores):
+        conditions.append(f"({_predicate_sql(predicate, score)})")
+    for predicate in query.fixed_predicates:
+        conditions.append(f"({_predicate_sql(predicate, 0.0)})")
+    where = "\n  AND ".join(conditions) if conditions else "1=1"
+    return (
+        f"SELECT * FROM {', '.join(query.tables)}\n"
+        f"WHERE {where}"
+    )

@@ -1,0 +1,158 @@
+"""Tokenizer for the ACQ SQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ParseError
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "CONSTRAINT",
+    "NOREFINE",
+    "BETWEEN",
+    "IN",
+    "NOT",
+    "ABS",
+    "AS",
+}
+
+#: Magnitude suffixes accepted on numeric literals (the paper writes
+#: ``COUNT(*) = 1M`` and ``SUM(ps_availqty) >= 0.1M``).
+SUFFIXES = {"K": 1e3, "M": 1e6, "B": 1e9}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    value: object
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text == word
+
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")
+_PUNCT = "(),.*;"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split dialect text into tokens; raises :class:`ParseError`."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if text.startswith("--", index):
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if char == "'":
+            end = index + 1
+            parts: list[str] = []
+            while True:
+                if end >= length:
+                    raise ParseError("unterminated string literal", index)
+                if text[end] == "'":
+                    if end + 1 < length and text[end + 1] == "'":
+                        parts.append("'")
+                        end += 2
+                        continue
+                    break
+                parts.append(text[end])
+                end += 1
+            tokens.append(
+                Token(TokenType.STRING, text[index : end + 1], "".join(parts), index)
+            )
+            index = end + 1
+            continue
+        if char.isdigit() or (
+            char == "." and index + 1 < length and text[index + 1].isdigit()
+        ):
+            end = index
+            seen_dot = False
+            while end < length and (
+                text[end].isdigit() or (text[end] == "." and not seen_dot)
+            ):
+                if text[end] == ".":
+                    # A dot not followed by a digit terminates the number
+                    # (e.g. "1.e" is invalid, but "t1.x" never gets here).
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            # Scientific notation: 1e6, 2.5E-3, 1e+06.
+            if end < length and text[end] in "eE":
+                exp_end = end + 1
+                if exp_end < length and text[exp_end] in "+-":
+                    exp_end += 1
+                if exp_end < length and text[exp_end].isdigit():
+                    while exp_end < length and text[exp_end].isdigit():
+                        exp_end += 1
+                    end = exp_end
+            literal = text[index:end]
+            value = float(literal)
+            if end < length and text[end].upper() in SUFFIXES:
+                suffix = text[end].upper()
+                # Only treat the letter as a suffix when it ends the word
+                # (so identifiers like "10Mbit" still fail loudly).
+                if end + 1 < length and (
+                    text[end + 1].isalnum() or text[end + 1] == "_"
+                ):
+                    raise ParseError(
+                        f"malformed numeric literal near {literal!r}", index
+                    )
+                value *= SUFFIXES[suffix]
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, text[index:end], value, index))
+            index = end
+            continue
+        matched_op = next(
+            (op for op in _OPERATORS if text.startswith(op, index)), None
+        )
+        if matched_op is not None:
+            tokens.append(Token(TokenType.OP, matched_op, matched_op, index))
+            index += len(matched_op)
+            continue
+        if char in "+-/":
+            tokens.append(Token(TokenType.OP, char, char, index))
+            index += 1
+            continue
+        if char in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, char, char, index))
+            index += 1
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, upper, index))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, word, index))
+            index = end
+            continue
+        raise ParseError(f"unexpected character {char!r}", index)
+    tokens.append(Token(TokenType.EOF, "", None, length))
+    return tokens

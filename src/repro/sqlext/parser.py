@@ -1,0 +1,303 @@
+"""Recursive-descent parser for the ACQ SQL dialect.
+
+Grammar (informal)::
+
+    statement  := SELECT projection FROM tables [constraint] [WHERE conj]
+    projection := '*' | ident (',' ident)*
+    tables     := ident (',' ident)*
+    constraint := CONSTRAINT ident '(' ('*' | expr) ')' cmp NUMBER
+    conj       := conjunct (AND conjunct)*
+    conjunct   := ['('] condition [')'] [NOREFINE]
+    condition  := expr cmp expr [cmp expr]          -- chained = range
+                | expr BETWEEN expr AND expr
+                | colref IN '(' literal (',' literal)* ')'
+    expr       := term (('+'|'-') term)*
+    term       := unary (('*'|'/') unary)*
+    unary      := '-' unary | primary
+    primary    := NUMBER | STRING | colref | '(' expr ')' | ABS '(' expr ')'
+    colref     := ident ['.' ident]
+
+Numeric literals accept the K/M/B magnitude suffixes the paper uses
+(``COUNT(*) = 1M``).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ParseError
+from repro.sqlext import ast
+from repro.sqlext.lexer import Token, TokenType, tokenize
+
+_COMPARISONS = {"=", "<", ">", "<=", ">="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing ---------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._current.is_keyword(word):
+            raise ParseError(
+                f"expected {word}, found {self._current.text!r}",
+                self._current.position,
+            )
+        return self._advance()
+
+    def _expect_punct(self, char: str) -> Token:
+        token = self._current
+        if token.type is not TokenType.PUNCT or token.text != char:
+            raise ParseError(
+                f"expected {char!r}, found {token.text!r}", token.position
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.IDENT:
+            raise ParseError(
+                f"expected identifier, found {token.text!r}", token.position
+            )
+        return self._advance()
+
+    def _match_punct(self, char: str) -> bool:
+        token = self._current
+        if token.type is TokenType.PUNCT and token.text == char:
+            self._advance()
+            return True
+        return False
+
+    def _match_keyword(self, word: str) -> bool:
+        if self._current.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    # -- grammar ------------------------------------------------------------
+    def parse_statement(self) -> ast.SelectStatement:
+        self._expect_keyword("SELECT")
+        projection = self._parse_projection()
+        self._expect_keyword("FROM")
+        tables = self._parse_name_list()
+        constraint = None
+        if self._match_keyword("CONSTRAINT"):
+            constraint = self._parse_constraint()
+        conjuncts: tuple[ast.Conjunct, ...] = ()
+        if self._match_keyword("WHERE"):
+            conjuncts = self._parse_conjuncts()
+        self._match_punct(";")
+        if self._current.type is not TokenType.EOF:
+            raise ParseError(
+                f"unexpected trailing input: {self._current.text!r}",
+                self._current.position,
+            )
+        return ast.SelectStatement(projection, tables, constraint, conjuncts)
+
+    def _parse_projection(self) -> tuple[str, ...]:
+        if self._match_punct("*"):
+            return ("*",)
+        names = [self._expect_ident().text]
+        while self._match_punct(","):
+            names.append(self._expect_ident().text)
+        return tuple(names)
+
+    def _parse_name_list(self) -> tuple[str, ...]:
+        names = [self._expect_ident().text]
+        while self._match_punct(","):
+            names.append(self._expect_ident().text)
+        return tuple(names)
+
+    def _parse_constraint(self) -> ast.ConstraintClause:
+        function = self._expect_ident().text
+        self._expect_punct("(")
+        argument: ast.ExprNode | None
+        if self._match_punct("*"):
+            argument = None
+        else:
+            argument = self._parse_expr()
+        self._expect_punct(")")
+        op_token = self._advance()
+        if op_token.type is not TokenType.OP or op_token.text not in _COMPARISONS:
+            raise ParseError(
+                f"expected comparison operator, found {op_token.text!r}",
+                op_token.position,
+            )
+        value = self._parse_signed_number()
+        return ast.ConstraintClause(function, argument, op_token.text, value)
+
+    def _parse_signed_number(self) -> float:
+        sign = 1.0
+        if self._current.type is TokenType.OP and self._current.text == "-":
+            self._advance()
+            sign = -1.0
+        token = self._advance()
+        if token.type is not TokenType.NUMBER:
+            raise ParseError(
+                f"expected number, found {token.text!r}", token.position
+            )
+        return sign * float(token.value)  # type: ignore[arg-type]
+
+    def _parse_conjuncts(self) -> tuple[ast.Conjunct, ...]:
+        conjuncts = [self._parse_conjunct()]
+        while self._match_keyword("AND"):
+            conjuncts.append(self._parse_conjunct())
+        return tuple(conjuncts)
+
+    def _parse_conjunct(self) -> ast.Conjunct:
+        condition = self._parse_maybe_parenthesized_condition()
+        norefine = self._match_keyword("NOREFINE")
+        return ast.Conjunct(condition, norefine)
+
+    def _parse_maybe_parenthesized_condition(self) -> ast.ConditionNode:
+        """Handle the paper's ``(pred) NOREFINE`` style.
+
+        A leading ``(`` is ambiguous: it may wrap a whole condition or
+        just an arithmetic sub-expression (``(2*x) < y``). Try the
+        condition reading first and backtrack on failure.
+        """
+        if self._current.type is TokenType.PUNCT and self._current.text == "(":
+            saved = self._index
+            self._advance()
+            try:
+                condition = self._parse_condition()
+                self._expect_punct(")")
+                return condition
+            except ParseError:
+                self._index = saved
+        return self._parse_condition()
+
+    def _parse_condition(self) -> ast.ConditionNode:
+        left = self._parse_expr()
+        if self._match_keyword("BETWEEN"):
+            low = self._parse_expr()
+            self._expect_keyword("AND")
+            high = self._parse_expr()
+            return ast.RangeCondition(expr=left, low=low, high=high)
+        if self._match_keyword("IN"):
+            if not isinstance(left, ast.ColRef):
+                raise ParseError(
+                    "IN requires a column reference on the left",
+                    self._current.position,
+                )
+            self._expect_punct("(")
+            values = [self._parse_expr()]
+            while self._match_punct(","):
+                values.append(self._parse_expr())
+            self._expect_punct(")")
+            return ast.InCondition(left, tuple(values))
+        op_token = self._advance()
+        if op_token.type is not TokenType.OP or op_token.text not in _COMPARISONS:
+            raise ParseError(
+                f"expected comparison, found {op_token.text!r}",
+                op_token.position,
+            )
+        right = self._parse_expr()
+        follow = self._current
+        if follow.type is TokenType.OP and follow.text in _COMPARISONS:
+            # Chained comparison, e.g. 25 <= age <= 35.
+            self._advance()
+            third = self._parse_expr()
+            return self._build_range(left, op_token.text, right, follow.text, third)
+        return ast.Comparison(op_token.text, left, right)
+
+    @staticmethod
+    def _build_range(
+        left: ast.ExprNode,
+        first_op: str,
+        middle: ast.ExprNode,
+        second_op: str,
+        right: ast.ExprNode,
+    ) -> ast.RangeCondition:
+        ascending = {"<", "<="}
+        descending = {">", ">="}
+        if first_op in ascending and second_op in ascending:
+            return ast.RangeCondition(
+                expr=middle,
+                low=left,
+                high=right,
+                low_strict=first_op == "<",
+                high_strict=second_op == "<",
+            )
+        if first_op in descending and second_op in descending:
+            return ast.RangeCondition(
+                expr=middle,
+                low=right,
+                high=left,
+                low_strict=second_op == ">",
+                high_strict=first_op == ">",
+            )
+        raise ParseError(
+            f"inconsistent chained comparison {first_op} ... {second_op}",
+            0,
+        )
+
+    # -- expressions ----------------------------------------------------
+    def _parse_expr(self) -> ast.ExprNode:
+        node = self._parse_term()
+        while self._current.type is TokenType.OP and self._current.text in "+-":
+            op = self._advance().text
+            node = ast.BinOp(op, node, self._parse_term())
+        return node
+
+    def _parse_term(self) -> ast.ExprNode:
+        node = self._parse_unary()
+        while (
+            self._current.type is TokenType.OP and self._current.text == "/"
+        ) or (
+            self._current.type is TokenType.PUNCT and self._current.text == "*"
+        ):
+            op = self._advance().text
+            node = ast.BinOp(op, node, self._parse_unary())
+        return node
+
+    def _parse_unary(self) -> ast.ExprNode:
+        if self._current.type is TokenType.OP and self._current.text == "-":
+            self._advance()
+            operand = self._parse_unary()
+            if isinstance(operand, ast.NumberLit):
+                return ast.NumberLit(-operand.value)
+            return ast.BinOp("-", ast.NumberLit(0.0), operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.ExprNode:
+        token = self._current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return ast.NumberLit(float(token.value))  # type: ignore[arg-type]
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.StringLit(str(token.value))
+        if token.is_keyword("ABS"):
+            self._advance()
+            self._expect_punct("(")
+            operand = self._parse_expr()
+            self._expect_punct(")")
+            return ast.AbsCall(operand)
+        if token.type is TokenType.PUNCT and token.text == "(":
+            self._advance()
+            node = self._parse_expr()
+            self._expect_punct(")")
+            return node
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if self._match_punct("."):
+                column = self._expect_ident().text
+                return ast.ColRef(column=column, table=token.text)
+            return ast.ColRef(column=token.text)
+        raise ParseError(
+            f"unexpected token {token.text!r} in expression", token.position
+        )
+
+
+def parse_statement(text: str) -> ast.SelectStatement:
+    """Parse ACQ dialect text into a :class:`SelectStatement`."""
+    return _Parser(tokenize(text)).parse_statement()

@@ -1,0 +1,23 @@
+"""Experiment workloads: paper query templates and ratio-controlled ACQs."""
+
+from repro.workloads.generator import (
+    WorkloadSpec,
+    build_ratio_workload,
+    original_aggregate,
+)
+from repro.workloads.templates import (
+    q1_prime_text,
+    q2_prime_query,
+    q3_join_query,
+    tpch_predicate_pool,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "build_ratio_workload",
+    "original_aggregate",
+    "q1_prime_text",
+    "q2_prime_query",
+    "q3_join_query",
+    "tpch_predicate_pool",
+]

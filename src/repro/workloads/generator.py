@@ -1,0 +1,182 @@
+"""Ratio-controlled workload construction (paper section 8.3).
+
+"For each dataset, query, and ACQUIRE settings, we define the original
+aggregate Aactual and the aggregate ratio Aactual/Aexp." This module
+does exactly that: build a query from quantile-placed predicate bounds,
+measure its original aggregate once, then set the constraint target so
+the requested ratio holds.
+
+Predicate PScore denominators are set to the attribute's full domain
+width, so a PScore of ``s`` always means "expanded by s% of the
+attribute domain" — keeping refinement scores commensurate across
+attributes of very different scales (the stated purpose of Equation 1's
+relative measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.aggregates import AggregateSpec, get_aggregate
+from repro.core.interval import Interval
+from repro.core.predicate import (
+    Direction,
+    JoinPredicate,
+    Predicate,
+    SelectPredicate,
+)
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.engine.catalog import Database
+from repro.engine.expression import col
+from repro.engine.memory_backend import MemoryBackend
+from repro.exceptions import DataGenError
+
+
+@dataclass(frozen=True)
+class FlexSpec:
+    """One flexible predicate: ``table.column <= quantile(q)``.
+
+    ``direction`` may be LOWER for ``>=`` predicates; the bound is then
+    placed at quantile ``1 - q`` so selectivity stays ``q``.
+    """
+
+    column: str  # "table.column"
+    selectivity: float = 0.5
+    direction: Direction = Direction.UPPER
+    weight: float = 1.0
+    limit: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """One join predicate: ``left = right`` (NOREFINE by default)."""
+
+    left: str
+    right: str
+    refinable: bool = False
+    tolerance: float = 0.0
+
+
+@dataclass
+class WorkloadSpec:
+    """A fully-built experimental workload."""
+
+    name: str
+    query: Query
+    ratio: float
+    original_value: float
+
+    @property
+    def target(self) -> float:
+        return self.query.constraint.target
+
+
+def original_aggregate(database: Database, query: Query) -> float:
+    """Execute the unrefined query once and return its aggregate."""
+    layer = MemoryBackend(database)
+    prepared = layer.prepare(query, [0.0] * query.dimensionality)
+    state = layer.execute_box(prepared, (0.0,) * query.dimensionality)
+    return query.constraint.spec.aggregate.finalize(state)
+
+
+def build_ratio_workload(
+    database: Database,
+    tables: Sequence[str],
+    flexible: Sequence[FlexSpec],
+    ratio: float,
+    aggregate: str = "COUNT",
+    aggregate_attr: Optional[str] = None,
+    joins: Sequence[JoinSpec] = (),
+    op: ConstraintOp = ConstraintOp.EQ,
+    name: Optional[str] = None,
+) -> WorkloadSpec:
+    """Build a query whose ``Aactual / Aexp`` equals ``ratio``.
+
+    Args:
+        tables: FROM-clause relations.
+        flexible: the d refinable select predicates.
+        ratio: desired ``Aactual / Aexp`` in (0, 1] for expansion
+            workloads; values > 1 produce contraction workloads.
+        aggregate: OSP aggregate name.
+        aggregate_attr: "table.column" the aggregate reads (None for
+            COUNT).
+        joins: join predicates (NOREFINE equi-joins by default).
+    """
+    if ratio <= 0:
+        raise DataGenError(f"aggregate ratio must be positive, got {ratio}")
+    if not flexible:
+        raise DataGenError("a workload needs at least one flexible predicate")
+
+    predicates: list[Predicate] = []
+    for index, join in enumerate(joins):
+        predicates.append(
+            JoinPredicate(
+                name=f"join_{index}",
+                left=col(join.left),
+                right=col(join.right),
+                tolerance=join.tolerance,
+                refinable=join.refinable,
+            )
+        )
+    for index, spec in enumerate(flexible):
+        predicates.append(
+            _flexible_predicate(database, spec, f"flex_{index}")
+        )
+
+    agg = get_aggregate(aggregate)
+    attr_expr = col(aggregate_attr) if aggregate_attr is not None else None
+    placeholder = AggregateConstraint(
+        AggregateSpec(agg, attr_expr), op, target=1.0
+    )
+    query = Query.build(
+        name or f"wl_{aggregate.lower()}_{ratio:g}", tables, predicates,
+        placeholder,
+    )
+
+    actual = original_aggregate(database, query)
+    if not actual or actual != actual:  # zero or NaN
+        raise DataGenError(
+            "original query is empty; raise the flexible predicates' "
+            "selectivities"
+        )
+    target = actual / ratio
+    constraint = AggregateConstraint(
+        AggregateSpec(agg, attr_expr), op, target=target
+    )
+    return WorkloadSpec(
+        name=query.name,
+        query=query.with_constraint(constraint),
+        ratio=ratio,
+        original_value=actual,
+    )
+
+
+def _flexible_predicate(
+    database: Database, spec: FlexSpec, name: str
+) -> SelectPredicate:
+    table, column = spec.column.split(".", 1)
+    stats = database.column_stats(table, column)
+    if stats.count == 0:
+        raise DataGenError(f"column {spec.column!r} is empty")
+    if not 0 < spec.selectivity <= 1:
+        raise DataGenError(
+            f"selectivity must be in (0, 1], got {spec.selectivity}"
+        )
+    if spec.direction is Direction.UPPER:
+        bound = stats.quantile_value(spec.selectivity)
+        interval = Interval(stats.min_value, bound)
+    elif spec.direction is Direction.LOWER:
+        bound = stats.quantile_value(1.0 - spec.selectivity)
+        interval = Interval(bound, stats.max_value)
+    else:
+        raise DataGenError("flexible predicates are one-sided (UPPER/LOWER)")
+    return SelectPredicate(
+        name=name,
+        expr=col(spec.column),
+        interval=interval,
+        direction=spec.direction,
+        weight=spec.weight,
+        limit=spec.limit,
+        denominator=max(stats.width, 1e-9),
+    )

@@ -1,0 +1,216 @@
+"""The paper's example queries, bound to our generated data.
+
+* Q1' (Example 1): the Facebook-style audience ACQ over a users table,
+  expressed in the ACQ SQL dialect (exercises the parser end to end).
+* Q2' (Example 2): the TPC-H supply-chain ACQ — three-way join with
+  NOREFINE equi-joins and a SUM(ps_availqty) constraint.
+* Q3 (section 2.2): the two-table query with a *refinable* join
+  predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.aggregates import AggregateSpec, get_aggregate
+from repro.core.interval import Interval
+from repro.core.ontology import OntologyTree
+from repro.core.predicate import Direction, JoinPredicate, SelectPredicate
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.engine.catalog import Database
+from repro.engine.expression import col
+from repro.workloads.generator import FlexSpec, JoinSpec
+
+
+def q1_prime_text(target: float = 2000) -> str:
+    """Q1' in the ACQ dialect, adapted to the synthetic users table."""
+    return f"""
+    SELECT * FROM users
+    CONSTRAINT COUNT(*) = {target:g}
+    WHERE (city IN ('Boston', 'NewYork', 'Seattle', 'Miami', 'Austin'))
+      AND (25 <= age <= 35)
+      AND (income <= 80000)
+      AND (engagement >= 60)
+      AND (interest IN ('Retail', 'Shopping')) NOREFINE
+    """
+
+
+def location_ontology() -> OntologyTree:
+    """Figure 7(b): a location taxonomy for the users table."""
+    tree = OntologyTree(root="World")
+    tree.add_path("USA", "EastCoast", "Boston")
+    tree.add_path("USA", "EastCoast", "NewYork")
+    tree.add_path("USA", "EastCoast", "Miami")
+    tree.add_path("USA", "WestCoast", "Seattle")
+    tree.add_path("USA", "WestCoast", "Portland")
+    tree.add_path("USA", "Central", "Austin")
+    tree.add_path("USA", "Central", "Chicago")
+    tree.add_path("USA", "Central", "Denver")
+    return tree
+
+
+def cuisine_ontology() -> OntologyTree:
+    """Figure 7(a): the food-preference taxonomy."""
+    tree = OntologyTree(root="Restaurants")
+    tree.add_path("MiddleEastern", "Falafel")
+    tree.add_path("MiddleEastern", "Gyro")
+    tree.add_path("Mediterranean", "Greek", "Souvlaki")
+    tree.add_path("Mediterranean", "Italian", "Pasta")
+    tree.add_path("Mediterranean", "Italian", "Pizza")
+    return tree
+
+
+# ----------------------------------------------------------------------
+# Q2': supply chain
+# ----------------------------------------------------------------------
+Q2_TABLES = ("supplier", "part", "partsupp")
+
+Q2_JOINS = (
+    JoinSpec("supplier.s_suppkey", "partsupp.ps_suppkey"),
+    JoinSpec("part.p_partkey", "partsupp.ps_partkey"),
+)
+
+
+def q2_prime_query(
+    database: Database,
+    target: float = 100_000,
+    acctbal_bound: float = 2000.0,
+    retailprice_bound: float = 1000.0,
+) -> Query:
+    """Example 2's Q2' with numeric flexible predicates.
+
+    ``(s_acctbal < 2000)`` and ``(p_retailprice < 1000)`` refine;
+    the equi-joins are NOREFINE, matching the paper's encoding. The
+    paper's categorical NOREFINE predicates (p_size, p_type) are kept
+    as a fixed numeric p_size predicate.
+    """
+    supplier_stats = database.column_stats("supplier", "s_acctbal")
+    part_stats = database.column_stats("part", "p_retailprice")
+    size_stats = database.column_stats("part", "p_size")
+    predicates = [
+        JoinPredicate(
+            name="j_supp",
+            left=col("supplier.s_suppkey"),
+            right=col("partsupp.ps_suppkey"),
+            refinable=False,
+        ),
+        JoinPredicate(
+            name="j_part",
+            left=col("part.p_partkey"),
+            right=col("partsupp.ps_partkey"),
+            refinable=False,
+        ),
+        SelectPredicate(
+            name="acctbal",
+            expr=col("supplier.s_acctbal"),
+            interval=Interval(supplier_stats.min_value, acctbal_bound),
+            direction=Direction.UPPER,
+            denominator=max(supplier_stats.width, 1e-9),
+        ),
+        SelectPredicate(
+            name="retailprice",
+            expr=col("part.p_retailprice"),
+            interval=Interval(part_stats.min_value, retailprice_bound),
+            direction=Direction.UPPER,
+            denominator=max(part_stats.width, 1e-9),
+        ),
+        SelectPredicate(
+            name="size",
+            expr=col("part.p_size"),
+            interval=Interval(size_stats.min_value, 10.0),
+            direction=Direction.UPPER,
+            refinable=False,
+        ),
+    ]
+    constraint = AggregateConstraint(
+        AggregateSpec(get_aggregate("SUM"), col("partsupp.ps_availqty")),
+        ConstraintOp.GE,
+        target,
+    )
+    return Query.build("q2_prime", Q2_TABLES, predicates, constraint)
+
+
+def q3_join_query(
+    database: Database,
+    left_table: str = "a",
+    right_table: str = "b",
+    y_bound: float = 50.0,
+    target: float = 1000,
+) -> Query:
+    """Section 2.2's Q3: ``A.x = B.x AND B.y < 50`` with both the join
+    band and the select bound refinable."""
+    y_stats = database.column_stats(right_table, "y")
+    predicates = [
+        JoinPredicate(
+            name="xjoin",
+            left=col(f"{left_table}.x"),
+            right=col(f"{right_table}.x"),
+            refinable=True,
+        ),
+        SelectPredicate(
+            name="yupper",
+            expr=col(f"{right_table}.y"),
+            interval=Interval(y_stats.min_value, y_bound),
+            direction=Direction.UPPER,
+            denominator=max(y_stats.width, 1e-9),
+        ),
+    ]
+    constraint = AggregateConstraint(
+        AggregateSpec(get_aggregate("COUNT")), ConstraintOp.EQ, target
+    )
+    return Query.build(
+        "q3_join", (left_table, right_table), predicates, constraint
+    )
+
+
+def tpch_predicate_pool(selectivity: float = 0.5) -> list[FlexSpec]:
+    """Ordered pool of flexible predicates for the dimensionality sweep.
+
+    All live on the supplier x part x partsupp join; the Figure 9
+    experiment takes the first d of them.
+    """
+    return [
+        FlexSpec("part.p_retailprice", selectivity),
+        FlexSpec("supplier.s_acctbal", selectivity),
+        FlexSpec("partsupp.ps_supplycost", selectivity),
+        FlexSpec("part.p_size", selectivity),
+        FlexSpec("partsupp.ps_availqty", selectivity),
+    ]
+
+
+def q2_flex_specs(
+    d: int, selectivity: float = 0.5, pool: Optional[Sequence[FlexSpec]] = None
+) -> list[FlexSpec]:
+    """First ``d`` predicates of the pool (1 <= d <= 5)."""
+    pool = list(pool) if pool is not None else tpch_predicate_pool(selectivity)
+    if not 1 <= d <= len(pool):
+        raise ValueError(f"d must be in 1..{len(pool)}, got {d}")
+    return pool[:d]
+
+
+# ----------------------------------------------------------------------
+# A second workload family: order lines
+# ----------------------------------------------------------------------
+LINEITEM_JOINS = (JoinSpec("lineitem.l_orderkey", "orders.o_orderkey"),)
+
+
+def lineitem_flex_specs(
+    d: int, selectivity: float = 0.5, with_orders: bool = False
+) -> list[FlexSpec]:
+    """Flexible predicates over lineitem (optionally plus orders).
+
+    A different query shape from Q2's star join: a single wide fact
+    table, or a two-table FK join when ``with_orders`` pulls in
+    ``o_totalprice``. Used by the shape-robustness experiment.
+    """
+    pool = [
+        FlexSpec("lineitem.l_quantity", selectivity),
+        FlexSpec("lineitem.l_extendedprice", selectivity),
+        FlexSpec("lineitem.l_discount", selectivity),
+        FlexSpec("lineitem.l_shipdate", selectivity),
+    ]
+    if with_orders:
+        pool.insert(2, FlexSpec("orders.o_totalprice", selectivity))
+    if not 1 <= d <= len(pool):
+        raise ValueError(f"d must be in 1..{len(pool)}, got {d}")
+    return pool[:d]

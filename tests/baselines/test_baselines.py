@@ -1,0 +1,180 @@
+"""Tests for the compared techniques (paper section 8.2)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BinSearch, TopK, TQGen
+from repro.core.query import ConstraintOp
+from repro.engine.catalog import Database
+from repro.engine.memory_backend import MemoryBackend
+from repro.engine.sqlite_backend import SQLiteBackend
+from repro.exceptions import QueryModelError
+from tests.conftest import count_query
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    rng = np.random.default_rng(77)
+    database = Database()
+    database.create_table(
+        "data",
+        {
+            "x": rng.uniform(0, 100, 5000),
+            "y": rng.uniform(0, 100, 5000),
+            "z": rng.uniform(0, 100, 5000),
+        },
+    )
+    return database
+
+
+@pytest.fixture()
+def query():
+    return count_query("data", {"x": 30.0, "y": 30.0}, target=1500)
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("technique", [TopK(), BinSearch(), TQGen()])
+    def test_count_only_by_default(self, db, technique):
+        sum_query = count_query("data", {"x": 30.0}, target=100)
+        from repro.core.aggregates import AggregateSpec, get_aggregate
+        from repro.core.query import AggregateConstraint
+        from repro.engine.expression import col
+
+        sum_query = sum_query.with_constraint(
+            AggregateConstraint(
+                AggregateSpec(get_aggregate("SUM"), col("data.x")),
+                ConstraintOp.GE,
+                100.0,
+            )
+        )
+        with pytest.raises(QueryModelError, match="only supports"):
+            technique.run(MemoryBackend(db), sum_query)
+
+    @pytest.mark.parametrize("technique", [TopK(), BinSearch(), TQGen()])
+    def test_run_populates_metrics(self, db, query, technique):
+        run = technique.run(MemoryBackend(db), query)
+        assert run.method == technique.name
+        assert run.elapsed_s > 0
+        assert run.execution.queries_executed >= 1
+        assert len(run.pscores) == 2
+        assert run.qscore >= 0
+
+    def test_invalid_delta(self):
+        with pytest.raises(QueryModelError):
+            TopK(delta=-1)
+
+
+class TestTopK:
+    def test_exact_cardinality(self, db, query):
+        run = TopK().run(MemoryBackend(db), query)
+        assert run.aggregate_value == 1500
+        assert run.error == 0.0
+        assert run.satisfied
+
+    def test_bounding_query_admits_k(self, db, query):
+        """The implied bounding query covers at least the k selected."""
+        layer = MemoryBackend(db)
+        run = TopK().run(layer, query)
+        prepared = layer.prepare(query, [400.0, 400.0])
+        count = layer.execute_box(prepared, run.pscores)[0]
+        assert count >= 1500
+
+    def test_sqlite_agrees_with_memory(self, db, query):
+        memory_run = TopK().run(MemoryBackend(db), query)
+        sqlite_run = TopK().run(SQLiteBackend(db), query)
+        assert sqlite_run.aggregate_value == memory_run.aggregate_value
+        assert sqlite_run.qscore == pytest.approx(memory_run.qscore,
+                                                  rel=1e-6)
+
+    def test_k_larger_than_data(self, db):
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=100_000)
+        run = TopK().run(MemoryBackend(db), query)
+        assert run.aggregate_value == 5000  # whole table admitted
+        assert not run.satisfied
+
+
+class TestBinSearch:
+    def test_reaches_target_within_delta(self, db, query):
+        run = BinSearch(probes_per_dim=14).run(MemoryBackend(db), query)
+        assert run.satisfied
+        assert run.aggregate_value == pytest.approx(1500, rel=0.06)
+
+    def test_order_changes_outcome(self, db):
+        """Section 8.4.1's critique: refinement depends on the order."""
+        query = count_query("data", {"x": 20.0, "y": 60.0}, target=2500)
+        first = BinSearch(order=(0, 1)).run(MemoryBackend(db), query)
+        second = BinSearch(order=(1, 0)).run(MemoryBackend(db), query)
+        assert first.pscores != second.pscores
+
+    def test_invalid_order_rejected(self, db, query):
+        with pytest.raises(QueryModelError, match="permutation"):
+            BinSearch(order=(0, 0)).run(MemoryBackend(db), query)
+
+    def test_unreachable_target_pins_all_dims(self, db, query):
+        impossible = query.with_constraint(
+            query.constraint.__class__(
+                query.constraint.spec, ConstraintOp.EQ, 1e9
+            )
+        )
+        run = BinSearch().run(MemoryBackend(db), impossible)
+        assert not run.satisfied
+        assert all(score > 0 for score in run.pscores)
+
+    def test_probe_budget_respected(self, db, query):
+        run = BinSearch(probes_per_dim=4).run(MemoryBackend(db), query)
+        # origin + per-dim (cap + probes + landing) at most.
+        assert run.details["probes"] <= 1 + 2 * (1 + 4 + 1)
+
+
+class TestTQGen:
+    def test_low_error(self, db, query):
+        run = TQGen(grid_points=5, rounds=5).run(MemoryBackend(db), query)
+        assert run.error <= 0.05
+        assert run.satisfied
+
+    def test_query_budget_is_grid_times_rounds(self, db, query):
+        run = TQGen(grid_points=3, rounds=2, convergence_factor=1e-9).run(
+            MemoryBackend(db), query
+        )
+        assert run.details["queries"] == 3 * 3 * 2
+
+    def test_exponential_in_dimensionality(self, db):
+        """The Figure 9 blow-up, in query counts."""
+        runs = []
+        for d, bounds in [
+            (1, {"x": 30.0}),
+            (2, {"x": 30.0, "y": 30.0}),
+            (3, {"x": 30.0, "y": 30.0, "z": 30.0}),
+        ]:
+            query = count_query("data", bounds, target=2000)
+            run = TQGen(
+                grid_points=4, rounds=2, convergence_factor=1e-9
+            ).run(MemoryBackend(db), query)
+            runs.append(run.details["queries"])
+        assert runs == [8, 32, 128]
+
+    def test_parameter_validation(self):
+        with pytest.raises(QueryModelError):
+            TQGen(grid_points=1)
+        with pytest.raises(QueryModelError):
+            TQGen(rounds=0)
+        with pytest.raises(QueryModelError):
+            TQGen(convergence_factor=0)
+
+    def test_allow_any_aggregate_extension(self, db):
+        """What-if mode: TQGen driven by a SUM constraint."""
+        from repro.core.aggregates import AggregateSpec, get_aggregate
+        from repro.core.query import AggregateConstraint
+        from repro.engine.expression import col
+
+        query = count_query("data", {"x": 30.0}, target=1).with_constraint(
+            AggregateConstraint(
+                AggregateSpec(get_aggregate("SUM"), col("data.y")),
+                ConstraintOp.EQ,
+                120_000.0,
+            )
+        )
+        run = TQGen(allow_any_aggregate=True, rounds=6).run(
+            MemoryBackend(db), query
+        )
+        assert run.error < 0.2

@@ -1,0 +1,81 @@
+"""Tests for the Hill-Climbing baseline (paper Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HillClimbing
+from repro.engine.catalog import Database
+from repro.engine.memory_backend import MemoryBackend
+from repro.exceptions import QueryModelError
+from tests.conftest import count_query
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    rng = np.random.default_rng(55)
+    database = Database()
+    database.create_table(
+        "data",
+        {
+            "x": rng.uniform(0, 100, 4000),
+            "y": rng.uniform(0, 100, 4000),
+        },
+    )
+    return database
+
+
+class TestHillClimbing:
+    def test_reaches_target(self, db):
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=1200)
+        run = HillClimbing().run(MemoryBackend(db), query)
+        assert run.method == "HillClimbing"
+        assert run.satisfied
+        assert run.aggregate_value == pytest.approx(1200, rel=0.06)
+
+    def test_count_only(self, db):
+        from repro.core.aggregates import AggregateSpec, get_aggregate
+        from repro.core.query import AggregateConstraint, ConstraintOp
+        from repro.engine.expression import col
+
+        query = count_query("data", {"x": 30.0}, target=10).with_constraint(
+            AggregateConstraint(
+                AggregateSpec(get_aggregate("AVG"), col("data.x")),
+                ConstraintOp.EQ,
+                20.0,
+            )
+        )
+        with pytest.raises(QueryModelError, match="only supports"):
+            HillClimbing().run(MemoryBackend(db), query)
+
+    def test_probe_budget(self, db):
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=1200)
+        run = HillClimbing(max_moves=5).run(MemoryBackend(db), query)
+        # 1 origin + <= max_moves * 2d neighbour probes.
+        assert run.details["probes"] <= 1 + 5 * 4
+
+    def test_ignores_proximity(self, db):
+        """Like TQGen, hill climbing lands wherever the local search
+        takes it; ACQUIRE's minimal-refinement answer is no worse."""
+        from repro.core.acquire import Acquire, AcquireConfig
+
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=1200)
+        hill = HillClimbing().run(MemoryBackend(db), query)
+        acquire = Acquire(MemoryBackend(db)).run(
+            query, AcquireConfig(gamma=10, delta=0.05)
+        )
+        assert acquire.best.qscore <= hill.qscore + 1e-9
+
+    def test_parameter_validation(self):
+        with pytest.raises(QueryModelError):
+            HillClimbing(max_moves=0)
+        with pytest.raises(QueryModelError):
+            HillClimbing(initial_step_fraction=0.0)
+        with pytest.raises(QueryModelError):
+            HillClimbing(initial_step_fraction=1.5)
+
+    def test_runner_dispatch(self, db):
+        from repro.harness.runner import run_method
+
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=1200)
+        run = run_method("HillClimbing", MemoryBackend(db), query)
+        assert run.method == "HillClimbing"

@@ -1,0 +1,104 @@
+"""Tests for the Skyline baseline (paper Table 1's tuple-oriented row)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Skyline, TopK
+from repro.baselines.skyline import skyline_bands
+from repro.engine.catalog import Database
+from repro.engine.memory_backend import MemoryBackend
+from repro.engine.sqlite_backend import SQLiteBackend
+from repro.exceptions import EngineError, QueryModelError
+from tests.conftest import count_query
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    rng = np.random.default_rng(66)
+    database = Database()
+    database.create_table(
+        "data",
+        {
+            "x": rng.uniform(0, 100, 3000),
+            "y": rng.uniform(0, 100, 3000),
+        },
+    )
+    return database
+
+
+class TestSkylineBands:
+    def test_simple_layers(self):
+        needs = np.array(
+            [
+                [0.0, 0.0],  # band 0 (dominates everything)
+                [1.0, 1.0],  # band 1
+                [0.5, 2.0],  # band 1 (incomparable with [1,1]? no:
+                             # [0,0] dominates all; [1,1] vs [0.5,2]
+                             # are incomparable -> both band 1)
+                [2.0, 2.0],  # band 2
+            ]
+        )
+        bands = skyline_bands(needs, max_bands=10)
+        assert bands.tolist() == [0, 1, 1, 2]
+
+    def test_all_incomparable_is_one_band(self):
+        needs = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        assert skyline_bands(needs, 10).tolist() == [0, 0, 0, 0]
+
+    def test_duplicates_share_band(self):
+        needs = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert skyline_bands(needs, 10).tolist() == [0, 0]
+
+    def test_max_bands_cap(self):
+        needs = np.arange(6, dtype=np.float64).reshape(6, 1)
+        bands = skyline_bands(needs, max_bands=3)
+        assert bands.tolist() == [0, 1, 2, 3, 3, 3]
+
+
+class TestSkylineTechnique:
+    def test_reaches_cardinality(self, db):
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=900)
+        run = Skyline().run(MemoryBackend(db), query)
+        assert run.satisfied
+        assert run.aggregate_value == 900
+
+    def test_balanced_selection_vs_topk(self, db):
+        """Skyline admits tuples band by band, keeping dimensions more
+        balanced than Top-k's total-distance ranking; neither should be
+        wildly worse than the other in bounding-query refinement."""
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=900)
+        skyline = Skyline().run(MemoryBackend(db), query)
+        topk = TopK().run(MemoryBackend(db), query)
+        assert skyline.qscore <= topk.qscore * 3
+        assert topk.qscore <= skyline.qscore * 3
+
+    def test_requires_memory_layer(self, db):
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=900)
+        with pytest.raises(EngineError, match="memory"):
+            Skyline().run(SQLiteBackend(db), query)
+
+    def test_count_only(self, db):
+        from repro.core.aggregates import AggregateSpec, get_aggregate
+        from repro.core.query import AggregateConstraint, ConstraintOp
+        from repro.engine.expression import col
+
+        query = count_query("data", {"x": 30.0}, target=1).with_constraint(
+            AggregateConstraint(
+                AggregateSpec(get_aggregate("SUM"), col("data.y")),
+                ConstraintOp.GE,
+                10.0,
+            )
+        )
+        with pytest.raises(QueryModelError, match="only supports"):
+            Skyline().run(MemoryBackend(db), query)
+
+    def test_parameter_validation(self):
+        with pytest.raises(QueryModelError):
+            Skyline(max_bands=0)
+
+    def test_runner_dispatch(self, db):
+        from repro.harness.runner import run_method
+
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=900)
+        run = run_method("Skyline", MemoryBackend(db), query)
+        assert run.method == "Skyline"

@@ -1,0 +1,70 @@
+"""Shared fixtures: small deterministic databases and query builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import AggregateSpec, get_aggregate
+from repro.core.interval import Interval
+from repro.core.predicate import Direction, SelectPredicate
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.datagen.synthetic import numeric_table, users_table
+from repro.datagen.tpch import TPCHConfig, generate_tpch
+from repro.engine.catalog import Database
+from repro.engine.expression import col
+
+
+@pytest.fixture(scope="session")
+def small_db() -> Database:
+    """One table 'data' with uniform x, y, z in [0, 100], 400 rows."""
+    database = Database("small")
+    database.add_table(numeric_table("data", n=400, seed=11))
+    return database
+
+
+@pytest.fixture(scope="session")
+def users_db() -> Database:
+    return users_table(n=3000, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_tpch() -> Database:
+    return generate_tpch(TPCHConfig(scale_rows=600, seed=5))
+
+
+@pytest.fixture(scope="session")
+def skewed_tpch() -> Database:
+    return generate_tpch(TPCHConfig(scale_rows=600, seed=5, zipf_z=1.0))
+
+
+def count_query(
+    table: str,
+    bounds: dict[str, float],
+    target: float,
+    op: ConstraintOp = ConstraintOp.EQ,
+    lo: float = 0.0,
+    domain_hi: float = 100.0,
+    name: str = "q",
+) -> Query:
+    """COUNT ACQ with one UPPER predicate per (column, bound)."""
+    predicates = [
+        SelectPredicate(
+            name=f"{column}_le",
+            expr=col(f"{table}.{column}"),
+            interval=Interval(lo, bound),
+            direction=Direction.UPPER,
+            denominator=domain_hi - lo,
+        )
+        for column, bound in bounds.items()
+    ]
+    constraint = AggregateConstraint(
+        AggregateSpec(get_aggregate("COUNT")), op, target
+    )
+    return Query.build(name, (table,), predicates, constraint)
+
+
+@pytest.fixture()
+def xy_count_query() -> Query:
+    """data.x <= 40 AND data.y <= 40, COUNT = 120."""
+    return count_query("data", {"x": 40.0, "y": 40.0}, target=120)

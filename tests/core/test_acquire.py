@@ -1,0 +1,299 @@
+"""End-to-end tests for the ACQUIRE driver (paper Algorithm 4)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.acquire import Acquire, AcquireConfig
+from repro.core.aggregates import AggregateSpec, get_aggregate
+from repro.core.interval import Interval
+from repro.core.predicate import Direction, SelectPredicate
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.core.refined_space import RefinedSpace
+from repro.core.scoring import LInfNorm, LpNorm
+from repro.engine.catalog import Database
+from repro.engine.expression import col
+from repro.engine.memory_backend import MemoryBackend
+from repro.exceptions import QueryModelError
+from tests.conftest import count_query
+
+
+@pytest.fixture(scope="module")
+def grid_db() -> Database:
+    """Uniform 2-D data so counts are predictable."""
+    rng = np.random.default_rng(123)
+    database = Database()
+    database.create_table(
+        "data",
+        {
+            "x": rng.uniform(0, 100, 4000),
+            "y": rng.uniform(0, 100, 4000),
+            "z": rng.uniform(0, 100, 4000),
+            "v": rng.uniform(0, 10, 4000),
+        },
+    )
+    return database
+
+
+class TestBasicExpansion:
+    def test_finds_answer_within_delta(self, grid_db):
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=1500)
+        result = Acquire(MemoryBackend(grid_db)).run(
+            query, AcquireConfig(gamma=10, delta=0.05)
+        )
+        assert result.satisfied
+        best = result.best
+        assert best.error <= 0.05
+        assert abs(best.aggregate_value - 1500) <= 0.05 * 1500
+        assert best.qscore > 0
+
+    def test_origin_already_satisfies(self, grid_db):
+        base = count_query("data", {"x": 30.0, "y": 30.0}, target=1.0)
+        original = Acquire(MemoryBackend(grid_db)).run(
+            base.with_constraint(
+                AggregateConstraint(
+                    base.constraint.spec, ConstraintOp.GE, 1.0
+                )
+            ),
+            AcquireConfig(gamma=10, delta=0.05),
+        )
+        assert original.satisfied
+        assert original.best.qscore == 0.0
+        assert original.stats.grid_queries_examined >= 1
+
+    def test_answers_share_minimal_layer(self, grid_db):
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=1200)
+        result = Acquire(MemoryBackend(grid_db)).run(
+            query, AcquireConfig(gamma=10, delta=0.10)
+        )
+        assert result.satisfied
+        grid_answers = [a for a in result.answers if a.coords is not None]
+        layers = {round(a.qscore, 6) for a in grid_answers}
+        assert len(layers) == 1  # Algorithm 4 finishes exactly one layer
+
+    def test_monotone_count_nondecreasing_along_expansion(self, grid_db):
+        query = count_query("data", {"x": 20.0, "y": 20.0}, target=4000)
+        layer = MemoryBackend(grid_db)
+        prepared = layer.prepare(query, [400.0, 400.0])
+        counts = [
+            layer.execute_box(prepared, (s, s))[0] for s in (0, 10, 20, 40)
+        ]
+        assert counts == sorted(counts)
+
+
+class TestOptimality:
+    def test_within_gamma_of_bruteforce_optimum(self, grid_db):
+        """Definition 1(b): QScore within gamma of the optimal grid
+        refinement, verified against exhaustive search."""
+        gamma, delta = 10.0, 0.05
+        target = 900.0
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=target)
+        layer = MemoryBackend(grid_db)
+        result = Acquire(layer).run(query, AcquireConfig(gamma=gamma,
+                                                         delta=delta))
+        assert result.satisfied
+
+        # Exhaustive scan of a fine grid for the true optimum.
+        probe_layer = MemoryBackend(grid_db)
+        prepared = probe_layer.prepare(query, [400.0, 400.0])
+        best = math.inf
+        for sx, sy in itertools.product(np.arange(0, 80, 1.0), repeat=2):
+            count = probe_layer.execute_box(prepared, (sx, sy))[0]
+            if abs(count - target) <= delta * target:
+                best = min(best, sx + sy)
+        assert best < math.inf
+        assert result.best.qscore <= best + gamma + 1e-6
+
+
+class TestRepartitioning:
+    def test_overshoot_triggers_repartition(self, grid_db):
+        """A coarse grid overshoots; bisection inside the cell recovers
+        an in-threshold answer (Algorithm 4's Repartition)."""
+        query = count_query("data", {"x": 20.0, "y": 20.0}, target=200)
+        config = AcquireConfig(gamma=160.0, delta=0.01,
+                               repartition_iterations=16)
+        result = Acquire(MemoryBackend(grid_db)).run(query, config)
+        assert result.stats.repartition_probes > 0
+        assert result.satisfied
+        off_grid = [a for a in result.answers if a.coords is None]
+        assert off_grid, "expected an answer produced by repartitioning"
+
+    def test_repartition_disabled(self, grid_db):
+        query = count_query("data", {"x": 20.0, "y": 20.0}, target=200)
+        config = AcquireConfig(gamma=160.0, delta=0.01,
+                               repartition_iterations=0)
+        result = Acquire(MemoryBackend(grid_db)).run(query, config)
+        assert result.stats.repartition_probes == 0
+
+
+class TestClosestFallback:
+    def test_unattainable_target_returns_closest(self, grid_db):
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=100_000)
+        result = Acquire(MemoryBackend(grid_db)).run(
+            query, AcquireConfig(gamma=20, delta=0.01)
+        )
+        assert not result.satisfied
+        assert result.best is not None
+        assert result.best.aggregate_value <= 4000
+        # Closest query is the most expanded one (monotone COUNT).
+        assert result.best.error > 0.01
+
+    def test_unattainably_tight_delta_stops_early(self, grid_db):
+        """The all-overshoot layer rule keeps the search finite."""
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=1500.0001)
+        result = Acquire(MemoryBackend(grid_db)).run(
+            query, AcquireConfig(gamma=10, delta=1e-9)
+        )
+        assert not result.satisfied
+        assert result.stats.grid_queries_examined < 5000
+
+
+class TestNormsAndWeights:
+    @pytest.mark.parametrize("norm", [LpNorm(1), LpNorm(2), LInfNorm()])
+    def test_all_norms_work(self, grid_db, norm):
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=1300)
+        result = Acquire(MemoryBackend(grid_db)).run(
+            query, AcquireConfig(gamma=10, delta=0.05, norm=norm)
+        )
+        assert result.satisfied
+
+    def test_weights_steer_refinement(self, grid_db):
+        """Section 7.1: a heavily weighted predicate refines less."""
+        def weighted_query(wx):
+            predicates = [
+                SelectPredicate(
+                    name="px",
+                    expr=col("data.x"),
+                    interval=Interval(0, 30),
+                    direction=Direction.UPPER,
+                    denominator=100.0,
+                    weight=wx,
+                ),
+                SelectPredicate(
+                    name="py",
+                    expr=col("data.y"),
+                    interval=Interval(0, 30),
+                    direction=Direction.UPPER,
+                    denominator=100.0,
+                ),
+            ]
+            constraint = AggregateConstraint(
+                AggregateSpec(get_aggregate("COUNT")), ConstraintOp.EQ, 1300
+            )
+            return Query.build("q", ("data",), predicates, constraint)
+
+        balanced = Acquire(MemoryBackend(grid_db)).run(
+            weighted_query(1.0), AcquireConfig(gamma=10, delta=0.05)
+        )
+        skewed = Acquire(MemoryBackend(grid_db)).run(
+            weighted_query(8.0), AcquireConfig(gamma=10, delta=0.05)
+        )
+        assert balanced.satisfied and skewed.satisfied
+        # With x expensive, the x-refinement must not exceed the
+        # balanced run's.
+        assert skewed.best.pscores[0] <= balanced.best.pscores[0] + 1e-9
+
+
+class TestAggregates:
+    def test_sum_ge(self, grid_db):
+        predicates = [
+            SelectPredicate(
+                name="px",
+                expr=col("data.x"),
+                interval=Interval(0, 30),
+                direction=Direction.UPPER,
+                denominator=100.0,
+            )
+        ]
+        constraint = AggregateConstraint(
+            AggregateSpec(get_aggregate("SUM"), col("data.v")),
+            ConstraintOp.GE,
+            9000.0,
+        )
+        query = Query.build("qsum", ("data",), predicates, constraint)
+        result = Acquire(MemoryBackend(grid_db)).run(
+            query, AcquireConfig(gamma=10, delta=0.02)
+        )
+        assert result.satisfied
+        assert result.best.aggregate_value >= 9000.0 * 0.98
+
+    def test_max_ge(self, grid_db):
+        predicates = [
+            SelectPredicate(
+                name="px",
+                expr=col("data.x"),
+                interval=Interval(0, 30),
+                direction=Direction.UPPER,
+                denominator=100.0,
+            )
+        ]
+        constraint = AggregateConstraint(
+            AggregateSpec(get_aggregate("MAX"), col("data.x")),
+            ConstraintOp.GE,
+            60.0,
+        )
+        query = Query.build("qmax", ("data",), predicates, constraint)
+        result = Acquire(MemoryBackend(grid_db)).run(
+            query, AcquireConfig(gamma=10, delta=0.01)
+        )
+        assert result.satisfied
+        assert result.best.aggregate_value >= 60.0 * 0.99
+
+    def test_avg_equality(self, grid_db):
+        """AVG via its (SUM, COUNT) decomposition (section 2.6)."""
+        predicates = [
+            SelectPredicate(
+                name="px",
+                expr=col("data.x"),
+                interval=Interval(0, 30),
+                direction=Direction.UPPER,
+                denominator=100.0,
+            )
+        ]
+        constraint = AggregateConstraint(
+            AggregateSpec(get_aggregate("AVG"), col("data.x")),
+            ConstraintOp.EQ,
+            25.0,
+        )
+        query = Query.build("qavg", ("data",), predicates, constraint)
+        result = Acquire(MemoryBackend(grid_db)).run(
+            query, AcquireConfig(gamma=10, delta=0.05)
+        )
+        assert result.best is not None
+        assert result.best.error <= 0.05
+
+
+class TestConfigValidation:
+    def test_invalid_config(self):
+        with pytest.raises(QueryModelError):
+            AcquireConfig(gamma=0)
+        with pytest.raises(QueryModelError):
+            AcquireConfig(delta=-1)
+        with pytest.raises(QueryModelError):
+            AcquireConfig(repartition_iterations=-1)
+
+
+class TestResultShape:
+    def test_stats_and_summary(self, grid_db):
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=1300)
+        result = Acquire(MemoryBackend(grid_db)).run(
+            query, AcquireConfig(gamma=10, delta=0.05)
+        )
+        stats = result.stats
+        assert stats.grid_queries_examined > 0
+        assert stats.cells_executed > 0
+        assert stats.elapsed_s > 0
+        assert stats.execution.queries_executed >= stats.cells_executed
+        text = result.summary()
+        assert "answers" in text and "QScore" in text
+
+    def test_refined_query_describe_sql(self, grid_db):
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=1300)
+        result = Acquire(MemoryBackend(grid_db)).run(
+            query, AcquireConfig(gamma=10, delta=0.05)
+        )
+        rendered = result.best.describe()
+        assert "SELECT * FROM data" in rendered
+        assert "data.x" in rendered

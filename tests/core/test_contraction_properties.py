@@ -1,0 +1,84 @@
+"""Hypothesis property tests for the contraction extension (7.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acquire import Acquire, AcquireConfig
+from repro.core.query import ConstraintOp
+from repro.engine.catalog import Database
+from repro.engine.memory_backend import MemoryBackend
+from tests.conftest import count_query
+
+
+def _database(seed: int, n: int) -> Database:
+    rng = np.random.default_rng(seed)
+    database = Database()
+    database.create_table(
+        "data",
+        {"x": rng.uniform(0, 100, n), "y": rng.uniform(0, 100, n)},
+    )
+    return database
+
+
+class TestContractionProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=0.05, max_value=0.8),
+    )
+    def test_le_answers_meet_cap_and_only_shrink(self, seed, target_frac):
+        database = _database(seed, 800)
+        layer = MemoryBackend(database)
+        prepared_probe = MemoryBackend(database)
+        query = count_query("data", {"x": 80.0, "y": 80.0}, target=1)
+        original = prepared_probe.execute_box(
+            prepared_probe.prepare(query, [0.0, 0.0]), (0.0, 0.0)
+        )[0]
+        target = max(original * target_frac, 1.0)
+        query = count_query(
+            "data", {"x": 80.0, "y": 80.0}, target=target,
+            op=ConstraintOp.LE,
+        )
+        result = Acquire(layer).run(
+            query, AcquireConfig(gamma=10, delta=0.05)
+        )
+        best = result.best
+        assert best is not None
+        if result.satisfied:
+            assert best.aggregate_value <= target * 1.05 + 1e-9
+        # Contraction never expands: every interval inside the original.
+        for interval, predicate in zip(
+            best.intervals, query.refinable_predicates
+        ):
+            assert interval.lo >= predicate.interval.lo - 1e-9
+            assert interval.hi <= predicate.interval.hi + 1e-9
+        # All PScores are contraction-signed.
+        assert all(score <= 1e-9 for score in best.pscores)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_contraction_monotone_in_target(self, seed):
+        """A smaller cap never needs less shrinkage."""
+        database = _database(seed, 800)
+        qscores = []
+        for fraction in (0.7, 0.4, 0.2):
+            query = count_query("data", {"x": 80.0, "y": 80.0}, target=1)
+            probe = MemoryBackend(database)
+            original = probe.execute_box(
+                probe.prepare(query, [0.0, 0.0]), (0.0, 0.0)
+            )[0]
+            capped = count_query(
+                "data",
+                {"x": 80.0, "y": 80.0},
+                target=max(original * fraction, 1.0),
+                op=ConstraintOp.LE,
+            )
+            result = Acquire(MemoryBackend(database)).run(
+                capped, AcquireConfig(gamma=10, delta=0.05)
+            )
+            assert result.satisfied
+            qscores.append(result.best.qscore)
+        assert qscores[0] <= qscores[1] + 1e-9
+        assert qscores[1] <= qscores[2] + 1e-9

@@ -1,0 +1,75 @@
+"""Unit tests for aggregate error functions (paper Equation 4)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.error import (
+    HingeError,
+    RelativeError,
+    default_error_for,
+)
+from repro.core.query import ConstraintOp
+
+
+class TestRelativeError:
+    def test_exact_match(self):
+        assert RelativeError()(100.0, 100.0) == 0.0
+
+    def test_symmetric(self):
+        error = RelativeError()
+        assert error(100.0, 80.0) == pytest.approx(0.2)
+        assert error(100.0, 120.0) == pytest.approx(0.2)
+
+    def test_nan_actual_is_inf(self):
+        assert RelativeError()(100.0, math.nan) == math.inf
+
+    def test_zero_expected(self):
+        error = RelativeError()
+        assert error(0.0, 0.0) == 0.0
+        assert error(0.0, 1.0) == math.inf
+
+
+class TestHingeError:
+    def test_overshoot_is_free(self):
+        assert HingeError()(100.0, 150.0) == 0.0
+        assert HingeError()(100.0, 100.0) == 0.0
+
+    def test_undershoot_normalized(self):
+        assert HingeError()(100.0, 80.0) == pytest.approx(0.2)
+
+    def test_paper_literal_definition(self):
+        hinge = HingeError(normalized=False)
+        assert hinge(100.0, 80.0) == 20.0
+        assert hinge(100.0, 130.0) == 0.0
+
+    def test_nan(self):
+        assert HingeError()(10.0, math.nan) == math.inf
+
+
+class TestDefaults:
+    def test_equality_gets_relative(self):
+        assert isinstance(default_error_for(ConstraintOp.EQ), RelativeError)
+
+    def test_ge_gets_hinge(self):
+        error = default_error_for(ConstraintOp.GE)
+        assert error(100.0, 200.0) == 0.0
+        assert error(100.0, 50.0) == pytest.approx(0.5)
+
+    def test_le_gets_upper_hinge(self):
+        error = default_error_for(ConstraintOp.LE)
+        assert error(100.0, 50.0) == 0.0
+        assert error(100.0, 150.0) == pytest.approx(0.5)
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.floats(min_value=0.001, max_value=1e9),
+        st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    )
+    def test_all_errors_non_negative(self, expected, actual):
+        for op in ConstraintOp:
+            assert default_error_for(op)(expected, actual) >= 0.0

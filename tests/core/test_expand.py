@@ -1,0 +1,155 @@
+"""Property tests for the Expand phase (paper Theorems 2 and 3)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expand import (
+    LInfLayerTraversal,
+    LpBestFirstTraversal,
+    make_traversal,
+)
+from repro.core.refined_space import RefinedSpace
+from repro.core.scoring import LInfNorm, LpNorm
+from repro.exceptions import SearchError
+from tests.core.test_refined_space import make_query
+
+
+def _space(d, max_coord, norm=None, weights=None, step=None):
+    query = make_query(d, weights=weights)
+    return RefinedSpace(
+        query,
+        gamma=10.0,
+        max_scores=[max_coord * (10.0 / d if step is None else step)] * d,
+        norm=norm,
+        step=step,
+    )
+
+
+def _contains(inner, outer):
+    return all(a <= b for a, b in zip(inner, outer))
+
+
+class TestLpBestFirst:
+    def test_visits_entire_grid_once(self):
+        space = _space(2, 4)
+        visited = list(LpBestFirstTraversal(space))
+        expected = set(itertools.product(range(5), repeat=2))
+        assert len(visited) == len(expected)
+        assert set(visited) == expected
+
+    def test_starts_at_origin(self):
+        space = _space(3, 2)
+        assert next(iter(LpBestFirstTraversal(space))) == (0, 0, 0)
+
+    @pytest.mark.parametrize("norm", [LpNorm(1), LpNorm(2), LInfNorm()])
+    def test_theorem2_nondecreasing_qscore(self, norm):
+        space = _space(3, 3, norm=norm)
+        qscores = [
+            space.qscore(coords) for coords in LpBestFirstTraversal(space)
+        ]
+        assert all(a <= b + 1e-9 for a, b in zip(qscores, qscores[1:]))
+
+    @pytest.mark.parametrize("norm", [LpNorm(1), LpNorm(2), LInfNorm()])
+    def test_theorem3_containment_order(self, norm):
+        """Every query is generated after all queries it contains."""
+        space = _space(3, 3, norm=norm)
+        seen: set = set()
+        for coords in LpBestFirstTraversal(space):
+            for dim in range(space.d):
+                if coords[dim] > 0:
+                    predecessor = (
+                        coords[:dim] + (coords[dim] - 1,) + coords[dim + 1 :]
+                    )
+                    assert predecessor in seen, (
+                        f"{coords} visited before contained {predecessor}"
+                    )
+            seen.add(coords)
+
+    def test_weighted_norm_ordering(self):
+        """Section 7.1 weights: cheaper dimensions expand first."""
+        space = _space(2, 4, weights=[5.0, 1.0])
+        visited = list(LpBestFirstTraversal(space))
+        # The first non-origin query must expand the cheap dimension.
+        assert visited[1] == (0, 1)
+
+    def test_respects_max_coords(self):
+        query = make_query(2)
+        space = RefinedSpace(query, 10.0, [5.0, 15.0])  # caps 1 and 3
+        visited = set(LpBestFirstTraversal(space))
+        assert max(coords[0] for coords in visited) == 1
+        assert max(coords[1] for coords in visited) == 3
+
+
+class TestLInfLayer:
+    def test_requires_linf_norm(self):
+        with pytest.raises(SearchError):
+            LInfLayerTraversal(_space(2, 3))
+
+    def test_matches_best_first_per_layer(self):
+        """Algorithm 2 and the best-first search agree layer by layer."""
+        space = _space(3, 3, norm=LInfNorm())
+        by_layers = list(LInfLayerTraversal(space))
+        by_best_first = list(LpBestFirstTraversal(space))
+        assert set(by_layers) == set(by_best_first)
+
+        def layer_of(coords):
+            return max(coords) if coords else 0
+
+        layers_a = [layer_of(c) for c in by_layers]
+        assert layers_a == sorted(layers_a)
+
+    def test_theorem3_containment_order(self):
+        space = _space(3, 3, norm=LInfNorm())
+        seen: set = set()
+        for coords in LInfLayerTraversal(space):
+            for dim in range(space.d):
+                if coords[dim] > 0:
+                    predecessor = (
+                        coords[:dim] + (coords[dim] - 1,) + coords[dim + 1 :]
+                    )
+                    assert predecessor in seen
+            seen.add(coords)
+
+    def test_ragged_max_coords(self):
+        query = make_query(2)
+        space = RefinedSpace(query, 10.0, [5.0, 25.0], norm=LInfNorm())
+        visited = list(LInfLayerTraversal(space))
+        assert set(visited) == set(
+            itertools.product(range(2), range(6))
+        )
+
+
+class TestMakeTraversal:
+    def test_auto_picks_by_norm(self):
+        assert isinstance(
+            make_traversal(_space(2, 2)), LpBestFirstTraversal
+        )
+        assert isinstance(
+            make_traversal(_space(2, 2, norm=LInfNorm())), LInfLayerTraversal
+        )
+
+    def test_explicit_kinds(self):
+        space = _space(2, 2)
+        assert isinstance(make_traversal(space, "lp"), LpBestFirstTraversal)
+        with pytest.raises(SearchError):
+            make_traversal(space, "bogus")
+
+
+class TestTraversalProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=4),
+        st.sampled_from([1.0, 2.0, float("inf")]),
+    )
+    def test_complete_and_ordered(self, d, max_coord, p):
+        norm = LInfNorm() if p == float("inf") else LpNorm(p)
+        space = _space(d, max_coord, norm=norm)
+        visited = list(make_traversal(space))
+        assert len(visited) == (max_coord + 1) ** d
+        assert len(set(visited)) == len(visited)
+        qscores = [space.qscore(c) for c in visited]
+        assert all(a <= b + 1e-9 for a, b in zip(qscores, qscores[1:]))

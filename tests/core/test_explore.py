@@ -1,0 +1,186 @@
+"""Property tests for the Explore phase (paper section 5).
+
+The central invariants:
+
+* incremental aggregate computation (Algorithm 3) over the cell /
+  pillar / wall / block recurrences equals brute-force evaluation of
+  the full refined query, for every grid point and every OSP
+  aggregate;
+* each cell is executed at most once regardless of how many queries
+  contain it (the paper's work-sharing guarantee).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import AggregateSpec, get_aggregate
+from repro.core.explore import Explorer
+from repro.core.expand import LpBestFirstTraversal
+from repro.core.interval import Interval
+from repro.core.predicate import Direction, SelectPredicate
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.core.refined_space import RefinedSpace
+from repro.engine.catalog import Database
+from repro.engine.expression import col
+from repro.engine.memory_backend import MemoryBackend
+from repro.exceptions import SearchError
+
+
+def _database(values: np.ndarray) -> Database:
+    database = Database()
+    columns = {f"c{i}": values[:, i] for i in range(values.shape[1])}
+    columns["v"] = np.arange(values.shape[0], dtype=np.float64) * 3.0 + 1.0
+    database.create_table("t", columns)
+    return database
+
+
+def _query(d: int, aggregate: str, bound: float = 30.0) -> Query:
+    predicates = [
+        SelectPredicate(
+            name=f"p{i}",
+            expr=col(f"t.c{i}"),
+            interval=Interval(0.0, bound),
+            direction=Direction.UPPER,
+            denominator=100.0,
+        )
+        for i in range(d)
+    ]
+    agg = get_aggregate(aggregate)
+    attr = col("t.v") if agg.needs_attribute else None
+    constraint = AggregateConstraint(
+        AggregateSpec(agg, attr), ConstraintOp.EQ, 10.0
+    )
+    return Query.build("q", ("t",), predicates, constraint)
+
+
+def _setup(values, d, aggregate, gamma=30.0):
+    database = _database(values)
+    query = _query(d, aggregate)
+    layer = MemoryBackend(database)
+    caps = [200.0] * d
+    prepared = layer.prepare(query, caps)
+    space = RefinedSpace(query, gamma, [70.0] * d)
+    explorer = Explorer(
+        layer, prepared, space, query.constraint.spec.aggregate
+    )
+    return layer, prepared, space, explorer
+
+
+def _brute_force(values, d, aggregate, space, coords):
+    """Aggregate of the refined query, computed directly on the data."""
+    scores = space.scores(coords)
+    mask = np.ones(values.shape[0], dtype=bool)
+    for dim in range(d):
+        hi = 30.0 + scores[dim]  # denominator 100, width bound + score
+        mask &= (values[:, dim] >= 0.0) & (values[:, dim] <= hi)
+    agg = get_aggregate(aggregate)
+    attr = np.arange(values.shape[0], dtype=np.float64) * 3.0 + 1.0
+    return agg.finalize(agg.lift(attr[mask]))
+
+
+AGGS = ["COUNT", "SUM", "MIN", "MAX", "AVG"]
+
+
+class TestIncrementalEqualsBruteForce:
+    @pytest.mark.parametrize("aggregate", AGGS)
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_fixed_grid(self, aggregate, d):
+        rng = np.random.default_rng(42 + d)
+        values = rng.uniform(-10.0, 120.0, size=(300, d))
+        layer, prepared, space, explorer = _setup(values, d, aggregate)
+        for coords in itertools.product(range(space.max_coords[0] + 1),
+                                        repeat=d):
+            if not space.contains(coords):
+                continue
+            incremental = explorer.compute_aggregate(coords)
+            direct = _brute_force(values, d, aggregate, space, coords)
+            if np.isnan(direct):
+                assert np.isnan(incremental)
+            else:
+                assert incremental == pytest.approx(direct, rel=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.sampled_from(AGGS),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_random_data(self, seed, aggregate, d):
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(-20.0, 150.0, size=(rng.integers(1, 120), d))
+        layer, prepared, space, explorer = _setup(values, d, aggregate)
+        for coords in LpBestFirstTraversal(space):
+            incremental = explorer.compute_aggregate(coords)
+            direct = _brute_force(values, d, aggregate, space, coords)
+            if np.isnan(direct):
+                assert np.isnan(incremental)
+            else:
+                assert incremental == pytest.approx(
+                    direct, rel=1e-9, abs=1e-9
+                )
+
+
+class TestWorkSharing:
+    def test_each_cell_executed_at_most_once(self):
+        """The paper's guarantee: a query region is never re-executed."""
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.0, 120.0, size=(500, 2))
+        layer, prepared, space, explorer = _setup(values, 2, "COUNT")
+        coords_list = list(LpBestFirstTraversal(space))
+        for coords in coords_list:
+            explorer.compute_aggregate(coords)
+        assert explorer.cells_executed == len(coords_list)
+        assert layer.stats.cell_queries == len(coords_list)
+        # Re-computing anything issues no further queries.
+        for coords in coords_list[:10]:
+            explorer.compute_aggregate(coords)
+        assert layer.stats.cell_queries == len(coords_list)
+
+    def test_out_of_order_access_rejected(self):
+        """Theorem 3's precondition is enforced, not assumed."""
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0.0, 120.0, size=(50, 2))
+        layer, prepared, space, explorer = _setup(values, 2, "COUNT")
+        with pytest.raises(SearchError, match="containment order"):
+            explorer.compute_aggregate((2, 2))
+
+
+class TestBitmapIndexIntegration:
+    def test_skipped_cells_still_correct(self):
+        """Section 7.4: consulting the bitmap index changes cost, never
+        results."""
+        rng = np.random.default_rng(7)
+        # Clustered data leaves many empty cells.
+        values = np.concatenate(
+            [
+                rng.uniform(0.0, 20.0, size=(200, 2)),
+                rng.uniform(90.0, 100.0, size=(200, 2)),
+            ]
+        )
+        database = _database(values)
+        query = _query(2, "COUNT")
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(query, [200.0, 200.0])
+        space = RefinedSpace(query, 30.0, [70.0, 70.0])
+        index = layer.build_bitmap_index(prepared, space)
+        plain = Explorer(layer, prepared, space, query.constraint.spec.aggregate)
+        indexed = Explorer(
+            layer,
+            prepared,
+            space,
+            query.constraint.spec.aggregate,
+            bitmap_index=index,
+        )
+        for coords in LpBestFirstTraversal(space):
+            assert indexed.compute_aggregate(coords) == plain.compute_aggregate(
+                coords
+            )
+        assert indexed.cells_skipped > 0
+        assert (
+            indexed.cells_executed + indexed.cells_skipped
+            == plain.cells_executed
+        )

@@ -1,0 +1,89 @@
+"""Unit tests for interval arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import Interval
+from repro.exceptions import QueryModelError
+
+finite = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+
+
+class TestConstruction:
+    def test_basic(self):
+        interval = Interval(1.0, 5.0)
+        assert interval.width == 4.0
+        assert not interval.is_point
+
+    def test_point(self):
+        interval = Interval.point(3.0)
+        assert interval.is_point
+        assert interval.width == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryModelError):
+            Interval(5.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(QueryModelError):
+            Interval(math.nan, 1.0)
+
+    def test_infinite_endpoints_allowed(self):
+        interval = Interval(-math.inf, 10.0)
+        assert interval.contains(-1e300)
+        assert not interval.contains(11.0)
+
+
+class TestOperations:
+    def test_contains_closed(self):
+        interval = Interval(0.0, 10.0)
+        assert interval.contains(0.0)
+        assert interval.contains(10.0)
+        assert not interval.contains(10.0001)
+
+    def test_expand_upper(self):
+        assert Interval(0, 10).expand_upper(5) == Interval(0, 15)
+
+    def test_expand_lower(self):
+        assert Interval(0, 10).expand_lower(5) == Interval(-5, 10)
+
+    def test_expand_both(self):
+        assert Interval(0, 10).expand_both(2) == Interval(-2, 12)
+
+    def test_negative_expansion_rejected(self):
+        with pytest.raises(QueryModelError):
+            Interval(0, 10).expand_upper(-1)
+
+    def test_shrink(self):
+        assert Interval(0, 10).shrink(2, 3) == Interval(2, 7)
+
+    def test_overshrink_collapses_to_midpoint(self):
+        shrunk = Interval(0, 10).shrink(8, 8)
+        assert shrunk.is_point
+        assert shrunk.lo == 5.0
+
+    def test_intersects(self):
+        assert Interval(0, 5).intersects(Interval(5, 10))
+        assert not Interval(0, 5).intersects(Interval(6, 10))
+
+    def test_str(self):
+        assert str(Interval(0, 2.5)) == "[0, 2.5]"
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(finite, finite, st.floats(min_value=0, max_value=1e6))
+    def test_expansion_preserves_containment(self, a, b, amount):
+        lo, hi = min(a, b), max(a, b)
+        interval = Interval(lo, hi)
+        for expanded in (
+            interval.expand_upper(amount),
+            interval.expand_lower(amount),
+            interval.expand_both(amount),
+        ):
+            assert expanded.lo <= interval.lo
+            assert expanded.hi >= interval.hi
+            assert expanded.width >= interval.width

@@ -1,0 +1,159 @@
+"""Metamorphic tests: known transformations with known consequences.
+
+Each test applies a semantics-preserving (or predictably-scaling)
+transformation to the data or the query and checks ACQUIRE's output
+moves exactly as the transformation dictates — a strong end-to-end
+check with no reference values needed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.acquire import Acquire, AcquireConfig
+from repro.core.aggregates import AggregateSpec, get_aggregate
+from repro.core.interval import Interval
+from repro.core.predicate import Direction, SelectPredicate
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.engine.catalog import Database
+from repro.engine.expression import col
+from repro.engine.memory_backend import MemoryBackend
+from tests.conftest import count_query
+
+CONFIG = AcquireConfig(gamma=10.0, delta=0.05)
+
+
+def _db_from(x: np.ndarray, y: np.ndarray) -> Database:
+    database = Database()
+    database.create_table("data", {"x": x, "y": y})
+    return database
+
+
+@pytest.fixture(scope="module")
+def base_data():
+    rng = np.random.default_rng(101)
+    return rng.uniform(0, 100, 3000), rng.uniform(0, 100, 3000)
+
+
+class TestRowTransformations:
+    def test_shuffle_invariance(self, base_data):
+        x, y = base_data
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=900)
+        baseline = Acquire(MemoryBackend(_db_from(x, y))).run(query, CONFIG)
+        permutation = np.random.default_rng(5).permutation(len(x))
+        shuffled = Acquire(
+            MemoryBackend(_db_from(x[permutation], y[permutation]))
+        ).run(query, CONFIG)
+        assert shuffled.best.pscores == baseline.best.pscores
+        assert shuffled.best.aggregate_value == baseline.best.aggregate_value
+        assert len(shuffled.answers) == len(baseline.answers)
+
+    def test_duplication_doubles_counts(self, base_data):
+        """Duplicating every row doubles COUNT at every refinement, so
+        doubling the target must yield the same refinement vector."""
+        x, y = base_data
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=900)
+        doubled_query = count_query(
+            "data", {"x": 30.0, "y": 30.0}, target=1800
+        )
+        single = Acquire(MemoryBackend(_db_from(x, y))).run(query, CONFIG)
+        double = Acquire(
+            MemoryBackend(
+                _db_from(np.concatenate([x, x]), np.concatenate([y, y]))
+            )
+        ).run(doubled_query, CONFIG)
+        assert double.best.pscores == single.best.pscores
+        assert double.best.aggregate_value == pytest.approx(
+            2 * single.best.aggregate_value
+        )
+
+    def test_attribute_scaling_invariance(self, base_data):
+        """Scaling an attribute together with its predicate bounds and
+        denominator leaves every PScore — hence the whole search —
+        unchanged (Equation 1's stated purpose)."""
+        x, y = base_data
+        factor = 250.0
+
+        def build(scale: float) -> tuple[Database, Query]:
+            database = _db_from(x * scale, y)
+            predicates = [
+                SelectPredicate(
+                    name="px",
+                    expr=col("data.x"),
+                    interval=Interval(0.0, 30.0 * scale),
+                    direction=Direction.UPPER,
+                    denominator=100.0 * scale,
+                ),
+                SelectPredicate(
+                    name="py",
+                    expr=col("data.y"),
+                    interval=Interval(0.0, 30.0),
+                    direction=Direction.UPPER,
+                    denominator=100.0,
+                ),
+            ]
+            constraint = AggregateConstraint(
+                AggregateSpec(get_aggregate("COUNT")), ConstraintOp.EQ, 900
+            )
+            return database, Query.build(
+                "q", ("data",), predicates, constraint
+            )
+
+        db1, q1 = build(1.0)
+        db2, q2 = build(factor)
+        plain = Acquire(MemoryBackend(db1)).run(q1, CONFIG)
+        scaled = Acquire(MemoryBackend(db2)).run(q2, CONFIG)
+        assert scaled.best.pscores == pytest.approx(plain.best.pscores)
+        assert scaled.best.aggregate_value == plain.best.aggregate_value
+
+
+class TestQueryTransformations:
+    def test_vacuous_norefine_predicate_is_inert(self, base_data):
+        """Adding an always-true NOREFINE predicate changes nothing."""
+        x, y = base_data
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=900)
+        vacuous = SelectPredicate(
+            name="vacuous",
+            expr=col("data.x"),
+            interval=Interval(-1e9, 1e9),
+            direction=Direction.UPPER,
+            refinable=False,
+        )
+        extended = query.with_predicates([*query.predicates, vacuous])
+        base = Acquire(MemoryBackend(_db_from(x, y))).run(query, CONFIG)
+        with_vacuous = Acquire(MemoryBackend(_db_from(x, y))).run(
+            extended, CONFIG
+        )
+        assert with_vacuous.best.pscores == base.best.pscores
+        assert with_vacuous.best.aggregate_value == base.best.aggregate_value
+
+    def test_weight_scaling_preserves_answer(self, base_data):
+        """Multiplying every weight by a constant rescales QScores but
+        must not change which refinement wins under L1."""
+        x, y = base_data
+        database = _db_from(x, y)
+
+        def run_with_weights(w: float):
+            query = count_query("data", {"x": 30.0, "y": 30.0}, target=900)
+            weighted = query.with_predicates(
+                [p.with_weight(w) for p in query.predicates]
+            )
+            return Acquire(MemoryBackend(database)).run(weighted, CONFIG)
+
+        unit = run_with_weights(1.0)
+        tripled = run_with_weights(3.0)
+        assert tripled.best.pscores == unit.best.pscores
+        assert tripled.best.qscore == pytest.approx(3 * unit.best.qscore)
+
+    def test_target_monotonicity(self, base_data):
+        """A larger COUNT target never needs less refinement."""
+        x, y = base_data
+        database = _db_from(x, y)
+        qscores = []
+        for target in (500, 900, 1500, 2400):
+            query = count_query(
+                "data", {"x": 30.0, "y": 30.0}, target=target
+            )
+            result = Acquire(MemoryBackend(database)).run(query, CONFIG)
+            assert result.satisfied
+            qscores.append(result.best.qscore)
+        assert qscores == sorted(qscores)

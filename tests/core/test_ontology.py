@@ -1,0 +1,118 @@
+"""Tests for ontology trees (paper section 7.3, Figure 7)."""
+
+import math
+
+import pytest
+
+from repro.core.ontology import OntologyTree
+from repro.exceptions import OntologyError
+
+
+@pytest.fixture()
+def food_tree() -> OntologyTree:
+    """Figure 7(a)'s taxonomy."""
+    tree = OntologyTree(root="Restaurants")
+    tree.add_path("MiddleEastern", "Falafel")
+    tree.add_path("MiddleEastern", "Gyro")
+    tree.add_path("Mediterranean", "Greek", "Souvlaki")
+    tree.add_path("Mediterranean", "Italian", "Pizza")
+    return tree
+
+
+class TestStructure:
+    def test_depths(self, food_tree):
+        assert food_tree.depth_of("Restaurants") == 0
+        assert food_tree.depth_of("Gyro") == 2
+        assert food_tree.depth_of("Souvlaki") == 3
+        assert food_tree.depth == 3
+
+    def test_parent_and_ancestor(self, food_tree):
+        assert food_tree.parent("Gyro") == "MiddleEastern"
+        assert food_tree.parent("Restaurants") is None
+        assert food_tree.ancestor("Souvlaki", 2) == "Mediterranean"
+        assert food_tree.ancestor("Souvlaki", 99) == "Restaurants"
+
+    def test_descendants_and_leaves(self, food_tree):
+        assert food_tree.descendants("Mediterranean") == {
+            "Mediterranean", "Greek", "Italian", "Souvlaki", "Pizza",
+        }
+        assert food_tree.leaves_under("MiddleEastern") == {
+            "Falafel", "Gyro",
+        }
+
+    def test_lca(self, food_tree):
+        assert food_tree.lca("Souvlaki", "Pizza") == "Mediterranean"
+        assert food_tree.lca("Gyro", "Pizza") == "Restaurants"
+        assert food_tree.lca("Gyro", "Gyro") == "Gyro"
+        assert food_tree.lca("Greek", "Souvlaki") == "Greek"
+
+    def test_membership(self, food_tree):
+        assert "Gyro" in food_tree
+        assert "Sushi" not in food_tree
+
+    def test_unknown_node_raises(self, food_tree):
+        with pytest.raises(OntologyError):
+            food_tree.depth_of("Sushi")
+
+    def test_reparenting_rejected(self, food_tree):
+        with pytest.raises(OntologyError):
+            food_tree.add_edge("Mediterranean", "Gyro")
+
+    def test_root_cannot_have_parent(self, food_tree):
+        with pytest.raises(OntologyError):
+            food_tree.add_edge("Gyro", "Restaurants")
+
+    def test_from_mapping_validates_tree(self):
+        with pytest.raises(OntologyError):
+            OntologyTree.from_mapping({"ROOT": ["a"], "b": ["c"]})
+
+
+class TestRefinementSemantics:
+    def test_paper_gyro_to_mediterranean(self, food_tree):
+        """The paper's example: relaxing Gyro toward any Mediterranean
+        cuisine is a roll-up measured by relative node depths."""
+        assert food_tree.distance({"Gyro"}, "Falafel") == 1
+        assert food_tree.distance({"Gyro"}, "Souvlaki") == 2
+        assert food_tree.distance({"Souvlaki"}, "Pizza") == 2
+
+    def test_distance_zero_for_covered(self, food_tree):
+        assert food_tree.distance({"Gyro"}, "Gyro") == 0
+        assert food_tree.distance({"Mediterranean"}, "Pizza") == 0
+
+    def test_distance_min_over_accepted(self, food_tree):
+        assert food_tree.distance({"Gyro", "Souvlaki"}, "Pizza") == 2
+        assert food_tree.distance({"Gyro", "Pizza"}, "Souvlaki") == 2
+        # An accepted internal node covering the value wins outright.
+        assert food_tree.distance({"Greek", "Gyro"}, "Souvlaki") == 0
+        assert food_tree.distance({"Italian", "Gyro"}, "Souvlaki") == 1
+
+    def test_distance_unknown_value_inf(self, food_tree):
+        assert food_tree.distance({"Gyro"}, "Sushi") == math.inf
+
+    def test_distance_unknown_accepted_raises(self, food_tree):
+        with pytest.raises(OntologyError):
+            food_tree.distance({"Sushi"}, "Gyro")
+
+    def test_expand_is_rollup(self, food_tree):
+        assert food_tree.expand({"Gyro"}, 0) == frozenset({"Gyro"})
+        level1 = food_tree.expand({"Gyro"}, 1)
+        assert {"Falafel", "Gyro", "MiddleEastern"} <= level1
+        assert "Pizza" not in level1
+        level2 = food_tree.expand({"Gyro"}, 2)
+        assert "Pizza" in level2  # rolled up to the root
+
+    def test_expand_monotone(self, food_tree):
+        previous: frozenset = frozenset()
+        for level in range(food_tree.depth + 1):
+            covered = food_tree.expand({"Souvlaki"}, level)
+            assert previous <= covered
+            previous = covered
+
+    def test_distance_consistent_with_expand(self, food_tree):
+        """v is covered by expand(S, k) iff distance(S, v) <= k."""
+        accepted = {"Gyro"}
+        for value in food_tree.nodes:
+            distance = food_tree.distance(accepted, value)
+            for level in range(food_tree.depth + 1):
+                covered = value in food_tree.expand(accepted, level)
+                assert covered == (distance <= level)

@@ -1,0 +1,109 @@
+"""Unit tests for the ACQ query model."""
+
+import pytest
+
+from repro.core.aggregates import AggregateSpec, get_aggregate
+from repro.core.interval import Interval
+from repro.core.predicate import Direction, JoinPredicate, SelectPredicate
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.engine.expression import col
+from repro.exceptions import QueryModelError
+
+
+def _pred(name="p", table="t", refinable=True):
+    return SelectPredicate(
+        name=name,
+        expr=col(f"{table}.x"),
+        interval=Interval(0, 10),
+        direction=Direction.UPPER,
+        refinable=refinable,
+    )
+
+
+def _count(target=100.0, op=ConstraintOp.EQ):
+    return AggregateConstraint(
+        AggregateSpec(get_aggregate("COUNT")), op, target
+    )
+
+
+class TestConstraintOp:
+    def test_parse(self):
+        assert ConstraintOp.parse(">=") is ConstraintOp.GE
+        with pytest.raises(QueryModelError):
+            ConstraintOp.parse("!=")
+
+    def test_expansion_direction(self):
+        assert ConstraintOp.EQ.is_expansion
+        assert ConstraintOp.GT.is_expansion
+        assert not ConstraintOp.LE.is_expansion
+
+
+class TestAggregateConstraint:
+    def test_describe(self):
+        assert _count(1000).describe() == "COUNT(*) = 1000"
+
+    def test_negative_target_rejected(self):
+        """The paper's grammar: X is a positive number."""
+        with pytest.raises(QueryModelError):
+            _count(-5)
+
+
+class TestQueryValidation:
+    def test_basic(self):
+        query = Query.build("q", ("t",), [_pred()], _count())
+        assert query.dimensionality == 1
+        assert query.weights == (1.0,)
+
+    def test_needs_table(self):
+        with pytest.raises(QueryModelError):
+            Query.build("q", (), [_pred()], _count())
+
+    def test_duplicate_tables_rejected(self):
+        with pytest.raises(QueryModelError):
+            Query.build("q", ("t", "t"), [_pred()], _count())
+
+    def test_duplicate_predicate_names_rejected(self):
+        with pytest.raises(QueryModelError):
+            Query.build("q", ("t",), [_pred(), _pred()], _count())
+
+    def test_unknown_table_in_predicate(self):
+        with pytest.raises(QueryModelError, match="references table"):
+            Query.build("q", ("t",), [_pred(table="other")], _count())
+
+    def test_join_tables_checked(self):
+        join = JoinPredicate(name="j", left=col("a.x"), right=col("b.x"))
+        with pytest.raises(QueryModelError):
+            Query.build("q", ("a",), [join], _count())
+
+
+class TestViews:
+    def test_refinable_vs_fixed(self):
+        query = Query.build(
+            "q",
+            ("t",),
+            [_pred("a"), _pred("b", refinable=False), _pred("c")],
+            _count(),
+        )
+        assert [p.name for p in query.refinable_predicates] == ["a", "c"]
+        assert [p.name for p in query.fixed_predicates] == ["b"]
+        assert query.dimensionality == 2
+
+    def test_kind_views(self):
+        join = JoinPredicate(name="j", left=col("t.x"), right=col("u.x"))
+        query = Query.build("q", ("t", "u"), [_pred(), join], _count())
+        assert len(query.join_predicates) == 1
+        assert len(query.select_predicates) == 1
+        assert len(query.categorical_predicates) == 0
+
+    def test_with_constraint(self):
+        query = Query.build("q", ("t",), [_pred()], _count(100))
+        updated = query.with_constraint(_count(500))
+        assert updated.constraint.target == 500
+        assert query.constraint.target == 100  # original untouched
+
+    def test_describe_mentions_norefine(self):
+        query = Query.build(
+            "q", ("t",), [_pred("a", refinable=False)], _count()
+        )
+        assert "NOREFINE" in query.describe()
+        assert "COUNT(*) = 100" in query.describe()

@@ -1,0 +1,129 @@
+"""Unit tests for the refined space grid (paper section 4)."""
+
+import math
+
+import pytest
+
+from repro.core.aggregates import AggregateSpec, get_aggregate
+from repro.core.interval import Interval
+from repro.core.predicate import Direction, SelectPredicate
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.core.refined_space import BASE_CELL_LO, MAX_COORD_CAP, RefinedSpace
+from repro.core.scoring import LInfNorm, LpNorm
+from repro.engine.expression import col
+from repro.exceptions import QueryModelError
+
+
+def make_query(d=2, weights=None, limits=None):
+    weights = weights or [1.0] * d
+    limits = limits or [None] * d
+    predicates = [
+        SelectPredicate(
+            name=f"p{i}",
+            expr=col(f"t.c{i}"),
+            interval=Interval(0, 50),
+            direction=Direction.UPPER,
+            weight=weights[i],
+            limit=limits[i],
+        )
+        for i in range(d)
+    ]
+    constraint = AggregateConstraint(
+        AggregateSpec(get_aggregate("COUNT")), ConstraintOp.EQ, 100
+    )
+    return Query.build("q", ("t",), predicates, constraint)
+
+
+class TestConstruction:
+    def test_step_is_gamma_over_d(self):
+        space = RefinedSpace(make_query(2), gamma=10.0, max_scores=[100, 100])
+        assert space.step == 5.0
+        assert space.d == 2
+
+    def test_explicit_step(self):
+        space = RefinedSpace(
+            make_query(2), gamma=10.0, max_scores=[100, 100], step=2.0
+        )
+        assert space.step == 2.0
+
+    def test_max_coords_from_scores(self):
+        space = RefinedSpace(make_query(2), 10.0, [50, 23])
+        assert space.max_coords == (10, 5)
+
+    def test_limit_caps_dimension(self):
+        """Section 7.1: per-predicate refinement limits."""
+        space = RefinedSpace(
+            make_query(2, limits=[10.0, None]), 10.0, [100, 100]
+        )
+        assert space.max_coords == (2, 20)
+
+    def test_infinite_scores_capped(self):
+        space = RefinedSpace(make_query(1), 10.0, [math.inf])
+        assert space.max_coords == (MAX_COORD_CAP,)
+
+    def test_no_refinable_predicates_rejected(self):
+        query = make_query(1)
+        pinned = query.with_predicates(
+            [p.with_norefine() for p in query.predicates]
+        )
+        with pytest.raises(QueryModelError):
+            RefinedSpace(pinned, 10.0, [])
+
+    def test_bad_gamma(self):
+        with pytest.raises(QueryModelError):
+            RefinedSpace(make_query(1), 0.0, [10])
+
+    def test_arity_mismatch(self):
+        with pytest.raises(QueryModelError):
+            RefinedSpace(make_query(2), 10.0, [10])
+
+
+class TestCoordinates:
+    def test_scores_and_qscore(self):
+        space = RefinedSpace(make_query(2), 10.0, [100, 100])
+        assert space.scores((0, 0)) == (0.0, 0.0)
+        assert space.scores((1, 3)) == (5.0, 15.0)
+        assert space.qscore((1, 3)) == 20.0  # L1 default
+
+    def test_weighted_qscore(self):
+        space = RefinedSpace(
+            make_query(2, weights=[2.0, 1.0]), 10.0, [100, 100]
+        )
+        assert space.qscore((1, 1)) == 15.0
+
+    def test_linf_qscore(self):
+        space = RefinedSpace(make_query(2), 10.0, [100, 100], norm=LInfNorm())
+        assert space.qscore((1, 3)) == 15.0
+
+    def test_paper_figure3_example(self):
+        """Q3' with PScore (0, 20) is grid point (0, 4) at step 5."""
+        space = RefinedSpace(make_query(2), gamma=10.0, max_scores=[100, 100])
+        assert space.scores((0, 4)) == (0.0, 20.0)
+
+    def test_intervals_at(self):
+        space = RefinedSpace(make_query(2), 10.0, [100, 100])
+        intervals = space.intervals_at((0, 2))
+        assert intervals[0] == Interval(0, 50)
+        assert intervals[1] == Interval(0, 55)  # +10% of width 50
+
+    def test_cell_ranges(self):
+        space = RefinedSpace(make_query(2), 10.0, [100, 100])
+        ranges = space.cell_ranges((0, 3))
+        assert ranges[0] == (BASE_CELL_LO, 0.0)
+        assert ranges[1] == (10.0, 15.0)
+
+    def test_contains(self):
+        space = RefinedSpace(make_query(2), 10.0, [20, 20])
+        assert space.contains((0, 0))
+        assert space.contains((4, 4))
+        assert not space.contains((5, 0))
+        assert not space.contains((0,))
+
+    def test_grid_size(self):
+        space = RefinedSpace(make_query(2), 10.0, [20, 10])
+        assert space.grid_size == 5 * 3
+
+    def test_describe(self):
+        space = RefinedSpace(make_query(2), 10.0, [100, 100])
+        text = space.describe((0, 2))
+        assert "t.c0" in text and "t.c1" in text

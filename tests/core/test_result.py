@@ -1,0 +1,76 @@
+"""Tests for result objects and the alternatives table."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.acquire import Acquire, AcquireConfig
+from repro.core.result import AcquireResult, SearchStats
+from repro.engine.catalog import Database
+from repro.engine.memory_backend import MemoryBackend
+from tests.conftest import count_query
+
+
+@pytest.fixture(scope="module")
+def result():
+    rng = np.random.default_rng(15)
+    database = Database()
+    database.create_table(
+        "data",
+        {"x": rng.uniform(0, 100, 2000), "y": rng.uniform(0, 100, 2000)},
+    )
+    query = count_query("data", {"x": 30.0, "y": 30.0}, target=600)
+    return Acquire(MemoryBackend(database)).run(
+        query, AcquireConfig(gamma=10, delta=0.05)
+    )
+
+
+class TestAcquireResult:
+    def test_best_prefers_answers(self, result):
+        assert result.satisfied
+        assert result.best is result.answers[0]
+        assert result.qscore == result.answers[0].qscore
+        assert result.error == result.answers[0].error
+
+    def test_answers_sorted_by_qscore_then_error(self, result):
+        keys = [(a.qscore, a.error) for a in result.answers]
+        assert keys == sorted(keys)
+
+    def test_alternatives_table_layout(self, result):
+        table = result.alternatives_table()
+        lines = table.splitlines()
+        assert lines[0].startswith("#")
+        assert "QScore" in lines[0]
+        assert "x_le" in lines[0] and "y_le" in lines[0]
+        assert len(lines) == 2 + min(len(result.answers), 10)
+        assert "[" in lines[2]  # intervals rendered
+
+    def test_alternatives_table_limit(self, result):
+        table = result.alternatives_table(limit=1)
+        assert len(table.splitlines()) == 3
+
+    def test_empty_result_table(self, result):
+        empty = AcquireResult(
+            query=result.query,
+            answers=[],
+            closest=None,
+            original_value=0.0,
+            stats=SearchStats(),
+        )
+        assert empty.alternatives_table() == "(no refined queries found)"
+        assert not empty.satisfied
+        assert empty.best is None
+        assert math.isinf(empty.qscore)
+        assert math.isinf(empty.error)
+
+    def test_unsatisfied_table_shows_closest(self, result):
+        unsatisfied = AcquireResult(
+            query=result.query,
+            answers=[],
+            closest=result.answers[0],
+            original_value=0.0,
+            stats=SearchStats(),
+        )
+        table = unsatisfied.alternatives_table()
+        assert len(table.splitlines()) == 3

@@ -1,0 +1,111 @@
+"""Unit and property tests for PScore/QScore (paper Equations 1-3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import Interval
+from repro.core.scoring import LInfNorm, LpNorm, pscore_interval
+from repro.exceptions import QueryModelError
+
+pscores = st.lists(
+    st.floats(min_value=0, max_value=1000, allow_nan=False),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestPScoreInterval:
+    def test_paper_example3(self):
+        """Q3' expands B.y from (0, 50) to (0, 60): PScore = 20."""
+        assert pscore_interval(Interval(0, 50), Interval(0, 60)) == pytest.approx(20.0)
+
+    def test_both_sides_counted(self):
+        assert pscore_interval(
+            Interval(0, 50), Interval(-10, 60)
+        ) == pytest.approx(40.0)
+
+    def test_point_interval_uses_100(self):
+        """Equality predicates: denominator fixed at 100 (section 2.3)."""
+        assert pscore_interval(
+            Interval.point(0), Interval(-10, 10)
+        ) == pytest.approx(20.0)
+
+    def test_custom_denominator(self):
+        assert pscore_interval(
+            Interval(0, 50), Interval(0, 60), denominator=100
+        ) == pytest.approx(10.0)
+
+    def test_invalid_denominator(self):
+        with pytest.raises(QueryModelError):
+            pscore_interval(Interval(0, 1), Interval(0, 2), denominator=0)
+
+    def test_no_refinement_is_zero(self):
+        assert pscore_interval(Interval(0, 50), Interval(0, 50)) == 0.0
+
+
+class TestLpNorm:
+    def test_l1_is_sum(self):
+        """The paper's default (Equation 3)."""
+        assert LpNorm(1).qscore([10, 20, 5]) == 35.0
+
+    def test_l2(self):
+        assert LpNorm(2).qscore([3, 4]) == pytest.approx(5.0)
+
+    def test_weights(self):
+        """Section 7.1: LWp preference weighting."""
+        assert LpNorm(1).qscore([10, 10], weights=[2.0, 1.0]) == 30.0
+
+    def test_p_below_one_rejected(self):
+        with pytest.raises(QueryModelError):
+            LpNorm(0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(QueryModelError):
+            LpNorm(1).qscore([1, 2], weights=[1.0])
+
+    def test_equality(self):
+        assert LpNorm(2) == LpNorm(2)
+        assert LpNorm(1) != LpNorm(2)
+
+
+class TestLInfNorm:
+    def test_max(self):
+        assert LInfNorm().qscore([3, 9, 1]) == 9.0
+
+    def test_empty(self):
+        assert LInfNorm().qscore([]) == 0.0
+
+    def test_weights(self):
+        assert LInfNorm().qscore([3, 9], weights=[10.0, 1.0]) == 30.0
+
+
+class TestNormProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(pscores)
+    def test_monotonicity(self, scores):
+        """Increasing any PScore never decreases any norm's QScore."""
+        for norm in (LpNorm(1), LpNorm(2), LInfNorm()):
+            base = norm.qscore(scores)
+            for index in range(len(scores)):
+                bumped = list(scores)
+                bumped[index] += 1.0
+                assert norm.qscore(bumped) >= base - 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(pscores)
+    def test_zero_iff_origin(self, scores):
+        for norm in (LpNorm(1), LpNorm(3), LInfNorm()):
+            assert norm.qscore([0.0] * len(scores)) == 0.0
+            if any(score > 1e-6 for score in scores):
+                assert norm.qscore(scores) > 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(pscores)
+    def test_norm_ordering(self, scores):
+        """L-inf <= Lp <= L1 for unit weights."""
+        l1 = LpNorm(1).qscore(scores)
+        l2 = LpNorm(2).qscore(scores)
+        linf = LInfNorm().qscore(scores)
+        assert linf <= l2 + 1e-6
+        assert l2 <= l1 + 1e-6

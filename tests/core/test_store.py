@@ -1,0 +1,118 @@
+"""Tests for sub-aggregate storage backends (in-memory and paged)."""
+
+import numpy as np
+import pytest
+
+from repro.core.expand import LpBestFirstTraversal
+from repro.core.explore import Explorer, SubAggregateStore
+from repro.core.refined_space import RefinedSpace
+from repro.core.store import (
+    PagedSubAggregateStore,
+    _decode_states,
+    _encode_states,
+)
+from repro.engine.catalog import Database
+from repro.engine.memory_backend import MemoryBackend
+from repro.exceptions import SearchError
+from tests.conftest import count_query
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        states = [(1.0, 2.0), (3.5, -4.5), (0.0, 0.0)]
+        assert _decode_states(_encode_states(states)) == states
+
+    def test_single_part_states(self):
+        states = [(7.0,), (8.0,)]
+        assert _decode_states(_encode_states(states)) == states
+
+
+class TestPagedStore:
+    def test_put_get_contains_len(self):
+        with PagedSubAggregateStore(cache_size=2) as store:
+            store.put((0, 0), [(1.0,), (2.0,)])
+            store.put((0, 1), [(3.0,), (4.0,)])
+            assert (0, 0) in store
+            assert (9, 9) not in store
+            assert len(store) == 2
+            assert store.get((0, 1)) == [(3.0,), (4.0,)]
+
+    def test_eviction_and_page_in(self):
+        with PagedSubAggregateStore(cache_size=2) as store:
+            for index in range(5):
+                store.put((index,), [(float(index),)])
+            assert store.evictions >= 3
+            # Oldest entries paged out of the cache but not lost.
+            assert store.get((0,)) == [(0.0,)]
+            assert store.page_ins >= 1
+            assert len(store) == 5
+
+    def test_missing_raises_search_error(self):
+        with PagedSubAggregateStore() as store:
+            with pytest.raises(SearchError, match="containment order"):
+                store.get((1, 2, 3))
+
+    def test_overwrite_does_not_grow(self):
+        with PagedSubAggregateStore() as store:
+            store.put((1,), [(1.0,)])
+            store.put((1,), [(2.0,)])
+            assert len(store) == 1
+            assert store.get((1,)) == [(2.0,)]
+
+    def test_cache_size_validated(self):
+        with pytest.raises(SearchError):
+            PagedSubAggregateStore(cache_size=0)
+
+    def test_temp_file_removed_on_close(self):
+        import os
+
+        store = PagedSubAggregateStore()
+        path = store.path
+        assert os.path.exists(path)
+        store.close()
+        assert not os.path.exists(path)
+
+
+class TestExplorerWithPagedStore:
+    def test_identical_results_to_memory_store(self):
+        rng = np.random.default_rng(8)
+        database = Database()
+        database.create_table(
+            "data",
+            {
+                "x": rng.uniform(0, 100, 1500),
+                "y": rng.uniform(0, 100, 1500),
+            },
+        )
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=500)
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(query, [200.0, 200.0])
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        aggregate = query.constraint.spec.aggregate
+
+        in_memory = Explorer(layer, prepared, space, aggregate)
+        with PagedSubAggregateStore(cache_size=4) as paged_store:
+            paged = Explorer(
+                layer, prepared, space, aggregate, store=paged_store
+            )
+            for coords in LpBestFirstTraversal(space):
+                assert paged.compute_aggregate(
+                    coords
+                ) == in_memory.compute_aggregate(coords)
+            # With a 4-entry cache over dozens of grid points, paging
+            # actually happened.
+            assert paged_store.evictions > 0
+            assert paged_store.page_ins > 0
+
+
+class TestInMemoryStore:
+    def test_missing_raises(self):
+        store = SubAggregateStore()
+        with pytest.raises(SearchError, match="containment order"):
+            store.get((0, 0))
+
+    def test_len_and_contains(self):
+        store = SubAggregateStore()
+        store.put((1, 2), [(0.0,)])
+        assert len(store) == 1
+        assert (1, 2) in store

@@ -1,0 +1,103 @@
+"""Tests for the distribution samplers."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.datagen.distributions import (
+    clustered,
+    uniform_floats,
+    uniform_ints,
+    zipf_floats,
+    zipf_ints,
+    zipf_probabilities,
+)
+from repro.exceptions import DataGenError
+
+
+class TestUniform:
+    def test_ints_inclusive_bounds(self):
+        rng = np.random.default_rng(0)
+        values = uniform_ints(rng, 10_000, 1, 5)
+        assert values.min() == 1
+        assert values.max() == 5
+        assert set(np.unique(values)) == {1, 2, 3, 4, 5}
+
+    def test_floats_range(self):
+        rng = np.random.default_rng(0)
+        values = uniform_floats(rng, 5000, -2.0, 3.0)
+        assert values.min() >= -2.0
+        assert values.max() < 3.0
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataGenError):
+            uniform_ints(rng, -1, 0, 1)
+        with pytest.raises(DataGenError):
+            uniform_floats(rng, 10, 5.0, 1.0)
+
+
+class TestZipf:
+    def test_probabilities_normalized(self):
+        probabilities = zipf_probabilities(100, 1.0)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert (np.diff(probabilities) <= 0).all()  # decreasing by rank
+
+    def test_z0_is_uniform(self):
+        probabilities = zipf_probabilities(10, 0.0)
+        np.testing.assert_allclose(probabilities, 0.1)
+
+    def test_z1_matches_harmonic(self):
+        probabilities = zipf_probabilities(4, 1.0)
+        harmonic = 1 + 1 / 2 + 1 / 3 + 1 / 4
+        assert probabilities[0] == pytest.approx(1 / harmonic)
+
+    def test_skew_concentrates_mass(self):
+        """z=1 data has far higher top-value frequency than z=0."""
+        rng = np.random.default_rng(1)
+        uniform = zipf_ints(rng, 20_000, 1, 100, z=0.0)
+        skewed = zipf_ints(rng, 20_000, 1, 100, z=1.0)
+        top_uniform = np.bincount(uniform).max() / len(uniform)
+        top_skewed = np.bincount(skewed).max() / len(skewed)
+        assert top_skewed > 3 * top_uniform
+
+    def test_uniform_z0_passes_chisquare(self):
+        rng = np.random.default_rng(2)
+        values = zipf_ints(rng, 50_000, 1, 10, z=0.0)
+        counts = np.bincount(values)[1:]
+        _, p_value = scipy_stats.chisquare(counts)
+        assert p_value > 0.001
+
+    def test_floats_in_range(self):
+        rng = np.random.default_rng(3)
+        values = zipf_floats(rng, 5000, 10.0, 20.0, z=1.0)
+        assert values.min() >= 10.0
+        assert values.max() <= 20.0
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataGenError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(DataGenError):
+            zipf_probabilities(5, -1.0)
+
+
+class TestClustered:
+    def test_clipped_to_range(self):
+        rng = np.random.default_rng(4)
+        values = clustered(rng, 1000, [10.0, 90.0], 5.0, 0.0, 100.0)
+        assert values.min() >= 0.0
+        assert values.max() <= 100.0
+
+    def test_leaves_gaps(self):
+        rng = np.random.default_rng(5)
+        values = clustered(rng, 2000, [10.0, 90.0], 2.0, 0.0, 100.0)
+        middle = np.sum((values > 40) & (values < 60))
+        assert middle < 20  # the valley between clusters is near-empty
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataGenError):
+            clustered(rng, 10, [], 1.0, 0.0, 1.0)
+        with pytest.raises(DataGenError):
+            clustered(rng, 10, [0.5], 0.0, 0.0, 1.0)

@@ -1,0 +1,54 @@
+"""Tests for the synthetic helper tables."""
+
+import pytest
+
+from repro.datagen.synthetic import numeric_table, users_table
+from repro.exceptions import DataGenError
+
+
+class TestNumericTable:
+    def test_shape_and_range(self):
+        table = numeric_table(n=500, columns=("a", "b"), low=5.0, high=9.0)
+        assert len(table) == 500
+        assert table.schema.column_names == ["a", "b"]
+        for column in ("a", "b"):
+            values = table.column(column)
+            assert values.min() >= 5.0
+            assert values.max() <= 9.0
+
+    def test_deterministic(self):
+        a = numeric_table(seed=3)
+        b = numeric_table(seed=3)
+        assert (a.column("x") == b.column("x")).all()
+
+    def test_zipf_variant(self):
+        table = numeric_table(n=2000, zipf_z=1.0, seed=2)
+        values = table.column("x")
+        # Skewed: median far from the midpoint of the range.
+        import numpy as np
+
+        assert abs(np.median(values) - 50.0) > 5.0
+
+    def test_needs_columns(self):
+        with pytest.raises(DataGenError):
+            numeric_table(columns=())
+
+
+class TestUsersTable:
+    def test_schema(self):
+        database = users_table(n=200, seed=1)
+        users = database.table("users")
+        assert len(users) == 200
+        assert set(users.schema.column_names) == {
+            "user_id", "age", "income", "engagement", "city", "interest",
+        }
+        ages = users.column("age")
+        assert ages.min() >= 18 and ages.max() <= 75
+
+    def test_reuses_existing_database(self):
+        from repro.engine.catalog import Database
+
+        database = Database("mine")
+        returned = users_table(n=50, database=database)
+        assert returned is database
+        assert database.has_table("users")

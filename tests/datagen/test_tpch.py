@@ -1,0 +1,135 @@
+"""Tests for the TPC-H-shaped generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.tpch import (
+    ALL_TABLES,
+    MARKET_SEGMENTS,
+    TPCHConfig,
+    generate_tpch,
+    tpch_sizes,
+)
+from repro.exceptions import DataGenError
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_tpch(TPCHConfig(scale_rows=800, seed=42))
+
+
+class TestSchema:
+    def test_all_tables_present(self, db):
+        assert set(db.table_names) == set(ALL_TABLES)
+
+    def test_sizes_scale(self, db):
+        sizes = tpch_sizes(db)
+        assert sizes["partsupp"] == 800
+        assert sizes["part"] == 200
+        assert sizes["supplier"] == 20
+        assert sizes["lineitem"] == 1600
+
+    def test_explicit_count_override(self):
+        db = generate_tpch(
+            TPCHConfig(scale_rows=100, counts={"part": 77},
+                       tables=("part",))
+        )
+        assert len(db.table("part")) == 77
+
+    def test_subset_generation(self):
+        db = generate_tpch(
+            TPCHConfig(scale_rows=200, tables=("supplier", "part",
+                                               "partsupp"))
+        )
+        assert set(db.table_names) == {"supplier", "part", "partsupp"}
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(DataGenError):
+            generate_tpch(TPCHConfig(tables=("nation",)))
+
+
+class TestKeys:
+    def test_primary_keys_dense(self, db):
+        suppkeys = db.table("supplier").column("s_suppkey")
+        np.testing.assert_array_equal(suppkeys, np.arange(1, 21))
+        partkeys = db.table("part").column("p_partkey")
+        np.testing.assert_array_equal(partkeys, np.arange(1, 201))
+
+    def test_foreign_key_integrity(self, db):
+        """Every FK value exists in the referenced table."""
+        supp = set(db.table("supplier").column("s_suppkey").tolist())
+        part = set(db.table("part").column("p_partkey").tolist())
+        orders = set(db.table("orders").column("o_orderkey").tolist())
+        cust = set(db.table("customer").column("c_custkey").tolist())
+        ps = db.table("partsupp")
+        assert set(ps.column("ps_suppkey").tolist()) <= supp
+        assert set(ps.column("ps_partkey").tolist()) <= part
+        li = db.table("lineitem")
+        assert set(li.column("l_orderkey").tolist()) <= orders
+        assert set(li.column("l_suppkey").tolist()) <= supp
+        assert set(li.column("l_partkey").tolist()) <= part
+        assert set(db.table("orders").column("o_custkey").tolist()) <= cust
+
+
+class TestValueRanges:
+    def test_tpch_spec_ranges(self, db):
+        acctbal = db.table("supplier").column("s_acctbal")
+        assert acctbal.min() >= -999.99 and acctbal.max() <= 9999.99
+        size = db.table("part").column("p_size")
+        assert size.min() >= 1 and size.max() <= 50
+        price = db.table("part").column("p_retailprice")
+        assert price.min() >= 900.0 and price.max() <= 2098.99
+        qty = db.table("partsupp").column("ps_availqty")
+        assert qty.min() >= 1 and qty.max() <= 9999
+        discount = db.table("lineitem").column("l_discount")
+        assert discount.min() >= 0.0 and discount.max() <= 0.10
+
+    def test_part_types_are_valid_combos(self, db):
+        types = set(db.table("part").column("p_type").tolist())
+        assert all(len(t.split(" ")) == 3 for t in types)
+        assert any("BURNISHED" in t for t in types)
+
+    def test_market_segments(self, db):
+        segments = set(db.table("customer").column("c_mktsegment").tolist())
+        assert segments <= set(MARKET_SEGMENTS)
+
+    def test_extendedprice_consistent_with_quantity(self, db):
+        li = db.table("lineitem")
+        ratio = li.column("l_extendedprice") / li.column("l_quantity")
+        assert ratio.min() >= 899.0
+        assert ratio.max() <= 2100.0
+
+
+class TestDeterminismAndSkew:
+    def test_same_seed_same_data(self):
+        a = generate_tpch(TPCHConfig(scale_rows=300, seed=9))
+        b = generate_tpch(TPCHConfig(scale_rows=300, seed=9))
+        np.testing.assert_array_equal(
+            a.table("partsupp").column("ps_availqty"),
+            b.table("partsupp").column("ps_availqty"),
+        )
+
+    def test_different_seed_differs(self):
+        a = generate_tpch(TPCHConfig(scale_rows=300, seed=9))
+        b = generate_tpch(TPCHConfig(scale_rows=300, seed=10))
+        assert not np.array_equal(
+            a.table("partsupp").column("ps_availqty"),
+            b.table("partsupp").column("ps_availqty"),
+        )
+
+    def test_zipf_skew_applied(self):
+        uniform = generate_tpch(TPCHConfig(scale_rows=4000, seed=1))
+        skewed = generate_tpch(TPCHConfig(scale_rows=4000, seed=1,
+                                          zipf_z=1.0))
+        u_sizes = uniform.table("part").column("p_size")
+        s_sizes = skewed.table("part").column("p_size")
+        top_u = np.bincount(u_sizes).max() / len(u_sizes)
+        top_s = np.bincount(s_sizes).max() / len(s_sizes)
+        assert top_s > 2 * top_u
+
+    def test_database_name_reflects_skew(self):
+        assert generate_tpch(TPCHConfig(scale_rows=200)).name == "tpch"
+        assert (
+            generate_tpch(TPCHConfig(scale_rows=200, zipf_z=1.0)).name
+            == "tpch_z1"
+        )

@@ -1,0 +1,309 @@
+"""Tests for both evaluation layers and their cross-equivalence.
+
+The strongest check in this module: the memory backend and the SQLite
+backend must return *identical* aggregate states for every cell and box
+query of a refined space — they implement the same semantics through
+completely different execution paths (numpy score filters vs. generated
+SQL), so agreement is strong evidence both are right.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import AggregateSpec, get_aggregate
+from repro.core.expand import LpBestFirstTraversal
+from repro.core.interval import Interval
+from repro.core.predicate import Direction, JoinPredicate, SelectPredicate
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.core.refined_space import RefinedSpace
+from repro.engine.backends import ExecutionStats
+from repro.engine.catalog import Database
+from repro.engine.expression import col
+from repro.engine.memory_backend import MemoryBackend
+from repro.engine.sqlite_backend import SQLiteBackend
+from repro.exceptions import EngineError
+
+
+def _db(seed=0, n=250):
+    rng = np.random.default_rng(seed)
+    database = Database()
+    database.create_table(
+        "t",
+        {
+            "x": np.round(rng.uniform(0, 100, n), 3),
+            "y": np.round(rng.uniform(0, 100, n), 3),
+            "v": np.round(rng.uniform(0, 50, n), 3),
+        },
+    )
+    return database
+
+
+def _query(aggregate="COUNT", bounds=(30.0, 30.0)):
+    predicates = [
+        SelectPredicate(
+            name=f"p{i}",
+            expr=col("t." + column),
+            interval=Interval(0.0, bound),
+            direction=Direction.UPPER,
+            denominator=100.0,
+        )
+        for i, (column, bound) in enumerate(zip(("x", "y"), bounds))
+    ]
+    agg = get_aggregate(aggregate)
+    attr = col("t.v") if agg.needs_attribute else None
+    constraint = AggregateConstraint(
+        AggregateSpec(agg, attr), ConstraintOp.EQ, 100.0
+    )
+    return Query.build("q", ("t",), predicates, constraint)
+
+
+class TestExecutionStats:
+    def test_snapshot_and_since(self):
+        stats = ExecutionStats(queries_executed=5, rows_scanned=100)
+        snap = stats.snapshot()
+        stats.queries_executed += 3
+        stats.rows_scanned += 10
+        delta = stats.since(snap)
+        assert delta.queries_executed == 3
+        assert delta.rows_scanned == 10
+        assert snap.queries_executed == 5
+
+
+class TestMemoryBackend:
+    def test_execute_original_equals_direct_count(self):
+        database = _db()
+        query = _query()
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(query, [100.0, 100.0])
+        state = layer.execute_original(prepared)
+        x = database.table("t").column("x")
+        y = database.table("t").column("y")
+        expected = int(np.sum((x <= 30.0) & (y <= 30.0)))
+        assert state[0] == expected
+
+    def test_box_arity_checked(self):
+        database = _db()
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(_query(), [100.0, 100.0])
+        with pytest.raises(EngineError):
+            layer.execute_box(prepared, (1.0,))
+
+    def test_stats_counted(self):
+        database = _db()
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(_query(), [100.0, 100.0])
+        space = RefinedSpace(_query(), 10.0, [70.0, 70.0])
+        layer.execute_cell(prepared, space, (0, 0))
+        layer.execute_box(prepared, (5.0, 5.0))
+        assert layer.stats.cell_queries == 1
+        assert layer.stats.box_queries == 1
+        assert layer.stats.queries_executed == 2
+        assert layer.stats.rows_scanned > 0
+
+    def test_vectorized_grid_matches_plain(self):
+        database = _db(3)
+        query = _query()
+        plain = MemoryBackend(database)
+        fast = MemoryBackend(database, vectorized_grid=True)
+        prepared_plain = plain.prepare(query, [100.0, 100.0])
+        prepared_fast = fast.prepare(query, [100.0, 100.0])
+        space = RefinedSpace(query, 10.0, [70.0, 70.0])
+        for coords in LpBestFirstTraversal(space):
+            assert fast.execute_cell(
+                prepared_fast, space, coords
+            ) == plain.execute_cell(prepared_plain, space, coords)
+
+    def test_topk_admission(self):
+        database = _db(4)
+        query = _query()
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(query, [100.0, 100.0])
+        admission = layer.topk_admission(prepared, 50)
+        assert admission.admitted == 50
+        assert len(admission.max_scores) == 2
+        assert all(score >= 0 for score in admission.max_scores)
+        # The bounding query must actually admit >= k tuples.
+        state = layer.execute_box(prepared, admission.max_scores)
+        assert state[0] >= 50
+
+    def test_topk_fewer_candidates_than_k(self):
+        database = _db(5, n=20)
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(_query(), [100.0, 100.0])
+        admission = layer.topk_admission(prepared, 10_000)
+        assert admission.admitted == 20
+
+
+class TestSQLiteBackend:
+    def test_useful_max_scores_from_domain(self):
+        database = _db(6)
+        layer = SQLiteBackend(database)
+        prepared = layer.prepare(_query(), [400.0, 400.0])
+        scores = layer.useful_max_scores(prepared)
+        # Domain max ~100, bound 30, denominator 100 -> ~70.
+        assert scores[0] == pytest.approx(70.0, abs=2.0)
+
+    def test_join_dimension_unbounded(self):
+        database = Database()
+        database.create_table("a", {"x": np.array([1.0, 2.0])})
+        database.create_table("b", {"y": np.array([1.0, 2.0])})
+        query = Query.build(
+            "q",
+            ("a", "b"),
+            [JoinPredicate(name="j", left=col("a.x"), right=col("b.y"))],
+            AggregateConstraint(
+                AggregateSpec(get_aggregate("COUNT")), ConstraintOp.EQ, 2
+            ),
+        )
+        layer = SQLiteBackend(database)
+        prepared = layer.prepare(query, [50.0])
+        assert layer.useful_max_scores(prepared) == [math.inf]
+
+    def test_context_manager_closes(self):
+        database = _db(7, n=10)
+        with SQLiteBackend(database) as layer:
+            prepared = layer.prepare(_query(), [10.0, 10.0])
+            layer.execute_box(prepared, (0.0, 0.0))
+        with pytest.raises(Exception):
+            layer.execute_box(prepared, (0.0, 0.0))
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("aggregate", ["COUNT", "SUM", "MIN", "MAX", "AVG"])
+    def test_cells_and_boxes_agree(self, aggregate):
+        database = _db(8)
+        query = _query(aggregate)
+        memory = MemoryBackend(database)
+        sqlite = SQLiteBackend(database)
+        caps = [100.0, 100.0]
+        prepared_m = memory.prepare(query, caps)
+        prepared_s = sqlite.prepare(query, caps)
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        for coords in LpBestFirstTraversal(space):
+            cell_m = memory.execute_cell(prepared_m, space, coords)
+            cell_s = sqlite.execute_cell(prepared_s, space, coords)
+            assert cell_m == pytest.approx(cell_s, rel=1e-9, abs=1e-9), coords
+        for scores in [(0.0, 0.0), (5.0, 25.0), (70.0, 70.0), (13.3, 7.7)]:
+            box_m = memory.execute_box(prepared_m, scores)
+            box_s = sqlite.execute_box(prepared_s, scores)
+            assert box_m == pytest.approx(box_s, rel=1e-9, abs=1e-9), scores
+
+    def test_band_join_agreement(self):
+        rng = np.random.default_rng(10)
+        database = Database()
+        database.create_table("a", {"x": np.round(rng.uniform(0, 50, 60), 2)})
+        database.create_table(
+            "b",
+            {
+                "y": np.round(rng.uniform(0, 50, 60), 2),
+                "v": np.round(rng.uniform(0, 10, 60), 2),
+            },
+        )
+        predicates = [
+            JoinPredicate(name="j", left=col("a.x"), right=col("b.y")),
+            SelectPredicate(
+                name="p",
+                expr=col("b.v"),
+                interval=Interval(0.0, 5.0),
+                direction=Direction.UPPER,
+                denominator=10.0,
+            ),
+        ]
+        constraint = AggregateConstraint(
+            AggregateSpec(get_aggregate("COUNT")), ConstraintOp.EQ, 100.0
+        )
+        query = Query.build("q", ("a", "b"), predicates, constraint)
+        memory = MemoryBackend(database)
+        sqlite = SQLiteBackend(database)
+        caps = [20.0, 50.0]
+        prepared_m = memory.prepare(query, caps)
+        prepared_s = sqlite.prepare(query, caps)
+        space = RefinedSpace(query, 10.0, [20.0, 50.0])
+        for coords in LpBestFirstTraversal(space):
+            cell_m = memory.execute_cell(prepared_m, space, coords)
+            cell_s = sqlite.execute_cell(prepared_s, space, coords)
+            assert cell_m == pytest.approx(cell_s, abs=1e-9), coords
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_workloads_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        database = Database()
+        database.create_table(
+            "t",
+            {
+                "x": np.round(rng.uniform(0, 100, 80), 1),
+                "y": np.round(rng.uniform(0, 100, 80), 1),
+                "v": np.round(rng.uniform(0, 50, 80), 1),
+            },
+        )
+        bounds = (float(rng.uniform(5, 60)), float(rng.uniform(5, 60)))
+        aggregate = str(rng.choice(["COUNT", "SUM", "AVG"]))
+        query = _query(aggregate, bounds)
+        memory = MemoryBackend(database)
+        sqlite = SQLiteBackend(database)
+        prepared_m = memory.prepare(query, [150.0, 150.0])
+        prepared_s = sqlite.prepare(query, [150.0, 150.0])
+        space = RefinedSpace(query, 30.0, [80.0, 80.0])
+        for coords in [(0, 0), (1, 0), (2, 3), tuple(space.max_coords)]:
+            if not space.contains(coords):
+                continue
+            cell_m = memory.execute_cell(prepared_m, space, coords)
+            cell_s = sqlite.execute_cell(prepared_s, space, coords)
+            assert cell_m == pytest.approx(cell_s, rel=1e-9, abs=1e-9)
+
+
+class TestIndexedMemoryBackend:
+    def test_indexed_cells_identical_to_plain(self):
+        database = _db(20)
+        query = _query("SUM")
+        plain = MemoryBackend(database)
+        indexed = MemoryBackend(database, indexed=True)
+        prepared_p = plain.prepare(query, [100.0, 100.0])
+        prepared_i = indexed.prepare(query, [100.0, 100.0])
+        space = RefinedSpace(query, 10.0, [70.0, 70.0])
+        for coords in LpBestFirstTraversal(space):
+            assert indexed.execute_cell(
+                prepared_i, space, coords
+            ) == pytest.approx(plain.execute_cell(prepared_p, space, coords))
+
+    def test_indexed_scans_fewer_rows(self):
+        database = _db(21, n=2000)
+        query = _query()
+        plain = MemoryBackend(database)
+        indexed = MemoryBackend(database, indexed=True)
+        prepared_p = plain.prepare(query, [100.0, 100.0])
+        prepared_i = indexed.prepare(query, [100.0, 100.0])
+        space = RefinedSpace(query, 10.0, [70.0, 70.0])
+        before_p = plain.stats.rows_scanned
+        before_i = indexed.stats.rows_scanned
+        for coords in [(3, 0), (5, 5), (10, 2)]:
+            plain.execute_cell(prepared_p, space, coords)
+            indexed.execute_cell(prepared_i, space, coords)
+        scanned_plain = plain.stats.rows_scanned - before_p
+        scanned_indexed = indexed.stats.rows_scanned - before_i
+        assert scanned_indexed < scanned_plain / 3
+
+    def test_full_acquire_run_matches(self):
+        from repro.core.acquire import Acquire, AcquireConfig
+        from tests.conftest import count_query
+
+        rng = np.random.default_rng(9)
+        database = Database()
+        database.create_table(
+            "data",
+            {"x": rng.uniform(0, 100, 3000), "y": rng.uniform(0, 100, 3000)},
+        )
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=900)
+        config = AcquireConfig(gamma=10, delta=0.05)
+        plain = Acquire(MemoryBackend(database)).run(query, config)
+        indexed = Acquire(MemoryBackend(database, indexed=True)).run(
+            query, config
+        )
+        assert indexed.best.pscores == plain.best.pscores
+        assert indexed.best.aggregate_value == plain.best.aggregate_value
+        assert len(indexed.answers) == len(plain.answers)

@@ -1,0 +1,66 @@
+"""Unit tests for the database catalog."""
+
+import numpy as np
+import pytest
+
+from repro.engine.catalog import Database
+from repro.engine.table import Table
+from repro.exceptions import SchemaError, UnknownTableError
+
+
+class TestRegistration:
+    def test_create_and_lookup(self):
+        database = Database()
+        database.create_table("t", {"a": [1, 2, 3]})
+        assert database.has_table("t")
+        assert "t" in database
+        assert len(database.table("t")) == 3
+
+    def test_duplicate_rejected(self):
+        database = Database()
+        database.create_table("t", {"a": [1]})
+        with pytest.raises(SchemaError):
+            database.add_table(Table.from_columns("t", {"a": [1]}))
+
+    def test_unknown_table(self):
+        database = Database()
+        with pytest.raises(UnknownTableError):
+            database.table("missing")
+
+    def test_drop(self):
+        database = Database()
+        database.create_table("t", {"a": [1]})
+        database.drop_table("t")
+        assert not database.has_table("t")
+        with pytest.raises(UnknownTableError):
+            database.drop_table("t")
+
+    def test_table_names_sorted(self):
+        database = Database()
+        database.create_table("zeta", {"a": [1]})
+        database.create_table("alpha", {"a": [1]})
+        assert database.table_names == ["alpha", "zeta"]
+
+    def test_iteration(self):
+        database = Database()
+        database.create_table("a", {"x": [1]})
+        database.create_table("b", {"x": [1, 2]})
+        assert {table.name for table in database} == {"a", "b"}
+
+
+class TestStats:
+    def test_column_stats_cached_and_correct(self):
+        database = Database()
+        database.create_table("t", {"a": np.arange(100, dtype=np.float64)})
+        stats = database.column_stats("t", "a")
+        assert stats.min_value == 0.0
+        assert stats.max_value == 99.0
+        assert stats.count == 100
+        assert stats.ndv == 100
+        # Cached object identity on second access.
+        assert database.column_stats("t", "a") is stats
+
+    def test_stats_unknown_table(self):
+        database = Database()
+        with pytest.raises(UnknownTableError):
+            database.stats("nope")

@@ -1,0 +1,126 @@
+"""Cross-backend equivalence for categorical (ontology) predicates.
+
+The SQLite backend renders categorical refinement as IN-lists of
+roll-up-level value sets while the memory backend buckets per-tuple
+ontology distances; both must agree cell by cell (section 7.3 through
+both execution paths).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.acquire import Acquire, AcquireConfig
+from repro.core.aggregates import AggregateSpec, get_aggregate
+from repro.core.expand import LpBestFirstTraversal
+from repro.core.interval import Interval
+from repro.core.ontology import OntologyTree
+from repro.core.predicate import (
+    CategoricalPredicate,
+    Direction,
+    SelectPredicate,
+)
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.core.refined_space import RefinedSpace
+from repro.engine.catalog import Database
+from repro.engine.expression import col
+from repro.engine.memory_backend import MemoryBackend
+from repro.engine.sqlite_backend import SQLiteBackend
+
+
+@pytest.fixture(scope="module")
+def tree() -> OntologyTree:
+    ontology = OntologyTree(root="World")
+    ontology.add_path("US", "East", "Boston")
+    ontology.add_path("US", "East", "NewYork")
+    ontology.add_path("US", "West", "Seattle")
+    ontology.add_path("EU", "Paris")
+    ontology.add_path("EU", "Berlin")
+    return ontology
+
+
+@pytest.fixture(scope="module")
+def database() -> Database:
+    rng = np.random.default_rng(44)
+    cities = np.array(
+        ["Boston", "NewYork", "Seattle", "Paris", "Berlin"], dtype=object
+    )
+    db = Database()
+    db.create_table(
+        "venues",
+        {
+            "city": rng.choice(cities, 2000),
+            "price": np.round(rng.uniform(0, 100, 2000), 2),
+        },
+    )
+    return db
+
+
+def _query(tree: OntologyTree) -> Query:
+    predicates = [
+        CategoricalPredicate(
+            name="city",
+            column=col("venues.city"),
+            accepted=frozenset({"Boston"}),
+            ontology=tree,
+        ),
+        SelectPredicate(
+            name="price",
+            expr=col("venues.price"),
+            interval=Interval(0.0, 30.0),
+            direction=Direction.UPPER,
+            denominator=100.0,
+        ),
+    ]
+    constraint = AggregateConstraint(
+        AggregateSpec(get_aggregate("COUNT")), ConstraintOp.EQ, 900
+    )
+    return Query.build("cat", ("venues",), predicates, constraint)
+
+
+class TestCategoricalEquivalence:
+    def test_cells_agree(self, database, tree):
+        query = _query(tree)
+        memory = MemoryBackend(database)
+        sqlite = SQLiteBackend(database)
+        caps = [100.0, 100.0]
+        prepared_m = memory.prepare(query, caps)
+        prepared_s = sqlite.prepare(query, caps)
+        space = RefinedSpace(query, 20.0, [100.0, 70.0])
+        for coords in LpBestFirstTraversal(space):
+            cell_m = memory.execute_cell(prepared_m, space, coords)
+            cell_s = sqlite.execute_cell(prepared_s, space, coords)
+            assert cell_m == cell_s, coords
+
+    def test_boxes_agree(self, database, tree):
+        query = _query(tree)
+        memory = MemoryBackend(database)
+        sqlite = SQLiteBackend(database)
+        prepared_m = memory.prepare(query, [100.0, 100.0])
+        prepared_s = sqlite.prepare(query, [100.0, 100.0])
+        # Scores spanning every ontology roll-up level (depth 3).
+        for scores in [(0.0, 0.0), (34.0, 10.0), (67.0, 0.0),
+                       (100.0, 40.0)]:
+            box_m = memory.execute_box(prepared_m, scores)
+            box_s = sqlite.execute_box(prepared_s, scores)
+            assert box_m == box_s, scores
+
+    def test_full_run_agrees(self, database, tree):
+        query = _query(tree)
+        config = AcquireConfig(gamma=20.0, delta=0.05)
+        result_m = Acquire(MemoryBackend(database)).run(query, config)
+        result_s = Acquire(SQLiteBackend(database)).run(query, config)
+        assert result_m.best.aggregate_value == result_s.best.aggregate_value
+        assert result_m.best.qscore == pytest.approx(result_s.best.qscore)
+
+    def test_ontology_expansion_monotone_count(self, database, tree):
+        """Rolling up the accepted set only ever adds tuples."""
+        query = _query(tree)
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(query, [100.0, 100.0])
+        counts = [
+            layer.execute_box(prepared, (level_score, 0.0))[0]
+            for level_score in (0.0, 34.0, 67.0, 100.0)
+        ]
+        assert counts == sorted(counts)
+        # Full roll-up covers every city.
+        assert counts[-1] == layer.execute_box(prepared, (100.0, 0.0))[0]

@@ -1,0 +1,224 @@
+"""Tests for candidate-relation construction (joins, scoring)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import AggregateSpec, get_aggregate
+from repro.core.interval import Interval
+from repro.core.ontology import OntologyTree
+from repro.core.predicate import (
+    CategoricalPredicate,
+    Direction,
+    JoinPredicate,
+    SelectPredicate,
+)
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.engine.catalog import Database
+from repro.engine.executor import build_candidate
+from repro.engine.expression import col
+from repro.exceptions import EngineError
+
+
+def _count_constraint(target=10.0):
+    return AggregateConstraint(
+        AggregateSpec(get_aggregate("COUNT")), ConstraintOp.EQ, target
+    )
+
+
+def _upper(name, ref, hi, refinable=True, lo=0.0):
+    return SelectPredicate(
+        name=name,
+        expr=col(ref),
+        interval=Interval(lo, hi),
+        direction=Direction.UPPER,
+        denominator=100.0,
+        refinable=refinable,
+    )
+
+
+@pytest.fixture()
+def join_db() -> Database:
+    database = Database()
+    database.create_table(
+        "a", {"id": np.array([1, 2, 3, 4]), "x": np.array([10.0, 20.0, 30.0, 40.0])}
+    )
+    database.create_table(
+        "b",
+        {
+            "aid": np.array([1, 1, 2, 5]),
+            "y": np.array([5.0, 15.0, 25.0, 35.0]),
+        },
+    )
+    return database
+
+
+class TestSingleTable:
+    def test_scores_and_aggregate_values(self):
+        database = Database()
+        database.create_table("t", {"x": np.array([10.0, 60.0, 200.0])})
+        query = Query.build(
+            "q", ("t",), [_upper("p", "t.x", 50.0)], _count_constraint()
+        )
+        candidate = build_candidate(database, query, [100.0])
+        # 200.0 needs score 150 > cap 100: dropped.
+        assert candidate.nrows == 2
+        assert sorted(candidate.scores[:, 0].tolist()) == [-40.0, 10.0]
+        assert candidate.useful_max_scores == [10.0]
+
+    def test_fixed_predicate_prefilters(self):
+        database = Database()
+        database.create_table(
+            "t",
+            {"x": np.array([10.0, 60.0]), "y": np.array([1.0, 1.0])},
+        )
+        query = Query.build(
+            "q",
+            ("t",),
+            [
+                _upper("flex", "t.y", 5.0),
+                _upper("fixed", "t.x", 50.0, refinable=False),
+            ],
+            _count_constraint(),
+        )
+        candidate = build_candidate(database, query, [50.0])
+        assert candidate.nrows == 1  # x=60 violates the NOREFINE filter
+
+    def test_aggregate_attribute_collected(self):
+        database = Database()
+        database.create_table(
+            "t", {"x": np.array([1.0, 2.0]), "v": np.array([10.0, 20.0])}
+        )
+        constraint = AggregateConstraint(
+            AggregateSpec(get_aggregate("SUM"), col("t.v")),
+            ConstraintOp.GE,
+            5.0,
+        )
+        query = Query.build("q", ("t",), [_upper("p", "t.x", 5.0)], constraint)
+        candidate = build_candidate(database, query, [10.0])
+        assert sorted(candidate.agg_values.tolist()) == [10.0, 20.0]
+
+
+class TestJoins:
+    def test_fixed_equi_join(self, join_db):
+        query = Query.build(
+            "q",
+            ("a", "b"),
+            [
+                JoinPredicate(
+                    name="j",
+                    left=col("a.id"),
+                    right=col("b.aid"),
+                    refinable=False,
+                ),
+                _upper("p", "b.y", 100.0),
+            ],
+            _count_constraint(),
+        )
+        candidate = build_candidate(join_db, query, [10.0])
+        # Matches: a1-b1, a1-b2, a2-b3; b4 (aid=5) dangles.
+        assert candidate.nrows == 3
+
+    def test_refinable_band_join(self, join_db):
+        query = Query.build(
+            "q",
+            ("a", "b"),
+            [
+                JoinPredicate(name="j", left=col("a.x"), right=col("b.y")),
+                _upper("p", "b.y", 100.0),
+            ],
+            _count_constraint(),
+        )
+        # Band cap 10 (denominator 100 -> width 10).
+        candidate = build_candidate(join_db, query, [10.0, 100.0])
+        deltas = candidate.scores[:, 0]
+        assert (deltas <= 10.0 + 1e-9).all()
+        # Pairs within |x - y| <= 10: (10,5),(10,15),(20,15),(20,25),
+        # (30,25),(30,35),(40,35).
+        assert candidate.nrows == 7
+        # Exact matches absent: minimal band score is 5.
+        assert deltas.min() == pytest.approx(5.0)
+
+    def test_join_both_sides_in_frame_filters(self):
+        database = Database()
+        database.create_table("a", {"x": np.array([1.0, 2.0])})
+        database.create_table("b", {"y": np.array([1.0, 9.0])})
+        database.create_table("c", {"z": np.array([0.0])})
+        query = Query.build(
+            "q",
+            ("a", "b", "c"),
+            [
+                JoinPredicate(
+                    name="jab", left=col("a.x"), right=col("b.y"),
+                    refinable=False,
+                ),
+                JoinPredicate(
+                    name="jac", left=col("a.x"), right=col("c.z"),
+                    tolerance=5.0, refinable=False,
+                ),
+            ],
+            _count_constraint(),
+        )
+        candidate = build_candidate(database, query, [])
+        assert candidate.nrows == 1  # only a.x=1 matches b.y=1 and |1-0|<=5
+
+    def test_cross_product_guarded(self):
+        database = Database()
+        database.create_table("a", {"x": np.zeros(100)})
+        database.create_table("b", {"y": np.zeros(100)})
+        query = Query.build(
+            "q",
+            ("a", "b"),
+            [_upper("p", "a.x", 5.0)],
+            _count_constraint(),
+        )
+        with pytest.raises(EngineError, match="cross product"):
+            build_candidate(database, query, [10.0], max_rows=1000)
+        candidate = build_candidate(database, query, [10.0], max_rows=100_000)
+        assert candidate.nrows == 10_000
+
+    def test_band_join_explosion_guarded(self, join_db):
+        query = Query.build(
+            "q",
+            ("a", "b"),
+            [JoinPredicate(name="j", left=col("a.x"), right=col("b.y"))],
+            _count_constraint(),
+        )
+        with pytest.raises(EngineError, match="band join"):
+            build_candidate(join_db, query, [10_000.0], max_rows=3)
+
+    def test_dim_cap_arity_checked(self, join_db):
+        query = Query.build(
+            "q",
+            ("a", "b"),
+            [JoinPredicate(name="j", left=col("a.x"), right=col("b.y"))],
+            _count_constraint(),
+        )
+        with pytest.raises(EngineError, match="dim caps"):
+            build_candidate(join_db, query, [1.0, 2.0])
+
+
+class TestCategorical:
+    def test_categorical_scores(self):
+        tree = OntologyTree.from_mapping(
+            {"ROOT": ["US", "EU"], "US": ["Boston"], "EU": ["Paris"]}
+        )
+        database = Database()
+        database.create_table(
+            "t",
+            {
+                "city": np.array(["Boston", "Paris", "Boston"], dtype=object),
+                "x": np.array([1.0, 1.0, 1.0]),
+            },
+        )
+        predicate = CategoricalPredicate(
+            name="c",
+            column=col("t.city"),
+            accepted=frozenset({"Boston"}),
+            ontology=tree,
+        )
+        query = Query.build(
+            "q", ("t",), [predicate], _count_constraint()
+        )
+        candidate = build_candidate(database, query, [100.0])
+        assert candidate.nrows == 3
+        assert sorted(candidate.scores[:, 0].tolist()) == [0.0, 0.0, 100.0]

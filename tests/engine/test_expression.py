@@ -1,0 +1,150 @@
+"""Unit and property tests for the expression language."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.expression import (
+    Abs,
+    BinaryOp,
+    Constant,
+    absolute,
+    col,
+    const,
+    parse_column_ref,
+    wrap,
+)
+from repro.exceptions import ExpressionError
+
+
+class TestParseColumnRef:
+    def test_qualified(self):
+        assert parse_column_ref("t.c") == ("t", "c")
+
+    def test_default_table(self):
+        assert parse_column_ref("c", "t") == ("t", "c")
+
+    def test_unqualified_without_default_rejected(self):
+        with pytest.raises(ExpressionError):
+            parse_column_ref("c")
+
+    @pytest.mark.parametrize("bad", [".c", "t."])
+    def test_malformed(self, bad):
+        with pytest.raises(ExpressionError):
+            parse_column_ref(bad)
+
+
+class TestEvaluation:
+    def _batch(self):
+        return {
+            "t.a": np.array([1.0, 2.0, 3.0]),
+            "t.b": np.array([10.0, 20.0, 30.0]),
+            "u.c": np.array([-1.0, 0.0, 1.0]),
+        }
+
+    def test_column_lookup(self):
+        np.testing.assert_array_equal(
+            col("t.a").evaluate(self._batch()), [1.0, 2.0, 3.0]
+        )
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ExpressionError):
+            col("t.zz").evaluate(self._batch())
+
+    def test_arithmetic_sugar(self):
+        expr = col("t.a") * 2 + col("t.b") - 1
+        np.testing.assert_allclose(
+            expr.evaluate(self._batch()), [11.0, 23.0, 35.0]
+        )
+
+    def test_division(self):
+        expr = col("t.b") / col("t.a")
+        np.testing.assert_allclose(
+            expr.evaluate(self._batch()), [10.0, 10.0, 10.0]
+        )
+
+    def test_abs(self):
+        np.testing.assert_allclose(
+            absolute(col("u.c")).evaluate(self._batch()), [1.0, 0.0, 1.0]
+        )
+
+    def test_reverse_operators(self):
+        expr = 100 - col("t.a")
+        np.testing.assert_allclose(expr.evaluate(self._batch()), [99, 98, 97])
+
+    def test_constant_scalar(self):
+        assert float(const(4.0).evaluate({})) == 4.0
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            BinaryOp("%", const(1), const(2))
+
+    def test_wrap_rejects_strings(self):
+        with pytest.raises(ExpressionError):
+            wrap("nope")  # type: ignore[arg-type]
+
+
+class TestIntrospection:
+    def test_tables_and_columns(self):
+        expr = col("t.a") + col("u.c") * 2
+        assert expr.tables() == {"t", "u"}
+        assert expr.columns() == {"t.a", "u.c"}
+
+    def test_constant_has_no_tables(self):
+        assert const(3).tables() == set()
+        assert const(3).columns() == set()
+
+
+class TestSQL:
+    def test_column_sql(self):
+        assert col("t.a").to_sql() == "t.a"
+
+    def test_integer_constant_sql(self):
+        assert const(5.0).to_sql() == "5"
+
+    def test_float_constant_sql(self):
+        assert const(2.5).to_sql() == "2.5"
+
+    def test_composite_sql(self):
+        expr = Abs(col("t.a") - col("u.c"))
+        assert expr.to_sql() == "ABS((t.a - u.c))"
+
+
+class TestPropertyConsistency:
+    """Numpy evaluation must agree with SQL-on-SQLite evaluation."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+                st.floats(min_value=1, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_numpy_matches_sqlite(self, rows):
+        import sqlite3
+
+        a_values = np.array([row[0] for row in rows])
+        b_values = np.array([row[1] for row in rows])
+        expr = Abs(col("t.a") * 2 - col("t.b")) + const(1)
+
+        batch = {"t.a": a_values, "t.b": b_values}
+        numpy_result = expr.evaluate(batch)
+
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE t (a REAL, b REAL)")
+        connection.executemany(
+            "INSERT INTO t VALUES (?, ?)",
+            [(float(a), float(b)) for a, b in rows],
+        )
+        sql_result = [
+            row[0]
+            for row in connection.execute(
+                f"SELECT {expr.to_sql()} FROM t"
+            )
+        ]
+        np.testing.assert_allclose(numpy_result, sql_result, rtol=1e-9)

@@ -1,0 +1,104 @@
+"""Tests for result-set materialization (fetch_rows)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import AggregateSpec, get_aggregate
+from repro.core.interval import Interval
+from repro.core.predicate import Direction, JoinPredicate, SelectPredicate
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.engine.catalog import Database
+from repro.engine.expression import col
+from repro.engine.memory_backend import MemoryBackend
+from repro.engine.sqlite_backend import SQLiteBackend
+from tests.conftest import count_query
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    rng = np.random.default_rng(13)
+    database = Database()
+    database.create_table(
+        "data",
+        {
+            "x": np.round(rng.uniform(0, 100, 600), 2),
+            "y": np.round(rng.uniform(0, 100, 600), 2),
+        },
+    )
+    return database
+
+
+class TestFetchRows:
+    def test_rows_match_aggregate_count(self, db):
+        query = count_query("data", {"x": 40.0, "y": 40.0}, target=100)
+        for layer in (MemoryBackend(db), SQLiteBackend(db)):
+            prepared = layer.prepare(query, [100.0, 100.0])
+            scores = (10.0, 5.0)
+            count = layer.execute_box(prepared, scores)[0]
+            rows = layer.fetch_rows(prepared, scores)
+            assert len(rows) == count
+
+    def test_rows_satisfy_refined_predicates(self, db):
+        query = count_query("data", {"x": 40.0, "y": 40.0}, target=100)
+        layer = MemoryBackend(db)
+        prepared = layer.prepare(query, [100.0, 100.0])
+        rows = layer.fetch_rows(prepared, (10.0, 0.0))
+        assert rows
+        for row in rows:
+            assert 0.0 <= row["data.x"] <= 50.0  # 40 + 10% of 100
+            assert 0.0 <= row["data.y"] <= 40.0
+
+    def test_limit(self, db):
+        query = count_query("data", {"x": 40.0, "y": 40.0}, target=100)
+        for layer in (MemoryBackend(db), SQLiteBackend(db)):
+            prepared = layer.prepare(query, [100.0, 100.0])
+            rows = layer.fetch_rows(prepared, (50.0, 50.0), limit=7)
+            assert len(rows) == 7
+
+    def test_backends_return_same_multiset(self, db):
+        query = count_query("data", {"x": 40.0, "y": 40.0}, target=100)
+        memory = MemoryBackend(db)
+        sqlite = SQLiteBackend(db)
+        rows_m = memory.fetch_rows(
+            memory.prepare(query, [100.0, 100.0]), (5.0, 5.0)
+        )
+        rows_s = sqlite.fetch_rows(
+            sqlite.prepare(query, [100.0, 100.0]), (5.0, 5.0)
+        )
+        key = lambda row: (row["data.x"], row["data.y"])
+        assert sorted(map(key, rows_m)) == sorted(map(key, rows_s))
+
+    def test_join_rows_qualified(self):
+        database = Database()
+        database.create_table(
+            "a", {"id": np.array([1, 2]), "v": np.array([10.0, 20.0])}
+        )
+        database.create_table(
+            "b", {"aid": np.array([1, 1, 2]), "w": np.array([1.0, 2.0, 3.0])}
+        )
+        query = Query.build(
+            "q",
+            ("a", "b"),
+            [
+                JoinPredicate(
+                    name="j", left=col("a.id"), right=col("b.aid"),
+                    refinable=False,
+                ),
+                SelectPredicate(
+                    name="p",
+                    expr=col("b.w"),
+                    interval=Interval(0.0, 10.0),
+                    direction=Direction.UPPER,
+                ),
+            ],
+            AggregateConstraint(
+                AggregateSpec(get_aggregate("COUNT")), ConstraintOp.EQ, 3
+            ),
+        )
+        for layer in (MemoryBackend(database), SQLiteBackend(database)):
+            prepared = layer.prepare(query, [10.0])
+            rows = layer.fetch_rows(prepared, (0.0,))
+            assert len(rows) == 3
+            assert {"a.id", "a.v", "b.aid", "b.w"} <= set(rows[0])
+            for row in rows:
+                assert row["a.id"] == row["b.aid"]

@@ -1,0 +1,62 @@
+"""Unit tests for the column type system and table schemas."""
+
+import numpy as np
+import pytest
+
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.exceptions import SchemaError, UnknownColumnError
+
+
+class TestColumnType:
+    def test_numpy_dtypes(self):
+        assert ColumnType.INT.numpy_dtype is np.int64
+        assert ColumnType.FLOAT.numpy_dtype is np.float64
+        assert ColumnType.STR.numpy_dtype is np.object_
+
+    def test_numeric_flags(self):
+        assert ColumnType.INT.is_numeric
+        assert ColumnType.FLOAT.is_numeric
+        assert not ColumnType.STR.is_numeric
+
+    def test_sql_types(self):
+        assert ColumnType.INT.sql_type == "INTEGER"
+        assert ColumnType.FLOAT.sql_type == "REAL"
+        assert ColumnType.STR.sql_type == "TEXT"
+
+
+class TestColumn:
+    def test_valid_names(self):
+        Column("ps_availqty", ColumnType.INT)
+        Column("x", ColumnType.FLOAT)
+
+    @pytest.mark.parametrize("bad", ["", "a b", "x-y", "a.b"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(SchemaError):
+            Column(bad, ColumnType.INT)
+
+
+class TestTableSchema:
+    def test_build_and_lookup(self):
+        schema = TableSchema.build("t", a=ColumnType.INT, b=ColumnType.STR)
+        assert schema.column_names == ["a", "b"]
+        assert schema.column("a").ctype is ColumnType.INT
+        assert "b" in schema
+        assert len(schema) == 2
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [Column("a", ColumnType.INT), Column("a", ColumnType.INT)],
+            )
+
+    def test_unknown_column_raises(self):
+        schema = TableSchema.build("t", a=ColumnType.INT)
+        with pytest.raises(UnknownColumnError) as excinfo:
+            schema.column("missing")
+        assert "missing" in str(excinfo.value)
+        assert not schema.has_column("missing")
+
+    def test_invalid_table_name(self):
+        with pytest.raises(SchemaError):
+            TableSchema("no spaces", [])

@@ -1,0 +1,85 @@
+"""Unit tests for the columnar table."""
+
+import numpy as np
+import pytest
+
+from repro.engine.schema import ColumnType, TableSchema
+from repro.engine.table import Table
+from repro.exceptions import SchemaError, UnknownColumnError
+
+
+class TestFromColumns:
+    def test_type_inference(self):
+        table = Table.from_columns(
+            "t",
+            {
+                "i": np.array([1, 2, 3]),
+                "f": np.array([1.5, 2.5, 3.5]),
+                "s": np.array(["a", "b", "c"], dtype=object),
+            },
+        )
+        assert table.schema.column("i").ctype is ColumnType.INT
+        assert table.schema.column("f").ctype is ColumnType.FLOAT
+        assert table.schema.column("s").ctype is ColumnType.STR
+        assert len(table) == 3
+
+    def test_plain_lists_accepted(self):
+        table = Table.from_columns("t", {"a": [1, 2], "b": [0.5, 1.5]})
+        assert table.nrows == 2
+        np.testing.assert_array_equal(table.column("a"), [1, 2])
+
+
+class TestLoading:
+    def test_load_rows_roundtrip(self):
+        schema = TableSchema.build("t", a=ColumnType.INT, b=ColumnType.FLOAT)
+        table = Table(schema)
+        table.load_rows([(1, 1.5), (2, 2.5)])
+        assert list(table.iter_rows()) == [(1, 1.5), (2, 2.5)]
+        assert table.row(1) == {"a": 2, "b": 2.5}
+
+    def test_missing_column_rejected(self):
+        schema = TableSchema.build("t", a=ColumnType.INT, b=ColumnType.INT)
+        table = Table(schema)
+        with pytest.raises(SchemaError, match="missing"):
+            table.load_columns({"a": [1]})
+
+    def test_extra_column_rejected(self):
+        schema = TableSchema.build("t", a=ColumnType.INT)
+        table = Table(schema)
+        with pytest.raises(SchemaError, match="unexpected"):
+            table.load_columns({"a": [1], "zz": [2]})
+
+    def test_ragged_columns_rejected(self):
+        schema = TableSchema.build("t", a=ColumnType.INT, b=ColumnType.INT)
+        table = Table(schema)
+        with pytest.raises(SchemaError, match="ragged"):
+            table.load_columns({"a": [1, 2], "b": [1]})
+
+    def test_row_arity_mismatch_rejected(self):
+        schema = TableSchema.build("t", a=ColumnType.INT, b=ColumnType.INT)
+        table = Table(schema)
+        with pytest.raises(SchemaError, match="arity"):
+            table.load_rows([(1,)])
+
+
+class TestAccess:
+    def test_unknown_column(self):
+        table = Table.from_columns("t", {"a": [1]})
+        with pytest.raises(UnknownColumnError):
+            table.column("b")
+
+    def test_select_mask(self):
+        table = Table.from_columns("t", {"a": np.arange(10)})
+        filtered = table.select(table.column("a") % 2 == 0)
+        assert len(filtered) == 5
+        np.testing.assert_array_equal(filtered.column("a"), [0, 2, 4, 6, 8])
+
+    def test_take_indices(self):
+        table = Table.from_columns("t", {"a": np.arange(5) * 10})
+        gathered = table.take(np.array([3, 0, 3]))
+        np.testing.assert_array_equal(gathered["a"], [30, 0, 30])
+
+    def test_empty_table(self):
+        table = Table.from_columns("t", {"a": []})
+        assert len(table) == 0
+        assert list(table.iter_rows()) == []

@@ -1,0 +1,286 @@
+"""Tests for binding parsed ACQs against the catalog."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.ontology import OntologyTree
+from repro.core.predicate import (
+    CategoricalPredicate,
+    Direction,
+    JoinPredicate,
+    SelectPredicate,
+)
+from repro.core.query import ConstraintOp
+from repro.engine.catalog import Database
+from repro.exceptions import BindError, OSPViolationError
+from repro.sqlext.binder import parse_acq
+
+
+@pytest.fixture(scope="module")
+def database() -> Database:
+    rng = np.random.default_rng(0)
+    db = Database()
+    db.create_table(
+        "users",
+        {
+            "age": rng.integers(18, 80, 500),
+            "income": rng.uniform(0, 1e5, 500),
+            "city": rng.choice(
+                np.array(["Boston", "NewYork", "Paris"], dtype=object), 500
+            ),
+        },
+    )
+    db.create_table(
+        "orders",
+        {
+            "uid": rng.integers(0, 500, 800),
+            "amount": rng.uniform(0, 1000, 800),
+        },
+    )
+    return db
+
+
+class TestSelectBinding:
+    def test_upper_predicate_anchored_at_domain_min(self, database):
+        """Paper 2.2: (B.y < 50) with min(B.y)=0 binds P_I=(0, 50)."""
+        query = parse_acq(
+            "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+            "WHERE users.age <= 30",
+            database,
+        )
+        predicate = query.predicates[0]
+        assert isinstance(predicate, SelectPredicate)
+        assert predicate.direction is Direction.UPPER
+        assert predicate.interval.hi == 30.0
+        assert predicate.interval.lo == 18.0  # observed min of age
+
+    def test_lower_predicate(self, database):
+        query = parse_acq(
+            "SELECT * FROM users CONSTRAINT COUNT(*) = 100 WHERE age >= 60",
+            database,
+        )
+        predicate = query.predicates[0]
+        assert predicate.direction is Direction.LOWER
+        assert predicate.interval.lo == 60.0
+        assert predicate.interval.hi == 79.0
+
+    def test_range_split_into_two_one_sided(self, database):
+        """Paper 2.2's range rewrite."""
+        query = parse_acq(
+            "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+            "WHERE 25 <= age <= 35",
+            database,
+        )
+        assert query.dimensionality == 2
+        lower, upper = query.predicates
+        assert lower.direction is Direction.LOWER
+        assert lower.interval.lo == 25.0
+        assert upper.direction is Direction.UPPER
+        assert upper.interval.hi == 35.0
+
+    def test_between_equivalent_to_chain(self, database):
+        chained = parse_acq(
+            "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+            "WHERE 25 <= age <= 35",
+            database,
+        )
+        between = parse_acq(
+            "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+            "WHERE age BETWEEN 25 AND 35",
+            database,
+        )
+        assert [p.interval for p in chained.predicates] == [
+            p.interval for p in between.predicates
+        ]
+
+    def test_numeric_equality_is_point(self, database):
+        query = parse_acq(
+            "SELECT * FROM users CONSTRAINT COUNT(*) = 100 WHERE age = 30",
+            database,
+        )
+        predicate = query.predicates[0]
+        assert predicate.direction is Direction.POINT
+        assert predicate.interval.is_point
+
+    def test_flipped_comparison_normalized(self, database):
+        query = parse_acq(
+            "SELECT * FROM users CONSTRAINT COUNT(*) = 100 WHERE 30 >= age",
+            database,
+        )
+        assert query.predicates[0].direction is Direction.UPPER
+
+    def test_norefine_flag(self, database):
+        query = parse_acq(
+            "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+            "WHERE (age <= 30) NOREFINE AND income <= 50000",
+            database,
+        )
+        assert not query.predicates[0].refinable
+        assert query.predicates[1].refinable
+        assert query.dimensionality == 1
+
+
+class TestJoinBinding:
+    def test_cross_table_equality_is_join(self, database):
+        query = parse_acq(
+            "SELECT * FROM users, orders CONSTRAINT COUNT(*) = 100 "
+            "WHERE users.age = orders.uid",
+            database,
+        )
+        predicate = query.predicates[0]
+        assert isinstance(predicate, JoinPredicate)
+        assert predicate.is_equi
+        assert predicate.refinable
+
+    def test_non_equi_cross_table_becomes_difference(self, database):
+        query = parse_acq(
+            "SELECT * FROM users, orders CONSTRAINT COUNT(*) = 100 "
+            "WHERE users.age <= orders.amount",
+            database,
+        )
+        predicate = query.predicates[0]
+        assert isinstance(predicate, SelectPredicate)
+        assert predicate.expr.tables() == {"users", "orders"}
+        assert predicate.interval.hi == 0.0
+
+
+class TestCategoricalBinding:
+    def test_string_equality(self, database):
+        query = parse_acq(
+            "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+            "WHERE city = 'Boston'",
+            database,
+        )
+        predicate = query.predicates[0]
+        assert isinstance(predicate, CategoricalPredicate)
+        assert predicate.accepted == frozenset({"Boston"})
+
+    def test_in_list_with_ontology(self, database):
+        tree = OntologyTree(root="World")
+        tree.add_path("US", "Boston")
+        tree.add_path("US", "NewYork")
+        tree.add_path("EU", "Paris")
+        query = parse_acq(
+            "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+            "WHERE city IN ('Boston', 'NewYork')",
+            database,
+            ontologies={"users.city": tree},
+        )
+        predicate = query.predicates[0]
+        assert predicate.ontology is tree
+        assert predicate.accepted == frozenset({"Boston", "NewYork"})
+
+    def test_flat_fallback_ontology(self, database):
+        query = parse_acq(
+            "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+            "WHERE city = 'Paris'",
+            database,
+        )
+        predicate = query.predicates[0]
+        assert predicate.ontology.depth == 1
+        expanded = predicate.accepted_at(predicate.level_scale)
+        assert {"Boston", "NewYork", "Paris"} <= expanded
+
+    def test_value_missing_from_ontology(self, database):
+        with pytest.raises(BindError, match="not present"):
+            parse_acq(
+                "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+                "WHERE city = 'Atlantis'",
+                database,
+            )
+
+    def test_categorical_on_numeric_rejected(self, database):
+        with pytest.raises(BindError, match="non-string"):
+            parse_acq(
+                "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+                "WHERE age = 'old'",
+                database,
+            )
+
+    def test_numeric_in_rejected(self, database):
+        with pytest.raises(BindError, match="string values only"):
+            parse_acq(
+                "SELECT * FROM users CONSTRAINT COUNT(*) = 100 "
+                "WHERE city IN (1, 2)",
+                database,
+            )
+
+
+class TestConstraintBinding:
+    def test_sum_with_attribute(self, database):
+        query = parse_acq(
+            "SELECT * FROM orders CONSTRAINT SUM(amount) >= 10K "
+            "WHERE amount <= 100",
+            database,
+        )
+        constraint = query.constraint
+        assert constraint.spec.aggregate.name == "SUM"
+        assert constraint.op is ConstraintOp.GE
+        assert constraint.target == 10_000.0
+
+    def test_count_star(self, database):
+        query = parse_acq(
+            "SELECT * FROM orders CONSTRAINT COUNT(*) = 5 WHERE amount <= 10",
+            database,
+        )
+        assert query.constraint.spec.attribute is None
+
+    def test_missing_constraint_rejected(self, database):
+        with pytest.raises(BindError, match="CONSTRAINT"):
+            parse_acq("SELECT * FROM orders WHERE amount <= 10", database)
+
+    def test_stddev_rejected(self, database):
+        with pytest.raises(OSPViolationError):
+            parse_acq(
+                "SELECT * FROM orders CONSTRAINT STDDEV(amount) = 5 "
+                "WHERE amount <= 10",
+                database,
+            )
+
+    def test_sum_needs_attribute(self, database):
+        with pytest.raises(BindError, match="attribute"):
+            parse_acq(
+                "SELECT * FROM orders CONSTRAINT SUM(*) = 5 "
+                "WHERE amount <= 10",
+                database,
+            )
+
+
+class TestResolution:
+    def test_unknown_table(self, database):
+        with pytest.raises(BindError, match="unknown table"):
+            parse_acq("SELECT * FROM nope CONSTRAINT COUNT(*) = 5", database)
+
+    def test_unknown_column(self, database):
+        with pytest.raises(BindError, match="unknown column"):
+            parse_acq(
+                "SELECT * FROM users CONSTRAINT COUNT(*) = 5 WHERE zz <= 1",
+                database,
+            )
+
+    def test_ambiguous_column(self, database):
+        database2 = Database()
+        database2.create_table("a", {"x": [1.0]})
+        database2.create_table("b", {"x": [1.0]})
+        with pytest.raises(BindError, match="ambiguous"):
+            parse_acq(
+                "SELECT * FROM a, b CONSTRAINT COUNT(*) = 5 WHERE x <= 1",
+                database2,
+            )
+
+    def test_table_not_in_from(self, database):
+        with pytest.raises(BindError, match="not in the FROM"):
+            parse_acq(
+                "SELECT * FROM users CONSTRAINT COUNT(*) = 5 "
+                "WHERE orders.amount <= 1",
+                database,
+            )
+
+    def test_constant_only_comparison_rejected(self, database):
+        with pytest.raises(BindError):
+            parse_acq(
+                "SELECT * FROM users CONSTRAINT COUNT(*) = 5 WHERE 1 <= 2",
+                database,
+            )

@@ -1,0 +1,113 @@
+"""Tests for the ACQ dialect tokenizer."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.sqlext.lexer import TokenType, tokenize
+
+
+def kinds(text):
+    return [token.type for token in tokenize(text)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where and NOREFINE constraint")
+        assert all(token.type is TokenType.KEYWORD for token in tokens[:-1])
+        assert [t.text for t in tokens[:-1]] == [
+            "SELECT", "FROM", "WHERE", "AND", "NOREFINE", "CONSTRAINT",
+        ]
+
+    def test_identifiers_preserve_case(self):
+        token = tokenize("ps_availQty")[0]
+        assert token.type is TokenType.IDENT
+        assert token.text == "ps_availQty"
+
+    def test_operators(self):
+        tokens = tokenize("<= >= < > = !=")
+        assert [t.text for t in tokens[:-1]] == ["<=", ">=", "<", ">", "=",
+                                                 "!="]
+
+    def test_punctuation(self):
+        assert kinds("( ) , . * ;") == [TokenType.PUNCT] * 6
+
+    def test_whitespace_and_comments_skipped(self):
+        tokens = tokenize("a -- comment\n b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_eof_token(self):
+        assert tokenize("")[0].type is TokenType.EOF
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("42", 42.0),
+            ("3.25", 3.25),
+            (".5", 0.5),
+            ("1K", 1e3),
+            ("2.5M", 2.5e6),
+            ("1m", 1e6),
+            ("3B", 3e9),
+            ("0.1M", 1e5),
+        ],
+    )
+    def test_values_with_suffixes(self, text, value):
+        """The paper writes COUNT(*)=1M and SUM(...) >= 0.1M."""
+        token = tokenize(text)[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == value
+
+    def test_suffix_must_end_word(self):
+        with pytest.raises(ParseError):
+            tokenize("10Mbit")
+
+    def test_qualified_column_not_number(self):
+        tokens = tokenize("t1.x")
+        assert [t.text for t in tokens[:-1]] == ["t1", ".", "x"]
+
+
+class TestStrings:
+    def test_simple(self):
+        token = tokenize("'SMALL BURNISHED STEEL'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "SMALL BURNISHED STEEL"
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'oops")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("a @ b")
+        assert excinfo.value.position == 2
+
+
+class TestScientificNotation:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("1e6", 1e6),
+            ("2.5E-3", 2.5e-3),
+            ("1e+06", 1e6),
+            ("7E2", 700.0),
+        ],
+    )
+    def test_exponent_forms(self, text, value):
+        token = tokenize(text)[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == value
+
+    def test_bare_e_is_identifier_boundary(self):
+        """'1east' is a malformed literal, not 1 followed by 'east'...
+        actually the 'e' is not followed by digits, so the number ends
+        at '1' and 'east' is a separate identifier."""
+        tokens = tokenize("1east")
+        assert tokens[0].value == 1.0
+        assert tokens[1].text == "east"

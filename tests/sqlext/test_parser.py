@@ -1,0 +1,149 @@
+"""Tests for the ACQ dialect parser, including the paper's queries."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.sqlext import ast
+from repro.sqlext.parser import parse_statement
+
+Q1_PRIME = """
+SELECT * FROM Users
+CONSTRAINT COUNT(*) = 1M
+WHERE location IN ('Boston', 'New_York', 'Seattle', 'Miami', 'Austin')
+AND (gender = 'Women') NOREFINE AND (25 <= age <= 35)
+AND (education = 'CollegeGrad')
+AND (relationshipStatus = 'Single')
+AND interests IN ('Retail', 'Shopping') NOREFINE;
+"""
+
+Q2_PRIME = """
+SELECT * FROM supplier, part, partsupp
+CONSTRAINT SUM(ps_availqty) >= 0.1M
+WHERE (s_suppkey = ps_suppkey) NOREFINE AND
+(p_partkey = ps_partkey) NOREFINE AND
+(p_retailprice < 1000) AND (s_acctbal < 2000)
+AND (p_size = 10) NOREFINE AND
+(p_type = 'SMALL BURNISHED STEEL') NOREFINE
+"""
+
+
+class TestPaperQueries:
+    def test_q1_prime(self):
+        statement = parse_statement(Q1_PRIME)
+        assert statement.tables == ("Users",)
+        assert statement.constraint.function == "COUNT"
+        assert statement.constraint.argument is None
+        assert statement.constraint.op == "="
+        assert statement.constraint.target == 1e6
+        assert len(statement.conjuncts) == 6
+        norefines = [c.norefine for c in statement.conjuncts]
+        assert norefines == [False, True, False, False, False, True]
+        chained = statement.conjuncts[2].condition
+        assert isinstance(chained, ast.RangeCondition)
+        assert chained.low == ast.NumberLit(25.0)
+        assert chained.high == ast.NumberLit(35.0)
+
+    def test_q2_prime(self):
+        statement = parse_statement(Q2_PRIME)
+        assert statement.tables == ("supplier", "part", "partsupp")
+        constraint = statement.constraint
+        assert constraint.function == "SUM"
+        assert constraint.argument == ast.ColRef("ps_availqty")
+        assert constraint.op == ">="
+        assert constraint.target == 1e5
+        assert len(statement.conjuncts) == 6
+        assert sum(c.norefine for c in statement.conjuncts) == 4
+
+
+class TestGrammar:
+    def test_projection_columns(self):
+        statement = parse_statement(
+            "SELECT a, b FROM t CONSTRAINT COUNT(*) = 5"
+        )
+        assert statement.projection == ("a", "b")
+
+    def test_no_where_clause(self):
+        statement = parse_statement("SELECT * FROM t CONSTRAINT COUNT(*) = 5")
+        assert statement.conjuncts == ()
+
+    def test_no_constraint_clause(self):
+        statement = parse_statement("SELECT * FROM t WHERE x < 5")
+        assert statement.constraint is None
+
+    def test_between(self):
+        statement = parse_statement(
+            "SELECT * FROM t CONSTRAINT COUNT(*) = 5 "
+            "WHERE x BETWEEN 10 AND 20 AND y < 5"
+        )
+        condition = statement.conjuncts[0].condition
+        assert isinstance(condition, ast.RangeCondition)
+        assert condition.low == ast.NumberLit(10.0)
+        assert condition.high == ast.NumberLit(20.0)
+        assert len(statement.conjuncts) == 2
+
+    def test_descending_chain(self):
+        statement = parse_statement(
+            "SELECT * FROM t CONSTRAINT COUNT(*) = 5 WHERE 35 >= age > 25"
+        )
+        condition = statement.conjuncts[0].condition
+        assert isinstance(condition, ast.RangeCondition)
+        assert condition.low == ast.NumberLit(25.0)
+        assert condition.high == ast.NumberLit(35.0)
+        assert condition.low_strict and not condition.high_strict
+
+    def test_inconsistent_chain_rejected(self):
+        with pytest.raises(ParseError, match="chained"):
+            parse_statement(
+                "SELECT * FROM t CONSTRAINT COUNT(*) = 5 WHERE 25 <= age > 35"
+            )
+
+    def test_arithmetic_and_parens(self):
+        statement = parse_statement(
+            "SELECT * FROM t CONSTRAINT COUNT(*) = 5 WHERE (2 * x) < y + 1"
+        )
+        condition = statement.conjuncts[0].condition
+        assert isinstance(condition, ast.Comparison)
+        assert isinstance(condition.left, ast.BinOp)
+        assert condition.left.op == "*"
+
+    def test_abs_function(self):
+        statement = parse_statement(
+            "SELECT * FROM t CONSTRAINT COUNT(*) = 5 WHERE ABS(x - y) <= 3"
+        )
+        condition = statement.conjuncts[0].condition
+        assert isinstance(condition.left, ast.AbsCall)
+
+    def test_unary_minus(self):
+        statement = parse_statement(
+            "SELECT * FROM t CONSTRAINT MAX(x) >= -5 WHERE x > -2.5"
+        )
+        assert statement.constraint.target == -5.0
+        condition = statement.conjuncts[0].condition
+        assert condition.right == ast.NumberLit(-2.5)
+
+    def test_in_requires_column(self):
+        with pytest.raises(ParseError, match="IN requires"):
+            parse_statement(
+                "SELECT * FROM t CONSTRAINT COUNT(*) = 5 "
+                "WHERE (x + 1) IN ('a')"
+            )
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_statement("SELECT * FROM t CONSTRAINT COUNT(*) = 5 ; extra")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "FROM t",
+            "SELECT * t",
+            "SELECT * FROM t CONSTRAINT COUNT * = 5",
+            "SELECT * FROM t CONSTRAINT COUNT(*) 5",
+            "SELECT * FROM t CONSTRAINT COUNT(*) = ",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE x <",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_statement(bad)

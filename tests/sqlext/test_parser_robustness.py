@@ -1,0 +1,52 @@
+"""Robustness: arbitrary input never escapes the ParseError contract."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParseError
+from repro.sqlext.ast import SelectStatement
+from repro.sqlext.lexer import tokenize
+from repro.sqlext.parser import parse_statement
+
+_FRAGMENTS = list("abcxyz01. ,*()<>=+-'_;\n") + [
+    "SELECT ", "FROM ", "WHERE ", "AND ", "CONSTRAINT ",
+    "NOREFINE ", "BETWEEN ", "IN ", "COUNT", "SUM", "<=", ">=",
+    "1M", "0.5", "'txt'",
+]
+
+sql_ish_text = st.lists(
+    st.sampled_from(_FRAGMENTS), min_size=0, max_size=40
+).map("".join)
+
+
+class TestParserRobustness:
+    @settings(max_examples=300, deadline=None)
+    @given(sql_ish_text)
+    def test_lexer_total(self, text):
+        """Tokenize either succeeds or raises ParseError — nothing else."""
+        try:
+            tokens = tokenize(text)
+        except ParseError:
+            return
+        assert tokens, "token stream always ends with EOF"
+
+    @settings(max_examples=300, deadline=None)
+    @given(sql_ish_text)
+    def test_parser_total(self, text):
+        """Parse either yields a statement or raises ParseError."""
+        try:
+            statement = parse_statement(text)
+        except ParseError:
+            return
+        assert isinstance(statement, SelectStatement)
+
+    @settings(max_examples=100, deadline=None)
+    @given(sql_ish_text)
+    def test_parse_is_deterministic(self, text):
+        def attempt():
+            try:
+                return ("ok", parse_statement(text))
+            except ParseError as error:
+                return ("err", str(error))
+
+        assert attempt() == attempt()

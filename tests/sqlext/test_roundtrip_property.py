@@ -1,0 +1,103 @@
+"""Property test: random ACQs survive format -> parse -> bind intact."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.catalog import Database
+from repro.sqlext import format_query, parse_acq
+
+COLUMNS = ("alpha", "beta", "gamma_col")
+
+
+@pytest.fixture(scope="module")
+def database() -> Database:
+    rng = np.random.default_rng(0)
+    db = Database()
+    db.create_table(
+        "t",
+        {column: rng.uniform(0, 1000, 400) for column in COLUMNS},
+    )
+    return db
+
+
+def _bound(draw_value: float) -> str:
+    return f"{draw_value:.3f}"
+
+
+condition = st.builds(
+    lambda column, op, value, norefine: (
+        f"({column} {op} {_bound(value)})" + (" NOREFINE" if norefine else "")
+    ),
+    st.sampled_from(COLUMNS),
+    st.sampled_from(["<=", ">=", "<", ">"]),
+    st.floats(min_value=1.0, max_value=999.0, allow_nan=False),
+    st.booleans(),
+)
+
+range_condition = st.builds(
+    lambda column, low, high: (
+        f"({low:.3f} <= {column} <= {low + high:.3f})"
+    ),
+    st.sampled_from(COLUMNS),
+    st.floats(min_value=1.0, max_value=400.0),
+    st.floats(min_value=1.0, max_value=400.0),
+)
+
+aggregate_clause = st.one_of(
+    st.builds(
+        lambda target: f"COUNT(*) = {target:.0f}",
+        st.floats(min_value=1, max_value=1e6),
+    ),
+    st.builds(
+        lambda column, target: f"SUM({column}) >= {target:.1f}",
+        st.sampled_from(COLUMNS),
+        st.floats(min_value=1, max_value=1e6),
+    ),
+    st.builds(
+        lambda column, target: f"AVG({column}) = {target:.1f}",
+        st.sampled_from(COLUMNS),
+        st.floats(min_value=1, max_value=999),
+    ),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        aggregate_clause,
+        st.lists(
+            st.one_of(condition, range_condition), min_size=1, max_size=4
+        ),
+    )
+    def test_format_parse_bind_fixpoint(self, constraint, conditions):
+        rng = np.random.default_rng(0)
+        database = Database()
+        database.create_table(
+            "t",
+            {column: rng.uniform(0, 1000, 400) for column in COLUMNS},
+        )
+        text = (
+            f"SELECT * FROM t CONSTRAINT {constraint} "
+            f"WHERE {' AND '.join(conditions)}"
+        )
+        first = parse_acq(text, database)
+        second = parse_acq(format_query(first), database)
+
+        assert second.tables == first.tables
+        assert second.constraint.op == first.constraint.op
+        assert second.constraint.target == pytest.approx(
+            first.constraint.target
+        )
+        assert (
+            second.constraint.spec.aggregate.name
+            == first.constraint.spec.aggregate.name
+        )
+        assert second.dimensionality == first.dimensionality
+        assert len(second.predicates) == len(first.predicates)
+        for a, b in zip(second.predicates, first.predicates):
+            assert type(a) is type(b)
+            assert a.refinable == b.refinable
+            assert a.interval.lo == pytest.approx(b.interval.lo, abs=1e-6)
+            assert a.interval.hi == pytest.approx(b.interval.hi, abs=1e-6)

@@ -1,0 +1,108 @@
+"""Tests for the CSV command-line interface."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.cli import load_csv, main
+from repro.engine.catalog import Database
+from repro.engine.schema import ColumnType
+from repro.exceptions import DataGenError, ReproError
+
+
+@pytest.fixture()
+def users_csv(tmp_path):
+    path = tmp_path / "users.csv"
+    rng = np.random.default_rng(0)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["age", "income", "city"])
+        for _ in range(2000):
+            writer.writerow(
+                [
+                    int(rng.integers(18, 80)),
+                    round(float(rng.uniform(1e4, 2e5)), 2),
+                    str(rng.choice(["Boston", "NYC", "LA"])),
+                ]
+            )
+    return str(path)
+
+
+class TestLoadCSV:
+    def test_type_inference(self, users_csv):
+        database = Database()
+        load_csv(database, "users", users_csv)
+        schema = database.table("users").schema
+        assert schema.column("age").ctype is ColumnType.INT
+        assert schema.column("income").ctype is ColumnType.FLOAT
+        assert schema.column("city").ctype is ColumnType.STR
+        assert len(database.table("users")) == 2000
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataGenError, match="empty"):
+            load_csv(Database(), "t", str(path))
+
+    def test_empty_cells_rejected(self, tmp_path):
+        path = tmp_path / "holes.csv"
+        path.write_text("a,b\n1,\n2,3\n")
+        with pytest.raises(DataGenError, match="empty cells"):
+            load_csv(Database(), "t", str(path))
+
+
+class TestMain:
+    SQL = (
+        "SELECT * FROM users CONSTRAINT COUNT(*) = 500 "
+        "WHERE age <= 30 AND income <= 60000"
+    )
+
+    def test_satisfied_run_exits_zero(self, users_csv, capsys):
+        code = main(["--csv", f"users={users_csv}", self.SQL])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "satisfied=True" in output
+        assert "SELECT * FROM users" in output
+
+    def test_show_rows(self, users_csv, capsys):
+        code = main(
+            ["--csv", f"users={users_csv}", "--show-rows", "2", self.SQL]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "users.age=" in output
+
+    def test_sqlite_backend_and_norm(self, users_csv, capsys):
+        code = main(
+            [
+                "--csv", f"users={users_csv}",
+                "--backend", "sqlite",
+                "--norm", "linf",
+                self.SQL,
+            ]
+        )
+        assert code == 0
+        assert "satisfied=True" in capsys.readouterr().out
+
+    def test_unsatisfiable_exits_one(self, users_csv, capsys):
+        sql = (
+            "SELECT * FROM users CONSTRAINT COUNT(*) = 900000 "
+            "WHERE age <= 30 AND income <= 60000"
+        )
+        code = main(["--csv", f"users={users_csv}", "--gamma", "40", sql])
+        assert code == 1
+        assert "satisfied=False" in capsys.readouterr().out
+
+    def test_no_tables_is_error(self, capsys):
+        assert main([self.SQL]) == 2
+        assert "no tables" in capsys.readouterr().err
+
+    def test_bad_csv_spec(self):
+        with pytest.raises(ReproError, match="NAME=PATH"):
+            main(["--csv", "nonsense", self.SQL])
+
+    def test_bad_norm(self, users_csv):
+        with pytest.raises(ReproError, match="unknown norm"):
+            main(["--csv", f"users={users_csv}", "--norm", "manhattan",
+                  self.SQL])

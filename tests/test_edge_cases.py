@@ -1,0 +1,136 @@
+"""Edge cases through the full pipeline: tiny, degenerate, hostile."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.acquire import Acquire, AcquireConfig
+from repro.core.query import ConstraintOp
+from repro.engine.catalog import Database
+from repro.engine.memory_backend import MemoryBackend
+from repro.engine.sqlite_backend import SQLiteBackend
+from repro.sqlext import parse_acq
+from tests.conftest import count_query
+
+CONFIG = AcquireConfig(gamma=10.0, delta=0.05)
+
+
+def _db(**columns) -> Database:
+    database = Database()
+    database.create_table("data", columns)
+    return database
+
+
+class TestTinyTables:
+    def test_empty_table(self):
+        database = _db(x=np.array([]), y=np.array([]))
+        query = count_query("data", {"x": 10.0, "y": 10.0}, target=5)
+        for layer in (MemoryBackend(database), SQLiteBackend(database)):
+            result = Acquire(layer).run(query, CONFIG)
+            assert not result.satisfied
+            assert result.original_value == 0.0
+
+    def test_single_row(self):
+        database = _db(x=np.array([5.0]), y=np.array([5.0]))
+        query = count_query("data", {"x": 10.0, "y": 10.0}, target=1)
+        result = Acquire(MemoryBackend(database)).run(query, CONFIG)
+        assert result.satisfied
+        assert result.best.qscore == 0.0
+
+    def test_all_identical_values(self):
+        database = _db(x=np.full(50, 7.0), y=np.full(50, 7.0))
+        query = count_query("data", {"x": 10.0, "y": 10.0}, target=50)
+        result = Acquire(MemoryBackend(database)).run(query, CONFIG)
+        assert result.satisfied
+        assert result.best.aggregate_value == 50
+
+    def test_target_between_discrete_jumps(self):
+        """With 3 identical tuples, COUNT jumps 0 -> 3; target 2 with a
+        tight delta is unattainable and the closest query is reported."""
+        database = _db(x=np.array([20.0, 20.0, 20.0]), y=np.zeros(3))
+        query = count_query("data", {"x": 10.0, "y": 10.0}, target=2)
+        result = Acquire(MemoryBackend(database)).run(
+            query, AcquireConfig(gamma=10, delta=0.01)
+        )
+        assert not result.satisfied
+        assert result.best.aggregate_value in (0.0, 3.0)
+
+
+class TestHostileValues:
+    def test_negative_attribute_values(self):
+        rng = np.random.default_rng(1)
+        database = _db(
+            x=rng.uniform(-100, 0, 500), y=rng.uniform(-100, 0, 500)
+        )
+        query = count_query(
+            "data", {"x": -70.0, "y": -70.0}, target=300, lo=-100.0,
+            domain_hi=0.0,
+        )
+        result = Acquire(MemoryBackend(database)).run(query, CONFIG)
+        assert result.satisfied
+
+    def test_very_large_values(self):
+        rng = np.random.default_rng(2)
+        database = _db(
+            x=rng.uniform(0, 1e12, 500), y=rng.uniform(0, 1e12, 500)
+        )
+        query = count_query(
+            "data",
+            {"x": 3e11, "y": 3e11},
+            target=300,
+            domain_hi=1e12,
+        )
+        result = Acquire(MemoryBackend(database)).run(query, CONFIG)
+        assert result.satisfied
+
+    def test_integer_columns(self):
+        rng = np.random.default_rng(3)
+        database = _db(
+            x=rng.integers(0, 100, 1000), y=rng.integers(0, 100, 1000)
+        )
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=300)
+        memory = Acquire(MemoryBackend(database)).run(query, CONFIG)
+        sqlite = Acquire(SQLiteBackend(database)).run(query, CONFIG)
+        assert memory.best.aggregate_value == sqlite.best.aggregate_value
+
+
+class TestDegenerateConstraints:
+    def test_target_zero_ge(self):
+        database = _db(x=np.array([1.0, 2.0]), y=np.array([1.0, 2.0]))
+        query = count_query(
+            "data", {"x": 10.0, "y": 10.0}, target=0.0, op=ConstraintOp.GE
+        )
+        result = Acquire(MemoryBackend(database)).run(query, CONFIG)
+        assert result.satisfied
+        assert result.best.qscore == 0.0
+
+    def test_single_dimension_query(self):
+        rng = np.random.default_rng(4)
+        database = _db(x=rng.uniform(0, 100, 800), y=np.zeros(800))
+        query = count_query("data", {"x": 30.0}, target=600)
+        result = Acquire(MemoryBackend(database)).run(query, CONFIG)
+        assert result.satisfied
+        assert len(result.best.pscores) == 1
+
+    def test_dialect_with_unsatisfiable_fixed_filter(self):
+        rng = np.random.default_rng(5)
+        database = _db(x=rng.uniform(0, 100, 500), y=rng.uniform(0, 100, 500))
+        acq = parse_acq(
+            "SELECT * FROM data CONSTRAINT COUNT(*) = 100 "
+            "WHERE x <= 30 AND (y <= -5) NOREFINE",
+            database,
+        )
+        result = Acquire(MemoryBackend(database)).run(acq, CONFIG)
+        assert not result.satisfied
+        assert result.original_value == 0.0
+
+    def test_nan_free_outputs(self):
+        rng = np.random.default_rng(6)
+        database = _db(x=rng.uniform(0, 100, 300), y=rng.uniform(0, 100, 300))
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=250)
+        result = Acquire(MemoryBackend(database)).run(query, CONFIG)
+        best = result.best
+        assert not math.isnan(best.qscore)
+        assert not math.isnan(best.aggregate_value)
+        assert all(not math.isnan(score) for score in best.pscores)

@@ -1,0 +1,40 @@
+"""Every example script must run cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_at_least_five_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_satisfaction():
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert "satisfied=True" in completed.stdout
+    assert "SELECT * FROM products" in completed.stdout

@@ -1,0 +1,72 @@
+"""Contract tests for the exception hierarchy.
+
+Callers are promised a single base class (`ReproError`) and stable
+subsystem groupings; these tests keep that promise honest as the
+package grows.
+"""
+
+import inspect
+
+import pytest
+
+from repro import exceptions
+
+
+def _all_exception_classes():
+    return [
+        obj
+        for _, obj in inspect.getmembers(exceptions, inspect.isclass)
+        if issubclass(obj, Exception) and obj.__module__ == "repro.exceptions"
+    ]
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for cls in _all_exception_classes():
+            assert issubclass(cls, exceptions.ReproError), cls
+
+    def test_engine_grouping(self):
+        for cls in (
+            exceptions.SchemaError,
+            exceptions.UnknownTableError,
+            exceptions.UnknownColumnError,
+            exceptions.ExpressionError,
+        ):
+            assert issubclass(cls, exceptions.EngineError)
+
+    def test_query_model_grouping(self):
+        assert issubclass(
+            exceptions.NotRefinableError, exceptions.QueryModelError
+        )
+        assert issubclass(
+            exceptions.OSPViolationError, exceptions.QueryModelError
+        )
+
+    def test_every_class_documented(self):
+        for cls in _all_exception_classes():
+            assert cls.__doc__ and cls.__doc__.strip(), cls
+
+
+class TestMessages:
+    def test_unknown_table_message(self):
+        error = exceptions.UnknownTableError("users")
+        assert "users" in str(error)
+        assert error.name == "users"
+
+    def test_unknown_column_with_table(self):
+        error = exceptions.UnknownColumnError("age", table="users")
+        assert "age" in str(error) and "users" in str(error)
+
+    def test_parse_error_position(self):
+        error = exceptions.ParseError("bad token", position=17)
+        assert "17" in str(error)
+        assert error.position == 17
+        bare = exceptions.ParseError("bad token")
+        assert bare.position is None
+
+    def test_catch_all_surface(self):
+        """One except-clause catches any library failure."""
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.OntologyError("broken tree")
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.DataGenError("bad config")

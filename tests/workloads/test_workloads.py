@@ -1,0 +1,207 @@
+"""Tests for workload generation and the paper's query templates."""
+
+import pytest
+
+from repro.core.acquire import Acquire, AcquireConfig
+from repro.core.predicate import Direction, JoinPredicate
+from repro.core.query import ConstraintOp
+from repro.engine.memory_backend import MemoryBackend
+from repro.exceptions import DataGenError
+from repro.workloads.generator import (
+    FlexSpec,
+    JoinSpec,
+    build_ratio_workload,
+    original_aggregate,
+)
+from repro.workloads.templates import (
+    Q2_JOINS,
+    Q2_TABLES,
+    cuisine_ontology,
+    location_ontology,
+    q1_prime_text,
+    q2_flex_specs,
+    q2_prime_query,
+    q3_join_query,
+    tpch_predicate_pool,
+)
+
+
+class TestRatioWorkload:
+    @pytest.mark.parametrize("ratio", [0.2, 0.5, 0.9])
+    def test_ratio_holds_by_construction(self, tiny_tpch, ratio):
+        workload = build_ratio_workload(
+            tiny_tpch,
+            Q2_TABLES,
+            q2_flex_specs(2, 0.4),
+            ratio,
+            joins=Q2_JOINS,
+        )
+        assert workload.original_value / workload.target == pytest.approx(
+            ratio
+        )
+        # The recorded original matches a fresh evaluation.
+        assert original_aggregate(
+            tiny_tpch, workload.query
+        ) == pytest.approx(workload.original_value)
+
+    def test_selectivity_controls_original(self, tiny_tpch):
+        narrow = build_ratio_workload(
+            tiny_tpch, Q2_TABLES, q2_flex_specs(2, 0.2), 0.5, joins=Q2_JOINS
+        )
+        wide = build_ratio_workload(
+            tiny_tpch, Q2_TABLES, q2_flex_specs(2, 0.7), 0.5, joins=Q2_JOINS
+        )
+        assert wide.original_value > narrow.original_value
+
+    def test_lower_direction_spec(self, tiny_tpch):
+        workload = build_ratio_workload(
+            tiny_tpch,
+            ("part",),
+            [FlexSpec("part.p_retailprice", 0.4, Direction.LOWER)],
+            0.5,
+        )
+        predicate = workload.query.refinable_predicates[0]
+        assert predicate.direction is Direction.LOWER
+
+    def test_sum_aggregate_workload(self, tiny_tpch):
+        workload = build_ratio_workload(
+            tiny_tpch,
+            Q2_TABLES,
+            q2_flex_specs(2, 0.4),
+            0.5,
+            aggregate="SUM",
+            aggregate_attr="partsupp.ps_availqty",
+            joins=Q2_JOINS,
+            op=ConstraintOp.GE,
+        )
+        assert workload.query.constraint.spec.aggregate.name == "SUM"
+        assert workload.target == pytest.approx(
+            workload.original_value / 0.5
+        )
+
+    def test_validation(self, tiny_tpch):
+        with pytest.raises(DataGenError):
+            build_ratio_workload(tiny_tpch, ("part",), [], 0.5)
+        with pytest.raises(DataGenError):
+            build_ratio_workload(
+                tiny_tpch,
+                ("part",),
+                [FlexSpec("part.p_retailprice", 0.5)],
+                -1.0,
+            )
+        with pytest.raises(DataGenError):
+            build_ratio_workload(
+                tiny_tpch,
+                ("part",),
+                [FlexSpec("part.p_retailprice", 2.0)],
+                0.5,
+            )
+
+    def test_workload_is_solvable(self, tiny_tpch):
+        workload = build_ratio_workload(
+            tiny_tpch,
+            Q2_TABLES,
+            q2_flex_specs(3, 0.3),
+            0.5,
+            joins=Q2_JOINS,
+        )
+        result = Acquire(MemoryBackend(tiny_tpch)).run(
+            workload.query, AcquireConfig(gamma=10, delta=0.1)
+        )
+        assert result.satisfied
+
+
+class TestTemplates:
+    def test_q1_prime_parses(self, users_db):
+        from repro.sqlext import parse_acq
+
+        ontologies = {"users.city": location_ontology()}
+        query = parse_acq(q1_prime_text(500), users_db, ontologies)
+        assert query.constraint.target == 500
+        assert query.dimensionality >= 4
+        assert any(not p.refinable for p in query.predicates)
+
+    def test_q2_prime_structure(self, tiny_tpch):
+        query = q2_prime_query(tiny_tpch, target=50_000)
+        assert query.tables == Q2_TABLES
+        joins = [p for p in query.predicates if isinstance(p, JoinPredicate)]
+        assert len(joins) == 2
+        assert all(not j.refinable for j in joins)
+        assert query.dimensionality == 2
+        assert query.constraint.op is ConstraintOp.GE
+
+    def test_q2_prime_runs(self, tiny_tpch):
+        query = q2_prime_query(tiny_tpch, target=100_000)
+        result = Acquire(MemoryBackend(tiny_tpch)).run(
+            query, AcquireConfig(gamma=10, delta=0.05)
+        )
+        assert result.best is not None
+
+    def test_q3_join_query_runs(self):
+        from repro.datagen.synthetic import numeric_table
+        from repro.engine.catalog import Database
+
+        database = Database()
+        database.add_table(
+            numeric_table("a", n=300, columns=("x",), seed=1)
+        )
+        database.add_table(
+            numeric_table("b", n=300, columns=("x", "y"), seed=2)
+        )
+        query = q3_join_query(database, target=2000)
+        assert query.refinable_predicates[0].is_equi
+        result = Acquire(MemoryBackend(database)).run(
+            query, AcquireConfig(gamma=10, delta=0.1)
+        )
+        assert result.best is not None
+        # The join band was refined (non-zero PScore on the join dim).
+        assert result.best.pscores[0] > 0
+
+    def test_predicate_pool_and_specs(self):
+        pool = tpch_predicate_pool(0.3)
+        assert len(pool) == 5
+        assert all(spec.selectivity == 0.3 for spec in pool)
+        assert len(q2_flex_specs(3)) == 3
+        with pytest.raises(ValueError):
+            q2_flex_specs(6)
+
+    def test_ontologies_match_figure7(self):
+        food = cuisine_ontology()
+        assert food.distance({"Gyro"}, "Souvlaki") == 2
+        location = location_ontology()
+        assert location.distance({"Boston"}, "NewYork") == 1
+        assert location.distance({"Boston"}, "Seattle") == 2
+
+
+class TestLineitemFamily:
+    def test_lineitem_specs(self):
+        from repro.workloads.templates import lineitem_flex_specs
+
+        specs = lineitem_flex_specs(3, 0.3)
+        assert [s.column for s in specs] == [
+            "lineitem.l_quantity",
+            "lineitem.l_extendedprice",
+            "lineitem.l_discount",
+        ]
+        with_orders = lineitem_flex_specs(3, 0.3, with_orders=True)
+        assert with_orders[2].column == "orders.o_totalprice"
+        with pytest.raises(ValueError):
+            lineitem_flex_specs(9)
+
+    def test_fk_join_workload_solvable(self, tiny_tpch):
+        from repro.workloads.templates import (
+            LINEITEM_JOINS,
+            lineitem_flex_specs,
+        )
+
+        workload = build_ratio_workload(
+            tiny_tpch,
+            ("lineitem", "orders"),
+            lineitem_flex_specs(2, 0.4, with_orders=False),
+            0.5,
+            joins=LINEITEM_JOINS,
+        )
+        result = Acquire(MemoryBackend(tiny_tpch)).run(
+            workload.query, AcquireConfig(gamma=10, delta=0.1)
+        )
+        assert result.satisfied
