@@ -1,12 +1,29 @@
 # Canonical developer commands for the ACQUIRE reproduction.
 
-.PHONY: install test bench experiments examples clean
+.PHONY: install test bench experiments examples clean lint typecheck
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Invariant lint always runs (stdlib-only); ruff is skipped with a
+# notice when not installed so offline checkouts still get the gate.
+lint:
+	python tools/lint_invariants.py
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests tools; \
+	else \
+		echo "ruff not installed; skipping style lint (CI runs it)"; \
+	fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping type check (CI runs it)"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

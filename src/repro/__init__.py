@@ -63,11 +63,25 @@ from repro.engine import (
     const,
 )
 from repro.sqlext import format_query, format_refined_query, parse_acq
+from repro.analysis import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    analyze,
+    analyze_sql,
+)
+from repro.exceptions import AnalysisError
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Acquire",
+    "AnalysisError",
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "analyze",
+    "analyze_sql",
     "AcquireConfig",
     "AcquireResult",
     "AggregateConstraint",

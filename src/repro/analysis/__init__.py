@@ -1,0 +1,47 @@
+"""Pre-flight static analysis for ACQs (no execution required).
+
+ACQUIRE's search cost is decided before the first sub-query runs: the
+grid size of the refined space, the satisfiability of the CONSTRAINT
+clause, and OSP compliance of the aggregate are all statically
+determinable from the bound query plus catalog statistics (paper
+sections 2.2, 2.6, 4). This package checks them up front:
+
+* :func:`analyze` / :func:`analyze_sql` — run the passes, returning an
+  :class:`AnalysisReport` of :class:`Diagnostic` objects with stable
+  ``ACQ###`` codes (documented in ``docs/ANALYSIS.md``);
+* ``Acquire(...).run(query, config, strict=True)`` — driver pre-flight
+  that raises :class:`~repro.exceptions.AnalysisError` on ERROR-level
+  findings;
+* ``python -m repro lint`` — the command-line linter.
+"""
+
+from repro.analysis.analyzer import analyze, analyze_sql
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    Span,
+)
+from repro.analysis.passes import (
+    PASSES,
+    AnalysisContext,
+    aggregate_pass,
+    cost_pass,
+    refinability_pass,
+    satisfiability_pass,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "Diagnostic",
+    "PASSES",
+    "Severity",
+    "Span",
+    "aggregate_pass",
+    "analyze",
+    "analyze_sql",
+    "cost_pass",
+    "refinability_pass",
+    "satisfiability_pass",
+]

@@ -1,0 +1,131 @@
+"""Pre-flight static analysis of Aggregation Constrained Queries.
+
+Two entry points:
+
+* :func:`analyze` — run every pass over an already-bound
+  :class:`~repro.core.query.Query` plus its catalog;
+* :func:`analyze_sql` — the linter path: parse and bind ACQ dialect
+  text, converting parse/bind failures into diagnostics (a linter
+  reports, it does not throw), then analyze the bound query with spans
+  pointing back into the source text.
+
+Nothing in this module executes a sub-query: every check is derived
+from the bound query object and catalog statistics, so analysis cost
+is independent of data size.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    Span,
+    sort_diagnostics,
+)
+from repro.analysis.passes import PASSES, AnalysisContext
+from repro.core.acquire import AcquireConfig
+from repro.core.ontology import OntologyTree
+from repro.core.query import Query
+from repro.engine.catalog import Database
+from repro.exceptions import (
+    BindError,
+    OSPViolationError,
+    ParseError,
+    QueryModelError,
+)
+from repro.sqlext.binder import QuerySpans, bind_with_spans
+from repro.sqlext.parser import parse_statement
+
+
+def analyze(
+    query: Query,
+    database: Database,
+    config: Optional[AcquireConfig] = None,
+    *,
+    source: Optional[str] = None,
+    spans: Optional[QuerySpans] = None,
+) -> AnalysisReport:
+    """Run all static-analysis passes over a bound query."""
+    context = AnalysisContext(
+        query=query,
+        database=database,
+        config=config or AcquireConfig(),
+        spans=spans,
+    )
+    diagnostics: list[Diagnostic] = []
+    for analysis_pass in PASSES:
+        diagnostics.extend(analysis_pass(context))
+    return AnalysisReport(
+        diagnostics=sort_diagnostics(diagnostics),
+        query=query,
+        source=source if source is not None else _span_source(spans),
+    )
+
+
+def analyze_sql(
+    text: str,
+    database: Database,
+    ontologies: Optional[Mapping[str, OntologyTree]] = None,
+    config: Optional[AcquireConfig] = None,
+    name: str = "acq",
+) -> AnalysisReport:
+    """Lint ACQ dialect text: front-end failures become diagnostics."""
+    try:
+        statement = parse_statement(text)
+    except ParseError as exc:
+        span = (
+            Span(exc.position, exc.position + 1)
+            if exc.position is not None
+            else None
+        )
+        return _front_end_report(text, "ACQ001", str(exc), span)
+
+    constraint_span = (
+        Span(*statement.constraint.span)
+        if statement.constraint is not None
+        and statement.constraint.span is not None
+        else None
+    )
+    try:
+        query, spans = bind_with_spans(
+            statement, database, ontologies, name, source=text
+        )
+    except OSPViolationError as exc:
+        return _front_end_report(text, "ACQ301", str(exc), constraint_span)
+    except BindError as exc:
+        return _front_end_report(text, "ACQ002", str(exc), None)
+    except QueryModelError as exc:
+        return _front_end_report(text, "ACQ003", str(exc), None)
+
+    return analyze(query, database, config, source=text, spans=spans)
+
+
+def _front_end_report(
+    source: str, code: str, message: str, span: Optional[Span]
+) -> AnalysisReport:
+    hints = {
+        "ACQ001": "fix the SQL syntax; see docs/API.md for the dialect",
+        "ACQ002": "check table/column names against the loaded catalog",
+        "ACQ003": "the query violates the ACQ model (paper section 2.1)",
+        "ACQ301": (
+            "use an OSP aggregate: COUNT, SUM, MIN, MAX, AVG "
+            "(paper section 2.6)"
+        ),
+    }
+    diagnostic = Diagnostic(
+        code=code,
+        severity=Severity.ERROR,
+        message=message,
+        hint=hints.get(code),
+        span=span,
+    )
+    return AnalysisReport(
+        diagnostics=(diagnostic,), query=None, source=source
+    )
+
+
+def _span_source(spans: Optional[QuerySpans]) -> Optional[str]:
+    return spans.source if spans is not None else None

@@ -1,0 +1,176 @@
+"""Structured diagnostics emitted by the ACQ static analyzer.
+
+Every finding is a :class:`Diagnostic` with a stable code (``ACQ###``),
+a severity, a human message, an optional fix-it hint, and — when the
+query came through the SQL front-end — a span pointing back at the
+offending clause in the source text. A whole run's findings are
+collected into an :class:`AnalysisReport`, which renders them in a
+compiler-style format and can convert ERROR-level findings into a typed
+:class:`~repro.exceptions.AnalysisError`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.exceptions import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.query import Query
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity; only ERROR makes a report failing."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Span:
+    """Half-open ``[start, end)`` character range into the SQL source."""
+
+    start: int
+    end: int
+
+    def line_col(self, source: str) -> tuple[int, int]:
+        """1-based (line, column) of the span start within ``source``."""
+        prefix = source[: self.start]
+        line = prefix.count("\n") + 1
+        column = self.start - (prefix.rfind("\n") + 1) + 1
+        return line, column
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Attributes:
+        code: stable identifier (``ACQ101``...), documented in
+            ``docs/ANALYSIS.md``.
+        severity: ERROR diagnostics fail strict pre-flight; WARNING and
+            INFO never do.
+        message: what is wrong (or worth knowing).
+        hint: how to fix it, when the analyzer can tell.
+        span: source location, when the query came from SQL text.
+        subject: the predicate / aggregate the finding is about.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    hint: Optional[str] = None
+    span: Optional[Span] = None
+    subject: Optional[str] = None
+
+    def render(self, source: Optional[str] = None) -> str:
+        """Compiler-style rendering, with a source excerpt if possible."""
+        lines = [f"{self.severity}[{self.code}]: {self.message}"]
+        if source is not None and self.span is not None:
+            line_no, column = self.span.line_col(source)
+            # A span at EOF (e.g. a parse error on truncated input) can
+            # point one line past the last; clamp to something visible.
+            source_lines = source.splitlines() or [""]
+            source_line = source_lines[min(line_no - 1, len(source_lines) - 1)]
+            width = max(
+                1, min(self.span.end - self.span.start, len(source_line))
+            )
+            lines.append(f"  --> line {line_no}, column {column}")
+            lines.append(f"  | {source_line}")
+            lines.append("  | " + " " * (column - 1) + "^" * width)
+        elif self.subject is not None:
+            lines[0] += f" (at {self.subject!r})"
+        if self.hint is not None:
+            lines.append(f"  = help: {self.hint}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (``repro lint --json``)."""
+        payload: dict = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.hint is not None:
+            payload["hint"] = self.hint
+        if self.span is not None:
+            payload["span"] = {"start": self.span.start, "end": self.span.end}
+        if self.subject is not None:
+            payload["subject"] = self.subject
+        return payload
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """All diagnostics produced by one analyzer run over one ACQ."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    query: Optional["Query"] = None
+    source: Optional[str] = field(default=None, compare=False)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self.diagnostics if d.severity is Severity.ERROR
+        )
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self.diagnostics if d.severity is Severity.WARNING
+        )
+
+    @property
+    def has_errors(self) -> bool:
+        return any(
+            d.severity is Severity.ERROR for d in self.diagnostics
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.has_errors
+
+    def codes(self) -> tuple[str, ...]:
+        return tuple(d.code for d in self.diagnostics)
+
+    def raise_if_errors(self) -> None:
+        """Raise :class:`AnalysisError` when ERROR diagnostics exist."""
+        if self.has_errors:
+            raise AnalysisError(self)
+
+    def render(self) -> str:
+        """Render every diagnostic plus a one-line summary."""
+        parts = [d.render(self.source) for d in self.diagnostics]
+        n_err = len(self.errors)
+        n_warn = len(self.warnings)
+        verdict = "FAILED" if n_err else "ok"
+        parts.append(
+            f"analysis {verdict}: {n_err} error(s), {n_warn} warning(s), "
+            f"{len(self.diagnostics) - n_err - n_warn} note(s)"
+        )
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def sort_diagnostics(
+    diagnostics: list[Diagnostic],
+) -> tuple[Diagnostic, ...]:
+    """Stable order: errors first, then warnings, then notes, by code."""
+    return tuple(
+        sorted(diagnostics, key=lambda d: (d.severity.rank, d.code))
+    )

@@ -1,6 +1,6 @@
-"""Command-line interface: run an ACQ against CSV data.
+"""Command-line interface: run or lint an ACQ against CSV data.
 
-Example::
+Run an ACQ::
 
     python -m repro --csv users=users.csv \\
         "SELECT * FROM users CONSTRAINT COUNT(*) = 1000 \\
@@ -9,17 +9,32 @@ Example::
 Loads each CSV into the in-memory engine (column types inferred), binds
 and runs the ACQ, prints the recommended refined queries, and — with
 ``--show-rows N`` — the first N result tuples of the best alternative.
+Pass ``--analyze`` to statically pre-check the query (see below) before
+executing; ERROR diagnostics abort the run with exit code 2.
+
+Lint an ACQ without running it::
+
+    python -m repro lint --csv users=users.csv query.sql
+
+``lint`` accepts a path to a ``.sql`` file, ``-`` for stdin, or inline
+SQL text, runs the :mod:`repro.analysis` static analyzer against the
+loaded catalog, prints the diagnostics (``--json`` for machine-readable
+output) and exits 1 when ERROR-level diagnostics exist (``--strict``
+also fails on warnings).
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import json
+import os
 import sys
 from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.analysis import analyze_sql
 from repro.core.acquire import Acquire, AcquireConfig
 from repro.core.scoring import LInfNorm, LpNorm
 from repro.engine.catalog import Database
@@ -36,7 +51,11 @@ def load_csv(database: Database, name: str, path: str) -> None:
     value parses as a number, STR otherwise. Empty cells are not
     supported (the engine has no NULLs, matching the paper's model).
     """
-    with open(path, newline="", encoding="utf-8") as handle:
+    try:
+        handle = open(path, newline="", encoding="utf-8")
+    except OSError as exc:
+        raise DataGenError(f"cannot read CSV {path!r}: {exc}") from None
+    with handle:
         reader = csv.reader(handle)
         try:
             header = next(reader)
@@ -113,6 +132,45 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--show-rows", type=int, default=0,
                         metavar="N",
                         help="print the first N tuples of the best answer")
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="statically analyze the ACQ first; ERROR diagnostics abort "
+        "the run (exit 2)",
+    )
+    return parser
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Statically analyze an ACQ without executing it.",
+    )
+    parser.add_argument(
+        "source",
+        help="path to a .sql file, '-' for stdin, or inline ACQ text",
+    )
+    parser.add_argument(
+        "--csv",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="load a CSV file as table NAME (repeatable)",
+    )
+    parser.add_argument("--gamma", type=float, default=10.0,
+                        help="refinement threshold used for cost estimates")
+    parser.add_argument("--delta", type=float, default=0.05,
+                        help="aggregate error threshold (default 0.05)")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit diagnostics as JSON instead of text",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat WARNING diagnostics as failures too",
+    )
     return parser
 
 
@@ -128,16 +186,63 @@ def _norm_from_name(name: str):
     raise ReproError(f"unknown norm {name!r} (use l1, l2, lp, or linf)")
 
 
-def main(argv: Optional[list[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    database = Database("cli")
-    for spec in args.csv:
+def _load_tables(database: Database, specs: Iterable[str]) -> bool:
+    """Load every --csv spec; False when no tables ended up loaded."""
+    for spec in specs:
         name, path = _parse_csv_spec(spec)
         load_csv(database, name, path)
     if not database.table_names:
         print("error: no tables loaded; pass --csv NAME=PATH",
               file=sys.stderr)
+        return False
+    return True
+
+
+def _read_lint_source(argument: str) -> str:
+    """The lint operand: a file path, '-' (stdin), or inline SQL."""
+    if argument == "-":
+        return sys.stdin.read()
+    if os.path.exists(argument):
+        with open(argument, encoding="utf-8") as handle:
+            return handle.read()
+    return argument
+
+
+def lint_main(argv: Optional[list[str]] = None) -> int:
+    """``python -m repro lint`` — analyze an ACQ without running it."""
+    args = build_lint_parser().parse_args(argv)
+    database = Database("lint")
+    if not _load_tables(database, args.csv):
         return 2
+    sql = _read_lint_source(args.source)
+    config = AcquireConfig(gamma=args.gamma, delta=args.delta)
+    report = analyze_sql(sql, database, config=config)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    failed = report.has_errors or (args.strict and report.warnings)
+    return 1 if failed else 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
+    args = build_parser().parse_args(argv)
+    database = Database("cli")
+    if not _load_tables(database, args.csv):
+        return 2
+
+    if args.analyze:
+        report = analyze_sql(args.sql, database)
+        print(report.render())
+        if report.has_errors:
+            print("error: pre-flight analysis failed; not executing",
+                  file=sys.stderr)
+            return 2
+        print()
 
     query = parse_acq(args.sql, database)
     layer = (

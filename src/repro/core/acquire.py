@@ -98,7 +98,11 @@ class Acquire:
 
     # ------------------------------------------------------------------
     def run(
-        self, query: Query, config: Optional[AcquireConfig] = None
+        self,
+        query: Query,
+        config: Optional[AcquireConfig] = None,
+        *,
+        strict: bool = False,
     ) -> AcquireResult:
         """Process an ACQ, producing the refined answer set.
 
@@ -107,13 +111,41 @@ class Acquire:
         and equality constraints whose original query already
         overshoots — are delegated to the section 7.2 contraction
         extension.
+
+        With ``strict=True`` the query is statically analyzed first
+        (:mod:`repro.analysis`) and ERROR-level diagnostics — provably
+        unsatisfiable constraints, zero-dimensional refined spaces —
+        raise :class:`~repro.exceptions.AnalysisError` before any
+        sub-query executes.
         """
         config = config or AcquireConfig()
+        if strict:
+            self._preflight(query, config)
         if not query.constraint.op.is_expansion:
             from repro.core.contraction import contract_query
 
             return contract_query(self.layer, query, config)
         return self._expand(query, config)
+
+    # ------------------------------------------------------------------
+    def _preflight(self, query: Query, config: AcquireConfig) -> None:
+        """Static pre-flight: raise on ERROR-level diagnostics.
+
+        Needs the backend's catalog; backends without a ``database``
+        attribute skip the analysis (there is nothing to check against).
+        """
+        database = getattr(self.layer, "database", None)
+        if database is None:
+            return
+        # Imported here: repro.analysis depends on this module.
+        from repro.analysis import analyze
+
+        report = analyze(query, database, config)
+        for diagnostic in report.warnings:
+            logger.warning(
+                "pre-flight %s: %s", diagnostic.code, diagnostic.message
+            )
+        report.raise_if_errors()
 
     # ------------------------------------------------------------------
     def _expand(self, query: Query, config: AcquireConfig) -> AcquireResult:

@@ -159,6 +159,28 @@ class RefinedSpace:
             size *= limit + 1
         return size
 
+    def layer_sizes(self, max_layers: int) -> list[int]:
+        """Grid-query counts of the first L1 layers.
+
+        Entry ``k`` is the number of grid points whose coordinates sum
+        to ``k`` (respecting per-dimension extents) — with the default
+        L1 norm and unit weights, exactly the queries explored at
+        QScore ``k * step``. The static analyzer uses this to estimate
+        per-layer query counts without running the search.
+        """
+        if max_layers < 0:
+            raise QueryModelError("max_layers must be >= 0")
+        counts = [1] + [0] * max_layers
+        for limit in self.max_coords:
+            merged = [0] * (max_layers + 1)
+            for total in range(max_layers + 1):
+                if counts[total] == 0:
+                    continue
+                for coord in range(min(limit, max_layers - total) + 1):
+                    merged[total + coord] += counts[total]
+            counts = merged
+        return counts
+
     def describe(self, coords: Sequence[int]) -> str:
         parts = [
             predicate.describe(score)

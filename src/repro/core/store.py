@@ -18,13 +18,13 @@ consumes, so swapping them is a one-argument change.
 from __future__ import annotations
 
 import os
-import sqlite3
 import struct
 import tempfile
 from collections import OrderedDict
 from typing import Optional
 
 from repro.core.aggregates import AggState
+from repro.engine import sqlite_util
 from repro.exceptions import SearchError
 
 Coords = tuple[int, ...]
@@ -75,7 +75,7 @@ class PagedSubAggregateStore:
         else:
             self._owns_file = False
         self.path = path
-        self._connection = sqlite3.connect(path)
+        self._connection = sqlite_util.connect(path)
         self._connection.execute("PRAGMA journal_mode=OFF")
         self._connection.execute("PRAGMA synchronous=OFF")
         self._connection.execute(

@@ -18,6 +18,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.refined_space import RefinedSpace
+from repro.exceptions import EngineError
 
 
 def _grid_coords(scores: np.ndarray, step: float) -> np.ndarray:
@@ -66,7 +67,7 @@ class CountingGridIndex:
 
     def __init__(self, step: float, d: int) -> None:
         if step <= 0:
-            raise ValueError("grid step must be > 0")
+            raise EngineError("grid step must be > 0")
         self.step = float(step)
         self.d = d
         self._counts: dict[tuple[int, ...], int] = {}
@@ -83,7 +84,7 @@ class CountingGridIndex:
     def _cells_of(self, scores: np.ndarray) -> list[tuple[int, ...]]:
         scores = np.atleast_2d(np.asarray(scores, dtype=np.float64))
         if scores.shape[1] != self.d:
-            raise ValueError(
+            raise EngineError(
                 f"score arity {scores.shape[1]} != dimensionality {self.d}"
             )
         return [tuple(row) for row in _grid_coords(scores, self.step).tolist()]
@@ -98,7 +99,7 @@ class CountingGridIndex:
         for cell in self._cells_of(scores):
             current = self._counts.get(cell, 0)
             if current <= 0:
-                raise ValueError(f"removing from empty cell {cell}")
+                raise EngineError(f"removing from empty cell {cell}")
             if current == 1:
                 del self._counts[cell]
             else:

@@ -1,0 +1,20 @@
+"""Shared SQLite plumbing for the engine layer.
+
+The :mod:`sqlite3` standard-library module is an evaluation-layer
+implementation detail: the repo invariant (enforced by
+``tools/lint_invariants.py``) is that only ``repro.engine`` imports it.
+Code elsewhere that needs a SQLite file as a storage substrate — e.g.
+the paged sub-aggregate store — goes through this seam instead.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+Connection = sqlite3.Connection
+Cursor = sqlite3.Cursor
+
+
+def connect(path: str) -> sqlite3.Connection:
+    """Open a SQLite database at ``path`` (``":memory:"`` works too)."""
+    return sqlite3.connect(path)

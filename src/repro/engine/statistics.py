@@ -21,7 +21,13 @@ _DEFAULT_BINS = 64
 
 @dataclass(frozen=True)
 class ColumnStats:
-    """Summary statistics for a single numeric column."""
+    """Summary statistics for a single numeric column.
+
+    ``total`` is the sum of every value in the column — the maximum
+    achievable SUM over any (single-table) refined query when values
+    are non-negative, which is what the static analyzer's
+    satisfiability pass bounds against.
+    """
 
     name: str
     min_value: float
@@ -30,6 +36,7 @@ class ColumnStats:
     count: int
     histogram: np.ndarray
     bin_edges: np.ndarray
+    total: float = 0.0
 
     @property
     def width(self) -> float:
@@ -106,6 +113,7 @@ class TableStats:
                 count=len(values),
                 histogram=np.zeros(1, dtype=np.int64),
                 bin_edges=np.array([0.0, 1.0]),
+                total=float("nan"),
             )
         if len(values) == 0:
             return ColumnStats(
@@ -116,6 +124,7 @@ class TableStats:
                 count=0,
                 histogram=np.zeros(self._bins, dtype=np.int64),
                 bin_edges=np.linspace(0.0, 1.0, self._bins + 1),
+                total=0.0,
             )
         numeric = values.astype(np.float64)
         low = float(np.min(numeric))
@@ -133,4 +142,5 @@ class TableStats:
             count=len(values),
             histogram=histogram.astype(np.int64),
             bin_edges=edges,
+            total=float(np.sum(numeric)),
         )

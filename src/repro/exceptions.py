@@ -78,6 +78,24 @@ class BindError(ReproError):
     """A parsed query could not be bound against the catalog."""
 
 
+class AnalysisError(ReproError):
+    """Pre-flight static analysis found ERROR-level diagnostics.
+
+    Raised by :meth:`repro.core.acquire.Acquire.run` with
+    ``strict=True`` (and by the harness pre-flight) instead of letting
+    a hopeless ACQ fail deep inside the Expand/Explore loop. The full
+    :class:`repro.analysis.AnalysisReport` is available as ``report``.
+    """
+
+    def __init__(self, report: object) -> None:
+        errors = getattr(report, "errors", ())
+        summary = "; ".join(
+            f"{diag.code}: {diag.message}" for diag in errors
+        ) or "analysis failed"
+        super().__init__(f"pre-flight analysis failed: {summary}")
+        self.report = report
+
+
 class DataGenError(ReproError):
     """Synthetic data generation was mis-configured."""
 

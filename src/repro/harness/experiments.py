@@ -26,7 +26,7 @@ from repro.engine.backends import EvaluationLayer
 from repro.engine.catalog import Database
 from repro.exceptions import QueryModelError
 from repro.harness.metrics import ExperimentResult, Row
-from repro.harness.runner import make_backend, run_method
+from repro.harness.runner import make_backend, preflight_query, run_method
 from repro.workloads.generator import build_ratio_workload
 from repro.workloads.templates import Q2_JOINS, Q2_TABLES, q2_flex_specs
 
@@ -77,6 +77,8 @@ def _run_point(
     config: AcquireConfig,
     tqgen: Optional[dict] = None,
 ) -> None:
+    # Fail a misconfigured sweep in milliseconds, not after a long run.
+    preflight_query(layer, workload.query, config)
     for method in methods:
         run = run_method(
             method,

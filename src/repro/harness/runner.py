@@ -20,6 +20,8 @@ from repro.baselines import (
     TopK,
     TQGen,
 )
+import logging
+
 from repro.baselines.base import BaselineTechnique
 from repro.core.acquire import Acquire, AcquireConfig
 from repro.core.query import Query
@@ -30,6 +32,37 @@ from repro.engine.sqlite_backend import SQLiteBackend
 from repro.exceptions import ReproError
 
 METHOD_NAMES = ("ACQUIRE", "Top-k", "TQGen", "BinSearch")
+
+logger = logging.getLogger(__name__)
+
+
+def preflight_query(
+    layer: EvaluationLayer,
+    query: Query,
+    config: Optional[AcquireConfig] = None,
+) -> None:
+    """Statically validate a workload query before a long run.
+
+    Raises :class:`~repro.exceptions.AnalysisError` on ERROR-level
+    diagnostics (provably unsatisfiable constraint, nothing to refine)
+    so misconfigured experiment sweeps fail in milliseconds instead of
+    after hours of sub-queries; warnings are logged and the run
+    proceeds. Backends without a catalog skip the check.
+    """
+    database = getattr(layer, "database", None)
+    if database is None:
+        return
+    from repro.analysis import analyze
+
+    report = analyze(query, database, config or AcquireConfig())
+    for diagnostic in report.warnings:
+        logger.warning(
+            "workload %s %s: %s",
+            query.name,
+            diagnostic.code,
+            diagnostic.message,
+        )
+    report.raise_if_errors()
 
 
 def make_backend(database: Database, kind: str = "sqlite") -> EvaluationLayer:

@@ -19,12 +19,19 @@ a user would run.
 """
 
 from repro.sqlext.parser import parse_statement
-from repro.sqlext.binder import bind_statement, parse_acq
+from repro.sqlext.binder import (
+    QuerySpans,
+    bind_statement,
+    bind_with_spans,
+    parse_acq,
+)
 from repro.sqlext.formatter import format_query, format_refined_query
 
 __all__ = [
+    "QuerySpans",
     "parse_statement",
     "bind_statement",
+    "bind_with_spans",
     "parse_acq",
     "format_query",
     "format_refined_query",

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Union
+
+#: Half-open ``(start, end)`` character offsets into the source text.
+Span = tuple[int, int]
 
 
 # -- scalar expressions -------------------------------------------------
@@ -77,10 +80,16 @@ ConditionNode = Union[Comparison, RangeCondition, InCondition]
 
 @dataclass(frozen=True)
 class Conjunct:
-    """One WHERE conjunct, optionally pinned with NOREFINE."""
+    """One WHERE conjunct, optionally pinned with NOREFINE.
+
+    ``span`` records where the conjunct's text sits in the source so
+    diagnostics can point back at it; it never participates in
+    equality (parse trees compare structurally).
+    """
 
     condition: ConditionNode
     norefine: bool = False
+    span: Optional[Span] = field(default=None, compare=False)
 
 
 # -- statement -----------------------------------------------------------
@@ -92,6 +101,7 @@ class ConstraintClause:
     argument: Optional[ExprNode]  # None for COUNT(*)
     op: str
     target: float
+    span: Optional[Span] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)

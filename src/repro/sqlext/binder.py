@@ -22,6 +22,7 @@ Binding performs the paper's section 2.2 decomposition:
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from repro.core.aggregates import AggregateSpec, get_aggregate
@@ -38,9 +39,28 @@ from repro.core.query import AggregateConstraint, ConstraintOp, Query
 from repro.engine import expression as engine_expr
 from repro.engine.catalog import Database
 from repro.engine.schema import ColumnType
-from repro.exceptions import BindError
+from repro.exceptions import BindError, OSPViolationError, QueryModelError
 from repro.sqlext import ast
 from repro.sqlext.parser import parse_statement
+
+
+@dataclass(frozen=True)
+class QuerySpans:
+    """Source locations of the bound query's parts.
+
+    Maps each bound predicate's name (and the constraint) back to the
+    ``(start, end)`` character span of the SQL text it came from, so the
+    static analyzer can point diagnostics at the offending clause. Every
+    predicate produced from one conjunct shares that conjunct's span
+    (a range condition binds to two predicates, for instance).
+    """
+
+    source: Optional[str] = None
+    constraint: Optional[ast.Span] = None
+    predicates: Mapping[str, ast.Span] = field(default_factory=dict)
+
+    def predicate_span(self, name: str) -> Optional[ast.Span]:
+        return self.predicates.get(name)
 
 
 def parse_acq(
@@ -63,6 +83,26 @@ def bind_statement(
     return _Binder(database, ontologies or {}).bind(statement, name)
 
 
+def bind_with_spans(
+    statement: ast.SelectStatement,
+    database: Database,
+    ontologies: Optional[Mapping[str, OntologyTree]] = None,
+    name: str = "acq",
+    source: Optional[str] = None,
+) -> tuple[Query, QuerySpans]:
+    """Bind a parse tree, also returning predicate/constraint spans."""
+    binder = _Binder(database, ontologies or {})
+    query = binder.bind(statement, name)
+    constraint_span = (
+        statement.constraint.span if statement.constraint is not None else None
+    )
+    return query, QuerySpans(
+        source=source,
+        constraint=constraint_span,
+        predicates=dict(binder.spans),
+    )
+
+
 class _Binder:
     def __init__(
         self, database: Database, ontologies: Mapping[str, OntologyTree]
@@ -70,6 +110,7 @@ class _Binder:
         self.database = database
         self.ontologies = ontologies
         self.tables: tuple[str, ...] = ()
+        self.spans: dict[str, ast.Span] = {}
         self._counter = 0
 
     # ------------------------------------------------------------------
@@ -88,23 +129,43 @@ class _Binder:
 
         predicates: list[Predicate] = []
         for conjunct in statement.conjuncts:
-            predicates.extend(self._bind_conjunct(conjunct))
+            bound = self._bind_conjunct(conjunct)
+            if conjunct.span is not None:
+                for predicate in bound:
+                    self.spans[predicate.name] = conjunct.span
+            predicates.extend(bound)
         return Query.build(name, statement.tables, predicates, constraint)
 
     # ------------------------------------------------------------------
     def _bind_constraint(
         self, clause: ast.ConstraintClause
     ) -> AggregateConstraint:
-        aggregate = get_aggregate(clause.function)
+        # Unsupported aggregates and operators both surface as
+        # BindError (naming the offender); OSP violations keep their
+        # dedicated type so callers can distinguish "no such aggregate"
+        # from "known but unsupported by ACQUIRE".
+        try:
+            aggregate = get_aggregate(clause.function)
+        except OSPViolationError:
+            raise
+        except QueryModelError as exc:
+            raise BindError(
+                f"unsupported aggregate {clause.function!r} in CONSTRAINT "
+                f"clause: {exc}"
+            ) from exc
         attribute = None
         if clause.argument is not None:
             attribute = self._bind_expr(clause.argument)
         elif aggregate.needs_attribute:
             raise BindError(f"{aggregate.name} requires an attribute argument")
         spec = AggregateSpec(aggregate, attribute)
-        return AggregateConstraint(
-            spec, ConstraintOp.parse(clause.op), clause.target
-        )
+        try:
+            op = ConstraintOp.parse(clause.op)
+        except QueryModelError as exc:
+            raise BindError(
+                f"unsupported constraint operator {clause.op!r}: {exc}"
+            ) from exc
+        return AggregateConstraint(spec, op, clause.target)
 
     # ------------------------------------------------------------------
     # Conditions

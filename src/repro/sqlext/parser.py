@@ -117,6 +117,7 @@ class _Parser:
         return tuple(names)
 
     def _parse_constraint(self) -> ast.ConstraintClause:
+        start = self._current.position
         function = self._expect_ident().text
         self._expect_punct("(")
         argument: ast.ExprNode | None
@@ -132,7 +133,9 @@ class _Parser:
                 op_token.position,
             )
         value = self._parse_signed_number()
-        return ast.ConstraintClause(function, argument, op_token.text, value)
+        return ast.ConstraintClause(
+            function, argument, op_token.text, value, span=(start, self._end())
+        )
 
     def _parse_signed_number(self) -> float:
         sign = 1.0
@@ -153,9 +156,15 @@ class _Parser:
         return tuple(conjuncts)
 
     def _parse_conjunct(self) -> ast.Conjunct:
+        start = self._current.position
         condition = self._parse_maybe_parenthesized_condition()
         norefine = self._match_keyword("NOREFINE")
-        return ast.Conjunct(condition, norefine)
+        return ast.Conjunct(condition, norefine, span=(start, self._end()))
+
+    def _end(self) -> int:
+        """End offset of the most recently consumed token."""
+        last = self._tokens[self._index - 1]
+        return last.position + len(last.text)
 
     def _parse_maybe_parenthesized_condition(self) -> ast.ConditionNode:
         """Handle the paper's ``(pred) NOREFINE`` style.

@@ -19,6 +19,7 @@ from repro.core.predicate import Direction, JoinPredicate, SelectPredicate
 from repro.core.query import AggregateConstraint, ConstraintOp, Query
 from repro.engine.catalog import Database
 from repro.engine.expression import col
+from repro.exceptions import DataGenError
 from repro.workloads.generator import FlexSpec, JoinSpec
 
 
@@ -184,7 +185,7 @@ def q2_flex_specs(
     """First ``d`` predicates of the pool (1 <= d <= 5)."""
     pool = list(pool) if pool is not None else tpch_predicate_pool(selectivity)
     if not 1 <= d <= len(pool):
-        raise ValueError(f"d must be in 1..{len(pool)}, got {d}")
+        raise DataGenError(f"d must be in 1..{len(pool)}, got {d}")
     return pool[:d]
 
 
@@ -212,5 +213,5 @@ def lineitem_flex_specs(
     if with_orders:
         pool.insert(2, FlexSpec("orders.o_totalprice", selectivity))
     if not 1 <= d <= len(pool):
-        raise ValueError(f"d must be in 1..{len(pool)}, got {d}")
+        raise DataGenError(f"d must be in 1..{len(pool)}, got {d}")
     return pool[:d]

@@ -1,0 +1,37 @@
+"""Fixtures for the static-analyzer tests: tiny deterministic catalogs."""
+
+import numpy as np
+import pytest
+
+from repro.engine.catalog import Database
+
+
+@pytest.fixture(scope="session")
+def shop_db() -> Database:
+    """One table 'products' with known bounds: price/rating/stock."""
+    database = Database("shop")
+    database.create_table(
+        "products",
+        {
+            # linspace keeps the catalog stats exact and deterministic:
+            # price in [1, 500], rating in [1, 5], stock in [0, 99].
+            "price": np.linspace(1.0, 500.0, 1000),
+            "rating": np.linspace(1.0, 5.0, 1000),
+            "stock": np.arange(1000) % 100,
+        },
+    )
+    return database
+
+
+@pytest.fixture(scope="session")
+def ledger_db() -> Database:
+    """One table with a signed 'delta' column (for the SUM warnings)."""
+    database = Database("ledger")
+    database.create_table(
+        "entries",
+        {
+            "delta": np.linspace(-50.0, 150.0, 200),
+            "amount": np.linspace(0.0, 100.0, 200),
+        },
+    )
+    return database

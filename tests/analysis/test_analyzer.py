@@ -1,0 +1,138 @@
+"""The SQL front-end of the analyzer: failures become diagnostics."""
+
+import numpy as np
+
+from repro.analysis import analyze_sql
+from repro.engine.catalog import Database
+from repro.exceptions import BindError
+from repro.sqlext import parse_acq
+
+
+class TestFrontEndDiagnostics:
+    def test_parse_error_is_acq001_with_span(self, shop_db):
+        report = analyze_sql("SELECT FROM WHERE", shop_db)
+        assert report.codes() == ("ACQ001",)
+        (diagnostic,) = report.diagnostics
+        assert diagnostic.span is not None
+
+    def test_unknown_table_is_acq002(self, shop_db):
+        report = analyze_sql(
+            "SELECT * FROM nope CONSTRAINT COUNT(*) = 10 WHERE x <= 5",
+            shop_db,
+        )
+        assert report.codes() == ("ACQ002",)
+
+    def test_non_osp_aggregate_is_acq301(self, shop_db):
+        report = analyze_sql(
+            "SELECT * FROM products CONSTRAINT STDDEV(price) = 10 "
+            "WHERE price <= 50",
+            shop_db,
+        )
+        assert report.codes() == ("ACQ301",)
+        (diagnostic,) = report.diagnostics
+        assert "OSP" in (diagnostic.hint or "")
+
+    def test_known_non_osp_aggregate_is_acq301_naming_it(self, shop_db):
+        report = analyze_sql(
+            "SELECT * FROM products CONSTRAINT MEDIAN(price) = 10 "
+            "WHERE price <= 50",
+            shop_db,
+        )
+        assert report.codes() == ("ACQ301",)
+        assert "MEDIAN" in report.diagnostics[0].message
+
+    def test_unknown_aggregate_is_acq002_naming_it(self, shop_db):
+        """Unsupported aggregates bind-fail with the offending name."""
+        report = analyze_sql(
+            "SELECT * FROM products CONSTRAINT FROBNICATE(price) = 10 "
+            "WHERE price <= 50",
+            shop_db,
+        )
+        assert report.codes() == ("ACQ002",)
+        assert "FROBNICATE" in report.diagnostics[0].message
+
+    def test_bind_error_exception_also_names_the_aggregate(self, shop_db):
+        """parse_acq raises one exception type with the offending name."""
+        try:
+            parse_acq(
+                "SELECT * FROM products CONSTRAINT FROBNICATE(price) = 10 "
+                "WHERE price <= 50",
+                shop_db,
+            )
+        except BindError as exc:
+            assert "FROBNICATE" in str(exc)
+        else:
+            raise AssertionError("expected BindError")
+
+
+class TestSpans:
+    def test_constraint_diagnostic_points_at_the_clause(self, shop_db):
+        text = (
+            "SELECT * FROM products\n"
+            "CONSTRAINT COUNT(*) >= 1M\n"
+            "WHERE price <= 50"
+        )
+        report = analyze_sql(text, shop_db)
+        errors = [d for d in report.diagnostics if d.code == "ACQ101"]
+        assert errors and errors[0].span is not None
+        start, end = errors[0].span.start, errors[0].span.end
+        assert text[start:end] == "COUNT(*) >= 1M"
+
+    def test_predicate_diagnostic_points_at_the_predicate(self):
+        database = Database("d")
+        database.create_table("t", {"x": np.linspace(0.0, 100.0, 100)})
+        text = (
+            "SELECT * FROM t CONSTRAINT COUNT(*) = 10 "
+            "WHERE x <= 100"
+        )
+        report = analyze_sql(text, database)
+        dead = [d for d in report.diagnostics if d.code == "ACQ202"]
+        assert dead and dead[0].span is not None
+        start, end = dead[0].span.start, dead[0].span.end
+        assert text[start:end] == "x <= 100"
+
+
+class TestGoldenRendering:
+    def test_all_norefine_report(self, shop_db):
+        text = (
+            "SELECT * FROM products\n"
+            "CONSTRAINT COUNT(*) = 1000\n"
+            "WHERE (price <= 50) NOREFINE"
+        )
+        report = analyze_sql(text, shop_db)
+        assert report.render() == (
+            "error[ACQ201]: every predicate is marked NOREFINE; the "
+            "refined space has no dimensions and ACQUIRE cannot expand "
+            "anything\n"
+            "  --> line 2, column 12\n"
+            "  | CONSTRAINT COUNT(*) = 1000\n"
+            "  |            ^^^^^^^^^^^^^^^\n"
+            "  = help: drop NOREFINE from at least one predicate\n"
+            "analysis FAILED: 1 error(s), 0 warning(s), 0 note(s)"
+        )
+
+    def test_clean_report_renders_ok(self, shop_db):
+        report = analyze_sql(
+            "SELECT * FROM products CONSTRAINT COUNT(*) = 100 "
+            "WHERE price <= 50",
+            shop_db,
+        )
+        rendered = report.render()
+        assert rendered.startswith("info[ACQ403]: search-cost estimate")
+        assert rendered.endswith(
+            "analysis ok: 0 error(s), 0 warning(s), 1 note(s)"
+        )
+
+
+class TestQuickstartQueryIsClean:
+    def test_readme_query_analyzes_clean(self):
+        """The documented quickstart ACQ must never trip the linter."""
+        from repro.datagen.synthetic import users_table
+
+        database = users_table(n=3000, seed=3)
+        report = analyze_sql(
+            "SELECT * FROM users CONSTRAINT COUNT(*) = 1000 "
+            "WHERE users.age <= 30 AND users.income <= 50000",
+            database,
+        )
+        assert report.ok, report.render()

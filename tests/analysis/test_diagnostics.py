@@ -1,0 +1,141 @@
+"""Diagnostic / AnalysisReport primitives, including golden renderings."""
+
+import json
+
+from repro.analysis import AnalysisReport, Diagnostic, Severity
+from repro.analysis.diagnostics import Span, sort_diagnostics
+
+
+def make(code, severity, message="m", **kwargs):
+    return Diagnostic(code=code, severity=severity, message=message, **kwargs)
+
+
+class TestSeverity:
+    def test_rank_orders_errors_first(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank
+        assert Severity.WARNING.rank < Severity.INFO.rank
+
+    def test_str(self):
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestSpan:
+    def test_line_col_first_line(self):
+        assert Span(3, 5).line_col("SELECT *") == (1, 4)
+
+    def test_line_col_later_line(self):
+        source = "SELECT *\nFROM t\nWHERE x <= 5"
+        start = source.index("WHERE")
+        assert Span(start, start + 5).line_col(source) == (3, 1)
+
+
+class TestDiagnosticRender:
+    def test_golden_with_source(self):
+        source = "SELECT * FROM t CONSTRAINT COUNT(*) = 10 WHERE x <= 5"
+        diagnostic = make(
+            "ACQ101",
+            Severity.ERROR,
+            message="target unreachable",
+            hint="lower the target",
+            span=Span(16, 40),
+        )
+        assert diagnostic.render(source) == (
+            "error[ACQ101]: target unreachable\n"
+            "  --> line 1, column 17\n"
+            "  | SELECT * FROM t CONSTRAINT COUNT(*) = 10 WHERE x <= 5\n"
+            "  |                 ^^^^^^^^^^^^^^^^^^^^^^^^\n"
+            "  = help: lower the target"
+        )
+
+    def test_golden_without_source_uses_subject(self):
+        diagnostic = make(
+            "ACQ202", Severity.WARNING, message="dead axis", subject="x_le"
+        )
+        assert diagnostic.render() == "warning[ACQ202]: dead axis (at 'x_le')"
+
+    def test_span_at_eof_is_clamped(self):
+        source = "SELECT"
+        diagnostic = make(
+            "ACQ001", Severity.ERROR, span=Span(len(source), len(source) + 1)
+        )
+        rendered = diagnostic.render(source)
+        assert "line 1, column 7" in rendered
+        assert "^" in rendered
+
+    def test_to_dict_round_trips_through_json(self):
+        diagnostic = make(
+            "ACQ401",
+            Severity.WARNING,
+            message="big grid",
+            hint="raise gamma",
+            span=Span(2, 9),
+            subject="grid",
+        )
+        payload = json.loads(json.dumps(diagnostic.to_dict()))
+        assert payload == {
+            "code": "ACQ401",
+            "severity": "warning",
+            "message": "big grid",
+            "hint": "raise gamma",
+            "span": {"start": 2, "end": 9},
+            "subject": "grid",
+        }
+
+
+class TestAnalysisReport:
+    def test_partitions_by_severity(self):
+        report = AnalysisReport(
+            diagnostics=(
+                make("ACQ101", Severity.ERROR),
+                make("ACQ202", Severity.WARNING),
+                make("ACQ403", Severity.INFO),
+            )
+        )
+        assert report.has_errors and not report.ok
+        assert [d.code for d in report.errors] == ["ACQ101"]
+        assert [d.code for d in report.warnings] == ["ACQ202"]
+        assert report.codes() == ("ACQ101", "ACQ202", "ACQ403")
+
+    def test_ok_report(self):
+        report = AnalysisReport(diagnostics=(make("ACQ403", Severity.INFO),))
+        assert report.ok
+        report.raise_if_errors()  # must not raise
+
+    def test_raise_if_errors(self):
+        from repro.exceptions import AnalysisError
+
+        report = AnalysisReport(
+            diagnostics=(make("ACQ101", Severity.ERROR, message="boom"),)
+        )
+        try:
+            report.raise_if_errors()
+        except AnalysisError as exc:
+            assert exc.report is report
+            assert "ACQ101" in str(exc) and "boom" in str(exc)
+        else:
+            raise AssertionError("expected AnalysisError")
+
+    def test_render_summary_line(self):
+        report = AnalysisReport(
+            diagnostics=(
+                make("ACQ101", Severity.ERROR),
+                make("ACQ403", Severity.INFO),
+            )
+        )
+        assert report.render().endswith(
+            "analysis FAILED: 1 error(s), 0 warning(s), 1 note(s)"
+        )
+
+    def test_sort_is_severity_then_code(self):
+        unsorted = [
+            make("ACQ403", Severity.INFO),
+            make("ACQ302", Severity.WARNING),
+            make("ACQ201", Severity.ERROR),
+            make("ACQ101", Severity.ERROR),
+        ]
+        assert [d.code for d in sort_diagnostics(unsorted)] == [
+            "ACQ101",
+            "ACQ201",
+            "ACQ302",
+            "ACQ403",
+        ]

@@ -1,0 +1,141 @@
+"""``python -m repro lint`` and the run path's ``--analyze`` flag."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import lint_main, main
+
+
+@pytest.fixture()
+def products_csv(tmp_path):
+    path = tmp_path / "products.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["price", "rating"])
+        for price, rating in zip(
+            np.linspace(1.0, 500.0, 400), np.linspace(1.0, 5.0, 400)
+        ):
+            writer.writerow([round(price, 4), round(rating, 4)])
+    return str(path)
+
+
+def lint(*args):
+    return lint_main(list(args))
+
+
+class TestLintExitCodes:
+    def test_clean_query_exits_zero(self, products_csv, capsys):
+        code = lint(
+            "--csv",
+            f"products={products_csv}",
+            "SELECT * FROM products CONSTRAINT COUNT(*) = 100 "
+            "WHERE price <= 50",
+        )
+        assert code == 0
+        assert "analysis ok" in capsys.readouterr().out
+
+    def test_all_norefine_exits_nonzero(self, products_csv, capsys):
+        code = lint(
+            "--csv",
+            f"products={products_csv}",
+            "SELECT * FROM products CONSTRAINT COUNT(*) = 100 "
+            "WHERE (price <= 50) NOREFINE",
+        )
+        assert code == 1
+        assert "ACQ201" in capsys.readouterr().out
+
+    def test_unsatisfiable_count_exits_nonzero(self, products_csv, capsys):
+        code = lint(
+            "--csv",
+            f"products={products_csv}",
+            "SELECT * FROM products CONSTRAINT COUNT(*) >= 5000000 "
+            "WHERE price <= 50",
+        )
+        assert code == 1
+        assert "ACQ101" in capsys.readouterr().out
+
+    def test_strict_fails_on_warnings(self, products_csv, capsys):
+        sql = (
+            "SELECT * FROM products CONSTRAINT AVG(rating) = 3 "
+            "WHERE price <= 50"
+        )
+        assert lint("--csv", f"products={products_csv}", sql) == 0
+        capsys.readouterr()
+        assert (
+            lint("--csv", f"products={products_csv}", "--strict", sql) == 1
+        )
+
+    def test_no_tables_exits_two(self, capsys):
+        assert lint("SELECT * FROM t CONSTRAINT COUNT(*) = 1") == 2
+        assert "no tables" in capsys.readouterr().err
+
+
+class TestLintInputForms:
+    SQL = (
+        "SELECT * FROM products CONSTRAINT COUNT(*) = 100 "
+        "WHERE price <= 50"
+    )
+
+    def test_sql_file(self, products_csv, tmp_path, capsys):
+        sql_path = tmp_path / "query.sql"
+        sql_path.write_text(self.SQL)
+        code = lint("--csv", f"products={products_csv}", str(sql_path))
+        assert code == 0
+        assert "analysis ok" in capsys.readouterr().out
+
+    def test_stdin(self, products_csv, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(self.SQL))
+        assert lint("--csv", f"products={products_csv}", "-") == 0
+
+    def test_json_output(self, products_csv, capsys):
+        code = lint(
+            "--csv", f"products={products_csv}", "--json", self.SQL
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["diagnostics"][0]["code"] == "ACQ403"
+
+    def test_main_dispatches_lint(self, products_csv, capsys):
+        code = main(
+            ["lint", "--csv", f"products={products_csv}", self.SQL]
+        )
+        assert code == 0
+        assert "analysis ok" in capsys.readouterr().out
+
+
+class TestRunPathAnalyzeFlag:
+    def test_analyze_aborts_on_errors(self, products_csv, capsys):
+        code = main(
+            [
+                "--csv",
+                f"products={products_csv}",
+                "--analyze",
+                "SELECT * FROM products CONSTRAINT COUNT(*) >= 5000000 "
+                "WHERE price <= 50",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "ACQ101" in captured.out
+        assert "not executing" in captured.err
+
+    def test_analyze_then_runs_clean_query(self, products_csv, capsys):
+        code = main(
+            [
+                "--csv",
+                f"products={products_csv}",
+                "--analyze",
+                "SELECT * FROM products CONSTRAINT COUNT(*) = 100 "
+                "WHERE price <= 130",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "analysis ok" in output
+        assert "satisfied=True" in output

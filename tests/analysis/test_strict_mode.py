@@ -1,0 +1,120 @@
+"""Pre-flight wiring: Acquire(strict=True), harness preflight, and the
+no-false-positive property (clean analysis => the driver accepts it)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze
+from repro.core.acquire import Acquire, AcquireConfig
+from repro.engine.catalog import Database
+from repro.engine.memory_backend import MemoryBackend
+from repro.exceptions import (
+    AnalysisError,
+    OSPViolationError,
+    QueryModelError,
+)
+from repro.harness.runner import preflight_query
+from tests.conftest import count_query
+
+
+@pytest.fixture(scope="module")
+def grid_db() -> Database:
+    database = Database("grid")
+    database.create_table(
+        "data",
+        {
+            "x": np.linspace(0.0, 100.0, 200),
+            "y": np.linspace(0.0, 100.0, 200),
+        },
+    )
+    return database
+
+
+def unsatisfiable(target=1e9):
+    return count_query("data", {"x": 40.0, "y": 40.0}, target=target)
+
+
+class TestStrictDriver:
+    def test_strict_rejects_unsatisfiable_query(self, grid_db):
+        acquire = Acquire(MemoryBackend(grid_db))
+        with pytest.raises(AnalysisError) as excinfo:
+            acquire.run(unsatisfiable(), strict=True)
+        assert "ACQ101" in str(excinfo.value)
+        assert excinfo.value.report.has_errors
+
+    def test_default_mode_still_runs(self, grid_db):
+        result = Acquire(MemoryBackend(grid_db)).run(unsatisfiable())
+        assert not result.satisfied
+
+    def test_strict_passes_clean_query(self, grid_db):
+        query = count_query("data", {"x": 40.0, "y": 40.0}, target=120)
+        result = Acquire(MemoryBackend(grid_db)).run(query, strict=True)
+        assert result.best is not None
+
+    def test_strict_skips_backends_without_catalog(self, grid_db):
+        """Strict mode degrades to a no-op without a catalog handle."""
+
+        class Opaque:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, item):
+                if item == "database":
+                    raise AttributeError(item)
+                return getattr(self._inner, item)
+
+        layer = Opaque(MemoryBackend(grid_db))
+        result = Acquire(layer).run(unsatisfiable(), strict=True)
+        assert not result.satisfied  # ran (and failed) instead of raising
+
+
+class TestHarnessPreflight:
+    def test_raises_before_any_execution(self, grid_db):
+        with pytest.raises(AnalysisError):
+            preflight_query(MemoryBackend(grid_db), unsatisfiable())
+
+    def test_clean_query_passes(self, grid_db):
+        query = count_query("data", {"x": 40.0, "y": 40.0}, target=120)
+        preflight_query(MemoryBackend(grid_db), query)
+
+
+class TestNoFalsePositives:
+    """A query the analyzer passes must be accepted by the driver: zero
+    ERROR diagnostics implies Acquire raises no model/OSP exception."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        bound_x=st.floats(min_value=5.0, max_value=100.0),
+        bound_y=st.floats(min_value=5.0, max_value=100.0),
+        target=st.integers(min_value=1, max_value=40_000),
+        op_name=st.sampled_from(["=", ">=", "<="]),
+    )
+    def test_clean_queries_run(self, bound_x, bound_y, target, op_name):
+        from repro.core.query import ConstraintOp
+
+        database = Database("prop")
+        database.create_table(
+            "data",
+            {
+                "x": np.linspace(0.0, 100.0, 200),
+                "y": np.linspace(0.0, 100.0, 200),
+            },
+        )
+        query = count_query(
+            "data",
+            {"x": bound_x, "y": bound_y},
+            target=target,
+            op=ConstraintOp.parse(op_name),
+        )
+        report = analyze(query, database)
+        if report.has_errors:
+            return  # the analyzer rejected it; nothing to check
+        config = AcquireConfig(gamma=25.0)
+        try:
+            Acquire(MemoryBackend(database)).run(query, config, strict=True)
+        except (QueryModelError, OSPViolationError, AnalysisError) as exc:
+            raise AssertionError(
+                f"analyzer passed but driver rejected: {exc}"
+            )

@@ -11,7 +11,6 @@ from repro.core.aggregates import AggregateSpec, get_aggregate
 from repro.core.interval import Interval
 from repro.core.predicate import Direction, SelectPredicate
 from repro.core.query import AggregateConstraint, ConstraintOp, Query
-from repro.core.refined_space import RefinedSpace
 from repro.core.scoring import LInfNorm, LpNorm
 from repro.engine.catalog import Database
 from repro.engine.expression import col

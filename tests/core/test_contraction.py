@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.acquire import Acquire, AcquireConfig
 from repro.core.aggregates import AggregateSpec, get_aggregate
-from repro.core.contraction import ContractionSpace, contract_query
+from repro.core.contraction import ContractionSpace
 from repro.core.interval import Interval
 from repro.core.predicate import Direction, SelectPredicate
 from repro.core.query import AggregateConstraint, ConstraintOp, Query

@@ -1,7 +1,6 @@
 """Hypothesis property tests for the contraction extension (7.2)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -251,7 +251,14 @@ class TestScoreIntervalConsistency:
         elif tuple_score <= score:
             assert admitted
         else:
-            assert not admitted
+            # A score gap below one ulp of the endpoint vanishes in the
+            # interval arithmetic (50.0 + -1e-38 == 50.0), so the value
+            # may still be admitted when both scores map to the same
+            # interval.
+            assert not admitted or (
+                predicate.interval_at(score)
+                == predicate.interval_at(tuple_score)
+            )
 
     @settings(max_examples=100, deadline=None)
     @given(

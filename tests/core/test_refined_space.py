@@ -9,7 +9,7 @@ from repro.core.interval import Interval
 from repro.core.predicate import Direction, SelectPredicate
 from repro.core.query import AggregateConstraint, ConstraintOp, Query
 from repro.core.refined_space import BASE_CELL_LO, MAX_COORD_CAP, RefinedSpace
-from repro.core.scoring import LInfNorm, LpNorm
+from repro.core.scoring import LInfNorm
 from repro.engine.expression import col
 from repro.exceptions import QueryModelError
 

@@ -75,7 +75,6 @@ class TestZipf:
         assert values.max() <= 20.0
 
     def test_validation(self):
-        rng = np.random.default_rng(0)
         with pytest.raises(DataGenError):
             zipf_probabilities(0, 1.0)
         with pytest.raises(DataGenError):

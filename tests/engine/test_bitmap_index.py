@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.refined_space import RefinedSpace
 from repro.engine.bitmap_index import GridBitmapIndex
+from repro.exceptions import EngineError
 from tests.core.test_refined_space import make_query
 
 
@@ -47,7 +48,6 @@ class TestGridBitmapIndex:
         """Index emptiness must agree with actual cell execution."""
         import itertools
 
-        from repro.core.aggregates import AggregateSpec, get_aggregate
         from repro.engine.catalog import Database
         from repro.engine.memory_backend import MemoryBackend
 
@@ -100,12 +100,12 @@ class TestCountingGridIndex:
 
     def test_remove_from_empty_rejected(self):
         index = self._index()
-        with pytest.raises(ValueError, match="empty cell"):
+        with pytest.raises(EngineError, match="empty cell"):
             index.remove(np.array([[0.0, 0.0]]))
 
     def test_arity_checked(self):
         index = self._index()
-        with pytest.raises(ValueError, match="arity"):
+        with pytest.raises(EngineError, match="arity"):
             index.insert(np.array([[1.0, 2.0, 3.0]]))
 
     def test_matches_bitmap_semantics(self):
@@ -124,7 +124,6 @@ class TestCountingGridIndex:
 
     def test_explorer_accepts_counting_index(self):
         """Drop-in replacement for the bitmap in the Explore phase."""
-        from repro.core.aggregates import AggregateSpec, get_aggregate
         from repro.core.expand import LpBestFirstTraversal
         from repro.core.explore import Explorer
         from repro.engine.bitmap_index import CountingGridIndex

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.engine.expression import (
     Abs,
     BinaryOp,
-    Constant,
     absolute,
     col,
     const,

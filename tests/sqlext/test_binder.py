@@ -1,6 +1,5 @@
 """Tests for binding parsed ACQs against the catalog."""
 
-import math
 
 import numpy as np
 import pytest

@@ -9,7 +9,6 @@ from repro.engine.memory_backend import MemoryBackend
 from repro.exceptions import DataGenError
 from repro.workloads.generator import (
     FlexSpec,
-    JoinSpec,
     build_ratio_workload,
     original_aggregate,
 )
@@ -162,7 +161,7 @@ class TestTemplates:
         assert len(pool) == 5
         assert all(spec.selectivity == 0.3 for spec in pool)
         assert len(q2_flex_specs(3)) == 3
-        with pytest.raises(ValueError):
+        with pytest.raises(DataGenError):
             q2_flex_specs(6)
 
     def test_ontologies_match_figure7(self):
@@ -185,7 +184,7 @@ class TestLineitemFamily:
         ]
         with_orders = lineitem_flex_specs(3, 0.3, with_orders=True)
         assert with_orders[2].column == "orders.o_totalprice"
-        with pytest.raises(ValueError):
+        with pytest.raises(DataGenError):
             lineitem_flex_specs(9)
 
     def test_fk_join_workload_solvable(self, tiny_tpch):

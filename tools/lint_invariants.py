@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Repo-specific invariant lint (stdlib-ast, no third-party deps).
+
+Enforced invariants over ``src/repro``:
+
+I1  sqlite3 isolation — only modules under ``src/repro/engine/`` may
+    import :mod:`sqlite3` (directly or via ``from sqlite3 import``).
+    Everything else must go through the evaluation-layer API or the
+    :mod:`repro.engine.sqlite_util` seam, so backends stay swappable.
+
+I2  typed exceptions — every ``raise`` must construct an exception
+    class defined in :mod:`repro.exceptions` (the class list is parsed
+    from that file, so new exception types are picked up
+    automatically). Allowed besides those:
+
+    * bare ``raise`` (re-raise inside an ``except`` block);
+    * re-raising a local variable (lowercase name, e.g. ``raise exc``);
+    * ``raise NotImplementedError`` (abstract-method convention);
+    * ``raise AttributeError`` inside a module-level ``__getattr__``
+      (the lazy-import protocol requires it).
+
+Run ``python tools/lint_invariants.py``; exits non-zero and prints
+``path:line: message`` for each violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+ENGINE = SRC / "engine"
+EXCEPTIONS_MODULE = SRC / "exceptions.py"
+
+#: Exceptions permitted everywhere in addition to repro.exceptions.
+GLOBAL_ALLOWLIST = frozenset({"NotImplementedError"})
+
+
+def repro_exception_names() -> frozenset[str]:
+    """Class names defined at the top level of repro/exceptions.py."""
+    tree = ast.parse(EXCEPTIONS_MODULE.read_text(encoding="utf-8"))
+    return frozenset(
+        node.name for node in tree.body if isinstance(node, ast.ClassDef)
+    )
+
+
+def raised_name(node: ast.Raise) -> str | None:
+    """The root identifier of a raise, or None for bare re-raise."""
+    exc = node.exc
+    if exc is None:
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return "<expression>"
+
+
+class InvariantChecker(ast.NodeVisitor):
+    def __init__(self, path: Path, allowed: frozenset[str]) -> None:
+        self.path = path
+        self.allowed = allowed
+        self.in_engine = ENGINE in path.parents or path.parent == ENGINE
+        self.violations: list[tuple[int, str]] = []
+        self._function_stack: list[str] = []
+
+    # -- I1: sqlite3 isolation -----------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_sqlite(alias.name, node.lineno)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            self._check_sqlite(node.module, node.lineno)
+        self.generic_visit(node)
+
+    def _check_sqlite(self, module: str, lineno: int) -> None:
+        if module.split(".")[0] == "sqlite3" and not self.in_engine:
+            self.violations.append(
+                (
+                    lineno,
+                    "I1: sqlite3 may only be imported under "
+                    "src/repro/engine/ (use the evaluation-layer API "
+                    "or repro.engine.sqlite_util)",
+                )
+            )
+
+    # -- I2: typed exceptions ------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function_stack.append(node.name)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        name = raised_name(node)
+        ok = (
+            name is None
+            or name in self.allowed
+            or name in GLOBAL_ALLOWLIST
+            or (name[:1].islower() and name != "<expression>")
+            or (
+                name == "AttributeError"
+                and self._function_stack[-1:] == ["__getattr__"]
+            )
+        )
+        if not ok:
+            self.violations.append(
+                (
+                    node.lineno,
+                    f"I2: raise {name} — raise a class from "
+                    "repro.exceptions instead",
+                )
+            )
+        self.generic_visit(node)
+
+
+def check_file(path: Path, allowed: frozenset[str]) -> list[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    checker = InvariantChecker(path, allowed)
+    checker.visit(tree)
+    relative = path.relative_to(REPO_ROOT)
+    return [
+        f"{relative}:{lineno}: {message}"
+        for lineno, message in checker.violations
+    ]
+
+
+def main() -> int:
+    allowed = repro_exception_names()
+    problems: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        problems.extend(check_file(path, allowed))
+    for line in problems:
+        print(line)
+    if problems:
+        print(f"{len(problems)} invariant violation(s)", file=sys.stderr)
+        return 1
+    print("invariants ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
