@@ -7,15 +7,28 @@ Bernoulli sample, and marginal-histogram estimation, comparing cost
 against the *validated* quality of the recommendation.
 """
 
+import os
+
 from benchmarks.conftest import run_once
 from repro.harness.experiments import evaluation_layers
+from repro.harness.report import save_json
 
 
 def test_evaluation_layers(benchmark, record_experiment):
-    result = run_once(benchmark, evaluation_layers, scale_rows=30_000)
+    result = run_once(
+        benchmark, evaluation_layers, scale_rows=30_000, batched=True
+    )
     record_experiment(result)
+    json_path = save_json(
+        result, os.path.join("benchmarks", "results", "BENCH_layers.json")
+    )
+    assert os.path.exists(json_path)
 
     rows = {row.method: row for row in result.rows}
+    # The batched path collapsed layers into bulk round trips on every
+    # backend (sampling delegates to memory, so it batches too).
+    for method in ("memory", "sqlite", "sampling", "histogram"):
+        assert rows[method].batches >= 1, method
     # Exact layers agree with each other on the recommendation.
     assert rows["memory"].qscore == rows["sqlite"].qscore
     assert rows["memory"].aggregate_value == rows["sqlite"].aggregate_value

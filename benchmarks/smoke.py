@@ -1,0 +1,74 @@
+"""CI smoke run for the benchmark plumbing.
+
+Runs one tiny ``evaluation_layers`` sweep point per backend (memory,
+sqlite, sampling, histogram) in batched mode and writes the
+machine-readable ``BENCH_layers.json`` that the full benchmark suite
+also emits — so the JSON schema, the batch counters, and the harness
+report path cannot rot without CI noticing. Unlike
+``bench_evaluation_layers.py`` this needs nothing beyond the runtime
+dependencies (no pytest-benchmark).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke.py [--scale-rows N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+BACKENDS = ("memory", "sqlite", "sampling", "histogram")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale-rows", type=int, default=1500)
+    parser.add_argument(
+        "--out",
+        default=os.path.join("benchmarks", "results", "BENCH_layers.json"),
+    )
+    args = parser.parse_args(argv)
+
+    from repro.harness.experiments import evaluation_layers
+    from repro.harness.report import render_rows, save_json
+
+    result = evaluation_layers(scale_rows=args.scale_rows, batched=True)
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    path = save_json(result, args.out)
+
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    rows = {row["method"]: row for row in payload["rows"]}
+
+    failures = []
+    missing = set(BACKENDS) - set(rows)
+    if missing:
+        failures.append(f"backends missing from JSON: {sorted(missing)}")
+    for method in BACKENDS:
+        row = rows.get(method)
+        if row is None:
+            continue
+        if row["batches"] < 1:
+            failures.append(f"{method}: batched run recorded no batches")
+        if row["queries"] < 1:
+            failures.append(f"{method}: no queries recorded")
+    if "memory" in rows and "sqlite" in rows:
+        if rows["memory"]["qscore"] != rows["sqlite"]["qscore"]:
+            failures.append(
+                "exact layers disagree: memory qscore "
+                f"{rows['memory']['qscore']} != sqlite "
+                f"{rows['sqlite']['qscore']}"
+            )
+
+    print(render_rows(result.rows))
+    print(f"\nwrote {path}")
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -127,6 +127,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="l1",
         help="QScore norm: l1, l2, ... lp (any p>=1), or linf",
     )
+    parser.add_argument(
+        "--batched",
+        action="store_true",
+        help="execute each search layer's cell queries as one batched "
+        "round trip (see docs/PARALLELISM.md)",
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads for batched cell execution on backends "
+        "without a native bulk path (N > 1 implies --batched)",
+    )
     parser.add_argument("--alternatives", type=int, default=3,
                         help="how many refined queries to print")
     parser.add_argument("--show-rows", type=int, default=0,
@@ -251,7 +265,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         else SQLiteBackend(database)
     )
     config = AcquireConfig(
-        gamma=args.gamma, delta=args.delta, norm=_norm_from_name(args.norm)
+        gamma=args.gamma,
+        delta=args.delta,
+        norm=_norm_from_name(args.norm),
+        batched=args.batched,
+        parallelism=args.parallelism,
     )
     acquire = Acquire(layer)
     result = acquire.run(query, config)

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.core.error import AggregateErrorFunction, default_error_for
-from repro.core.expand import make_traversal
+from repro.core.expand import LAYER_DECIMALS, make_traversal
 from repro.core.explore import Explorer
 from repro.core.query import ConstraintOp, Query
 from repro.core.refined_space import RefinedSpace
@@ -68,6 +68,14 @@ class AcquireConfig:
             :func:`repro.core.error.default_error_for`.
         use_bitmap_index: consult the section 7.4 bitmap index (only
             effective on backends that can build one).
+        batched: execute each Expand layer's cell queries through the
+            evaluation layer's batched path (one round trip per layer
+            on backends with a native bulk implementation) instead of
+            one query per cell. Answer sets are identical either way;
+            see ``docs/PARALLELISM.md``.
+        parallelism: worker threads for the batched path on backends
+            without a native bulk implementation. ``> 1`` implies
+            ``batched``.
     """
 
     gamma: float = 10.0
@@ -80,6 +88,8 @@ class AcquireConfig:
     max_grid_queries: int = 500_000
     error_fn: Optional[AggregateErrorFunction] = None
     use_bitmap_index: bool = False
+    batched: bool = False
+    parallelism: int = 1
 
     def __post_init__(self) -> None:
         if self.gamma <= 0:
@@ -88,6 +98,13 @@ class AcquireConfig:
             raise QueryModelError("delta must be >= 0")
         if self.repartition_iterations < 0:
             raise QueryModelError("repartition_iterations must be >= 0")
+        if self.parallelism < 1:
+            raise QueryModelError("parallelism must be >= 1")
+
+    @property
+    def use_batch(self) -> bool:
+        """Whether the driver should batch layers of cell queries."""
+        return self.batched or self.parallelism > 1
 
 
 class Acquire:
@@ -173,7 +190,12 @@ class Acquire:
         if config.use_bitmap_index:
             bitmap = _maybe_bitmap_index(self.layer, prepared, space)
         explorer = Explorer(
-            self.layer, prepared, space, aggregate, bitmap_index=bitmap
+            self.layer,
+            prepared,
+            space,
+            aggregate,
+            bitmap_index=bitmap,
+            parallelism=config.parallelism,
         )
         stats = SearchStats()
 
@@ -205,12 +227,18 @@ class Acquire:
         layer_key: Optional[float] = None
         layer_min_actual = math.inf
 
-        for coords in make_traversal(space, config.traversal):
-            qscore = space.qscore(coords)
-            if qscore > answer_layer + _LAYER_EPS:
+        # The traversal is consumed layer by layer (maximal runs of
+        # equal rounded QScore). Concatenated, the layers reproduce the
+        # per-coordinate stream exactly, so serial behaviour and stats
+        # are unchanged; with ``config.use_batch`` each layer's cell
+        # queries are primed through the backend's batched path first.
+        stop = False
+        for layer_coords in make_traversal(space, config.traversal).layers():
+            first_qscore = space.qscore(layer_coords[0])
+            if first_qscore > answer_layer + _LAYER_EPS:
                 break  # the answer layer is fully explored
             if check_overshoot:
-                key = round(qscore, 9)
+                key = round(first_qscore, LAYER_DECIMALS)
                 if layer_key is None:
                     layer_key = key
                 elif key != layer_key:
@@ -220,42 +248,66 @@ class Acquire:
                     layer_min_actual = math.inf
             if stats.grid_queries_examined >= config.max_grid_queries:
                 break
-            stats.grid_queries_examined += 1
-
-            actual = explorer.compute_aggregate(coords)
-            error = error_fn(target, actual)
-            if check_overshoot and not math.isnan(actual):
-                layer_min_actual = min(layer_min_actual, actual)
-            refined = self._refined_query(
-                query, space, coords, actual, error
-            )
-            closest = _closer(closest, refined)
-
-            if error <= config.delta:
-                logger.debug(
-                    "answer at %s: A=%g err=%.4f QScore=%.3f",
-                    coords, actual, error, qscore,
+            if config.use_batch:
+                # Prime only what the examination loop will actually
+                # reach under the query budget, so cells_executed is
+                # identical to serial even when the budget truncates a
+                # layer.
+                remaining = (
+                    config.max_grid_queries - stats.grid_queries_examined
                 )
-                answers.append(refined)
-                answer_layer = min(answer_layer, qscore)
-            elif (
-                constraint.op is ConstraintOp.EQ
-                and not math.isnan(actual)
-                and actual > target
-            ):
-                candidate = self._repartition(
-                    prepared, space, coords, target, error_fn, config, stats
+                explorer.prime_cells(layer_coords[:remaining])
+            for coords in layer_coords:
+                qscore = space.qscore(coords)
+                if qscore > answer_layer + _LAYER_EPS:
+                    stop = True
+                    break
+                if stats.grid_queries_examined >= config.max_grid_queries:
+                    stop = True
+                    break
+                stats.grid_queries_examined += 1
+
+                actual = explorer.compute_aggregate(coords)
+                error = error_fn(target, actual)
+                if check_overshoot and not math.isnan(actual):
+                    layer_min_actual = min(layer_min_actual, actual)
+                refined = self._refined_query(
+                    query, space, coords, actual, error
                 )
-                if candidate is not None:
-                    closest = _closer(closest, candidate)
-                    if candidate.error <= config.delta:
-                        answers.append(candidate)
-                        answer_layer = min(answer_layer, qscore)
+                closest = _closer(closest, refined)
+
+                if error <= config.delta:
+                    logger.debug(
+                        "answer at %s: A=%g err=%.4f QScore=%.3f",
+                        coords, actual, error, qscore,
+                    )
+                    answers.append(refined)
+                    answer_layer = min(answer_layer, qscore)
+                elif (
+                    constraint.op is ConstraintOp.EQ
+                    and not math.isnan(actual)
+                    and actual > target
+                ):
+                    candidate = self._repartition(
+                        prepared, space, coords, target, error_fn, config,
+                        stats,
+                    )
+                    if candidate is not None:
+                        closest = _closer(closest, candidate)
+                        if candidate.error <= config.delta:
+                            answers.append(candidate)
+                            answer_layer = min(answer_layer, qscore)
+            if stop:
+                break
 
         stats.cells_executed = explorer.cells_executed
         stats.cells_skipped = explorer.cells_skipped
         stats.layers_explored = len(
-            {round(space.qscore(a.coords), 9) for a in answers if a.coords}
+            {
+                round(space.qscore(a.coords), LAYER_DECIMALS)
+                for a in answers
+                if a.coords
+            }
         ) or 0
         stats.elapsed_s = time.perf_counter() - started
         stats.execution = self.layer.stats.since(layer_stats_before)

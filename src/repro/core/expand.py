@@ -33,12 +33,42 @@ from repro.exceptions import SearchError
 
 Coords = tuple[int, ...]
 
+#: Decimal places used when bucketing QScores into layers. Shared with
+#: the driver so layer grouping and layer-boundary checks agree.
+LAYER_DECIMALS = 9
+
 
 class Traversal:
     """Iterator protocol over grid queries in non-decreasing QScore."""
 
+    space: RefinedSpace
+
     def __iter__(self) -> Iterator[Coords]:
         raise NotImplementedError
+
+    def layers(self) -> Iterator[list[Coords]]:
+        """Bulk layer generator: the coordinate stream grouped into
+        maximal runs of equal QScore (rounded to ``LAYER_DECIMALS``).
+
+        Concatenating the layers reproduces ``iter(self)`` exactly, so
+        a driver consuming layers visits the same queries in the same
+        order. Cells within one layer never depend on each other's
+        *cell* aggregates (the Eq. 17 recurrence reads stored states of
+        strictly contained queries only when combining, never when
+        executing a cell), which is what makes a layer a safe unit of
+        batched execution.
+        """
+        batch: list[Coords] = []
+        key = 0.0
+        for coords in self:
+            coords_key = round(self.space.qscore(coords), LAYER_DECIMALS)
+            if batch and coords_key != key:
+                yield batch
+                batch = []
+            key = coords_key
+            batch.append(coords)
+        if batch:
+            yield batch
 
 
 class LpBestFirstTraversal(Traversal):

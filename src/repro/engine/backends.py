@@ -6,26 +6,33 @@ modular and can be replaced." This module defines that seam: the
 abstract :class:`EvaluationLayer` plus the instrumentation every
 implementation shares.
 
-Execution requests come in three shapes:
+Execution requests come in four shapes:
 
 * *cell queries* — the highly selective unit of the Explore phase:
   tuples whose per-dimension minimal refinement falls in a grid cell's
   annulus;
+* *batched cell queries* — a whole layer of independent cells at once
+  (:meth:`EvaluationLayer.execute_cells`); backends with a native bulk
+  path answer them in one pass / one statement, everyone else falls
+  back to a serial loop or an opt-in thread pool;
 * *box queries* — a full refined query at an arbitrary (possibly
   off-grid) PScore vector; used by the repartitioning step and by every
   baseline technique;
 * *top-k admission* — order candidate tuples by total refinement
   distance and admit the first k; used by the Top-k baseline.
 
-All three are instrumented (queries issued, rows scanned, execution
-time) so the harness can report machine-independent work alongside
-wall-clock time.
+All are instrumented (queries issued, rows scanned, execution time,
+batch round trips) so the harness can report machine-independent work
+alongside wall-clock time. See ``docs/PARALLELISM.md`` for the batched
+execution contract.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Optional, Protocol, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
@@ -36,31 +43,41 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 
 @dataclass
 class ExecutionStats:
-    """Counters accumulated by an evaluation layer."""
+    """Counters accumulated by an evaluation layer.
+
+    ``queries_executed`` counts physical backend round trips; a batched
+    call is one round trip that answers many *logical* cell queries, so
+    ``cell_queries`` grows by the batch size while ``queries_executed``
+    grows by one. ``batches``/``batched_cells`` track native bulk
+    execution, ``parallel_cells`` the thread-pool fallback.
+    """
 
     queries_executed: int = 0
     cell_queries: int = 0
     box_queries: int = 0
+    batches: int = 0
+    batched_cells: int = 0
+    parallel_cells: int = 0
     rows_scanned: int = 0
     execution_time_s: float = 0.0
 
     def snapshot(self) -> "ExecutionStats":
-        return ExecutionStats(
-            queries_executed=self.queries_executed,
-            cell_queries=self.cell_queries,
-            box_queries=self.box_queries,
-            rows_scanned=self.rows_scanned,
-            execution_time_s=self.execution_time_s,
-        )
+        return replace(self)
 
     def since(self, earlier: "ExecutionStats") -> "ExecutionStats":
-        """Counter deltas relative to an earlier snapshot."""
+        """Counter deltas relative to an earlier snapshot.
+
+        Computed over every dataclass field so newly added counters can
+        never silently drift out of the delta (a batch of N cells
+        landing between snapshots must show up as N ``cell_queries``,
+        not be dropped).
+        """
         return ExecutionStats(
-            queries_executed=self.queries_executed - earlier.queries_executed,
-            cell_queries=self.cell_queries - earlier.cell_queries,
-            box_queries=self.box_queries - earlier.box_queries,
-            rows_scanned=self.rows_scanned - earlier.rows_scanned,
-            execution_time_s=self.execution_time_s - earlier.execution_time_s,
+            **{
+                field.name: getattr(self, field.name)
+                - getattr(earlier, field.name)
+                for field in fields(self)
+            }
         )
 
 
@@ -88,8 +105,11 @@ class PreparedQuery(Protocol):
 class _Timer:
     """Context manager adding elapsed time to a stats object."""
 
-    def __init__(self, stats: ExecutionStats) -> None:
+    def __init__(
+        self, stats: ExecutionStats, lock: Optional[threading.Lock] = None
+    ) -> None:
         self._stats = stats
+        self._lock = lock
         self._start = 0.0
 
     def __enter__(self) -> "_Timer":
@@ -97,7 +117,12 @@ class _Timer:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self._stats.execution_time_s += time.perf_counter() - self._start
+        elapsed = time.perf_counter() - self._start
+        if self._lock is None:
+            self._stats.execution_time_s += elapsed
+        else:
+            with self._lock:
+                self._stats.execution_time_s += elapsed
 
 
 class EvaluationLayer:
@@ -111,6 +136,9 @@ class EvaluationLayer:
 
     def __init__(self) -> None:
         self.stats = ExecutionStats()
+        # Guards counter updates when execute_cells falls back to the
+        # thread pool; uncontended in the (default) serial path.
+        self._stats_lock = threading.Lock()
 
     # -- lifecycle -------------------------------------------------------
     def prepare(
@@ -137,6 +165,45 @@ class EvaluationLayer:
     ) -> AggState:
         """Aggregate state of the grid cell at ``coords``."""
         raise NotImplementedError
+
+    def execute_cells(
+        self,
+        prepared: PreparedQuery,
+        space: RefinedSpace,
+        coords_list: Sequence[Sequence[int]],
+        parallelism: int = 1,
+    ) -> list[AggState]:
+        """Aggregate states of many independent grid cells.
+
+        Returns one state per entry of ``coords_list``, in the same
+        order. Backends with a native bulk path (one pass / one SQL
+        statement for the whole batch) override this; the base
+        implementation loops over :meth:`execute_cell` — serially, or
+        via a ``ThreadPoolExecutor`` when ``parallelism > 1``. Either
+        way results are merged in input order, so answer sets and
+        sub-aggregate stores are bit-identical to serial execution;
+        only timing (and ``parallel_cells``) can differ.
+        """
+        coords_batch = [tuple(int(c) for c in coords) for coords in coords_list]
+        if not coords_batch:
+            return []
+        if parallelism > 1 and len(coords_batch) > 1:
+            with ThreadPoolExecutor(max_workers=parallelism) as pool:
+                states = list(
+                    pool.map(
+                        lambda coords: self.execute_cell(
+                            prepared, space, coords
+                        ),
+                        coords_batch,
+                    )
+                )
+            with self._stats_lock:
+                self.stats.parallel_cells += len(coords_batch)
+            return states
+        return [
+            self.execute_cell(prepared, space, coords)
+            for coords in coords_batch
+        ]
 
     def execute_box(
         self, prepared: PreparedQuery, scores: Sequence[float]
@@ -173,15 +240,25 @@ class EvaluationLayer:
 
     # -- bookkeeping -------------------------------------------------------
     def _count_query(self, kind: str, rows: int = 0) -> None:
-        self.stats.queries_executed += 1
-        self.stats.rows_scanned += rows
-        if kind == "cell":
-            self.stats.cell_queries += 1
-        elif kind == "box":
-            self.stats.box_queries += 1
+        with self._stats_lock:
+            self.stats.queries_executed += 1
+            self.stats.rows_scanned += rows
+            if kind == "cell":
+                self.stats.cell_queries += 1
+            elif kind == "box":
+                self.stats.box_queries += 1
+
+    def _count_batch(self, cells: int, rows: int = 0) -> None:
+        """Record one physical round trip answering ``cells`` cell queries."""
+        with self._stats_lock:
+            self.stats.queries_executed += 1
+            self.stats.batches += 1
+            self.stats.cell_queries += cells
+            self.stats.batched_cells += cells
+            self.stats.rows_scanned += rows
 
     def _timed(self) -> _Timer:
-        return _Timer(self.stats)
+        return _Timer(self.stats, self._stats_lock)
 
     def reset_stats(self) -> None:
         self.stats = ExecutionStats()

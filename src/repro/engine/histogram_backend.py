@@ -171,6 +171,25 @@ class HistogramBackend(EvaluationLayer):
         # AVG: (sum, count) with the mean-value heuristic.
         return (count * prepared.mean_agg_value, count)
 
+    def _cell_state(
+        self,
+        prepared: _HistogramPrepared,
+        space: RefinedSpace,
+        coords: Sequence[int],
+    ) -> AggState:
+        """Pure histogram arithmetic for one cell (no bookkeeping)."""
+        fractions = []
+        for histogram, (low, high) in zip(
+            prepared.histograms, space.cell_ranges(coords)
+        ):
+            if low < 0:
+                fractions.append(histogram.fraction_at_most(0.0))
+            else:
+                fractions.append(histogram.fraction_in(low, high))
+        return self._state_for(
+            prepared, self._estimate_count(prepared, fractions)
+        )
+
     def execute_cell(
         self,
         prepared: _HistogramPrepared,
@@ -178,19 +197,35 @@ class HistogramBackend(EvaluationLayer):
         coords: Sequence[int],
     ) -> AggState:
         with self._timed():
-            fractions = []
-            for histogram, (low, high) in zip(
-                prepared.histograms, space.cell_ranges(coords)
-            ):
-                if low < 0:
-                    fractions.append(histogram.fraction_at_most(0.0))
-                else:
-                    fractions.append(histogram.fraction_in(low, high))
-            state = self._state_for(
-                prepared, self._estimate_count(prepared, fractions)
-            )
+            state = self._cell_state(prepared, space, coords)
         self._count_query("cell")
         return state
+
+    def execute_cells(
+        self,
+        prepared: _HistogramPrepared,
+        space: RefinedSpace,
+        coords_list: Sequence[Sequence[int]],
+        parallelism: int = 1,
+    ) -> list[AggState]:
+        """Native batch: histogram arithmetic for the whole layer.
+
+        Estimation never touches tuples, so a batch is simply one
+        bookkeeping round trip around the same per-cell arithmetic —
+        estimates are bit-identical to serial by construction.
+        ``parallelism`` is ignored (O(bins) per cell leaves nothing to
+        parallelize).
+        """
+        coords_batch = [tuple(int(c) for c in coords) for coords in coords_list]
+        if not coords_batch:
+            return []
+        with self._timed():
+            states = [
+                self._cell_state(prepared, space, coords)
+                for coords in coords_batch
+            ]
+        self._count_batch(len(coords_batch))
+        return states
 
     def execute_box(
         self, prepared: _HistogramPrepared, scores: Sequence[float]

@@ -118,6 +118,41 @@ class MemoryBackend(EvaluationLayer):
         self._count_query("cell", rows=candidate.nrows)
         return state
 
+    def execute_cells(
+        self,
+        prepared: _MemoryPrepared,
+        space: RefinedSpace,
+        coords_list: Sequence[Sequence[int]],
+        parallelism: int = 1,
+    ) -> list[AggState]:
+        """Native batch: one vectorized pass answers the whole layer.
+
+        Digitizes every tuple's score vector into grid coordinates once
+        and group-aggregates (the :meth:`_build_grid` sweep), then reads
+        the requested cells out of the grouped result. ``np.lexsort`` is
+        stable, so within each cell the aggregate values are combined in
+        ascending original-row order — the same order the serial mask
+        extraction produces — making SUM/AVG bit-identical to
+        :meth:`execute_cell`. ``parallelism`` is ignored: the single
+        pass is already the fastest path.
+        """
+        coords_batch = [tuple(int(c) for c in coords) for coords in coords_list]
+        if not coords_batch:
+            return []
+        aggregate = prepared.query.constraint.spec.aggregate
+        if self.vectorized_grid:
+            grid = self._grid_for(prepared, space)
+            self._count_batch(len(coords_batch))
+        else:
+            with self._timed():
+                grid = self._build_grid(prepared, space)
+            self._count_batch(
+                len(coords_batch), rows=prepared.candidate.nrows
+            )
+        return [
+            grid.get(coords, aggregate.identity()) for coords in coords_batch
+        ]
+
     def _execute_cell_indexed(
         self,
         prepared: _MemoryPrepared,
@@ -292,6 +327,28 @@ class MemoryBackend(EvaluationLayer):
 
 
 def _digitize(scores: np.ndarray, step: float) -> np.ndarray:
-    """Grid coordinate of each signed score (cell 0 covers <= 0)."""
+    """Grid coordinate of each signed score (cell 0 covers <= 0).
+
+    Must agree bitwise with the serial cell predicate
+    ``(c - 1) * step < s <= c * step`` (see :meth:`_cell_mask` /
+    :meth:`RefinedSpace.cell_ranges`), which compares against the float
+    *products*. When ``step`` is not exactly representable, the float
+    *quotient* ``s / step`` can land a boundary-adjacent score one cell
+    away from where the product comparison puts it — so after the ceil
+    guess, nudge each coordinate until it satisfies exactly the serial
+    predicate. The loops run at most once per element in practice.
+    """
     positive = np.maximum(scores, 0.0)
-    return np.ceil(positive / step - 1e-12).astype(np.int64)
+    cells = np.ceil(positive / step - 1e-12).astype(np.int64)
+    np.maximum(cells, 0, out=cells)
+    while True:
+        too_high = (cells > 0) & (positive <= (cells - 1) * step)
+        if not too_high.any():
+            break
+        cells[too_high] -= 1
+    while True:
+        too_low = positive > cells * step
+        if not too_low.any():
+            break
+        cells[too_low] += 1
+    return cells

@@ -140,6 +140,15 @@ class SamplingBackend(EvaluationLayer):
         state = self._inner.execute_cell(prepared, space, coords)
         return self._scale(prepared.query, state)
 
+    def execute_cells(
+        self, prepared, space: RefinedSpace, coords_list, parallelism: int = 1
+    ) -> list[AggState]:
+        """Delegate the batch to the inner layer, then scale each state."""
+        states = self._inner.execute_cells(
+            prepared, space, coords_list, parallelism=parallelism
+        )
+        return [self._scale(prepared.query, state) for state in states]
+
     def execute_box(self, prepared, scores) -> AggState:
         state = self._inner.execute_box(prepared, scores)
         return self._scale(prepared.query, state)

@@ -190,6 +190,79 @@ class SQLiteBackend(EvaluationLayer):
             conditions.append(predicate.sql_annulus(low, high))
         return self._run_aggregate(prepared, conditions, "cell")
 
+    def execute_cells(
+        self,
+        prepared: _SQLitePrepared,
+        space: RefinedSpace,
+        coords_list: Sequence[Sequence[int]],
+        parallelism: int = 1,
+    ) -> list[AggState]:
+        """Native batch: one ``GROUP BY`` statement answers the layer.
+
+        Each dimension gets a CASE ladder over the same
+        ``sql_condition`` thresholds the serial annulus uses; the first
+        (smallest) matching level is the tuple's minimal refinement
+        coordinate, so grouping by the ladders buckets tuples exactly
+        as N per-cell round trips would. Cells absent from the result
+        are empty; their state is the aggregate identity, which is what
+        ``state_from_sql`` yields for an all-NULL row too.
+
+        ``parallelism`` is ignored: one statement is already the
+        fastest path, and sqlite3 connections are not shareable across
+        threads anyway.
+        """
+        coords_batch = [tuple(int(c) for c in coords) for coords in coords_list]
+        if not coords_batch:
+            return []
+        dims = space.dims
+        if not dims:
+            return super().execute_cells(prepared, space, coords_batch)
+        spec = prepared.query.constraint.spec
+        step = space.step
+        max_coords = [
+            max(coords[d] for coords in coords_batch)
+            for d in range(len(dims))
+        ]
+        aliases = [f"cell_b{d}" for d in range(len(dims))]
+        bucket_exprs = []
+        for d, predicate in enumerate(dims):
+            ladder = " ".join(
+                f"WHEN {predicate.sql_condition(level * step)} THEN {level}"
+                for level in range(max_coords[d] + 1)
+            )
+            bucket_exprs.append(f"CASE {ladder} ELSE -1 END")
+        conditions = list(prepared.fixed_sql)
+        for d, predicate in enumerate(dims):
+            conditions.append(predicate.sql_condition(max_coords[d] * step))
+        where = " AND ".join(f"({c})" for c in conditions) or "1=1"
+        attribute_sql = (
+            spec.attribute.to_sql() if spec.attribute is not None else None
+        )
+        agg_selects = spec.aggregate.sql_selects(attribute_sql)
+        select_items = ", ".join(
+            [
+                f"({expr}) AS {alias}"
+                for expr, alias in zip(bucket_exprs, aliases)
+            ]
+            + agg_selects
+        )
+        sql = (
+            f"SELECT {select_items} FROM {prepared.from_sql} "
+            f"WHERE {where} GROUP BY {', '.join(aliases)}"
+        )
+        cursor = self._connection.cursor()
+        with self._timed():
+            fetched = cursor.execute(sql).fetchall()
+        self._count_batch(len(coords_batch))
+        grouped: dict[tuple[int, ...], AggState] = {}
+        for row in fetched:
+            key = tuple(int(value) for value in row[: len(dims)])
+            grouped[key] = spec.aggregate.state_from_sql(
+                tuple(row[len(dims):])
+            )
+        identity = spec.aggregate.identity()
+        return [grouped.get(coords, identity) for coords in coords_batch]
+
     def execute_box(
         self, prepared: _SQLitePrepared, scores: Sequence[float]
     ) -> AggState:

@@ -161,6 +161,8 @@ def fig9_dimensionality(
     delta: float = 0.05,
     step: float = 5.0,
     tqgen: Optional[dict] = None,
+    batched: bool = False,
+    parallelism: int = 1,
 ) -> ExperimentResult:
     """Figure 9: ratio fixed at 0.3, flexible predicates swept 1-5.
 
@@ -175,7 +177,13 @@ def fig9_dimensionality(
     tqgen = tqgen or {"grid_points": 4, "rounds": 4}
     database = _tpch(_scaled(scale_rows))
     layer = make_backend(database, backend)
-    config = AcquireConfig(gamma=gamma, delta=delta, step=step)
+    config = AcquireConfig(
+        gamma=gamma,
+        delta=delta,
+        step=step,
+        batched=batched,
+        parallelism=parallelism,
+    )
     # Per-d base selectivity: keeps the original cardinality
     # non-degenerate while the growth to the ratio-0.3 target stays
     # within a few grid steps per dimension at every d.
@@ -208,6 +216,8 @@ def fig9_dimensionality(
             "ratio": ratio,
             "backend": backend,
             "tqgen": tqgen,
+            "batched": batched,
+            "parallelism": parallelism,
         },
     )
 
@@ -629,6 +639,8 @@ def evaluation_layers(
     delta: float = 0.05,
     sampling_fraction: float = 0.1,
     selectivity: float = BASE_SELECTIVITY,
+    batched: bool = False,
+    parallelism: int = 1,
 ) -> ExperimentResult:
     """Paper section 3: "the evaluation layer is modular and can be
     replaced with other techniques such as estimation, and/or sampling."
@@ -655,7 +667,12 @@ def evaluation_layers(
         joins=Q2_JOINS,
         name="layers",
     )
-    config = AcquireConfig(gamma=gamma, delta=delta)
+    config = AcquireConfig(
+        gamma=gamma,
+        delta=delta,
+        batched=batched,
+        parallelism=parallelism,
+    )
     validator = MemoryBackend(database)
     validator_prepared = validator.prepare(
         workload.query, [config.dim_cap_default] * 3
@@ -696,6 +713,8 @@ def evaluation_layers(
             "scale_rows": _scaled(scale_rows),
             "ratio": ratio,
             "sampling_fraction": sampling_fraction,
+            "batched": batched,
+            "parallelism": parallelism,
         },
     )
 

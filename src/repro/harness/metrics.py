@@ -28,6 +28,7 @@ class Row:
     queries: int
     rows_scanned: int
     satisfied: bool
+    batches: int = 0
     extra: dict = field(default_factory=dict)
 
     @classmethod
@@ -43,6 +44,7 @@ class Row:
             queries=run.execution.queries_executed,
             rows_scanned=run.execution.rows_scanned,
             satisfied=run.satisfied,
+            batches=run.execution.batches,
             extra=dict(run.details),
         )
 

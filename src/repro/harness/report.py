@@ -16,6 +16,7 @@ _COLUMNS = (
     ("qscore", lambda row: _fmt_float(row.qscore, 2)),
     ("A_actual", lambda row: _fmt_float(row.aggregate_value, 1)),
     ("queries", lambda row: str(row.queries)),
+    ("batches", lambda row: str(row.batches)),
     ("ok", lambda row: "y" if row.satisfied else "n"),
 )
 
@@ -163,7 +164,8 @@ def save_csv(result: ExperimentResult, path: str) -> str:
 
     fields = (
         "x_name", "x_value", "method", "time_ms", "error", "qscore",
-        "aggregate_value", "queries", "rows_scanned", "satisfied",
+        "aggregate_value", "queries", "rows_scanned", "batches",
+        "satisfied",
     )
     with open(path, "w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
@@ -171,3 +173,29 @@ def save_csv(result: ExperimentResult, path: str) -> str:
         for row in result.rows:
             writer.writerow([getattr(row, field) for field in fields])
     return path
+
+
+def save_json(result: ExperimentResult, path: str) -> str:
+    """Machine-readable result dump (rows + settings) for CI and
+    downstream tooling; see ``benchmarks/smoke.py``."""
+    import json
+    from dataclasses import asdict
+
+    payload = {
+        "name": result.name,
+        "title": result.title,
+        "paper_expectation": result.paper_expectation,
+        "settings": {
+            key: repr(value) if not _jsonable(value) else value
+            for key, value in result.settings.items()
+        },
+        "rows": [asdict(row) for row in result.rows],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=repr)
+        handle.write("\n")
+    return path
+
+
+def _jsonable(value: object) -> bool:
+    return isinstance(value, (str, int, float, bool, type(None)))

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import random
+
 import pytest
 
 from repro.core.aggregates import AggregateSpec, get_aggregate
@@ -12,6 +15,20 @@ from repro.datagen.synthetic import numeric_table, users_table
 from repro.datagen.tpch import TPCHConfig, generate_tpch
 from repro.engine.catalog import Database
 from repro.engine.expression import col
+
+
+def pytest_collection_modifyitems(config, items):
+    """Order-hygiene check: ``REPRO_TEST_SHUFFLE=<seed>`` shuffles the
+    collected test order deterministically. The suite must pass in any
+    order — hidden inter-test coupling (shared mutable fixtures, module
+    state) is a bug. CI runs one shuffled pass; reproduce a failure
+    locally with the seed it prints."""
+    seed = os.environ.get("REPRO_TEST_SHUFFLE")
+    if not seed:
+        return
+    random.Random(seed).shuffle(items)
+    print(f"[conftest] shuffled {len(items)} tests "
+          f"(REPRO_TEST_SHUFFLE={seed})")
 
 
 @pytest.fixture(scope="session")

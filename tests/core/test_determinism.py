@@ -1,0 +1,165 @@
+"""End-to-end determinism of batched / parallel execution.
+
+The batched-execution contract (``docs/PARALLELISM.md``): turning on
+``batched`` or raising ``parallelism`` changes *how many round trips*
+the evaluation layer makes, never *what* ACQUIRE answers. Same data and
+configuration must yield identical answer sets, QScores, aggregate
+values, and ``cells_executed`` for every execution mode — the only
+counters allowed to move are the batching ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.acquire import Acquire, AcquireConfig
+from repro.engine.catalog import Database
+from repro.engine.memory_backend import MemoryBackend
+from repro.engine.sqlite_backend import SQLiteBackend
+from repro.exceptions import QueryModelError
+from tests.conftest import count_query
+
+
+def _db(seed: int = 9, n: int = 3000) -> Database:
+    rng = np.random.default_rng(seed)
+    database = Database()
+    database.create_table(
+        "data",
+        {"x": rng.uniform(0, 100, n), "y": rng.uniform(0, 100, n)},
+    )
+    return database
+
+
+def _answer_key(result):
+    return [
+        (a.pscores, a.qscore, a.aggregate_value, a.error)
+        for a in result.answers
+    ]
+
+
+def _run(database, query, backend_factory, **config_kwargs):
+    layer = backend_factory(database)
+    result = Acquire(layer).run(query, AcquireConfig(**config_kwargs))
+    return result, layer.stats
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("parallelism", [1, 4])
+    def test_parallelism_levels_identical(self, parallelism):
+        """Same seed, parallelism in {1, 4} -> identical AcquireResult
+        answer sets, QScores, and cells_executed."""
+        database = _db(seed=42)
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=900)
+        serial, _ = _run(database, query, MemoryBackend)
+        other, _ = _run(
+            database, query, MemoryBackend, parallelism=parallelism
+        )
+        assert _answer_key(other) == _answer_key(serial)
+        assert other.stats.cells_executed == serial.stats.cells_executed
+        assert (
+            other.stats.grid_queries_examined
+            == serial.stats.grid_queries_examined
+        )
+        assert other.original_value == serial.original_value
+
+    @pytest.mark.parametrize(
+        "backend_factory", [MemoryBackend, SQLiteBackend]
+    )
+    def test_batched_identical_across_backends(self, backend_factory):
+        database = _db(seed=7, n=2000)
+        query = count_query("data", {"x": 25.0, "y": 25.0}, target=700)
+        serial, _ = _run(database, query, backend_factory)
+        batched, batched_exec = _run(
+            database, query, backend_factory, batched=True
+        )
+        assert _answer_key(batched) == _answer_key(serial)
+        assert batched.stats.cells_executed == serial.stats.cells_executed
+        assert batched_exec.batches >= 1
+
+    def test_thread_pool_fallback_identical(self):
+        """A backend without a native batch goes through the
+        ThreadPoolExecutor; answers must still match serial exactly."""
+        from tests.engine.test_differential import _NoBatchWrapper
+
+        database = _db(seed=13, n=1500)
+        query = count_query("data", {"x": 30.0, "y": 30.0}, target=450)
+        serial, _ = _run(database, query, MemoryBackend)
+        wrapped, stats = _run(
+            database,
+            query,
+            lambda db: _NoBatchWrapper(MemoryBackend(db)),
+            parallelism=4,
+        )
+        assert _answer_key(wrapped) == _answer_key(serial)
+        assert wrapped.stats.cells_executed == serial.stats.cells_executed
+        assert stats.parallel_cells > 0
+
+    def test_budget_truncation_identical(self):
+        """When max_grid_queries cuts a layer short, the batched path
+        must prime only what serial would have examined."""
+        database = _db(seed=21, n=1200)
+        query = count_query("data", {"x": 20.0, "y": 20.0}, target=1100)
+        serial, _ = _run(
+            database, query, MemoryBackend, max_grid_queries=37
+        )
+        batched, _ = _run(
+            database, query, MemoryBackend, max_grid_queries=37, batched=True
+        )
+        assert _answer_key(batched) == _answer_key(serial)
+        assert batched.stats.cells_executed == serial.stats.cells_executed
+        assert (
+            batched.stats.grid_queries_examined
+            == serial.stats.grid_queries_examined
+        )
+
+    def test_parallelism_validated(self):
+        with pytest.raises(QueryModelError):
+            AcquireConfig(parallelism=0)
+
+
+class TestRoundTripReduction:
+    """Acceptance criterion: the fig9-style dimensionality workload on
+    the memory backend — batched + parallelism=4 — yields identical
+    answers with at least 2x fewer backend round trips; on sqlite,
+    whole layers collapse into single GROUP BY statements, visible in
+    ``ExecutionStats.batches``."""
+
+    def test_fig9_memory_parallel_batched(self):
+        from repro.harness.experiments import fig9_dimensionality
+
+        kwargs = dict(
+            scale_rows=1200,
+            dims=(1, 2, 3),
+            methods=("ACQUIRE",),
+            backend="memory",
+        )
+        serial = fig9_dimensionality(**kwargs)
+        batched = fig9_dimensionality(**kwargs, batched=True, parallelism=4)
+        for row_s, row_b in zip(serial.rows, batched.rows):
+            assert row_b.qscore == row_s.qscore, row_s.x_value
+            assert row_b.aggregate_value == row_s.aggregate_value
+            assert row_b.error == row_s.error
+            assert row_b.satisfied == row_s.satisfied
+        queries_serial = sum(row.queries for row in serial.rows)
+        queries_batched = sum(row.queries for row in batched.rows)
+        assert queries_batched * 2 <= queries_serial
+        assert sum(row.batches for row in batched.rows) >= 1
+        assert all(row.batches == 0 for row in serial.rows)
+
+    def test_sqlite_one_group_by_per_layer(self):
+        database = _db(seed=5, n=2500)
+        query = count_query("data", {"x": 25.0, "y": 25.0}, target=800)
+        serial, serial_exec = _run(database, query, SQLiteBackend)
+        batched, batched_exec = _run(
+            database, query, SQLiteBackend, batched=True
+        )
+        assert _answer_key(batched) == _answer_key(serial)
+        # Every cell after the origin probe went through a batch...
+        assert (
+            batched_exec.batched_cells >= batched_exec.cell_queries - 1
+        )
+        # ...and batches (one GROUP BY statement each) number far fewer
+        # than the cells they answered.
+        assert batched_exec.batches * 2 <= batched_exec.batched_cells
+        assert batched_exec.queries_executed * 2 <= (
+            serial_exec.queries_executed
+        )

@@ -72,6 +72,41 @@ class TestExecutionStats:
         assert delta.rows_scanned == 10
         assert snap.queries_executed == 5
 
+    def test_since_covers_every_field(self):
+        """Regression: ``since`` must delta every counter, so a batched
+        call landing between snapshots shows up in full — a batch of N
+        cells is N cell queries, not 1 and not 0."""
+        from dataclasses import fields
+
+        stats = ExecutionStats()
+        snap = stats.snapshot()
+        for index, field_info in enumerate(fields(ExecutionStats), start=1):
+            setattr(
+                stats,
+                field_info.name,
+                getattr(stats, field_info.name) + index,
+            )
+        delta = stats.since(snap)
+        for index, field_info in enumerate(fields(ExecutionStats), start=1):
+            assert getattr(delta, field_info.name) == index, field_info.name
+
+    def test_since_sees_batched_cells(self):
+        """The drift scenario end-to-end: a real batched call between
+        snapshot and since."""
+        database = _db(seed=30, n=100)
+        query = _query()
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(query, [100.0, 100.0])
+        space = RefinedSpace(query, 10.0, [70.0, 70.0])
+        snap = layer.stats.snapshot()
+        coords = [(0, 0), (1, 0), (0, 1), (2, 2), (5, 5)]
+        layer.execute_cells(prepared, space, coords)
+        delta = layer.stats.since(snap)
+        assert delta.cell_queries == len(coords)
+        assert delta.batched_cells == len(coords)
+        assert delta.queries_executed == 1
+        assert delta.batches == 1
+
 
 class TestMemoryBackend:
     def test_execute_original_equals_direct_count(self):

@@ -1,0 +1,314 @@
+"""Cross-backend differential suite for batched cell execution.
+
+Three independent implementations of the same cell-query semantics —
+numpy score filters (memory), generated SQL (sqlite), and marginal
+histograms (histogram) — each with a serial path and a native batched
+path, plus the base-class thread-pool fallback. This module drives all
+of them over hypothesis-generated grids and asserts:
+
+* batched == serial, *exactly*, per backend (the batched contract of
+  ``docs/PARALLELISM.md``: bit-identical states, not approximately
+  equal);
+* the exact backends (memory in every mode, sqlite) agree with each
+  other;
+* empty cells, empty batches, empty tables, and float values all
+  behave.
+
+Aggregate values are drawn as multiples of 0.25 — exactly representable
+in binary floating point — so sums are order-independent and the
+bit-identical assertions cannot be defeated by legitimate
+reassociation inside a backend.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import AggregateSpec, get_aggregate
+from repro.core.expand import make_traversal
+from repro.core.interval import Interval
+from repro.core.predicate import Direction, SelectPredicate
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.core.refined_space import RefinedSpace
+from repro.engine.backends import EvaluationLayer
+from repro.engine.catalog import Database
+from repro.engine.expression import col
+from repro.engine.histogram_backend import HistogramBackend
+from repro.engine.memory_backend import MemoryBackend
+from repro.engine.sqlite_backend import SQLiteBackend
+
+ALL_AGGREGATES = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+#: The histogram layer estimates; only these are defined for it.
+HISTOGRAM_AGGREGATES = ("COUNT", "SUM", "AVG")
+
+
+def _database(seed: int, n: int) -> Database:
+    """Random two-column table; values are exact binary fractions."""
+    rng = np.random.default_rng(seed)
+    database = Database()
+    database.create_table(
+        "t",
+        {
+            "x": np.floor(rng.uniform(0, 400, n)) / 4.0,
+            "y": np.floor(rng.uniform(0, 400, n)) / 4.0,
+            "v": np.floor(rng.uniform(-200, 200, n)) / 4.0,
+        },
+    )
+    return database
+
+
+def _query(aggregate: str, bounds=(30.0, 30.0)) -> Query:
+    predicates = [
+        SelectPredicate(
+            name=f"p{i}",
+            expr=col("t." + column),
+            interval=Interval(0.0, bound),
+            direction=Direction.UPPER,
+            denominator=100.0,
+        )
+        for i, (column, bound) in enumerate(zip(("x", "y"), bounds))
+    ]
+    agg = get_aggregate(aggregate)
+    attr = col("t.v") if agg.needs_attribute else None
+    constraint = AggregateConstraint(
+        AggregateSpec(agg, attr), ConstraintOp.EQ, 100.0
+    )
+    return Query.build("q", ("t",), predicates, constraint)
+
+
+def _grid_coords(space: RefinedSpace) -> list[tuple[int, ...]]:
+    """Every in-bounds coordinate, in traversal order."""
+    return list(make_traversal(space, "lp"))
+
+
+class _NoBatchWrapper(EvaluationLayer):
+    """Delegating layer that hides the inner backend's native batch,
+    forcing ``execute_cells`` through the base-class serial loop or
+    thread pool — the path third-party backends without a bulk
+    implementation take."""
+
+    def __init__(self, inner: EvaluationLayer) -> None:
+        super().__init__()
+        self._inner = inner
+
+    def prepare(self, query, dim_caps=None):
+        return self._inner.prepare(query, dim_caps)
+
+    def useful_max_scores(self, prepared):
+        return self._inner.useful_max_scores(prepared)
+
+    def execute_cell(self, prepared, space, coords):
+        self._count_query("cell")
+        return self._inner.execute_cell(prepared, space, coords)
+
+    def execute_box(self, prepared, scores):
+        self._count_query("box")
+        return self._inner.execute_box(prepared, scores)
+
+
+# ----------------------------------------------------------------------
+# Batched == serial, per backend, bit-identical
+# ----------------------------------------------------------------------
+class TestBatchedMatchesSerial:
+    @pytest.mark.parametrize("aggregate", ALL_AGGREGATES)
+    @pytest.mark.parametrize("backend_name", ["memory", "sqlite"])
+    def test_exact_backends(self, backend_name, aggregate):
+        database = _database(seed=11, n=180)
+        query = _query(aggregate)
+        make = MemoryBackend if backend_name == "memory" else SQLiteBackend
+        serial = make(database)
+        batched = make(database)
+        prepared_s = serial.prepare(query, [100.0, 100.0])
+        prepared_b = batched.prepare(query, [100.0, 100.0])
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        coords = _grid_coords(space)
+        states_b = batched.execute_cells(prepared_b, space, coords)
+        states_s = [
+            serial.execute_cell(prepared_s, space, c) for c in coords
+        ]
+        assert states_b == states_s
+        assert batched.stats.batches == 1
+        assert batched.stats.batched_cells == len(coords)
+        assert batched.stats.cell_queries == serial.stats.cell_queries
+
+    @pytest.mark.parametrize("aggregate", HISTOGRAM_AGGREGATES)
+    def test_histogram_backend(self, aggregate):
+        database = _database(seed=12, n=180)
+        query = _query(aggregate)
+        serial = HistogramBackend(database)
+        batched = HistogramBackend(database)
+        prepared_s = serial.prepare(query, [100.0, 100.0])
+        prepared_b = batched.prepare(query, [100.0, 100.0])
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        coords = _grid_coords(space)
+        states_b = batched.execute_cells(prepared_b, space, coords)
+        states_s = [
+            serial.execute_cell(prepared_s, space, c) for c in coords
+        ]
+        assert states_b == states_s
+        assert batched.stats.batches == 1
+
+    @pytest.mark.parametrize("aggregate", ALL_AGGREGATES)
+    @pytest.mark.parametrize("mode", ["vectorized_grid", "indexed"])
+    def test_memory_accelerator_modes(self, mode, aggregate):
+        database = _database(seed=13, n=180)
+        query = _query(aggregate)
+        kwargs = {mode: True}
+        serial = MemoryBackend(database, **kwargs)
+        batched = MemoryBackend(database, **kwargs)
+        prepared_s = serial.prepare(query, [100.0, 100.0])
+        prepared_b = batched.prepare(query, [100.0, 100.0])
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        coords = _grid_coords(space)
+        states_b = batched.execute_cells(prepared_b, space, coords)
+        states_s = [
+            serial.execute_cell(prepared_s, space, c) for c in coords
+        ]
+        assert states_b == states_s
+
+    @pytest.mark.parametrize("parallelism", [1, 4])
+    @pytest.mark.parametrize("aggregate", ALL_AGGREGATES)
+    def test_thread_pool_fallback(self, aggregate, parallelism):
+        """The base-class loop/pool merges results in input order."""
+        database = _database(seed=14, n=150)
+        query = _query(aggregate)
+        serial = MemoryBackend(database)
+        wrapped = _NoBatchWrapper(MemoryBackend(database))
+        prepared_s = serial.prepare(query, [100.0, 100.0])
+        prepared_w = wrapped.prepare(query, [100.0, 100.0])
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        coords = _grid_coords(space)
+        states_w = wrapped.execute_cells(
+            prepared_w, space, coords, parallelism=parallelism
+        )
+        states_s = [
+            serial.execute_cell(prepared_s, space, c) for c in coords
+        ]
+        assert states_w == states_s
+        if parallelism > 1:
+            assert wrapped.stats.parallel_cells == len(coords)
+        else:
+            assert wrapped.stats.parallel_cells == 0
+
+
+# ----------------------------------------------------------------------
+# Cross-backend agreement of the batched paths
+# ----------------------------------------------------------------------
+class TestCrossBackendAgreement:
+    @pytest.mark.parametrize("aggregate", ALL_AGGREGATES)
+    def test_memory_and_sqlite_batches_agree(self, aggregate):
+        database = _database(seed=15, n=200)
+        query = _query(aggregate)
+        memory = MemoryBackend(database)
+        sqlite = SQLiteBackend(database)
+        prepared_m = memory.prepare(query, [100.0, 100.0])
+        prepared_q = sqlite.prepare(query, [100.0, 100.0])
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        coords = _grid_coords(space)
+        states_m = memory.execute_cells(prepared_m, space, coords)
+        states_q = sqlite.execute_cells(prepared_q, space, coords)
+        for c, m, q in zip(coords, states_m, states_q):
+            assert m == pytest.approx(q, rel=1e-9, abs=1e-9), c
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        n=st.integers(min_value=0, max_value=120),
+        aggregate=st.sampled_from(ALL_AGGREGATES),
+        bound_x=st.floats(min_value=5.0, max_value=60.0),
+        bound_y=st.floats(min_value=5.0, max_value=60.0),
+        gamma=st.floats(min_value=10.0, max_value=40.0),
+    )
+    def test_random_grids(self, seed, n, aggregate, bound_x, bound_y, gamma):
+        """Property: over random data, grids and aggregates, the
+        batched paths of both exact backends and the serial path all
+        produce the same states — including empty cells (sparse data)
+        and empty tables (n == 0)."""
+        database = _database(seed=seed, n=n)
+        query = _query(aggregate, (bound_x, bound_y))
+        memory = MemoryBackend(database)
+        sqlite = SQLiteBackend(database)
+        prepared_m = memory.prepare(query, [150.0, 150.0])
+        prepared_q = sqlite.prepare(query, [150.0, 150.0])
+        space = RefinedSpace(query, gamma, [80.0, 80.0])
+        coords = _grid_coords(space)[:40]
+        states_m = memory.execute_cells(prepared_m, space, coords)
+        states_q = sqlite.execute_cells(prepared_q, space, coords)
+        states_serial = [
+            memory.execute_cell(prepared_m, space, c) for c in coords
+        ]
+        assert states_m == states_serial
+        for c, m, q in zip(coords, states_m, states_q):
+            assert m == pytest.approx(q, rel=1e-9, abs=1e-9), c
+
+
+# ----------------------------------------------------------------------
+# Contract edges
+# ----------------------------------------------------------------------
+class TestBatchContract:
+    def test_empty_batch(self):
+        database = _database(seed=16, n=50)
+        query = _query("COUNT")
+        for layer in (
+            MemoryBackend(database),
+            SQLiteBackend(database),
+            HistogramBackend(database),
+        ):
+            prepared = layer.prepare(query, [100.0, 100.0])
+            space = RefinedSpace(query, 20.0, [70.0, 70.0])
+            before = layer.stats.snapshot()
+            assert layer.execute_cells(prepared, space, []) == []
+            delta = layer.stats.since(before)
+            assert delta.queries_executed == 0
+            assert delta.batches == 0
+
+    def test_result_order_matches_input_order(self):
+        database = _database(seed=17, n=150)
+        query = _query("SUM")
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(query, [100.0, 100.0])
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        coords = _grid_coords(space)
+        reversed_coords = list(reversed(coords))
+        forward = layer.execute_cells(prepared, space, coords)
+        backward = layer.execute_cells(prepared, space, reversed_coords)
+        assert backward == list(reversed(forward))
+
+    def test_unrepresentable_step_boundary(self):
+        """Regression (found by ``test_random_grids``): a gamma whose
+        grid step is not an exact binary fraction used to land
+        boundary-adjacent scores one cell off in the digitized grid —
+        the float *quotient* ``s / step`` disagreed with the serial
+        float-*product* predicate ``(c-1)*step < s <= c*step``."""
+        database = _database(seed=0, n=17)
+        query = _query("COUNT", (5.0, 5.0))
+        memory = MemoryBackend(database)
+        prepared = memory.prepare(query, [150.0, 150.0])
+        space = RefinedSpace(query, 16.999999999999993, [80.0, 80.0])
+        coords = _grid_coords(space)[:40]
+        states_b = memory.execute_cells(prepared, space, coords)
+        states_s = [
+            memory.execute_cell(prepared, space, c) for c in coords
+        ]
+        assert states_b == states_s
+
+    def test_empty_cells_get_identity_state(self):
+        """Coordinates past the data's reach hold the identity state,
+        exactly as a serial query over an empty region would."""
+        database = _database(seed=18, n=40)
+        for aggregate in ALL_AGGREGATES:
+            query = _query(aggregate, (1.0, 1.0))
+            agg = query.constraint.spec.aggregate
+            memory = MemoryBackend(database)
+            sqlite = SQLiteBackend(database)
+            prepared_m = memory.prepare(query, [400.0, 400.0])
+            prepared_q = sqlite.prepare(query, [400.0, 400.0])
+            space = RefinedSpace(query, 20.0, [390.0, 390.0])
+            far = [tuple(space.max_coords)]
+            assert memory.execute_cells(prepared_m, space, far) == [
+                agg.identity()
+            ]
+            assert sqlite.execute_cells(prepared_q, space, far) == [
+                agg.identity()
+            ]
