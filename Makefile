@@ -1,6 +1,6 @@
 # Canonical developer commands for the ACQUIRE reproduction.
 
-.PHONY: install test bench experiments examples clean lint typecheck
+.PHONY: install test bench bench-smoke experiments examples clean lint typecheck
 
 install:
 	pip install -e . || python setup.py develop
@@ -27,6 +27,12 @@ typecheck:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Dependency-light benchmark gate (also run by CI): emits and validates
+# BENCH_layers.json + BENCH_explore.json, including the materialized
+# round-trip regression guard against BENCH_explore_baseline.json.
+bench-smoke:
+	python benchmarks/smoke.py
 
 experiments:
 	python -m repro.harness all --save

@@ -1,16 +1,26 @@
 """CI smoke run for the benchmark plumbing.
 
-Runs one tiny ``evaluation_layers`` sweep point per backend (memory,
-sqlite, sampling, histogram) in batched mode and writes the
-machine-readable ``BENCH_layers.json`` that the full benchmark suite
-also emits — so the JSON schema, the batch counters, and the harness
-report path cannot rot without CI noticing. Unlike
+Two tiny sweeps, each emitting the machine-readable JSON the full
+benchmark suite also produces — so the JSON schema, the work counters,
+and the harness report path cannot rot without CI noticing. Unlike
 ``bench_evaluation_layers.py`` this needs nothing beyond the runtime
 dependencies (no pytest-benchmark).
+
+1. ``evaluation_layers`` (batched) per backend — memory, sqlite,
+   sampling, histogram — writes ``BENCH_layers.json`` and checks the
+   batch counters plus memory/sqlite answer agreement.
+2. ``explore_modes`` — serial vs batched vs materialized vs auto on
+   the exact backends — writes ``BENCH_explore.json`` and checks that
+   every mode returns the same answer, that materialization cuts
+   round trips at least ``MIN_SPEEDUP``-fold versus serial, that auto
+   never does more round trips than the better fixed mode, and that
+   the materialized round-trip counts have not regressed above the
+   checked-in ``BENCH_explore_baseline.json``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke.py [--scale-rows N] [--out PATH]
+        [--explore-out PATH] [--baseline PATH] [--update-baseline]
 """
 
 from __future__ import annotations
@@ -21,28 +31,15 @@ import os
 import sys
 
 BACKENDS = ("memory", "sqlite", "sampling", "histogram")
+EXPLORE_BACKENDS = ("memory", "sqlite")
+EXPLORE_MODES = ("serial", "batched", "materialized", "auto")
+
+#: Required round-trip reduction of materialized vs serial Explore.
+MIN_SPEEDUP = 5
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale-rows", type=int, default=1500)
-    parser.add_argument(
-        "--out",
-        default=os.path.join("benchmarks", "results", "BENCH_layers.json"),
-    )
-    args = parser.parse_args(argv)
-
-    from repro.harness.experiments import evaluation_layers
-    from repro.harness.report import render_rows, save_json
-
-    result = evaluation_layers(scale_rows=args.scale_rows, batched=True)
-    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
-    path = save_json(result, args.out)
-
-    with open(path, encoding="utf-8") as handle:
-        payload = json.load(handle)
+def _check_layers(payload: dict) -> list[str]:
     rows = {row["method"]: row for row in payload["rows"]}
-
     failures = []
     missing = set(BACKENDS) - set(rows)
     if missing:
@@ -62,9 +59,151 @@ def main(argv=None) -> int:
                 f"{rows['memory']['qscore']} != sqlite "
                 f"{rows['sqlite']['qscore']}"
             )
+    return failures
 
+
+def _check_explore(payload: dict) -> list[str]:
+    rows = {row["method"]: row for row in payload["rows"]}
+    failures = []
+    for backend in EXPLORE_BACKENDS:
+        per_mode = {
+            mode: rows.get(f"{backend}/{mode}") for mode in EXPLORE_MODES
+        }
+        missing = [mode for mode, row in per_mode.items() if row is None]
+        if missing:
+            failures.append(f"{backend}: modes missing from JSON: {missing}")
+            continue
+        qscores = {mode: row["qscore"] for mode, row in per_mode.items()}
+        if len(set(qscores.values())) != 1:
+            failures.append(f"{backend}: modes disagree on answer: {qscores}")
+        if per_mode["materialized"]["materializations"] < 1:
+            failures.append(f"{backend}: materialized run built no grid")
+        if per_mode["materialized"]["explore_mode"] != "materialized":
+            failures.append(
+                f"{backend}: materialized run reported explore_mode="
+                f"{per_mode['materialized']['explore_mode']!r}"
+            )
+        serial = per_mode["serial"]["queries"]
+        materialized = per_mode["materialized"]["queries"]
+        if materialized * MIN_SPEEDUP > serial:
+            failures.append(
+                f"{backend}: materialized explore saved too little — "
+                f"{materialized} round trips vs {serial} serial "
+                f"(need {MIN_SPEEDUP}x)"
+            )
+        best_fixed = min(
+            per_mode[mode]["queries"]
+            for mode in ("serial", "batched", "materialized")
+        )
+        if per_mode["auto"]["queries"] > best_fixed:
+            failures.append(
+                f"{backend}: auto did {per_mode['auto']['queries']} round "
+                f"trips; the better fixed mode needs only {best_fixed}"
+            )
+    return failures
+
+
+def _check_explore_baseline(
+    payload: dict, baseline_path: str
+) -> list[str]:
+    """Perf-regression guard on materialized round-trip counts.
+
+    The baseline is checked in; regenerate it deliberately with
+    ``--update-baseline`` when the workload or the engine changes.
+    Skipped (with a notice) when the run's scale differs from the
+    baseline's, since counts are only comparable at equal scale.
+    """
+    if not os.path.exists(baseline_path):
+        return [f"explore baseline missing: {baseline_path}"]
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if baseline.get("scale_rows") != payload["settings"].get("scale_rows"):
+        print(
+            "note: baseline scale_rows "
+            f"{baseline.get('scale_rows')} != run scale_rows "
+            f"{payload['settings'].get('scale_rows')}; skipping the "
+            "regression guard"
+        )
+        return []
+    rows = {row["method"]: row for row in payload["rows"]}
+    failures = []
+    for backend, allowed in baseline["materialized_queries"].items():
+        row = rows.get(f"{backend}/materialized")
+        if row is None:
+            continue
+        if row["queries"] > allowed:
+            failures.append(
+                f"{backend}: materialized round trips regressed — "
+                f"{row['queries']} > baseline {allowed}"
+            )
+    return failures
+
+
+def _write_explore_baseline(payload: dict, baseline_path: str) -> None:
+    rows = {row["method"]: row for row in payload["rows"]}
+    baseline = {
+        "scale_rows": payload["settings"].get("scale_rows"),
+        "materialized_queries": {
+            backend: rows[f"{backend}/materialized"]["queries"]
+            for backend in EXPLORE_BACKENDS
+            if f"{backend}/materialized" in rows
+        },
+    }
+    with open(baseline_path, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote baseline {baseline_path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale-rows", type=int, default=1500)
+    parser.add_argument(
+        "--out",
+        default=os.path.join("benchmarks", "results", "BENCH_layers.json"),
+    )
+    parser.add_argument(
+        "--explore-out",
+        default=os.path.join("benchmarks", "results", "BENCH_explore.json"),
+    )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(
+            "benchmarks", "results", "BENCH_explore_baseline.json"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the explore regression baseline from this run",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.harness.experiments import evaluation_layers, explore_modes
+    from repro.harness.report import render_rows, save_json
+
+    failures = []
+
+    result = evaluation_layers(scale_rows=args.scale_rows, batched=True)
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    path = save_json(result, args.out)
+    with open(path, encoding="utf-8") as handle:
+        failures += _check_layers(json.load(handle))
     print(render_rows(result.rows))
-    print(f"\nwrote {path}")
+    print(f"\nwrote {path}\n")
+
+    explore = explore_modes(scale_rows=args.scale_rows)
+    explore_path = save_json(explore, args.explore_out)
+    with open(explore_path, encoding="utf-8") as handle:
+        explore_payload = json.load(handle)
+    failures += _check_explore(explore_payload)
+    if args.update_baseline:
+        _write_explore_baseline(explore_payload, args.baseline)
+    else:
+        failures += _check_explore_baseline(explore_payload, args.baseline)
+    print(render_rows(explore.rows))
+    print(f"\nwrote {explore_path}")
+
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -141,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for batched cell execution on backends "
         "without a native bulk path (N > 1 implies --batched)",
     )
+    parser.add_argument(
+        "--explore-mode",
+        choices=("auto", "incremental", "materialized"),
+        default="incremental",
+        help="Explore engine: per-cell round trips (incremental), one "
+        "whole-grid pass (materialized), or a cost-model choice "
+        "(auto); see docs/EXPLORE_MODES.md",
+    )
     parser.add_argument("--alternatives", type=int, default=3,
                         help="how many refined queries to print")
     parser.add_argument("--show-rows", type=int, default=0,
@@ -270,6 +278,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         norm=_norm_from_name(args.norm),
         batched=args.batched,
         parallelism=args.parallelism,
+        explore_mode=args.explore_mode,
     )
     acquire = Acquire(layer)
     result = acquire.run(query, config)

@@ -32,6 +32,8 @@ from typing import Optional, Sequence
 from repro.core.error import AggregateErrorFunction, default_error_for
 from repro.core.expand import LAYER_DECIMALS, make_traversal
 from repro.core.explore import Explorer
+from repro.core.grid_explore import GridExplorer
+from repro.core.plan import choose_explore_mode
 from repro.core.query import ConstraintOp, Query
 from repro.core.refined_space import RefinedSpace
 from repro.core.result import AcquireResult, RefinedQuery, SearchStats
@@ -76,6 +78,16 @@ class AcquireConfig:
         parallelism: worker threads for the batched path on backends
             without a native bulk implementation. ``> 1`` implies
             ``batched``.
+        explore_mode: Explore engine selection — ``incremental`` (the
+            default: one cell round trip per visited grid query),
+            ``materialized`` (compute the whole cell grid in one
+            backend pass, then answer every grid query from the
+            tensor), or ``auto`` (pick by the catalog-statistics cost
+            model in :mod:`repro.core.plan`). All three produce
+            identical answer sets; see ``docs/EXPLORE_MODES.md``.
+        materialize_cell_cap: largest grid (in cells) the materialized
+            engine may allocate. ``auto`` falls back to incremental
+            above the cap; forcing ``materialized`` above it raises.
     """
 
     gamma: float = 10.0
@@ -90,6 +102,8 @@ class AcquireConfig:
     use_bitmap_index: bool = False
     batched: bool = False
     parallelism: int = 1
+    explore_mode: str = "incremental"
+    materialize_cell_cap: int = 2_000_000
 
     def __post_init__(self) -> None:
         if self.gamma <= 0:
@@ -100,6 +114,13 @@ class AcquireConfig:
             raise QueryModelError("repartition_iterations must be >= 0")
         if self.parallelism < 1:
             raise QueryModelError("parallelism must be >= 1")
+        if self.explore_mode not in ("auto", "incremental", "materialized"):
+            raise QueryModelError(
+                "explore_mode must be 'auto', 'incremental' or "
+                f"'materialized', got {self.explore_mode!r}"
+            )
+        if self.materialize_cell_cap < 1:
+            raise QueryModelError("materialize_cell_cap must be >= 1")
 
     @property
     def use_batch(self) -> bool:
@@ -186,18 +207,30 @@ class Acquire:
         space = RefinedSpace(
             query, config.gamma, max_scores, config.norm, config.step
         )
-        bitmap = None
-        if config.use_bitmap_index:
-            bitmap = _maybe_bitmap_index(self.layer, prepared, space)
-        explorer = Explorer(
-            self.layer,
-            prepared,
-            space,
-            aggregate,
-            bitmap_index=bitmap,
-            parallelism=config.parallelism,
+        plan = choose_explore_mode(self.layer, query, space, config)
+        logger.debug(
+            "explore plan: %s (%s; grid=%d cells, est. visited=%d)",
+            plan.mode, plan.reason, plan.grid_cells, plan.estimated_visited,
         )
-        stats = SearchStats()
+        if plan.mode == "materialized":
+            # The bitmap index only saves per-cell round trips, which
+            # the materialized engine does not issue.
+            explorer: Explorer | GridExplorer = GridExplorer(
+                self.layer, prepared, space, aggregate
+            )
+        else:
+            bitmap = None
+            if config.use_bitmap_index:
+                bitmap = _maybe_bitmap_index(self.layer, prepared, space)
+            explorer = Explorer(
+                self.layer,
+                prepared,
+                space,
+                aggregate,
+                bitmap_index=bitmap,
+                parallelism=config.parallelism,
+            )
+        stats = SearchStats(explore_mode=plan.mode)
 
         # Figure 2, step 1: estimate the original aggregate first; an
         # equality query that already overshoots cannot be fixed by
@@ -232,9 +265,12 @@ class Acquire:
         # per-coordinate stream exactly, so serial behaviour and stats
         # are unchanged; with ``config.use_batch`` each layer's cell
         # queries are primed through the backend's batched path first.
+        # ``layers_scored`` carries each point's QScore along, so no
+        # grid point is ever scored twice.
         stop = False
-        for layer_coords in make_traversal(space, config.traversal).layers():
-            first_qscore = space.qscore(layer_coords[0])
+        traversal = make_traversal(space, config.traversal)
+        for layer_scored in traversal.layers_scored():
+            first_qscore = layer_scored[0][1]
             if first_qscore > answer_layer + _LAYER_EPS:
                 break  # the answer layer is fully explored
             if check_overshoot:
@@ -256,9 +292,10 @@ class Acquire:
                 remaining = (
                     config.max_grid_queries - stats.grid_queries_examined
                 )
-                explorer.prime_cells(layer_coords[:remaining])
-            for coords in layer_coords:
-                qscore = space.qscore(coords)
+                explorer.prime_cells(
+                    [coords for coords, _ in layer_scored[:remaining]]
+                )
+            for coords, qscore in layer_scored:
                 if qscore > answer_layer + _LAYER_EPS:
                     stop = True
                     break

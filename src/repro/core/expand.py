@@ -46,11 +46,23 @@ class Traversal:
     def __iter__(self) -> Iterator[Coords]:
         raise NotImplementedError
 
-    def layers(self) -> Iterator[list[Coords]]:
-        """Bulk layer generator: the coordinate stream grouped into
-        maximal runs of equal QScore (rounded to ``LAYER_DECIMALS``).
+    def scored(self) -> Iterator[tuple[Coords, float]]:
+        """The coordinate stream paired with each point's QScore.
 
-        Concatenating the layers reproduces ``iter(self)`` exactly, so
+        Scores each grid point exactly once; traversals that already
+        compute QScores internally (the best-first heap) override this
+        to reuse them, so consumers never trigger a second
+        ``space.qscore`` evaluation per point.
+        """
+        space = self.space
+        for coords in self:
+            yield coords, space.qscore(coords)
+
+    def layers_scored(self) -> Iterator[list[tuple[Coords, float]]]:
+        """Bulk layer generator: the scored stream grouped into maximal
+        runs of equal QScore (rounded to ``LAYER_DECIMALS``).
+
+        Concatenating the layers reproduces :meth:`scored` exactly, so
         a driver consuming layers visits the same queries in the same
         order. Cells within one layer never depend on each other's
         *cell* aggregates (the Eq. 17 recurrence reads stored states of
@@ -58,17 +70,22 @@ class Traversal:
         executing a cell), which is what makes a layer a safe unit of
         batched execution.
         """
-        batch: list[Coords] = []
+        batch: list[tuple[Coords, float]] = []
         key = 0.0
-        for coords in self:
-            coords_key = round(self.space.qscore(coords), LAYER_DECIMALS)
+        for coords, qscore in self.scored():
+            coords_key = round(qscore, LAYER_DECIMALS)
             if batch and coords_key != key:
                 yield batch
                 batch = []
             key = coords_key
-            batch.append(coords)
+            batch.append((coords, qscore))
         if batch:
             yield batch
+
+    def layers(self) -> Iterator[list[Coords]]:
+        """:meth:`layers_scored` with the QScores stripped."""
+        for layer in self.layers_scored():
+            yield [coords for coords, _ in layer]
 
 
 class LpBestFirstTraversal(Traversal):
@@ -86,6 +103,12 @@ class LpBestFirstTraversal(Traversal):
         self.space = space
 
     def __iter__(self) -> Iterator[Coords]:
+        for coords, _ in self.scored():
+            yield coords
+
+    def scored(self) -> Iterator[tuple[Coords, float]]:
+        """Native scored stream: QScores come straight off the heap
+        keys, so each point is scored once — at push time."""
         space = self.space
         origin = space.origin
         heap: list[tuple[float, int, Coords]] = [
@@ -94,7 +117,7 @@ class LpBestFirstTraversal(Traversal):
         queued: set[Coords] = {origin}
         while heap:
             qscore, total, coords = heapq.heappop(heap)
-            yield coords
+            yield coords, qscore
             for dim in range(space.d):
                 if coords[dim] >= space.max_coords[dim]:
                     continue

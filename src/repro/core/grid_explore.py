@@ -1,0 +1,162 @@
+"""Materialized Explore: whole-grid aggregation + prefix combine.
+
+The incremental Explore (:mod:`repro.core.explore`) pays one backend
+round trip per visited cell. For dense searches the entire cell tensor
+can be computed in a *single* backend pass
+(:meth:`~repro.engine.backends.EvaluationLayer.execute_grid`), after
+which the Eq. 17 recurrence
+
+    O_i(u) = O_{i-1}(u) + O_i(u - e_{i-1})
+
+collapses into d axis-wise cumulative-combine passes over the tensor:
+pass ``i`` replaces each line along axis ``i`` with its running
+combine, turning cell states into block (full-query) states. Every
+later grid query is then an O(1) in-memory lookup.
+
+Bit-identity with the serial :class:`~repro.core.explore.Explorer`:
+unrolled along one axis the recurrence is a left fold
+``combine(current, accumulated)``; ``np.cumsum`` /
+``np.maximum.accumulate`` compute the same fold with the operands
+commuted (``accumulated + current``), and IEEE addition, min and max
+are commutative — so every intermediate value is identical bit for
+bit. User-defined OSP aggregates make no commutativity promise, so
+they take a generic Python fold that preserves the serial operand
+order exactly.
+
+See ``docs/EXPLORE_MODES.md`` for the incremental-vs-materialized
+contract and when the driver picks this path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.aggregates import (
+    AggState,
+    AvgAggregate,
+    CountAggregate,
+    MaxAggregate,
+    MinAggregate,
+    OSPAggregate,
+    SumAggregate,
+)
+from repro.core.refined_space import RefinedSpace
+from repro.engine.backends import EvaluationLayer, PreparedQuery
+
+Coords = tuple[int, ...]
+
+
+class GridExplorer:
+    """Drop-in Explore engine over a materialized cell grid.
+
+    Exposes the same ``compute_aggregate`` / ``block_state`` /
+    ``prime_cells`` / counter interface as
+    :class:`~repro.core.explore.Explorer`, so the ACQUIRE driver, its
+    budget accounting and the repartitioning step work unchanged.
+
+    The grid is materialized lazily on first access; ``cells_executed``
+    then equals the full grid size (every cell was computed exactly
+    once, in one pass), and ``cells_skipped`` stays 0 — the bitmap
+    index is pointless here because emptiness falls out of the same
+    pass.
+    """
+
+    def __init__(
+        self,
+        layer: EvaluationLayer,
+        prepared: PreparedQuery,
+        space: RefinedSpace,
+        aggregate: OSPAggregate,
+    ) -> None:
+        self.layer = layer
+        self.prepared = prepared
+        self.space = space
+        self.aggregate = aggregate
+        self.cells_executed = 0
+        self.cells_skipped = 0
+        self._blocks: np.ndarray | None = None
+
+    # -- Explorer interface --------------------------------------------
+    def compute_aggregate(self, coords: Sequence[int]) -> float:
+        """Finalized aggregate value of the grid query at ``coords``."""
+        return self.aggregate.finalize(self.block_state(coords))
+
+    def block_state(self, coords: Sequence[int]) -> AggState:
+        """Aggregate state of the full query at ``coords`` (``O_{d+1}``)."""
+        blocks = self._materialized()
+        key = tuple(int(coord) for coord in coords)
+        if blocks.dtype == object:
+            return blocks[key]
+        return tuple(float(value) for value in blocks[key])
+
+    def prime_cells(self, coords_list: Sequence[Sequence[int]]) -> int:
+        """No-op: the whole grid is (or will be) materialized at once."""
+        return 0
+
+    # -- materialization -----------------------------------------------
+    def _materialized(self) -> np.ndarray:
+        if self._blocks is None:
+            tensor = self.layer.execute_grid(self.prepared, self.space)
+            self.cells_executed = int(
+                np.prod(tensor.shape[:-1], dtype=np.int64)
+            )
+            self._blocks = prefix_combine(tensor, self.aggregate)
+        return self._blocks
+
+
+def prefix_combine(
+    tensor: np.ndarray, aggregate: OSPAggregate
+) -> np.ndarray:
+    """Turn a cell tensor into a block tensor, in place where possible.
+
+    Applies one cumulative combine per grid axis (``np.cumsum`` for
+    COUNT/SUM and both components of AVG's (sum, count) pair,
+    ``np.maximum/minimum.accumulate`` for MAX/MIN). User-defined OSP
+    aggregates fall back to an object array folded with
+    ``aggregate.combine`` in the serial operand order; the result is
+    then an object array of :data:`AggState` tuples.
+    """
+    axes = range(tensor.ndim - 1)
+    if isinstance(aggregate, (CountAggregate, SumAggregate, AvgAggregate)):
+        for axis in axes:
+            np.cumsum(tensor, axis=axis, out=tensor)
+        return tensor
+    if isinstance(aggregate, MaxAggregate):
+        for axis in axes:
+            np.maximum.accumulate(tensor, axis=axis, out=tensor)
+        return tensor
+    if isinstance(aggregate, MinAggregate):
+        for axis in axes:
+            np.minimum.accumulate(tensor, axis=axis, out=tensor)
+        return tensor
+    return _generic_prefix_combine(tensor, aggregate)
+
+
+def _generic_prefix_combine(
+    tensor: np.ndarray, aggregate: OSPAggregate
+) -> np.ndarray:
+    """Python fold for aggregates without a vectorized accumulate.
+
+    ``combine(line[k], line[k-1])`` matches the serial recurrence's
+    ``combine(states[index - 1], previous)`` operand order exactly, so
+    no commutativity is assumed of the user's combine function.
+    """
+    shape = tensor.shape[:-1]
+    states = np.empty(shape, dtype=object)
+    for index in np.ndindex(shape):
+        states[index] = tuple(float(value) for value in tensor[index])
+    for axis in range(states.ndim):
+        length = states.shape[axis]
+        if length <= 1:
+            continue
+        rest = states.shape[:axis] + states.shape[axis + 1:]
+        for index in np.ndindex(rest):
+            line = states[index[:axis] + (slice(None),) + index[axis:]]
+            for k in range(1, length):
+                line[k] = aggregate.combine(line[k], line[k - 1])
+    return states
+
+
+__all__ = ["GridExplorer", "prefix_combine"]

@@ -1,0 +1,263 @@
+"""Explore-plan selection: incremental vs materialized grids.
+
+The driver has two Explore engines with opposite cost profiles:
+
+* incremental (:class:`~repro.core.explore.Explorer`) — one backend
+  round trip per *visited* cell; total work tracks how far the search
+  expands before the constraint is met;
+* materialized (:class:`~repro.core.grid_explore.GridExplorer`) — one
+  backend pass computes *every* cell, after which grid queries are
+  free; total work tracks the full grid size regardless of where the
+  search terminates.
+
+``choose_explore_mode`` picks between them from catalog statistics
+alone — no sub-query executes during planning. The model (documented
+in ``docs/EXPLORE_MODES.md``) prices an incremental cell round trip at
+one pass over the data (``N`` rows, the star-join heuristic: the
+largest referenced table) and materialization at one data pass plus
+one unit per grid cell:
+
+    materialize  iff  N + |grid|  <  visited * N
+
+``visited`` is estimated by walking L1 layers outward, predicting the
+aggregate at each layer's balanced point from per-dimension
+:class:`~repro.engine.statistics.ColumnStats` selectivities, until the
+constraint target is reached; the layer-point counts come from
+:meth:`~repro.core.refined_space.RefinedSpace.layer_sizes`. Queries
+whose dimensions lack catalog statistics (joins, categorical
+predicates, expression predicates, statless backends) fall back to a
+small-grid rule: materialize only when the whole grid is trivially
+cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.predicate import SelectPredicate
+from repro.core.query import ConstraintOp, Query
+from repro.core.refined_space import RefinedSpace
+from repro.engine.expression import ColumnRef
+from repro.exceptions import QueryModelError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.acquire import AcquireConfig
+    from repro.engine.backends import EvaluationLayer
+    from repro.engine.catalog import Database
+    from repro.engine.statistics import ColumnStats
+
+#: Grids at most this many cells are materialized even without
+#: statistics — the tensor is cheaper than any bookkeeping about it.
+SMALL_GRID_CELLS = 4096
+
+#: Layer-walk horizon for the visited-cells estimate; beyond it the
+#: search is treated as exploring the whole grid (capped elsewhere).
+_MAX_ESTIMATED_LAYERS = 2048
+
+_MODES = ("auto", "incremental", "materialized")
+
+
+@dataclass(frozen=True)
+class ExplorePlan:
+    """Outcome of plan selection, recorded for reports and tests.
+
+    Attributes:
+        mode: the engine chosen — ``incremental`` or ``materialized``.
+        reason: short human-readable justification (``forced``,
+            ``grid-over-cap``, ``cost-model``, ``small-grid``, ...).
+        grid_cells: full grid size (``RefinedSpace.grid_size``).
+        estimated_visited: predicted visited-cell count for the
+            incremental engine; 0 when no estimate was possible.
+    """
+
+    mode: str
+    reason: str
+    grid_cells: int
+    estimated_visited: int = 0
+
+
+def choose_explore_mode(
+    layer: "EvaluationLayer",
+    query: Query,
+    space: RefinedSpace,
+    config: "AcquireConfig",
+) -> ExplorePlan:
+    """Resolve ``config.explore_mode`` into a concrete plan.
+
+    Fixed modes pass through (``materialized`` validates the grid
+    against ``config.materialize_cell_cap`` and raises
+    :class:`~repro.exceptions.QueryModelError` when the tensor would
+    not fit); ``auto`` applies the cost model above.
+    """
+    if config.explore_mode not in _MODES:
+        raise QueryModelError(
+            f"unknown explore_mode: {config.explore_mode!r}; "
+            f"expected one of {_MODES}"
+        )
+    grid_cells = space.grid_size
+    if config.explore_mode == "incremental":
+        return ExplorePlan("incremental", "forced", grid_cells)
+    if config.explore_mode == "materialized":
+        if grid_cells > config.materialize_cell_cap:
+            raise QueryModelError(
+                f"explore_mode='materialized' needs a {grid_cells}-cell "
+                f"tensor, over materialize_cell_cap="
+                f"{config.materialize_cell_cap}; raise the cap or use "
+                "explore_mode='auto'"
+            )
+        return ExplorePlan("materialized", "forced", grid_cells)
+
+    # -- auto ----------------------------------------------------------
+    if grid_cells > config.materialize_cell_cap:
+        return ExplorePlan("incremental", "grid-over-cap", grid_cells)
+
+    database = getattr(layer, "database", None)
+    estimate = _estimate_visited_cells(database, query, space, config)
+    if estimate is None:
+        if grid_cells <= SMALL_GRID_CELLS:
+            return ExplorePlan("materialized", "small-grid", grid_cells)
+        return ExplorePlan("incremental", "no-statistics", grid_cells)
+
+    visited = min(estimate, grid_cells, config.max_grid_queries)
+    rows = _largest_table_rows(database, query)
+    if rows + grid_cells < visited * rows:
+        return ExplorePlan(
+            "materialized", "cost-model", grid_cells, visited
+        )
+    return ExplorePlan("incremental", "cost-model", grid_cells, visited)
+
+
+# ----------------------------------------------------------------------
+# Estimation helpers
+# ----------------------------------------------------------------------
+def _largest_table_rows(database: "Database", query: Query) -> int:
+    """Star-join heuristic: price a data pass at the fact-table size."""
+    rows = 1
+    for name in query.tables:
+        if database.has_table(name):
+            rows = max(rows, len(database.table(name)))
+    return rows
+
+
+def _dimension_stats(
+    database: "Database", space: RefinedSpace
+) -> Optional[list[tuple[SelectPredicate, "ColumnStats"]]]:
+    """Per-dimension (predicate, stats) pairs, or None if any dimension
+    is not a bare-column select predicate with catalog statistics."""
+    pairs = []
+    for predicate in space.dims:
+        if not isinstance(predicate, SelectPredicate):
+            return None
+        expr = predicate.expr
+        if not isinstance(expr, ColumnRef):
+            return None
+        if not database.has_table(expr.table):
+            return None
+        if not database.table(expr.table).schema.has_column(expr.column):
+            return None
+        stats = database.column_stats(expr.table, expr.column)
+        if math.isnan(stats.min_value) or stats.count == 0:
+            return None
+        pairs.append((predicate, stats))
+    return pairs
+
+
+def _admitted_fraction(
+    predicate: SelectPredicate, stats: "ColumnStats", score: float
+) -> float:
+    """Estimated fraction of the column admitted at PScore ``score``."""
+    interval = predicate.interval_at(score)
+    above = (
+        stats.selectivity_below(interval.lo) if math.isfinite(interval.lo)
+        else 0.0
+    )
+    below = (
+        stats.selectivity_below(interval.hi) if math.isfinite(interval.hi)
+        else 1.0
+    )
+    return max(below - above, 0.0)
+
+
+def _estimate_visited_cells(
+    database: Optional["Database"],
+    query: Query,
+    space: RefinedSpace,
+    config: "AcquireConfig",
+) -> Optional[int]:
+    """Predict how many cells the incremental search visits.
+
+    Walks L1 layers outward; layer ``k``'s balanced point has PScore
+    ``(k / d) * step`` on every dimension, and the aggregate there is
+    predicted under attribute-value independence as ``mass * prod(f_i)``
+    with ``mass`` the aggregate's whole-domain value (row count for
+    COUNT, column total for SUM). The first layer predicted to reach
+    the constraint target terminates the search; its cumulative point
+    count is the estimate. Returns None when the query's shape defeats
+    estimation (see :func:`_dimension_stats`).
+    """
+    if database is None:
+        return None
+    constraint = query.constraint
+    if constraint.op not in (
+        ConstraintOp.EQ, ConstraintOp.GE, ConstraintOp.GT
+    ):
+        return None
+    aggregate = constraint.spec.aggregate
+    if aggregate.name not in ("COUNT", "SUM"):
+        return None
+    pairs = _dimension_stats(database, space)
+    if pairs is None:
+        return None
+    if aggregate.name == "COUNT":
+        mass = float(_largest_table_rows(database, query))
+    else:
+        attribute = constraint.spec.attribute
+        if not isinstance(attribute, ColumnRef):
+            return None
+        if not database.has_table(attribute.table):
+            return None
+        stats = database.column_stats(attribute.table, attribute.column)
+        if math.isnan(stats.total):
+            return None
+        mass = stats.total
+    if mass <= 0:
+        return None
+
+    # An equality query predicted to overshoot at the origin is handed
+    # to the contraction extension before any expansion happens —
+    # materializing the expansion grid for it would be pure waste.
+    if constraint.op is ConstraintOp.EQ:
+        origin = _predicted_value(mass, pairs, 0.0)
+        if origin > constraint.target * (1 + config.delta):
+            return 1
+
+    max_layers = min(sum(space.max_coords), _MAX_ESTIMATED_LAYERS)
+    terminal = None
+    for k in range(max_layers + 1):
+        score = (k / space.d) * space.step
+        if _predicted_value(mass, pairs, score) >= constraint.target:
+            terminal = k
+            break
+    if terminal is None:
+        return space.grid_size
+    counts = space.layer_sizes(terminal)
+    return sum(counts)
+
+
+def _predicted_value(
+    mass: float,
+    pairs: Sequence[tuple[SelectPredicate, "ColumnStats"]],
+    score: float,
+) -> float:
+    value = mass
+    for predicate, stats in pairs:
+        capped = score
+        if predicate.limit is not None:
+            capped = min(capped, predicate.limit)
+        value *= _admitted_fraction(predicate, stats, capped)
+    return value
+
+
+__all__ = ["ExplorePlan", "choose_explore_mode", "SMALL_GRID_CELLS"]

@@ -54,7 +54,12 @@ class RefinedQuery:
 
 @dataclass
 class SearchStats:
-    """Work performed by one ACQUIRE run."""
+    """Work performed by one ACQUIRE run.
+
+    ``explore_mode`` records which Explore engine actually ran —
+    ``incremental`` or ``materialized`` — after ``auto`` resolution
+    (see :mod:`repro.core.plan`).
+    """
 
     grid_queries_examined: int = 0
     cells_executed: int = 0
@@ -62,6 +67,7 @@ class SearchStats:
     layers_explored: int = 0
     repartition_probes: int = 0
     elapsed_s: float = 0.0
+    explore_mode: str = "incremental"
     execution: ExecutionStats = field(default_factory=ExecutionStats)
 
 
@@ -163,6 +169,7 @@ class AcquireResult:
             f"  work: {self.stats.grid_queries_examined} grid queries, "
             f"{self.stats.cells_executed} cell executions, "
             f"{self.stats.execution.queries_executed} backend queries, "
-            f"{self.stats.elapsed_s * 1000:.1f} ms"
+            f"{self.stats.elapsed_s * 1000:.1f} ms "
+            f"({self.stats.explore_mode} explore)"
         )
         return "\n".join(lines)

@@ -34,6 +34,10 @@ def _encode_coords(coords: Coords) -> bytes:
     return struct.pack(f"<{len(coords)}q", *coords)
 
 
+def _decode_coords(blob: bytes) -> Coords:
+    return struct.unpack(f"<{len(blob) // 8}q", blob)
+
+
 def _encode_states(states: list[AggState]) -> bytes:
     """Flatten a list of equal-arity float tuples."""
     arity = len(states[0]) if states else 0
@@ -53,19 +57,35 @@ def _decode_states(blob: bytes) -> list[AggState]:
 class PagedSubAggregateStore:
     """Disk-paged store with a bounded in-memory LRU cache.
 
+    Writes are buffered: ``put`` parks the entry in a pending batch
+    that is flushed to SQLite via one ``executemany`` once
+    ``flush_size`` entries accumulate (or on :meth:`flush` /
+    :meth:`close`), instead of issuing a membership SELECT plus an
+    INSERT per call. Membership and length are tracked in a key set,
+    so neither ever touches the database.
+
     Args:
         cache_size: grid points kept resident; older entries are
-            evicted (they remain on disk and page back in on access).
+            evicted (they remain reachable — in the pending write
+            buffer or on disk — and page back in on access).
         path: SQLite file to use; defaults to a fresh temporary file
-            removed on :meth:`close`.
+            removed on :meth:`close`. An existing file's entries are
+            picked up (membership included).
+        flush_size: pending writes buffered before a flush.
     """
 
     def __init__(
-        self, cache_size: int = 4096, path: Optional[str] = None
+        self,
+        cache_size: int = 4096,
+        path: Optional[str] = None,
+        flush_size: int = 256,
     ) -> None:
         if cache_size < 1:
             raise SearchError("cache_size must be >= 1")
+        if flush_size < 1:
+            raise SearchError("flush_size must be >= 1")
         self.cache_size = cache_size
+        self.flush_size = flush_size
         if path is None:
             handle, path = tempfile.mkstemp(
                 prefix="acquire_store_", suffix=".sqlite"
@@ -83,28 +103,36 @@ class PagedSubAggregateStore:
             "(coords BLOB PRIMARY KEY, payload BLOB NOT NULL)"
         )
         self._cache: OrderedDict[Coords, list[AggState]] = OrderedDict()
-        self._count = 0
+        self._pending: OrderedDict[Coords, list[AggState]] = OrderedDict()
+        self._keys: set[Coords] = {
+            _decode_coords(row[0])
+            for row in self._connection.execute("SELECT coords FROM states")
+        }
+        self._closed = False
         self.page_ins = 0
         self.evictions = 0
+        self.flushes = 0
 
     # -- SubAggregateStore interface -----------------------------------
     def put(self, coords: Coords, states: list[AggState]) -> None:
-        if coords not in self:
-            self._count += 1
-        self._connection.execute(
-            "INSERT OR REPLACE INTO states VALUES (?, ?)",
-            (_encode_coords(coords), _encode_states(states)),
-        )
+        self._keys.add(coords)
+        self._pending[coords] = states
         self._cache[coords] = states
         self._cache.move_to_end(coords)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
-            self.evictions += 1
+        self._shrink_cache()
+        if len(self._pending) >= self.flush_size:
+            self.flush()
 
     def get(self, coords: Coords) -> list[AggState]:
         if coords in self._cache:
             self._cache.move_to_end(coords)
             return self._cache[coords]
+        if coords in self._pending:
+            # Evicted from the cache before its write was flushed.
+            states = self._pending[coords]
+            self._cache[coords] = states
+            self._shrink_cache()
+            return states
         row = self._connection.execute(
             "SELECT payload FROM states WHERE coords = ?",
             (_encode_coords(coords),),
@@ -117,25 +145,44 @@ class PagedSubAggregateStore:
         states = _decode_states(row[0])
         self.page_ins += 1
         self._cache[coords] = states
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
-            self.evictions += 1
+        self._shrink_cache()
         return states
 
     def __contains__(self, coords: object) -> bool:
-        if coords in self._cache:
-            return True
-        row = self._connection.execute(
-            "SELECT 1 FROM states WHERE coords = ?",
-            (_encode_coords(coords),),  # type: ignore[arg-type]
-        ).fetchone()
-        return row is not None
+        return coords in self._keys
 
     def __len__(self) -> int:
-        return self._count
+        return len(self._keys)
+
+    def _shrink_cache(self) -> None:
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self.evictions += 1
 
     # -- lifecycle -------------------------------------------------------
+    def flush(self) -> None:
+        """Write the pending batch to SQLite in one ``executemany``."""
+        if not self._pending:
+            return
+        self._connection.executemany(
+            "INSERT OR REPLACE INTO states VALUES (?, ?)",
+            [
+                (_encode_coords(coords), _encode_states(states))
+                for coords, states in self._pending.items()
+            ],
+        )
+        self._connection.commit()
+        self._pending.clear()
+        self.flushes += 1
+
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Flushing keeps user-supplied files complete; owned temp files
+        # are about to be unlinked, so their buffer can just drop.
+        if not self._owns_file:
+            self.flush()
         self._connection.close()
         if self._owns_file and os.path.exists(self.path):
             os.unlink(self.path)

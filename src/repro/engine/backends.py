@@ -15,6 +15,10 @@ Execution requests come in four shapes:
   (:meth:`EvaluationLayer.execute_cells`); backends with a native bulk
   path answer them in one pass / one statement, everyone else falls
   back to a serial loop or an opt-in thread pool;
+* *grid materialization* — the entire cell tensor of a refined space in
+  one pass (:meth:`EvaluationLayer.execute_grid`); the materialized
+  Explore path computes it once and answers every later grid query from
+  memory (see ``docs/EXPLORE_MODES.md``);
 * *box queries* — a full refined query at an arbitrary (possibly
   off-grid) PScore vector; used by the repartitioning step and by every
   baseline technique;
@@ -35,8 +39,10 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Optional, Protocol, Sequence
 
+import numpy as np
+
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
-    from repro.core.aggregates import AggState
+    from repro.core.aggregates import AggState, OSPAggregate
     from repro.core.query import Query
     from repro.core.refined_space import RefinedSpace
 
@@ -49,7 +55,9 @@ class ExecutionStats:
     call is one round trip that answers many *logical* cell queries, so
     ``cell_queries`` grows by the batch size while ``queries_executed``
     grows by one. ``batches``/``batched_cells`` track native bulk
-    execution, ``parallel_cells`` the thread-pool fallback.
+    execution, ``parallel_cells`` the thread-pool fallback, and
+    ``grid_materializations``/``grid_cells`` full-grid materialization
+    (one round trip computing every cell of a refined space).
     """
 
     queries_executed: int = 0
@@ -58,6 +66,8 @@ class ExecutionStats:
     batches: int = 0
     batched_cells: int = 0
     parallel_cells: int = 0
+    grid_materializations: int = 0
+    grid_cells: int = 0
     rows_scanned: int = 0
     execution_time_s: float = 0.0
 
@@ -205,6 +215,34 @@ class EvaluationLayer:
             for coords in coords_batch
         ]
 
+    def execute_grid(
+        self, prepared: PreparedQuery, space: RefinedSpace
+    ) -> np.ndarray:
+        """Cell-aggregate tensor of the *entire* refined-space grid.
+
+        Returns a float64 tensor of shape
+        ``(*[m + 1 for m in space.max_coords], state_arity)`` whose
+        entry at grid coordinates ``u`` is the aggregate state of the
+        cell at ``u`` (empty cells hold the aggregate's identity state).
+        This is the bulk entry point of the materialized Explore path
+        (``docs/EXPLORE_MODES.md``): backends with a single-pass
+        implementation override it; this fallback assembles the tensor
+        from :meth:`execute_cells` so any third-party layer works.
+
+        Callers are responsible for bounding ``space.grid_size`` (the
+        driver's ``materialize_cell_cap``) — a refined space can be
+        astronomically large.
+        """
+        aggregate = prepared.query.constraint.spec.aggregate
+        tensor = grid_identity_tensor(space, aggregate)
+        coords_list = list(np.ndindex(tensor.shape[:-1]))
+        states = self.execute_cells(prepared, space, coords_list)
+        for coords, state in zip(coords_list, states):
+            tensor[coords] = state
+        # execute_cells already counted the physical round trip(s).
+        self._count_grid(len(coords_list), round_trip=False)
+        return tensor
+
     def execute_box(
         self, prepared: PreparedQuery, scores: Sequence[float]
     ) -> AggState:
@@ -257,6 +295,22 @@ class EvaluationLayer:
             self.stats.batched_cells += cells
             self.stats.rows_scanned += rows
 
+    def _count_grid(
+        self, cells: int, rows: int = 0, round_trip: bool = True
+    ) -> None:
+        """Record one grid materialization covering ``cells`` cells.
+
+        ``round_trip=False`` is for the base-class fallback, whose
+        physical round trips were already counted by
+        :meth:`execute_cells`.
+        """
+        with self._stats_lock:
+            if round_trip:
+                self.stats.queries_executed += 1
+            self.stats.grid_materializations += 1
+            self.stats.grid_cells += cells
+            self.stats.rows_scanned += rows
+
     def _timed(self) -> _Timer:
         return _Timer(self.stats, self._stats_lock)
 
@@ -264,9 +318,27 @@ class EvaluationLayer:
         self.stats = ExecutionStats()
 
 
+def grid_identity_tensor(
+    space: "RefinedSpace", aggregate: "OSPAggregate"
+) -> np.ndarray:
+    """Identity-filled cell tensor for a refined space.
+
+    Shape ``(*[m + 1 for m in space.max_coords], state_arity)``; every
+    entry starts at the aggregate's identity state so cells a backend
+    never touches (empty regions) finalize exactly as a serial query
+    over an empty region would.
+    """
+    shape = tuple(limit + 1 for limit in space.max_coords)
+    identity = aggregate.identity()
+    tensor = np.empty(shape + (len(identity),), dtype=np.float64)
+    tensor[...] = identity
+    return tensor
+
+
 __all__ = [
     "EvaluationLayer",
     "ExecutionStats",
     "PreparedQuery",
     "TopKAdmission",
+    "grid_identity_tensor",
 ]

@@ -227,6 +227,44 @@ class HistogramBackend(EvaluationLayer):
         self._count_batch(len(coords_batch))
         return states
 
+    def execute_grid(
+        self, prepared: _HistogramPrepared, space: RefinedSpace
+    ) -> np.ndarray:
+        """Native grid materialization: one estimation sweep.
+
+        Under attribute-value independence a cell's estimated count is
+        ``total * f_1 * ... * f_d`` with ``f_i`` the dimension-i annulus
+        fraction — so the whole grid is the outer product of d per-level
+        fraction vectors. The broadcasted multiply applies the factors
+        in the same order as the serial per-cell loop, keeping every
+        estimate bit-identical to :meth:`execute_cell`.
+        """
+        aggregate = prepared.query.constraint.spec.aggregate
+        with self._timed():
+            step = space.step
+            count = np.array(float(prepared.total_rows))
+            for histogram, limit in zip(
+                prepared.histograms, space.max_coords
+            ):
+                fractions = np.empty(limit + 1)
+                fractions[0] = histogram.fraction_at_most(0.0)
+                for level in range(1, limit + 1):
+                    fractions[level] = histogram.fraction_in(
+                        (level - 1) * step, level * step
+                    )
+                count = count[..., None] * fractions
+            if aggregate.name == "COUNT":
+                tensor = count[..., None]
+            elif aggregate.name == "SUM":
+                tensor = (count * prepared.mean_agg_value)[..., None]
+            else:  # AVG: (sum, count) with the mean-value heuristic.
+                tensor = np.stack(
+                    (count * prepared.mean_agg_value, count), axis=-1
+                )
+            tensor = np.ascontiguousarray(tensor, dtype=np.float64)
+        self._count_grid(int(count.size))
+        return tensor
+
     def execute_box(
         self, prepared: _HistogramPrepared, scores: Sequence[float]
     ) -> AggState:

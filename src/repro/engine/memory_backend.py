@@ -30,6 +30,7 @@ from repro.core.refined_space import RefinedSpace
 from repro.engine.backends import (
     EvaluationLayer,
     TopKAdmission,
+    grid_identity_tensor,
 )
 from repro.engine.bitmap_index import GridBitmapIndex
 from repro.engine.catalog import Database
@@ -152,6 +153,39 @@ class MemoryBackend(EvaluationLayer):
         return [
             grid.get(coords, aggregate.identity()) for coords in coords_batch
         ]
+
+    def execute_grid(
+        self,
+        prepared: _MemoryPrepared,
+        space: RefinedSpace,
+    ) -> np.ndarray:
+        """Native grid materialization: one digitize + group-by sweep.
+
+        Runs the same :meth:`_build_grid` pass the batched path uses
+        (stable ``np.lexsort`` grouping, so per-cell aggregate states
+        are bit-identical to serial :meth:`execute_cell`) and scatters
+        the grouped states into the full cell tensor. Tuples whose
+        score exceeds the grid extent on any dimension belong to no
+        in-grid cell and are dropped, exactly as serial cell queries
+        would never see them.
+        """
+        aggregate = prepared.query.constraint.spec.aggregate
+        if self.vectorized_grid:
+            grid = self._grid_for(prepared, space)
+            rows = 0
+        else:
+            with self._timed():
+                grid = self._build_grid(prepared, space)
+            rows = prepared.candidate.nrows
+        with self._timed():
+            tensor = grid_identity_tensor(space, aggregate)
+            max_coords = space.max_coords
+            for cell, state in grid.items():
+                if all(c <= m for c, m in zip(cell, max_coords)):
+                    tensor[cell] = state
+        cells = int(np.prod(tensor.shape[:-1], dtype=np.int64))
+        self._count_grid(cells, rows=rows)
+        return tensor
 
     def _execute_cell_indexed(
         self,

@@ -149,6 +149,26 @@ class SamplingBackend(EvaluationLayer):
         )
         return [self._scale(prepared.query, state) for state in states]
 
+    def execute_grid(self, prepared, space: RefinedSpace) -> np.ndarray:
+        """Delegate grid materialization, then rescale the tensor.
+
+        The elementwise ``tensor / factor`` applies the exact division
+        :meth:`_scale` performs per state component, so the rescaled
+        grid is bit-identical to scaling each cell individually.
+        """
+        tensor = self._inner.execute_grid(prepared, space)
+        aggregate = prepared.query.constraint.spec.aggregate
+        if aggregate.name not in _EXTENSIVE:
+            return tensor
+        sampled = sum(
+            1 for table in prepared.query.tables
+            if table in self.sampled_tables
+        )
+        factor = self.fraction ** sampled
+        if factor == 0:
+            return tensor
+        return tensor / factor
+
     def execute_box(self, prepared, scores) -> AggState:
         state = self._inner.execute_box(prepared, scores)
         return self._scale(prepared.query, state)

@@ -15,6 +15,8 @@ import sqlite3
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.core.aggregates import AggState
 from repro.core.interval import Interval
 from repro.core.predicate import (
@@ -26,7 +28,11 @@ from repro.core.predicate import (
 )
 from repro.core.query import Query
 from repro.core.refined_space import RefinedSpace
-from repro.engine.backends import EvaluationLayer, TopKAdmission
+from repro.engine.backends import (
+    EvaluationLayer,
+    TopKAdmission,
+    grid_identity_tensor,
+)
 from repro.engine.catalog import Database
 from repro.engine.schema import ColumnType
 from repro.exceptions import EngineError
@@ -217,12 +223,60 @@ class SQLiteBackend(EvaluationLayer):
         dims = space.dims
         if not dims:
             return super().execute_cells(prepared, space, coords_batch)
-        spec = prepared.query.constraint.spec
-        step = space.step
         max_coords = [
             max(coords[d] for coords in coords_batch)
             for d in range(len(dims))
         ]
+        grouped = self._grouped_cell_states(prepared, space, max_coords)
+        self._count_batch(len(coords_batch))
+        identity = prepared.query.constraint.spec.aggregate.identity()
+        return [grouped.get(coords, identity) for coords in coords_batch]
+
+    def execute_grid(
+        self, prepared: _SQLitePrepared, space: RefinedSpace
+    ) -> np.ndarray:
+        """Native grid materialization: one ``GROUP BY`` over the full
+        grid's bucket expressions.
+
+        The same CASE-ladder statement the batched path issues, with the
+        ladders spanning every level of each dimension's extent; the
+        grouped states are scattered into the identity-filled tensor.
+        """
+        dims = space.dims
+        if not dims:
+            return super().execute_grid(prepared, space)
+        aggregate = prepared.query.constraint.spec.aggregate
+        grouped = self._grouped_cell_states(
+            prepared, space, list(space.max_coords)
+        )
+        with self._timed():
+            tensor = grid_identity_tensor(space, aggregate)
+            max_coords = space.max_coords
+            for cell, state in grouped.items():
+                if all(c <= m for c, m in zip(cell, max_coords)):
+                    tensor[cell] = state
+        cells = int(np.prod(tensor.shape[:-1], dtype=np.int64))
+        self._count_grid(cells)
+        return tensor
+
+    def _grouped_cell_states(
+        self,
+        prepared: _SQLitePrepared,
+        space: RefinedSpace,
+        max_coords: Sequence[int],
+    ) -> dict[tuple[int, ...], AggState]:
+        """One ``GROUP BY`` statement bucketing tuples into grid cells.
+
+        Each dimension gets a CASE ladder over the same
+        ``sql_condition`` thresholds the serial annulus uses; the first
+        (smallest) matching level is the tuple's minimal refinement
+        coordinate, so grouping by the ladders buckets tuples exactly
+        as per-cell round trips would. Cells absent from the result are
+        empty; their state is the aggregate identity.
+        """
+        dims = space.dims
+        spec = prepared.query.constraint.spec
+        step = space.step
         aliases = [f"cell_b{d}" for d in range(len(dims))]
         bucket_exprs = []
         for d, predicate in enumerate(dims):
@@ -253,15 +307,13 @@ class SQLiteBackend(EvaluationLayer):
         cursor = self._connection.cursor()
         with self._timed():
             fetched = cursor.execute(sql).fetchall()
-        self._count_batch(len(coords_batch))
         grouped: dict[tuple[int, ...], AggState] = {}
         for row in fetched:
             key = tuple(int(value) for value in row[: len(dims)])
             grouped[key] = spec.aggregate.state_from_sql(
                 tuple(row[len(dims):])
             )
-        identity = spec.aggregate.identity()
-        return [grouped.get(coords, identity) for coords in coords_batch]
+        return grouped
 
     def execute_box(
         self, prepared: _SQLitePrepared, scores: Sequence[float]

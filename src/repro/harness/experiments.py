@@ -641,6 +641,7 @@ def evaluation_layers(
     selectivity: float = BASE_SELECTIVITY,
     batched: bool = False,
     parallelism: int = 1,
+    explore_mode: str = "incremental",
 ) -> ExperimentResult:
     """Paper section 3: "the evaluation layer is modular and can be
     replaced with other techniques such as estimation, and/or sampling."
@@ -672,6 +673,7 @@ def evaluation_layers(
         delta=delta,
         batched=batched,
         parallelism=parallelism,
+        explore_mode=explore_mode,
     )
     validator = MemoryBackend(database)
     validator_prepared = validator.prepare(
@@ -715,6 +717,78 @@ def evaluation_layers(
             "sampling_fraction": sampling_fraction,
             "batched": batched,
             "parallelism": parallelism,
+            "explore_mode": explore_mode,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Tentpole benchmark: incremental vs batched vs materialized Explore
+# ----------------------------------------------------------------------
+def explore_modes(
+    scale_rows: int = 8_000,
+    ratio: float = 0.25,
+    gamma: float = 10.0,
+    delta: float = 0.05,
+    step: float = 5.0,
+    selectivity: float = BASE_SELECTIVITY,
+    backends: Sequence[str] = ("memory", "sqlite"),
+) -> ExperimentResult:
+    """Round-trip profile of the four Explore configurations.
+
+    Runs one 2-dimensional COUNT ACQ on the Q2 join through serial
+    (one query per cell), batched (one round trip per layer),
+    materialized (one round trip for the whole grid), and auto
+    (cost-model choice) on each exact backend. All four produce
+    identical answer sets — ``benchmarks/smoke.py`` asserts the qscore
+    column is constant per backend — so the interesting columns are
+    ``queries`` (round trips), ``grids`` and ``explore``.
+    """
+    database = _tpch(_scaled(scale_rows))
+    workload = build_ratio_workload(
+        database,
+        Q2_TABLES,
+        q2_flex_specs(2, selectivity),
+        ratio,
+        aggregate="COUNT",
+        joins=Q2_JOINS,
+        name="explore",
+    )
+    modes = (
+        ("serial", {}),
+        ("batched", {"batched": True}),
+        ("materialized", {"explore_mode": "materialized"}),
+        ("auto", {"explore_mode": "auto"}),
+    )
+    rows: list[Row] = []
+    for backend in backends:
+        layer = make_backend(database, backend)
+        for mode, overrides in modes:
+            config = AcquireConfig(
+                gamma=gamma, delta=delta, step=step, **overrides
+            )
+            run = run_method("ACQUIRE", layer, workload.query,
+                             acquire_config=config)
+            run.method = f"{backend}/{mode}"
+            rows.append(Row.from_run("mode", mode, run))
+    return ExperimentResult(
+        name="explore",
+        title="Explore engines: serial vs batched vs materialized "
+              "vs auto (round trips)",
+        paper_expectation=(
+            "All engines return identical answer sets; batching "
+            "collapses round trips to one per layer and "
+            "materialization to one per search, while auto never does "
+            "more round trips than the better fixed mode."
+        ),
+        rows=rows,
+        settings={
+            "scale_rows": _scaled(scale_rows),
+            "ratio": ratio,
+            "gamma": gamma,
+            "delta": delta,
+            "step": step,
+            "selectivity": selectivity,
         },
     )
 
@@ -781,5 +855,6 @@ EXPERIMENTS = {
     "table1": table1_capabilities,
     "binsearch_order": binsearch_order_sensitivity,
     "layers": evaluation_layers,
+    "explore": explore_modes,
     "shapes": shape_robustness,
 }

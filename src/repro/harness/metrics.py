@@ -29,6 +29,8 @@ class Row:
     rows_scanned: int
     satisfied: bool
     batches: int = 0
+    materializations: int = 0
+    explore_mode: str = ""
     extra: dict = field(default_factory=dict)
 
     @classmethod
@@ -45,6 +47,8 @@ class Row:
             rows_scanned=run.execution.rows_scanned,
             satisfied=run.satisfied,
             batches=run.execution.batches,
+            materializations=run.execution.grid_materializations,
+            explore_mode=str(run.details.get("explore_mode", "")),
             extra=dict(run.details),
         )
 

@@ -17,6 +17,8 @@ _COLUMNS = (
     ("A_actual", lambda row: _fmt_float(row.aggregate_value, 1)),
     ("queries", lambda row: str(row.queries)),
     ("batches", lambda row: str(row.batches)),
+    ("grids", lambda row: str(row.materializations)),
+    ("explore", lambda row: row.explore_mode or "-"),
     ("ok", lambda row: "y" if row.satisfied else "n"),
 )
 
@@ -165,7 +167,7 @@ def save_csv(result: ExperimentResult, path: str) -> str:
     fields = (
         "x_name", "x_value", "method", "time_ms", "error", "qscore",
         "aggregate_value", "queries", "rows_scanned", "batches",
-        "satisfied",
+        "materializations", "explore_mode", "satisfied",
     )
     with open(path, "w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)

@@ -97,6 +97,7 @@ def run_acquire(
             "grid_queries": result.stats.grid_queries_examined,
             "cells": result.stats.cells_executed,
             "original": result.original_value,
+            "explore_mode": result.stats.explore_mode,
         },
     )
 

@@ -153,3 +153,53 @@ class TestTraversalProperties:
         assert len(set(visited)) == len(visited)
         qscores = [space.qscore(c) for c in visited]
         assert all(a <= b + 1e-9 for a, b in zip(qscores, qscores[1:]))
+
+
+class TestScoredStreams:
+    """The scored()/layers_scored() protocol: traversals hand their
+    QScores to the driver so each grid point is scored exactly once."""
+
+    @pytest.mark.parametrize("norm", [LpNorm(1), LpNorm(2), LInfNorm()])
+    def test_scored_matches_iteration(self, norm):
+        space = _space(3, 3, norm=norm)
+        scored = list(make_traversal(space).scored())
+        assert [c for c, _ in scored] == list(make_traversal(space))
+        assert all(q == space.qscore(c) for c, q in scored)
+
+    @pytest.mark.parametrize("kind", ["lp", "linf"])
+    def test_layers_scored_partitions_the_stream(self, kind):
+        space = _space(2, 4, norm=LInfNorm() if kind == "linf" else None)
+        layers = list(make_traversal(space, kind).layers_scored())
+        flat = [pair for layer in layers for pair in layer]
+        assert flat == list(make_traversal(space, kind).scored())
+        for layer in layers:
+            assert len({round(q, 9) for _, q in layer}) == 1
+        boundaries = [round(layer[0][1], 9) for layer in layers]
+        assert len(set(boundaries)) == len(boundaries)
+
+    def test_layers_drop_the_scores(self):
+        space = _space(2, 3)
+        traversal = make_traversal(space)
+        plain = list(make_traversal(space).layers())
+        scored = list(traversal.layers_scored())
+        assert plain == [[c for c, _ in layer] for layer in scored]
+
+    @pytest.mark.parametrize("kind", ["lp", "linf"])
+    def test_each_point_scored_exactly_once(self, kind):
+        space = _space(2, 4, norm=LInfNorm() if kind == "linf" else None)
+        counts: dict = {}
+        original = space.qscore
+
+        def counting_qscore(coords):
+            key = tuple(coords)
+            counts[key] = counts.get(key, 0) + 1
+            return original(coords)
+
+        space.qscore = counting_qscore  # type: ignore[method-assign]
+        consumed = [
+            pair
+            for layer in make_traversal(space, kind).layers_scored()
+            for pair in layer
+        ]
+        assert len(consumed) == space.grid_size
+        assert set(counts.values()) == {1}

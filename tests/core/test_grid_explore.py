@@ -1,0 +1,527 @@
+"""Differential suite for the materialized Explore path.
+
+Proves the three-way contract of ``docs/EXPLORE_MODES.md``:
+
+* ``GridExplorer`` block states are **bit-identical** to the serial
+  incremental :class:`~repro.core.explore.Explorer` on the exact
+  backends (memory in every mode, sqlite, and the base-class
+  ``execute_grid`` fallback), and match the estimation backends'
+  serial arithmetic exactly as well;
+* turning materialization on is observable only in the round-trip
+  counters (``grid_materializations`` / ``grid_cells`` /
+  ``queries_executed``), never in an answer;
+* the ``auto`` plan chooser never costs more round trips than the
+  better fixed mode, stays incremental for sparse / early-terminating
+  searches, and enforces ``materialize_cell_cap``.
+
+Aggregate values are multiples of 0.25 (exact binary fractions), as in
+``tests/engine/test_differential.py``, so the bit-identical assertions
+cannot be defeated by legitimate reassociation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acquire import Acquire, AcquireConfig
+from repro.core.aggregates import (
+    AggregateSpec,
+    UserDefinedAggregate,
+    get_aggregate,
+)
+from repro.core.expand import make_traversal
+from repro.core.explore import Explorer
+from repro.core.grid_explore import GridExplorer, prefix_combine
+from repro.core.interval import Interval
+from repro.core.plan import SMALL_GRID_CELLS, choose_explore_mode
+from repro.core.predicate import Direction, SelectPredicate
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.core.refined_space import RefinedSpace
+from repro.engine.backends import EvaluationLayer
+from repro.engine.catalog import Database
+from repro.engine.expression import col
+from repro.engine.histogram_backend import HistogramBackend
+from repro.engine.memory_backend import MemoryBackend
+from repro.engine.sampling import SamplingBackend
+from repro.engine.sqlite_backend import SQLiteBackend
+from repro.exceptions import QueryModelError
+
+ALL_AGGREGATES = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+HISTOGRAM_AGGREGATES = ("COUNT", "SUM", "AVG")
+
+
+def _database(seed: int, n: int) -> Database:
+    """Random table; dimension and value columns are exact binary
+    fractions (multiples of 0.25)."""
+    rng = np.random.default_rng(seed)
+    database = Database()
+    database.create_table(
+        "t",
+        {
+            "x": np.floor(rng.uniform(0, 400, n)) / 4.0,
+            "y": np.floor(rng.uniform(0, 400, n)) / 4.0,
+            "z": np.floor(rng.uniform(0, 400, n)) / 4.0,
+            "v": np.floor(rng.uniform(-200, 200, n)) / 4.0,
+        },
+    )
+    return database
+
+
+def _query(
+    aggregate,
+    bounds=(30.0, 30.0),
+    columns=("x", "y"),
+    target=100.0,
+    op=ConstraintOp.EQ,
+) -> Query:
+    predicates = [
+        SelectPredicate(
+            name=f"p{i}",
+            expr=col("t." + column),
+            interval=Interval(0.0, bound),
+            direction=Direction.UPPER,
+            denominator=100.0,
+        )
+        for i, (column, bound) in enumerate(zip(columns, bounds))
+    ]
+    agg = (
+        get_aggregate(aggregate) if isinstance(aggregate, str) else aggregate
+    )
+    attr = col("t.v") if agg.needs_attribute else None
+    constraint = AggregateConstraint(AggregateSpec(agg, attr), op, target)
+    return Query.build("q", ("t",), predicates, constraint)
+
+
+def _grid_coords(space: RefinedSpace) -> list[tuple[int, ...]]:
+    return list(make_traversal(space, "lp"))
+
+
+class _NoGridWrapper(EvaluationLayer):
+    """Delegating layer hiding the inner backend's native bulk paths —
+    its ``execute_grid`` / ``execute_cells`` run the base-class
+    assembly, the path a third-party ``EvaluationLayer`` subclass
+    without a bulk implementation takes."""
+
+    def __init__(self, inner: EvaluationLayer) -> None:
+        super().__init__()
+        self._inner = inner
+
+    def prepare(self, query, dim_caps=None):
+        return self._inner.prepare(query, dim_caps)
+
+    def useful_max_scores(self, prepared):
+        return self._inner.useful_max_scores(prepared)
+
+    def execute_cell(self, prepared, space, coords):
+        self._count_query("cell")
+        return self._inner.execute_cell(prepared, space, coords)
+
+    def execute_box(self, prepared, scores):
+        self._count_query("box")
+        return self._inner.execute_box(prepared, scores)
+
+
+def _make_layer(backend_name: str, database: Database) -> EvaluationLayer:
+    if backend_name == "memory":
+        return MemoryBackend(database)
+    if backend_name == "memory-vectorized":
+        return MemoryBackend(database, vectorized_grid=True)
+    if backend_name == "sqlite":
+        return SQLiteBackend(database)
+    if backend_name == "fallback":
+        return _NoGridWrapper(MemoryBackend(database))
+    raise AssertionError(backend_name)
+
+
+def _pair(backend_name, query, dim_caps, space, aggregate, database):
+    """A serial Explorer and a GridExplorer on independent layers."""
+    serial_layer = _make_layer(backend_name, database)
+    grid_layer = _make_layer(backend_name, database)
+    serial = Explorer(
+        serial_layer, serial_layer.prepare(query, dim_caps), space, aggregate
+    )
+    grid = GridExplorer(
+        grid_layer, grid_layer.prepare(query, dim_caps), space, aggregate
+    )
+    return serial, grid, grid_layer
+
+
+# ----------------------------------------------------------------------
+# GridExplorer == serial Explorer, bit-identical
+# ----------------------------------------------------------------------
+class TestGridMatchesSerial:
+    @pytest.mark.parametrize("aggregate", ALL_AGGREGATES)
+    @pytest.mark.parametrize(
+        "backend_name", ["memory", "memory-vectorized", "sqlite", "fallback"]
+    )
+    def test_exact_backends(self, backend_name, aggregate):
+        database = _database(seed=21, n=180)
+        query = _query(aggregate)
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        serial, grid, grid_layer = _pair(
+            backend_name,
+            query,
+            [100.0, 100.0],
+            space,
+            query.constraint.spec.aggregate,
+            database,
+        )
+        for coords in _grid_coords(space):
+            assert grid.block_state(coords) == serial.block_state(coords), (
+                coords
+            )
+            assert grid.compute_aggregate(coords) == serial.compute_aggregate(
+                coords
+            )
+        assert grid_layer.stats.grid_materializations == 1
+        assert grid_layer.stats.grid_cells == space.grid_size
+        assert grid.cells_executed == space.grid_size
+        assert grid.cells_skipped == 0
+
+    @pytest.mark.parametrize(
+        "columns, bounds, max_scores",
+        [
+            (("x",), (30.0,), [70.0]),
+            (("x", "y", "z"), (40.0, 40.0, 40.0), [40.0, 40.0, 40.0]),
+        ],
+    )
+    @pytest.mark.parametrize("aggregate", ("COUNT", "SUM"))
+    def test_other_dimensionalities(self, aggregate, columns, bounds,
+                                    max_scores):
+        database = _database(seed=22, n=150)
+        query = _query(aggregate, bounds, columns)
+        space = RefinedSpace(query, 15.0 * len(columns), max_scores)
+        serial, grid, _ = _pair(
+            "memory",
+            query,
+            [100.0] * len(columns),
+            space,
+            query.constraint.spec.aggregate,
+            database,
+        )
+        for coords in _grid_coords(space):
+            assert grid.block_state(coords) == serial.block_state(coords)
+
+    @pytest.mark.parametrize("aggregate", ALL_AGGREGATES)
+    def test_empty_table(self, aggregate):
+        database = _database(seed=23, n=0)
+        query = _query(aggregate)
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        serial, grid, _ = _pair(
+            "memory",
+            query,
+            [100.0, 100.0],
+            space,
+            query.constraint.spec.aggregate,
+            database,
+        )
+        for coords in _grid_coords(space):
+            assert grid.block_state(coords) == serial.block_state(coords)
+
+    @pytest.mark.parametrize("aggregate", HISTOGRAM_AGGREGATES)
+    def test_histogram_backend(self, aggregate):
+        database = _database(seed=24, n=180)
+        query = _query(aggregate)
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        serial_layer = HistogramBackend(database)
+        grid_layer = HistogramBackend(database)
+        agg = query.constraint.spec.aggregate
+        serial = Explorer(
+            serial_layer, serial_layer.prepare(query, [100.0, 100.0]),
+            space, agg,
+        )
+        grid = GridExplorer(
+            grid_layer, grid_layer.prepare(query, [100.0, 100.0]),
+            space, agg,
+        )
+        for coords in _grid_coords(space):
+            assert grid.block_state(coords) == serial.block_state(coords)
+
+    @pytest.mark.parametrize("aggregate", ("COUNT", "SUM"))
+    def test_sampling_backend(self, aggregate):
+        database = _database(seed=25, n=300)
+        query = _query(aggregate)
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        serial_layer = SamplingBackend(database, fraction=0.5, seed=3)
+        grid_layer = SamplingBackend(database, fraction=0.5, seed=3)
+        agg = query.constraint.spec.aggregate
+        serial = Explorer(
+            serial_layer, serial_layer.prepare(query, [100.0, 100.0]),
+            space, agg,
+        )
+        grid = GridExplorer(
+            grid_layer, grid_layer.prepare(query, [100.0, 100.0]),
+            space, agg,
+        )
+        for coords in _grid_coords(space):
+            assert grid.block_state(coords) == serial.block_state(coords)
+
+    def test_user_defined_aggregate_generic_fold(self):
+        """A user aggregate takes the generic Python prefix fold and
+        still matches the serial Explorer bit for bit."""
+        total = UserDefinedAggregate(
+            name="TOTAL",
+            identity=(0.0,),
+            combine=lambda left, right: (left[0] + right[0],),
+            lift=lambda values: (float(np.sum(values)),),
+        )
+        database = _database(seed=26, n=160)
+        query = _query(total)
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        serial, grid, _ = _pair(
+            "memory", query, [100.0, 100.0], space, total, database
+        )
+        for coords in _grid_coords(space):
+            assert grid.block_state(coords) == serial.block_state(coords)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        n=st.integers(min_value=0, max_value=120),
+        aggregate=st.sampled_from(ALL_AGGREGATES),
+        backend_name=st.sampled_from(("memory", "sqlite")),
+        bound_x=st.floats(min_value=5.0, max_value=60.0),
+        bound_y=st.floats(min_value=5.0, max_value=60.0),
+        gamma=st.floats(min_value=16.0, max_value=40.0),
+    )
+    def test_random_grids(
+        self, seed, n, aggregate, backend_name, bound_x, bound_y, gamma
+    ):
+        """Property: over random data, grids and aggregates, every
+        block state of the materialized engine equals the serial
+        Explorer's — including empty cells and empty tables."""
+        database = _database(seed=seed, n=n)
+        query = _query(aggregate, (bound_x, bound_y))
+        space = RefinedSpace(query, gamma, [80.0, 80.0])
+        serial, grid, _ = _pair(
+            backend_name,
+            query,
+            [150.0, 150.0],
+            space,
+            query.constraint.spec.aggregate,
+            database,
+        )
+        for coords in _grid_coords(space)[:40]:
+            assert grid.block_state(coords) == serial.block_state(coords), (
+                coords
+            )
+
+
+# ----------------------------------------------------------------------
+# Counters: one round trip for the whole grid
+# ----------------------------------------------------------------------
+class TestGridCounters:
+    def test_single_round_trip_on_native_backends(self):
+        database = _database(seed=27, n=150)
+        query = _query("COUNT")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        for backend_name in ("memory", "sqlite"):
+            layer = _make_layer(backend_name, database)
+            grid = GridExplorer(
+                layer,
+                layer.prepare(query, [100.0, 100.0]),
+                space,
+                query.constraint.spec.aggregate,
+            )
+            before = layer.stats.snapshot()
+            for coords in _grid_coords(space):
+                grid.compute_aggregate(coords)
+            delta = layer.stats.since(before)
+            assert delta.queries_executed == 1, backend_name
+            assert delta.grid_materializations == 1
+            assert delta.grid_cells == space.grid_size
+
+    def test_materialization_is_lazy_and_single(self):
+        database = _database(seed=28, n=100)
+        query = _query("COUNT")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        layer = MemoryBackend(database)
+        grid = GridExplorer(
+            layer,
+            layer.prepare(query, [100.0, 100.0]),
+            space,
+            query.constraint.spec.aggregate,
+        )
+        assert layer.stats.grid_materializations == 0
+        assert grid.cells_executed == 0
+        assert grid.prime_cells([space.origin]) == 0
+        assert layer.stats.grid_materializations == 0  # priming is a no-op
+        grid.compute_aggregate(space.origin)
+        grid.compute_aggregate(space.max_coords)
+        assert layer.stats.grid_materializations == 1
+
+
+# ----------------------------------------------------------------------
+# prefix_combine unit behavior
+# ----------------------------------------------------------------------
+class TestPrefixCombine:
+    def test_count_cumulative_sum_all_axes(self):
+        cells = np.array(
+            [[[1.0], [2.0]], [[3.0], [4.0]]]
+        )  # 2x2 grid, arity-1 states
+        blocks = prefix_combine(cells.copy(), get_aggregate("COUNT"))
+        assert blocks[0, 0, 0] == 1.0
+        assert blocks[1, 0, 0] == 4.0
+        assert blocks[0, 1, 0] == 3.0
+        assert blocks[1, 1, 0] == 10.0
+
+    def test_max_running_maximum(self):
+        cells = np.array([[[5.0], [1.0]], [[2.0], [9.0]]])
+        blocks = prefix_combine(cells.copy(), get_aggregate("MAX"))
+        assert blocks[1, 1, 0] == 9.0
+        assert blocks[1, 0, 0] == 5.0
+        assert blocks[0, 1, 0] == 5.0
+
+    def test_generic_fold_matches_vectorized(self):
+        summish = UserDefinedAggregate(
+            name="TOTAL",
+            identity=(0.0,),
+            combine=lambda left, right: (left[0] + right[0],),
+            lift=lambda values: (float(np.sum(values)),),
+        )
+        rng = np.random.default_rng(5)
+        cells = np.floor(rng.uniform(0, 40, (3, 4, 2, 1))) / 4.0
+        generic = prefix_combine(cells.copy(), summish)
+        vectorized = prefix_combine(cells.copy(), get_aggregate("SUM"))
+        assert generic.dtype == object
+        for index in np.ndindex(generic.shape):
+            assert generic[index] == (vectorized[index][0],)
+
+
+# ----------------------------------------------------------------------
+# Plan chooser (explore_mode='auto')
+# ----------------------------------------------------------------------
+def _plan(query, config, max_scores=(70.0, 70.0), n=400, seed=31):
+    database = _database(seed=seed, n=n)
+    layer = MemoryBackend(database)
+    space = RefinedSpace(query, 20.0, list(max_scores))
+    return choose_explore_mode(layer, query, space, config)
+
+
+class TestPlanChooser:
+    def test_dense_search_materializes(self):
+        plan = _plan(_query("COUNT", target=380.0), AcquireConfig(
+            explore_mode="auto"))
+        assert plan.mode == "materialized"
+        assert plan.reason == "cost-model"
+        assert plan.estimated_visited > 1
+
+    def test_eq_overshoot_stays_incremental(self):
+        """An equality target below the predicted origin value heads to
+        the contraction path; auto must not materialize for it."""
+        plan = _plan(_query("COUNT", target=5.0), AcquireConfig(
+            explore_mode="auto"))
+        assert plan.mode == "incremental"
+        assert plan.estimated_visited == 1
+
+    def test_early_terminating_search_stays_incremental(self):
+        """A target predicted to be reached after one layer on a big
+        grid: visiting a handful of cells beats a full pass."""
+        query = _query("COUNT", target=45.0)
+        plan = _plan(query, AcquireConfig(explore_mode="auto"),
+                     max_scores=(340.0, 340.0))
+        assert plan.mode == "incremental"
+        assert plan.reason == "cost-model"
+        assert 0 < plan.estimated_visited < plan.grid_cells
+
+    def test_grid_over_cap_falls_back(self):
+        plan = _plan(_query("COUNT", target=380.0), AcquireConfig(
+            explore_mode="auto", materialize_cell_cap=4))
+        assert plan.mode == "incremental"
+        assert plan.reason == "grid-over-cap"
+
+    def test_forced_materialized_over_cap_raises(self):
+        with pytest.raises(QueryModelError):
+            _plan(_query("COUNT"), AcquireConfig(
+                explore_mode="materialized", materialize_cell_cap=4))
+
+    def test_statless_layer_uses_small_grid_rule(self):
+        database = _database(seed=32, n=100)
+        layer = _NoGridWrapper(MemoryBackend(database))  # no .database
+        query = _query("COUNT", target=380.0)
+        config = AcquireConfig(explore_mode="auto")
+        small = RefinedSpace(query, 20.0, [70.0, 70.0])
+        plan = choose_explore_mode(layer, query, small, config)
+        assert small.grid_size <= SMALL_GRID_CELLS
+        assert (plan.mode, plan.reason) == ("materialized", "small-grid")
+        big = RefinedSpace(query, 20.0, [3000.0, 3000.0])
+        plan = choose_explore_mode(layer, query, big, config)
+        assert big.grid_size > SMALL_GRID_CELLS
+        assert (plan.mode, plan.reason) == ("incremental", "no-statistics")
+
+    def test_config_validation(self):
+        with pytest.raises(QueryModelError):
+            AcquireConfig(explore_mode="bogus")
+        with pytest.raises(QueryModelError):
+            AcquireConfig(materialize_cell_cap=0)
+
+
+# ----------------------------------------------------------------------
+# End to end through Acquire
+# ----------------------------------------------------------------------
+def _run(database, query, **overrides):
+    layer = MemoryBackend(database)
+    config = AcquireConfig(gamma=10.0, delta=0.05, **overrides)
+    return Acquire(layer).run(query, config)
+
+
+def _answer_key(result):
+    return [
+        (a.coords, a.qscore, a.aggregate_value, a.error)
+        for a in result.answers
+    ]
+
+
+class TestAcquireModes:
+    @pytest.mark.parametrize("aggregate, target", [
+        ("COUNT", 150.0), ("SUM", 400.0),
+    ])
+    def test_modes_agree_and_auto_is_no_worse(self, aggregate, target):
+        database = _database(seed=33, n=200)
+        query = _query(aggregate, target=target)
+        runs = {
+            mode: _run(database, query, explore_mode=mode)
+            for mode in ("incremental", "materialized", "auto")
+        }
+        baseline = _answer_key(runs["incremental"])
+        assert runs["incremental"].stats.explore_mode == "incremental"
+        assert runs["materialized"].stats.explore_mode == "materialized"
+        assert runs["auto"].stats.explore_mode in (
+            "incremental", "materialized"
+        )
+        for mode in ("materialized", "auto"):
+            assert _answer_key(runs[mode]) == baseline, mode
+            assert runs[mode].satisfied == runs["incremental"].satisfied
+        assert runs["materialized"].stats.execution.grid_materializations >= 1
+        assert runs["incremental"].stats.execution.grid_materializations == 0
+        fixed_best = min(
+            runs["incremental"].stats.execution.queries_executed,
+            runs["materialized"].stats.execution.queries_executed,
+        )
+        assert runs["auto"].stats.execution.queries_executed <= fixed_best
+
+    def test_auto_over_cap_runs_incremental(self):
+        database = _database(seed=34, n=150)
+        query = _query("COUNT", target=120.0)
+        capped = _run(
+            database, query, explore_mode="auto", materialize_cell_cap=2
+        )
+        plain = _run(database, query, explore_mode="incremental")
+        assert capped.stats.explore_mode == "incremental"
+        assert _answer_key(capped) == _answer_key(plain)
+        assert (
+            capped.stats.execution.queries_executed
+            == plain.stats.execution.queries_executed
+        )
+
+    def test_forced_materialized_over_cap_raises_in_run(self):
+        database = _database(seed=34, n=150)
+        query = _query("COUNT", target=120.0)
+        with pytest.raises(QueryModelError):
+            _run(
+                database,
+                query,
+                explore_mode="materialized",
+                materialize_cell_cap=2,
+            )

@@ -38,7 +38,7 @@ class TestPagedStore:
             assert store.get((0, 1)) == [(3.0,), (4.0,)]
 
     def test_eviction_and_page_in(self):
-        with PagedSubAggregateStore(cache_size=2) as store:
+        with PagedSubAggregateStore(cache_size=2, flush_size=4) as store:
             for index in range(5):
                 store.put((index,), [(float(index),)])
             assert store.evictions >= 3
@@ -46,6 +46,43 @@ class TestPagedStore:
             assert store.get((0,)) == [(0.0,)]
             assert store.page_ins >= 1
             assert len(store) == 5
+
+    def test_writes_are_batched(self):
+        with PagedSubAggregateStore(cache_size=8, flush_size=4) as store:
+            for index in range(3):
+                store.put((index,), [(float(index),)])
+            assert store.flushes == 0  # still buffered
+            store.put((3,), [(3.0,)])
+            assert store.flushes == 1  # flush_size reached
+            store.flush()
+            assert store.flushes == 1  # empty buffer: no-op
+
+    def test_unflushed_entry_survives_cache_eviction(self):
+        # flush_size larger than the workload: every write stays
+        # pending, and an entry evicted from the LRU cache must be
+        # served from the pending buffer, not the (empty) database.
+        with PagedSubAggregateStore(cache_size=1, flush_size=100) as store:
+            store.put((0,), [(0.0,)])
+            store.put((1,), [(1.0,)])
+            assert store.get((0,)) == [(0.0,)]
+            assert store.page_ins == 0
+
+    def test_flush_on_close_persists_to_user_path(self, tmp_path):
+        path = str(tmp_path / "states.sqlite")
+        store = PagedSubAggregateStore(path=path, flush_size=100)
+        store.put((4, 2), [(7.0,)])
+        store.close()
+        reopened = PagedSubAggregateStore(path=path)
+        try:
+            assert (4, 2) in reopened
+            assert len(reopened) == 1
+            assert reopened.get((4, 2)) == [(7.0,)]
+        finally:
+            reopened.close()
+
+    def test_flush_size_validated(self):
+        with pytest.raises(SearchError):
+            PagedSubAggregateStore(flush_size=0)
 
     def test_missing_raises_search_error(self):
         with PagedSubAggregateStore() as store:
@@ -91,7 +128,7 @@ class TestExplorerWithPagedStore:
         aggregate = query.constraint.spec.aggregate
 
         in_memory = Explorer(layer, prepared, space, aggregate)
-        with PagedSubAggregateStore(cache_size=4) as paged_store:
+        with PagedSubAggregateStore(cache_size=4, flush_size=8) as paged_store:
             paged = Explorer(
                 layer, prepared, space, aggregate, store=paged_store
             )
