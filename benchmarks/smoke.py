@@ -16,11 +16,18 @@ dependencies (no pytest-benchmark).
    never does more round trips than the better fixed mode, and that
    the materialized round-trip counts have not regressed above the
    checked-in ``BENCH_explore_baseline.json``.
+3. ``grid_cache_sweep`` — a constraint sweep run twice, without and
+   with a shared grid tensor cache — writes ``BENCH_cache.json`` and
+   checks that both arms agree on every answer, that the cached arm
+   records hits, that it issues *strictly fewer* backend queries than
+   the uncached arm, and that its query total has not regressed above
+   the checked-in ``BENCH_cache_baseline.json``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke.py [--scale-rows N] [--out PATH]
-        [--explore-out PATH] [--baseline PATH] [--update-baseline]
+        [--explore-out PATH] [--cache-out PATH] [--baseline PATH]
+        [--cache-baseline PATH] [--update-baseline]
 """
 
 from __future__ import annotations
@@ -139,6 +146,95 @@ def _check_explore_baseline(
     return failures
 
 
+def _check_cache(payload: dict) -> list[str]:
+    """Gate: the cached arm must beat the uncached arm outright."""
+    failures = []
+    arms: dict[str, list[dict]] = {"uncached": [], "cached": []}
+    for row in payload["rows"]:
+        arm = row["method"].rsplit("/", 1)[-1]
+        if arm in arms:
+            arms[arm].append(row)
+    if not arms["uncached"] or not arms["cached"]:
+        return [f"cache sweep arms missing: { {k: len(v) for k, v in arms.items()} }"]
+    if len(arms["uncached"]) != len(arms["cached"]):
+        return [
+            "cache sweep arms unequal: "
+            f"{len(arms['uncached'])} uncached vs {len(arms['cached'])} cached"
+        ]
+    for plain, cached in zip(arms["uncached"], arms["cached"]):
+        if plain["x_value"] != cached["x_value"]:
+            failures.append(
+                f"cache sweep misaligned at {plain['x_value']} vs "
+                f"{cached['x_value']}"
+            )
+            continue
+        if plain["qscore"] != cached["qscore"]:
+            failures.append(
+                f"ratio {plain['x_value']}: cached answer diverged — "
+                f"qscore {cached['qscore']} != {plain['qscore']}"
+            )
+        if plain["aggregate_value"] != cached["aggregate_value"]:
+            failures.append(
+                f"ratio {plain['x_value']}: cached aggregate diverged — "
+                f"{cached['aggregate_value']} != {plain['aggregate_value']}"
+            )
+    hits = sum(row["cache_hits"] for row in arms["cached"])
+    if hits < 1:
+        failures.append("cached arm recorded no cache hits")
+    plain_queries = sum(row["queries"] for row in arms["uncached"])
+    cached_queries = sum(row["queries"] for row in arms["cached"])
+    if cached_queries >= plain_queries:
+        failures.append(
+            "cache saved nothing: cached arm issued "
+            f"{cached_queries} backend queries vs {plain_queries} uncached "
+            "(must be strictly fewer)"
+        )
+    return failures
+
+
+def _check_cache_baseline(payload: dict, baseline_path: str) -> list[str]:
+    """Perf-regression guard on the cached arm's backend queries."""
+    if not os.path.exists(baseline_path):
+        return [f"cache baseline missing: {baseline_path}"]
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if baseline.get("scale_rows") != payload["settings"].get("scale_rows"):
+        print(
+            "note: cache baseline scale_rows "
+            f"{baseline.get('scale_rows')} != run scale_rows "
+            f"{payload['settings'].get('scale_rows')}; skipping the "
+            "regression guard"
+        )
+        return []
+    cached_queries = sum(
+        row["queries"]
+        for row in payload["rows"]
+        if row["method"].endswith("/cached")
+    )
+    allowed = baseline.get("cached_queries", 0)
+    if cached_queries > allowed:
+        return [
+            "cached-arm backend queries regressed — "
+            f"{cached_queries} > baseline {allowed}"
+        ]
+    return []
+
+
+def _write_cache_baseline(payload: dict, baseline_path: str) -> None:
+    baseline = {
+        "scale_rows": payload["settings"].get("scale_rows"),
+        "cached_queries": sum(
+            row["queries"]
+            for row in payload["rows"]
+            if row["method"].endswith("/cached")
+        ),
+    }
+    with open(baseline_path, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote baseline {baseline_path}")
+
+
 def _write_explore_baseline(payload: dict, baseline_path: str) -> None:
     rows = {row["method"]: row for row in payload["rows"]}
     baseline = {
@@ -167,9 +263,19 @@ def main(argv=None) -> int:
         default=os.path.join("benchmarks", "results", "BENCH_explore.json"),
     )
     parser.add_argument(
+        "--cache-out",
+        default=os.path.join("benchmarks", "results", "BENCH_cache.json"),
+    )
+    parser.add_argument(
         "--baseline",
         default=os.path.join(
             "benchmarks", "results", "BENCH_explore_baseline.json"
+        ),
+    )
+    parser.add_argument(
+        "--cache-baseline",
+        default=os.path.join(
+            "benchmarks", "results", "BENCH_cache_baseline.json"
         ),
     )
     parser.add_argument(
@@ -179,7 +285,11 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    from repro.harness.experiments import evaluation_layers, explore_modes
+    from repro.harness.experiments import (
+        evaluation_layers,
+        explore_modes,
+        grid_cache_sweep,
+    )
     from repro.harness.report import render_rows, save_json
 
     failures = []
@@ -202,7 +312,19 @@ def main(argv=None) -> int:
     else:
         failures += _check_explore_baseline(explore_payload, args.baseline)
     print(render_rows(explore.rows))
-    print(f"\nwrote {explore_path}")
+    print(f"\nwrote {explore_path}\n")
+
+    cache = grid_cache_sweep(scale_rows=args.scale_rows)
+    cache_path = save_json(cache, args.cache_out)
+    with open(cache_path, encoding="utf-8") as handle:
+        cache_payload = json.load(handle)
+    failures += _check_cache(cache_payload)
+    if args.update_baseline:
+        _write_cache_baseline(cache_payload, args.cache_baseline)
+    else:
+        failures += _check_cache_baseline(cache_payload, args.cache_baseline)
+    print(render_rows(cache.rows))
+    print(f"\nwrote {cache_path}")
 
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}", file=sys.stderr)

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.analysis import analyze_sql
 from repro.core.acquire import Acquire, AcquireConfig
+from repro.core.grid_cache import GridTensorCache
 from repro.core.scoring import LInfNorm, LpNorm
 from repro.engine.catalog import Database
 from repro.engine.memory_backend import MemoryBackend
@@ -143,11 +144,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--explore-mode",
-        choices=("auto", "incremental", "materialized"),
+        choices=("auto", "incremental", "materialized", "tiled"),
         default="incremental",
         help="Explore engine: per-cell round trips (incremental), one "
-        "whole-grid pass (materialized), or a cost-model choice "
-        "(auto); see docs/EXPLORE_MODES.md",
+        "whole-grid pass (materialized), on-demand sub-grid passes "
+        "(tiled), or a cost-model choice (auto); see "
+        "docs/EXPLORE_MODES.md",
+    )
+    parser.add_argument(
+        "--grid-cache-mb",
+        type=int,
+        default=0,
+        metavar="MB",
+        help="enable the cross-query grid tensor cache with this byte "
+        "budget (0 disables); only the materialized/tiled engines "
+        "consult it",
     )
     parser.add_argument("--alternatives", type=int, default=3,
                         help="how many refined queries to print")
@@ -272,6 +283,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         if args.backend == "memory"
         else SQLiteBackend(database)
     )
+    cache = (
+        GridTensorCache(args.grid_cache_mb * 1024 * 1024)
+        if args.grid_cache_mb > 0
+        else None
+    )
     config = AcquireConfig(
         gamma=args.gamma,
         delta=args.delta,
@@ -279,6 +295,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         batched=args.batched,
         parallelism=args.parallelism,
         explore_mode=args.explore_mode,
+        grid_cache=cache,
     )
     acquire = Acquire(layer)
     result = acquire.run(query, config)

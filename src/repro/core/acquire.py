@@ -32,8 +32,9 @@ from typing import Optional, Sequence
 from repro.core.error import AggregateErrorFunction, default_error_for
 from repro.core.expand import LAYER_DECIMALS, make_traversal
 from repro.core.explore import Explorer
-from repro.core.grid_explore import GridExplorer
-from repro.core.plan import choose_explore_mode
+from repro.core.grid_cache import GridTensorCache
+from repro.core.grid_explore import GridExplorer, TiledGridExplorer
+from repro.core.plan import PlanCalibration, choose_explore_mode
 from repro.core.query import ConstraintOp, Query
 from repro.core.refined_space import RefinedSpace
 from repro.core.result import AcquireResult, RefinedQuery, SearchStats
@@ -82,12 +83,25 @@ class AcquireConfig:
             default: one cell round trip per visited grid query),
             ``materialized`` (compute the whole cell grid in one
             backend pass, then answer every grid query from the
-            tensor), or ``auto`` (pick by the catalog-statistics cost
-            model in :mod:`repro.core.plan`). All three produce
+            tensor), ``tiled`` (materialize rectangular sub-grids on
+            demand as the traversal reaches them, stitched with seam
+            carries), or ``auto`` (pick by the catalog-statistics cost
+            model in :mod:`repro.core.plan`). All modes produce
             identical answer sets; see ``docs/EXPLORE_MODES.md``.
         materialize_cell_cap: largest grid (in cells) the materialized
-            engine may allocate. ``auto`` falls back to incremental
-            above the cap; forcing ``materialized`` above it raises.
+            engine may allocate — and the per-tile cell bound for the
+            tiled engine. ``auto`` falls back to tiled above the cap;
+            forcing ``materialized`` above it raises.
+        grid_cache: optional
+            :class:`~repro.core.grid_cache.GridTensorCache` shared
+            across runs; the materialized and tiled engines consult it
+            before issuing the backend grid pass, so constraint sweeps
+            over the same data pay for each tensor once.
+        calibration: optional
+            :class:`~repro.core.plan.PlanCalibration`; the driver
+            reports (estimated, actual) visited counts into it after
+            each search, and ``auto`` planning corrects later
+            estimates by the measured factor.
     """
 
     gamma: float = 10.0
@@ -104,6 +118,8 @@ class AcquireConfig:
     parallelism: int = 1
     explore_mode: str = "incremental"
     materialize_cell_cap: int = 2_000_000
+    grid_cache: Optional[GridTensorCache] = None
+    calibration: Optional[PlanCalibration] = None
 
     def __post_init__(self) -> None:
         if self.gamma <= 0:
@@ -114,10 +130,12 @@ class AcquireConfig:
             raise QueryModelError("repartition_iterations must be >= 0")
         if self.parallelism < 1:
             raise QueryModelError("parallelism must be >= 1")
-        if self.explore_mode not in ("auto", "incremental", "materialized"):
+        if self.explore_mode not in (
+            "auto", "incremental", "materialized", "tiled"
+        ):
             raise QueryModelError(
-                "explore_mode must be 'auto', 'incremental' or "
-                f"'materialized', got {self.explore_mode!r}"
+                "explore_mode must be 'auto', 'incremental', "
+                f"'materialized' or 'tiled', got {self.explore_mode!r}"
             )
         if self.materialize_cell_cap < 1:
             raise QueryModelError("materialize_cell_cap must be >= 1")
@@ -214,9 +232,23 @@ class Acquire:
         )
         if plan.mode == "materialized":
             # The bitmap index only saves per-cell round trips, which
-            # the materialized engine does not issue.
-            explorer: Explorer | GridExplorer = GridExplorer(
-                self.layer, prepared, space, aggregate
+            # the materializing engines do not issue.
+            explorer: Explorer | GridExplorer | TiledGridExplorer = (
+                GridExplorer(
+                    self.layer, prepared, space, aggregate,
+                    cache=config.grid_cache,
+                )
+            )
+        elif plan.mode == "tiled":
+            explorer = TiledGridExplorer(
+                self.layer,
+                prepared,
+                space,
+                aggregate,
+                max_tile_cells=min(
+                    config.max_grid_queries, config.materialize_cell_cap
+                ),
+                cache=config.grid_cache,
             )
         else:
             bitmap = None
@@ -230,7 +262,11 @@ class Acquire:
                 bitmap_index=bitmap,
                 parallelism=config.parallelism,
             )
-        stats = SearchStats(explore_mode=plan.mode)
+        stats = SearchStats(
+            explore_mode=plan.mode,
+            plan_reason=plan.reason,
+            estimated_visited=plan.estimated_visited,
+        )
 
         # Figure 2, step 1: estimate the original aggregate first; an
         # equality query that already overshoots cannot be fixed by
@@ -339,15 +375,18 @@ class Acquire:
 
         stats.cells_executed = explorer.cells_executed
         stats.cells_skipped = explorer.cells_skipped
+        # Every answer carries its QScore — including repartitioned
+        # ones, whose grid ``coords`` are None — so count answer layers
+        # from the QScores directly.
         stats.layers_explored = len(
-            {
-                round(space.qscore(a.coords), LAYER_DECIMALS)
-                for a in answers
-                if a.coords
-            }
-        ) or 0
+            {round(a.qscore, LAYER_DECIMALS) for a in answers}
+        )
         stats.elapsed_s = time.perf_counter() - started
         stats.execution = self.layer.stats.since(layer_stats_before)
+        if config.calibration is not None and plan.estimated_visited > 0:
+            config.calibration.observe(
+                plan.estimated_visited, stats.grid_queries_examined
+            )
         logger.info(
             "ACQUIRE %s: %d answers, %d grid queries, %d cells, %.1f ms",
             query.name,

@@ -1,0 +1,196 @@
+"""Cross-query cache of materialized grid-cell tensors.
+
+The Explore phase's materialized and tiled modes both reduce to "build
+an immutable tensor of per-cell aggregate states, then run prefix
+passes over a private copy". The tensor itself depends only on the
+*data-side* identity of the request — which evaluation layer produced
+it, which tables/predicates/aggregate define the cells, and the refined
+space's geometry — and **not** on the constraint target. A constraint
+sweep (the harness's bread and butter) therefore re-materializes the
+identical tensor once per sweep point; this module makes every point
+after the first a cache hit.
+
+Keying. A cache key is ``(layer token, query fingerprint, space
+geometry, tile box)``:
+
+- *layer token*: a process-unique integer minted per
+  :class:`~repro.engine.backends.EvaluationLayer` instance (not
+  ``id()``, which CPython reuses after garbage collection). Two layers
+  never share entries, so a layer over different data can never serve
+  another layer's tensors — reconnecting to changed data means a new
+  layer and thus a cold cache, which is the invalidation story.
+- *query fingerprint*: tables, every predicate rendered at score 0 plus
+  its refinement parameters, and the aggregate spec. The constraint
+  operator and target are deliberately excluded.
+- *space geometry*: step and per-dimension coordinate limits.
+- *tile box*: inclusive ``(lo, hi)`` coordinate bounds; the full grid
+  is simply the box covering every coordinate.
+
+Tensors are stored with ``writeable=False`` so a hit can be handed out
+by reference; consumers that need to mutate (the prefix passes) copy
+first, which they must do anyway for correctness (see the
+``prefix_combine`` aliasing contract in ``grid_explore``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.query import Query
+from repro.core.refined_space import RefinedSpace
+from repro.exceptions import QueryModelError
+
+DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
+
+_layer_tokens = itertools.count(1)
+_token_lock = threading.Lock()
+
+
+def layer_cache_token(layer: object) -> int:
+    """Process-unique token identifying an evaluation layer instance.
+
+    Lazily stamped onto the layer the first time it is asked for, so
+    tokens are stable for a layer's lifetime but never reused across
+    instances the way ``id()`` can be.
+    """
+    token = getattr(layer, "_grid_cache_token", None)
+    if token is None:
+        with _token_lock:
+            token = getattr(layer, "_grid_cache_token", None)
+            if token is None:
+                token = next(_layer_tokens)
+                layer._grid_cache_token = token  # type: ignore[attr-defined]
+    return int(token)
+
+
+def query_fingerprint(query: Query) -> Tuple[Hashable, ...]:
+    """Target-independent identity of the cells a query induces.
+
+    Everything that shapes a cell's aggregate state is included —
+    tables, each predicate's rendering at score 0 together with the
+    parameters that govern how it refines, and the aggregate spec.
+    The constraint operator/target only decide which cells *satisfy*,
+    never their states, so sweep points over targets share entries.
+    """
+    predicates = tuple(
+        (
+            type(predicate).__name__,
+            predicate.name,
+            predicate.refinable,
+            predicate.describe(0.0),
+            float(predicate.weight),
+            None if predicate.limit is None else float(predicate.limit),
+            float(getattr(predicate, "effective_denominator", 0.0))
+            if hasattr(predicate, "effective_denominator")
+            else float(getattr(predicate, "denominator", 0.0)),
+        )
+        for predicate in query.predicates
+    )
+    return (query.tables, predicates, query.constraint.spec.describe())
+
+
+def space_fingerprint(space: RefinedSpace) -> Tuple[Hashable, ...]:
+    """Geometry of the refined grid: step plus coordinate extents."""
+    return (float(space.step), tuple(int(c) for c in space.max_coords))
+
+
+class GridTensorCache:
+    """Byte-budgeted LRU cache of immutable grid/tile cell tensors.
+
+    Thread-safe; shared freely across queries, sweep points, and
+    explore modes. Entries whose tensor alone exceeds the budget are
+    simply not admitted (they would evict everything for one use).
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        if max_bytes <= 0:
+            raise QueryModelError(
+                f"cache budget must be positive, got {max_bytes}"
+            )
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key_for(
+        layer: object,
+        query: Query,
+        space: RefinedSpace,
+        lo: Optional[Sequence[int]] = None,
+        hi: Optional[Sequence[int]] = None,
+    ) -> Tuple[Hashable, ...]:
+        """Build the canonical cache key for a grid or tile request."""
+        if lo is None:
+            lo = (0,) * space.d
+        if hi is None:
+            hi = space.max_coords
+        return (
+            layer_cache_token(layer),
+            query_fingerprint(query),
+            space_fingerprint(space),
+            tuple(int(c) for c in lo),
+            tuple(int(c) for c in hi),
+        )
+
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        """Return the cached tensor (read-only) or None; touches LRU."""
+        with self._lock:
+            tensor = self._entries.get(key)
+            if tensor is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return tensor
+
+    def put(self, key: Hashable, tensor: np.ndarray) -> np.ndarray:
+        """Insert a tensor, evicting LRU entries past the byte budget.
+
+        The stored array is marked read-only; the returned array is the
+        stored one, so callers should treat it as immutable too.
+        """
+        stored = np.ascontiguousarray(tensor)
+        if stored is tensor and tensor.flags.writeable:
+            stored = tensor.copy()
+        stored.flags.writeable = False
+        nbytes = int(stored.nbytes)
+        with self._lock:
+            if nbytes > self.max_bytes:
+                return stored
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.current_bytes -= int(previous.nbytes)
+            self._entries[key] = stored
+            self.current_bytes += nbytes
+            while self.current_bytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self.current_bytes -= int(evicted.nbytes)
+                self.evictions += 1
+        return stored
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
+
+    def summary(self) -> str:
+        with self._lock:
+            return (
+                f"GridTensorCache(entries={len(self._entries)}, "
+                f"bytes={self.current_bytes}/{self.max_bytes}, "
+                f"hits={self.hits}, misses={self.misses}, "
+                f"evictions={self.evictions})"
+            )

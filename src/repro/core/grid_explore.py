@@ -1,4 +1,4 @@
-"""Materialized Explore: whole-grid aggregation + prefix combine.
+"""Materialized Explore: whole-grid / tiled aggregation + prefix combine.
 
 The incremental Explore (:mod:`repro.core.explore`) pays one backend
 round trip per visited cell. For dense searches the entire cell tensor
@@ -23,13 +23,36 @@ bit. User-defined OSP aggregates make no commutativity promise, so
 they take a generic Python fold that preserves the serial operand
 order exactly.
 
-See ``docs/EXPLORE_MODES.md`` for the incremental-vs-materialized
-contract and when the driver picks this path.
+Tiling (:class:`TiledGridExplorer`): when the grid is too large to
+materialize whole — or when only a prefix of the traversal will ever be
+visited — the grid is partitioned into axis-aligned rectangular tiles
+(the cartesian product of per-axis coordinate intervals) and each tile
+is materialized on demand through
+:meth:`~repro.engine.backends.EvaluationLayer.execute_grid_tile`. The
+prefix passes run per tile with *seam carries*: after pass ``a`` over a
+tile, its last slab along axis ``a`` (the stage-``a+1`` values at the
+tile's upper boundary) is captured; the neighbouring tile one step up
+along axis ``a`` folds that slab into its first slab before running its
+own pass ``a``. Because the resulting per-line association chain is
+exactly the full-grid chain, tiled block states are bit-identical to
+both the whole-grid and the serial engines. A tile's carries come from
+its componentwise-predecessor tiles, so materializing the down-set
+``{t' : t' <= t}`` in lexicographic order satisfies every dependency.
+
+Both materializing engines optionally consult a
+:class:`~repro.core.grid_cache.GridTensorCache`: cell tensors (not
+block tensors) are cached under a target-independent key, so constraint
+sweeps re-use the expensive backend pass and only repeat the cheap
+in-memory prefix passes.
+
+See ``docs/EXPLORE_MODES.md`` for the mode contract and when the
+driver picks each path.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import itertools
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -42,10 +65,15 @@ from repro.core.aggregates import (
     OSPAggregate,
     SumAggregate,
 )
+from repro.core.grid_cache import GridTensorCache
 from repro.core.refined_space import RefinedSpace
 from repro.engine.backends import EvaluationLayer, PreparedQuery
+from repro.exceptions import SearchError
 
 Coords = tuple[int, ...]
+
+#: axis -> carry slab (the neighbour tile's seam along that axis).
+Carries = dict[int, np.ndarray]
 
 
 class GridExplorer:
@@ -60,7 +88,8 @@ class GridExplorer:
     then equals the full grid size (every cell was computed exactly
     once, in one pass), and ``cells_skipped`` stays 0 — the bitmap
     index is pointless here because emptiness falls out of the same
-    pass.
+    pass. With a ``cache``, a hit serves the cell tensor without any
+    backend pass and ``cells_executed`` stays 0.
     """
 
     def __init__(
@@ -69,11 +98,13 @@ class GridExplorer:
         prepared: PreparedQuery,
         space: RefinedSpace,
         aggregate: OSPAggregate,
+        cache: Optional[GridTensorCache] = None,
     ) -> None:
         self.layer = layer
         self.prepared = prepared
         self.space = space
         self.aggregate = aggregate
+        self.cache = cache
         self.cells_executed = 0
         self.cells_skipped = 0
         self._blocks: np.ndarray | None = None
@@ -98,18 +129,212 @@ class GridExplorer:
     # -- materialization -----------------------------------------------
     def _materialized(self) -> np.ndarray:
         if self._blocks is None:
+            tensor = self._fetch_grid()
+            self._blocks = prefix_combine(tensor, self.aggregate)
+        return self._blocks
+
+    def _fetch_grid(self) -> np.ndarray:
+        if self.cache is None:
             tensor = self.layer.execute_grid(self.prepared, self.space)
             self.cells_executed = int(
                 np.prod(tensor.shape[:-1], dtype=np.int64)
             )
-            self._blocks = prefix_combine(tensor, self.aggregate)
-        return self._blocks
+            return tensor
+        key = GridTensorCache.key_for(
+            self.layer, self.prepared.query, self.space
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.layer.count_cache_event(True, int(cached.nbytes))
+            return cached
+        tensor = self.layer.execute_grid(self.prepared, self.space)
+        self.cells_executed = int(np.prod(tensor.shape[:-1], dtype=np.int64))
+        tensor = self.cache.put(key, tensor)
+        self.layer.count_cache_event(False)
+        return tensor
+
+
+class TiledGridExplorer:
+    """Explore engine over on-demand, seam-stitched grid tiles.
+
+    Same driver-facing interface as :class:`GridExplorer`, but the grid
+    is materialized tile by tile: only tiles the traversal actually
+    reaches (plus their componentwise-predecessor down-set, needed for
+    seam carries) are ever computed, so a search that stops after a few
+    layers — or is truncated by ``max_grid_queries`` — never pays for
+    the far corner of the grid.
+
+    Args:
+        layer: evaluation layer; tiles go through
+            :meth:`~repro.engine.backends.EvaluationLayer.execute_grid_tile`.
+        prepared: backend-prepared state for the query.
+        space: the refined space grid.
+        aggregate: the constraint's OSP aggregate.
+        max_tile_cells: soft per-tile cell budget; the tile shape is
+            derived from it via :func:`tile_shape_for`.
+        tile_shape: explicit per-axis tile widths, overriding
+            ``max_tile_cells`` (used by tests to force seams through
+            specific layers).
+        cache: optional cross-query tensor cache; tiles are keyed by
+            their ``(lo, hi)`` box, so replays hit tile by tile.
+    """
+
+    def __init__(
+        self,
+        layer: EvaluationLayer,
+        prepared: PreparedQuery,
+        space: RefinedSpace,
+        aggregate: OSPAggregate,
+        max_tile_cells: int = 65536,
+        tile_shape: Optional[Sequence[int]] = None,
+        cache: Optional[GridTensorCache] = None,
+    ) -> None:
+        self.layer = layer
+        self.prepared = prepared
+        self.space = space
+        self.aggregate = aggregate
+        self.cache = cache
+        if tile_shape is None:
+            self.tile_shape: Coords = tile_shape_for(space, max_tile_cells)
+        else:
+            widths = tuple(int(width) for width in tile_shape)
+            if len(widths) != space.d or any(w < 1 for w in widths):
+                raise SearchError(
+                    f"tile shape {widths} invalid for a {space.d}-d space"
+                )
+            self.tile_shape = widths
+        self._tile_counts = tuple(
+            -(-(limit + 1) // width)
+            for limit, width in zip(space.max_coords, self.tile_shape)
+        )
+        self.cells_executed = 0
+        self.cells_skipped = 0
+        self.tiles_materialized = 0
+        self._blocks: dict[Coords, np.ndarray] = {}
+        self._seams: dict[tuple[Coords, int], np.ndarray] = {}
+
+    # -- Explorer interface --------------------------------------------
+    def compute_aggregate(self, coords: Sequence[int]) -> float:
+        """Finalized aggregate value of the grid query at ``coords``."""
+        return self.aggregate.finalize(self.block_state(coords))
+
+    def block_state(self, coords: Sequence[int]) -> AggState:
+        """Aggregate state of the full query at ``coords`` (``O_{d+1}``)."""
+        key = tuple(int(coord) for coord in coords)
+        tile = tuple(c // w for c, w in zip(key, self.tile_shape))
+        blocks = self._ensure_tile(tile)
+        local = tuple(
+            c - t * w for c, t, w in zip(key, tile, self.tile_shape)
+        )
+        if blocks.dtype == object:
+            return blocks[local]
+        return tuple(float(value) for value in blocks[local])
+
+    def prime_cells(self, coords_list: Sequence[Sequence[int]]) -> int:
+        """Pre-materialize the tiles a layer's coordinates land in.
+
+        Returns the number of cells newly executed against the backend
+        (0 when every touched tile was already materialized or served
+        from cache), mirroring ``Explorer.prime_cells`` accounting.
+        """
+        before = self.cells_executed
+        tiles = {
+            tuple(int(c) // w for c, w in zip(coords, self.tile_shape))
+            for coords in coords_list
+        }
+        for tile in sorted(tiles):
+            self._ensure_tile(tile)
+        return self.cells_executed - before
+
+    # -- tiling --------------------------------------------------------
+    def tile_bounds(self, tile: Sequence[int]) -> tuple[Coords, Coords]:
+        """Inclusive ``(lo, hi)`` coordinate box of a tile index."""
+        lo = tuple(t * w for t, w in zip(tile, self.tile_shape))
+        hi = tuple(
+            min(low + width - 1, limit)
+            for low, width, limit in zip(
+                lo, self.tile_shape, self.space.max_coords
+            )
+        )
+        return lo, hi
+
+    def _ensure_tile(self, tile: Coords) -> np.ndarray:
+        blocks = self._blocks.get(tile)
+        if blocks is None:
+            # Seam carries chain through every componentwise
+            # predecessor, so materialize the down-set {t' : t' <= t};
+            # lexicographic order guarantees t - e_a precedes t.
+            for dep in itertools.product(*(range(t + 1) for t in tile)):
+                if dep not in self._blocks:
+                    self._materialize_tile(dep)
+            blocks = self._blocks[tile]
+        return blocks
+
+    def _materialize_tile(self, tile: Coords) -> None:
+        lo, hi = self.tile_bounds(tile)
+        tensor = self._fetch_tile(lo, hi)
+        carries: Carries = {}
+        for axis in range(self.space.d):
+            if tile[axis] > 0:
+                neighbour = (
+                    tile[:axis] + (tile[axis] - 1,) + tile[axis + 1:]
+                )
+                carries[axis] = self._seams[(neighbour, axis)]
+        blocks, seams = tile_prefix_combine(tensor, self.aggregate, carries)
+        self._blocks[tile] = blocks
+        for axis, seam in seams.items():
+            if tile[axis] + 1 < self._tile_counts[axis]:
+                self._seams[(tile, axis)] = seam
+        self.tiles_materialized += 1
+
+    def _fetch_tile(self, lo: Coords, hi: Coords) -> np.ndarray:
+        if self.cache is None:
+            tensor = self.layer.execute_grid_tile(
+                self.prepared, self.space, lo, hi
+            )
+            self.cells_executed += int(
+                np.prod(tensor.shape[:-1], dtype=np.int64)
+            )
+            return tensor
+        key = GridTensorCache.key_for(
+            self.layer, self.prepared.query, self.space, lo, hi
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.layer.count_cache_event(True, int(cached.nbytes))
+            return cached
+        tensor = self.layer.execute_grid_tile(self.prepared, self.space, lo, hi)
+        self.cells_executed += int(np.prod(tensor.shape[:-1], dtype=np.int64))
+        tensor = self.cache.put(key, tensor)
+        self.layer.count_cache_event(False)
+        return tensor
+
+
+def tile_shape_for(space: RefinedSpace, max_tile_cells: int) -> Coords:
+    """Per-axis tile widths with at most ``max_tile_cells`` per tile.
+
+    Starts from the full extent and repeatedly halves the widest axis —
+    keeping tiles as chunky (seam-light) as the budget allows while
+    staying deterministic.
+    """
+    cap = max(int(max_tile_cells), 1)
+    widths = [limit + 1 for limit in space.max_coords]
+    while int(np.prod(widths, dtype=np.int64)) > cap:
+        axis = max(range(len(widths)), key=lambda a: widths[a])
+        if widths[axis] == 1:
+            break
+        widths[axis] = max(widths[axis] // 2, 1)
+    return tuple(widths)
+
+
+# ---------------------------------------------------------------------------
+# Prefix passes
 
 
 def prefix_combine(
     tensor: np.ndarray, aggregate: OSPAggregate
 ) -> np.ndarray:
-    """Turn a cell tensor into a block tensor, in place where possible.
+    """Turn a cell tensor into a *new* block tensor.
 
     Applies one cumulative combine per grid axis (``np.cumsum`` for
     COUNT/SUM and both components of AVG's (sum, count) pair,
@@ -117,21 +342,88 @@ def prefix_combine(
     aggregates fall back to an object array folded with
     ``aggregate.combine`` in the serial operand order; the result is
     then an object array of :data:`AggState` tuples.
+
+    The input tensor is never written: callers may hand in shared
+    (cached, read-only) tensors and keep using them afterwards.
     """
-    axes = range(tensor.ndim - 1)
+    ops = _vector_ops(aggregate)
+    if ops is None:
+        return _generic_prefix_combine(tensor, aggregate)
+    accumulate, _ = ops
+    blocks = np.array(tensor, dtype=np.float64, copy=True)
+    for axis in range(blocks.ndim - 1):
+        accumulate(blocks, axis)
+    return blocks
+
+
+def tile_prefix_combine(
+    tensor: np.ndarray,
+    aggregate: OSPAggregate,
+    carries: Optional[Carries] = None,
+) -> tuple[np.ndarray, Carries]:
+    """Prefix passes over one tile, stitched to its neighbours.
+
+    ``carries[a]`` is the stage-``a+1`` seam slab of the tile one step
+    down along axis ``a`` (shape: this tile's cross-section orthogonal
+    to ``a``). Before the cumulative pass along ``a``, the carry is
+    folded into the tile's first slab — for the vectorized aggregates
+    via the same commutative IEEE op the accumulate uses, for generic
+    aggregates via ``combine(current, accumulated)`` — which reproduces
+    the full-grid association chain exactly, so results are bit-
+    identical to :func:`prefix_combine` over the whole grid.
+
+    Returns ``(blocks, seams)``: the tile's block tensor and, per axis,
+    the seam slab captured right after that axis' pass (i.e. the carry
+    the next tile up along that axis needs). The input tensor and the
+    carry slabs are never written.
+    """
+    carries = carries or {}
+    ops = _vector_ops(aggregate)
+    if ops is None:
+        return _generic_tile_prefix_combine(tensor, aggregate, carries)
+    accumulate, merge = ops
+    work = np.array(tensor, dtype=np.float64, copy=True)
+    seams: Carries = {}
+    for axis in range(work.ndim - 1):
+        carry = carries.get(axis)
+        if carry is not None:
+            first = work[(slice(None),) * axis + (0,)]
+            merge(first, carry, out=first)
+        accumulate(work, axis)
+        seams[axis] = work[(slice(None),) * axis + (-1,)].copy()
+    return work, seams
+
+
+def _vector_ops(aggregate: OSPAggregate):
+    """(in-place accumulate, binary merge ufunc) for built-in aggregates.
+
+    None for aggregates without a commutative vectorized form — they
+    take the generic object-array fold.
+    """
     if isinstance(aggregate, (CountAggregate, SumAggregate, AvgAggregate)):
-        for axis in axes:
-            np.cumsum(tensor, axis=axis, out=tensor)
-        return tensor
+        return (lambda a, axis: np.cumsum(a, axis=axis, out=a), np.add)
     if isinstance(aggregate, MaxAggregate):
-        for axis in axes:
-            np.maximum.accumulate(tensor, axis=axis, out=tensor)
-        return tensor
+        return (
+            lambda a, axis: np.maximum.accumulate(a, axis=axis, out=a),
+            np.maximum,
+        )
     if isinstance(aggregate, MinAggregate):
-        for axis in axes:
-            np.minimum.accumulate(tensor, axis=axis, out=tensor)
-        return tensor
-    return _generic_prefix_combine(tensor, aggregate)
+        return (
+            lambda a, axis: np.minimum.accumulate(a, axis=axis, out=a),
+            np.minimum,
+        )
+    return None
+
+
+def _to_object_states(tensor: np.ndarray) -> np.ndarray:
+    """Cell tensor -> object array of AggState tuples (always a copy)."""
+    if tensor.dtype == object:
+        return tensor.copy()
+    shape = tensor.shape[:-1]
+    states = np.empty(shape, dtype=object)
+    for index in np.ndindex(shape):
+        states[index] = tuple(float(value) for value in tensor[index])
+    return states
 
 
 def _generic_prefix_combine(
@@ -143,10 +435,7 @@ def _generic_prefix_combine(
     ``combine(states[index - 1], previous)`` operand order exactly, so
     no commutativity is assumed of the user's combine function.
     """
-    shape = tensor.shape[:-1]
-    states = np.empty(shape, dtype=object)
-    for index in np.ndindex(shape):
-        states[index] = tuple(float(value) for value in tensor[index])
+    states = _to_object_states(tensor)
     for axis in range(states.ndim):
         length = states.shape[axis]
         if length <= 1:
@@ -159,4 +448,39 @@ def _generic_prefix_combine(
     return states
 
 
-__all__ = ["GridExplorer", "prefix_combine"]
+def _generic_tile_prefix_combine(
+    tensor: np.ndarray, aggregate: OSPAggregate, carries: Carries
+) -> tuple[np.ndarray, Carries]:
+    """Tile fold for user-defined aggregates, serial operand order.
+
+    The carry enters each line as ``combine(line[0], carry)`` — exactly
+    the serial recurrence applied at the seam — and seams are captured
+    as object arrays of the (immutable) state tuples, so later passes
+    rebinding line elements cannot corrupt captured seams.
+    """
+    states = _to_object_states(tensor)
+    seams: Carries = {}
+    for axis in range(states.ndim):
+        length = states.shape[axis]
+        rest = states.shape[:axis] + states.shape[axis + 1:]
+        carry = carries.get(axis)
+        for index in np.ndindex(rest):
+            line = states[index[:axis] + (slice(None),) + index[axis:]]
+            if carry is not None:
+                line[0] = aggregate.combine(line[0], carry[index])
+            for k in range(1, length):
+                line[k] = aggregate.combine(line[k], line[k - 1])
+        seam = np.empty(rest, dtype=object)
+        for index in np.ndindex(rest):
+            seam[index] = states[index[:axis] + (length - 1,) + index[axis:]]
+        seams[axis] = seam
+    return states, seams
+
+
+__all__ = [
+    "GridExplorer",
+    "TiledGridExplorer",
+    "prefix_combine",
+    "tile_prefix_combine",
+    "tile_shape_for",
+]

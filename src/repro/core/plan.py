@@ -1,6 +1,6 @@
-"""Explore-plan selection: incremental vs materialized grids.
+"""Explore-plan selection: incremental vs materialized vs tiled grids.
 
-The driver has two Explore engines with opposite cost profiles:
+The driver has three Explore engines with different cost profiles:
 
 * incremental (:class:`~repro.core.explore.Explorer`) — one backend
   round trip per *visited* cell; total work tracks how far the search
@@ -8,16 +8,23 @@ The driver has two Explore engines with opposite cost profiles:
 * materialized (:class:`~repro.core.grid_explore.GridExplorer`) — one
   backend pass computes *every* cell, after which grid queries are
   free; total work tracks the full grid size regardless of where the
-  search terminates.
+  search terminates;
+* tiled (:class:`~repro.core.grid_explore.TiledGridExplorer`) — one
+  backend pass per *reached* tile; total work tracks the tiles the
+  traversal's layer prefix touches, so huge or budget-capped grids
+  still get batched execution without the full-grid tensor.
 
 ``choose_explore_mode`` picks between them from catalog statistics
 alone — no sub-query executes during planning. The model (documented
 in ``docs/EXPLORE_MODES.md``) prices an incremental cell round trip at
 one pass over the data (``N`` rows, the star-join heuristic: the
-largest referenced table) and materialization at one data pass plus
-one unit per grid cell:
+largest referenced table), materialization at one data pass plus one
+unit per grid cell, and tiling at one data pass plus one unit per tile
+cell, per reached tile:
 
-    materialize  iff  N + |grid|  <  visited * N
+    incremental  ~ visited * N
+    materialized ~ N + |grid|          (grid within cap and budget)
+    tiled        ~ ceil(visited / |tile|) * (N + |tile|)
 
 ``visited`` is estimated by walking L1 layers outward, predicting the
 aggregate at each layer's balanced point from per-dimension
@@ -27,12 +34,19 @@ constraint target is reached; the layer-point counts come from
 whose dimensions lack catalog statistics (joins, categorical
 predicates, expression predicates, statless backends) fall back to a
 small-grid rule: materialize only when the whole grid is trivially
-cheap.
+cheap and within the query budget, tile when the grid exceeds the
+tensor cap or the budget, and run incrementally otherwise.
+
+The estimate can be *calibrated*: a :class:`PlanCalibration` collects
+(estimated, actually-visited) pairs from finished searches and applies
+their geometric-mean ratio to later estimates, closing the loop
+between the star-join cost heuristic and observed traversal behaviour.
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -56,7 +70,48 @@ SMALL_GRID_CELLS = 4096
 #: search is treated as exploring the whole grid (capped elsewhere).
 _MAX_ESTIMATED_LAYERS = 2048
 
-_MODES = ("auto", "incremental", "materialized")
+_MODES = ("auto", "incremental", "materialized", "tiled")
+
+
+class PlanCalibration:
+    """Feedback loop from observed searches into the visited estimate.
+
+    After each search the driver reports the plan's
+    ``estimated_visited`` together with the number of grid queries
+    actually examined. The geometric mean of the ``actual / estimated``
+    ratios over a sliding window becomes a correction factor applied to
+    later estimates — systematic over- or under-estimation by the
+    star-join heuristic is measured once and compensated thereafter.
+
+    Thread-compatible but not thread-safe; share one instance per
+    workload, as the harness does.
+    """
+
+    def __init__(self, window: int = 64) -> None:
+        if window < 1:
+            raise QueryModelError(
+                f"calibration window must be >= 1, got {window}"
+            )
+        self._log_ratios: deque[float] = deque(maxlen=window)
+
+    def observe(self, estimated: int, actual: int) -> None:
+        """Record one (estimate, outcome) pair; zeros are ignored."""
+        if estimated > 0 and actual > 0:
+            self._log_ratios.append(math.log(actual / estimated))
+
+    @property
+    def observations(self) -> int:
+        return len(self._log_ratios)
+
+    def factor(self) -> float:
+        """Geometric-mean correction factor (1.0 until observations)."""
+        if not self._log_ratios:
+            return 1.0
+        return math.exp(sum(self._log_ratios) / len(self._log_ratios))
+
+    def correct(self, estimate: int) -> int:
+        """Apply the correction factor to a raw visited estimate."""
+        return max(int(round(estimate * self.factor())), 1)
 
 
 @dataclass(frozen=True)
@@ -64,12 +119,15 @@ class ExplorePlan:
     """Outcome of plan selection, recorded for reports and tests.
 
     Attributes:
-        mode: the engine chosen — ``incremental`` or ``materialized``.
+        mode: the engine chosen — ``incremental``, ``materialized`` or
+            ``tiled``.
         reason: short human-readable justification (``forced``,
-            ``grid-over-cap``, ``cost-model``, ``small-grid``, ...).
+            ``grid-over-cap``, ``grid-over-budget``, ``cost-model``,
+            ``small-grid``, ...).
         grid_cells: full grid size (``RefinedSpace.grid_size``).
         estimated_visited: predicted visited-cell count for the
-            incremental engine; 0 when no estimate was possible.
+            incremental engine (after calibration, when configured);
+            0 when no estimate was possible.
     """
 
     mode: str
@@ -108,25 +166,56 @@ def choose_explore_mode(
                 "explore_mode='auto'"
             )
         return ExplorePlan("materialized", "forced", grid_cells)
+    if config.explore_mode == "tiled":
+        return ExplorePlan("tiled", "forced", grid_cells)
 
     # -- auto ----------------------------------------------------------
-    if grid_cells > config.materialize_cell_cap:
-        return ExplorePlan("incremental", "grid-over-cap", grid_cells)
+    budget = config.max_grid_queries
+    cap = config.materialize_cell_cap
+    materialized_fits = grid_cells <= cap and grid_cells <= budget
 
     database = getattr(layer, "database", None)
     estimate = _estimate_visited_cells(database, query, space, config)
     if estimate is None:
-        if grid_cells <= SMALL_GRID_CELLS:
+        if grid_cells <= SMALL_GRID_CELLS and materialized_fits:
             return ExplorePlan("materialized", "small-grid", grid_cells)
+        if grid_cells > cap:
+            return ExplorePlan("tiled", "grid-over-cap", grid_cells)
+        if grid_cells > budget:
+            return ExplorePlan("tiled", "grid-over-budget", grid_cells)
         return ExplorePlan("incremental", "no-statistics", grid_cells)
 
-    visited = min(estimate, grid_cells, config.max_grid_queries)
+    calibration = getattr(config, "calibration", None)
+    if calibration is not None:
+        estimate = calibration.correct(estimate)
+    visited = min(estimate, grid_cells, budget)
     rows = _largest_table_rows(database, query)
-    if rows + grid_cells < visited * rows:
-        return ExplorePlan(
-            "materialized", "cost-model", grid_cells, visited
-        )
-    return ExplorePlan("incremental", "cost-model", grid_cells, visited)
+
+    # Cost of each engine, in row-access units (docstring formulas).
+    incremental_cost = visited * rows
+    materialized_cost = rows + grid_cells
+    tile_cells = min(cap, budget, grid_cells)
+    tiles_needed = -(-visited // tile_cells)
+    tiled_cost = tiles_needed * (rows + tile_cells)
+
+    best_mode, best_cost = "incremental", incremental_cost
+    if tiled_cost < best_cost:
+        best_mode, best_cost = "tiled", tiled_cost
+    # Prefer the simpler whole-grid tensor over tiles on equal cost,
+    # but keep the historical strict comparison against incremental.
+    if (
+        materialized_fits
+        and materialized_cost < incremental_cost
+        and materialized_cost <= best_cost
+    ):
+        best_mode, best_cost = "materialized", materialized_cost
+    reason = "cost-model"
+    if best_mode == "tiled":
+        if grid_cells > cap:
+            reason = "grid-over-cap"
+        elif grid_cells > budget:
+            reason = "grid-over-budget"
+    return ExplorePlan(best_mode, reason, grid_cells, visited)
 
 
 # ----------------------------------------------------------------------
@@ -260,4 +349,9 @@ def _predicted_value(
     return value
 
 
-__all__ = ["ExplorePlan", "choose_explore_mode", "SMALL_GRID_CELLS"]
+__all__ = [
+    "ExplorePlan",
+    "PlanCalibration",
+    "choose_explore_mode",
+    "SMALL_GRID_CELLS",
+]

@@ -57,8 +57,12 @@ class SearchStats:
     """Work performed by one ACQUIRE run.
 
     ``explore_mode`` records which Explore engine actually ran —
-    ``incremental`` or ``materialized`` — after ``auto`` resolution
-    (see :mod:`repro.core.plan`).
+    ``incremental``, ``materialized`` or ``tiled`` — after ``auto``
+    resolution (see :mod:`repro.core.plan`); ``plan_reason`` is the
+    plan's justification (``forced``, ``cost-model``, ...) and
+    ``estimated_visited`` its predicted visited-cell count, kept next
+    to ``grid_queries_examined`` so planner calibration can compare
+    prediction against outcome.
     """
 
     grid_queries_examined: int = 0
@@ -68,6 +72,8 @@ class SearchStats:
     repartition_probes: int = 0
     elapsed_s: float = 0.0
     explore_mode: str = "incremental"
+    plan_reason: str = ""
+    estimated_visited: int = 0
     execution: ExecutionStats = field(default_factory=ExecutionStats)
 
 

@@ -115,6 +115,18 @@ class PagedSubAggregateStore:
 
     # -- SubAggregateStore interface -----------------------------------
     def put(self, coords: Coords, states: list[AggState]) -> None:
+        # The page encoding packs a single (count, arity) header, so a
+        # mixed-arity list would silently corrupt the payload: encode
+        # would write len(states[0]) * count slots but flatten a
+        # different number of values. Reject it at the door instead of
+        # letting a torn page surface later as garbage aggregates.
+        arities = {len(state) for state in states}
+        if len(arities) > 1:
+            raise SearchError(
+                f"mixed-arity sub-aggregate states at {coords}: "
+                f"got arities {sorted(arities)}; every state of one "
+                "grid point must come from the same aggregate"
+            )
         self._keys.add(coords)
         self._pending[coords] = states
         self._cache[coords] = states

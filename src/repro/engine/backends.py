@@ -19,6 +19,10 @@ Execution requests come in four shapes:
   one pass (:meth:`EvaluationLayer.execute_grid`); the materialized
   Explore path computes it once and answers every later grid query from
   memory (see ``docs/EXPLORE_MODES.md``);
+* *grid tiles* — a rectangular subgrid of the cell tensor in one pass
+  (:meth:`EvaluationLayer.execute_grid_tile`); the tiled Explore path
+  materializes only the tiles the search actually reaches, extending on
+  demand under the query budget;
 * *box queries* — a full refined query at an arbitrary (possibly
   off-grid) PScore vector; used by the repartitioning step and by every
   baseline technique;
@@ -41,6 +45,8 @@ from typing import TYPE_CHECKING, Optional, Protocol, Sequence
 
 import numpy as np
 
+from repro.exceptions import EngineError
+
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.core.aggregates import AggState, OSPAggregate
     from repro.core.query import Query
@@ -56,8 +62,13 @@ class ExecutionStats:
     ``cell_queries`` grows by the batch size while ``queries_executed``
     grows by one. ``batches``/``batched_cells`` track native bulk
     execution, ``parallel_cells`` the thread-pool fallback, and
-    ``grid_materializations``/``grid_cells`` full-grid materialization
-    (one round trip computing every cell of a refined space).
+    ``grid_materializations``/``grid_cells`` grid materialization (one
+    round trip computing every cell of a refined space, or of one
+    rectangular tile of it — tile passes are additionally counted in
+    ``grid_tiles``). ``cache_hits``/``cache_misses``/``cache_bytes``
+    track :class:`~repro.core.grid_cache.GridTensorCache` lookups made
+    on this layer's behalf; a hit serves ``cache_bytes`` tensor bytes
+    without any backend pass.
     """
 
     queries_executed: int = 0
@@ -67,7 +78,11 @@ class ExecutionStats:
     batched_cells: int = 0
     parallel_cells: int = 0
     grid_materializations: int = 0
+    grid_tiles: int = 0
     grid_cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bytes: int = 0
     rows_scanned: int = 0
     execution_time_s: float = 0.0
 
@@ -243,6 +258,41 @@ class EvaluationLayer:
         self._count_grid(len(coords_list), round_trip=False)
         return tensor
 
+    def execute_grid_tile(
+        self,
+        prepared: PreparedQuery,
+        space: RefinedSpace,
+        lo: Sequence[int],
+        hi: Sequence[int],
+    ) -> np.ndarray:
+        """Cell-aggregate tensor of the rectangular subgrid ``[lo, hi]``.
+
+        ``lo`` and ``hi`` are inclusive per-dimension grid coordinates;
+        the returned float64 tensor has shape
+        ``(*[hi_i - lo_i + 1], state_arity)`` and its entry at local
+        offset ``u - lo`` is the aggregate state of the cell at ``u`` —
+        bit-identical to :meth:`execute_cell` at the same coordinates,
+        with empty cells holding the aggregate's identity state.
+
+        This is the bulk entry point of the *tiled* Explore path
+        (``docs/EXPLORE_MODES.md``): backends with a single-pass
+        implementation override it; this fallback assembles the tile
+        from :meth:`execute_cells` so any third-party layer works.
+        """
+        lo, hi = _check_tile_bounds(space, lo, hi)
+        aggregate = prepared.query.constraint.spec.aggregate
+        tensor = grid_identity_tensor(space, aggregate, lo, hi)
+        coords_list = [
+            tuple(c + o for c, o in zip(local, lo))
+            for local in np.ndindex(tensor.shape[:-1])
+        ]
+        states = self.execute_cells(prepared, space, coords_list)
+        for local, state in zip(np.ndindex(tensor.shape[:-1]), states):
+            tensor[local] = state
+        # execute_cells already counted the physical round trip(s).
+        self._count_grid(len(coords_list), round_trip=False, tile=True)
+        return tensor
+
     def execute_box(
         self, prepared: PreparedQuery, scores: Sequence[float]
     ) -> AggState:
@@ -296,20 +346,40 @@ class EvaluationLayer:
             self.stats.rows_scanned += rows
 
     def _count_grid(
-        self, cells: int, rows: int = 0, round_trip: bool = True
+        self,
+        cells: int,
+        rows: int = 0,
+        round_trip: bool = True,
+        tile: bool = False,
     ) -> None:
         """Record one grid materialization covering ``cells`` cells.
 
         ``round_trip=False`` is for the base-class fallback, whose
         physical round trips were already counted by
-        :meth:`execute_cells`.
+        :meth:`execute_cells`. ``tile=True`` marks a rectangular-subgrid
+        pass (:meth:`execute_grid_tile`), additionally counted in
+        ``grid_tiles``.
         """
         with self._stats_lock:
             if round_trip:
                 self.stats.queries_executed += 1
             self.stats.grid_materializations += 1
+            if tile:
+                self.stats.grid_tiles += 1
             self.stats.grid_cells += cells
             self.stats.rows_scanned += rows
+
+    def count_cache_event(self, hit: bool, nbytes: int = 0) -> None:
+        """Record one :class:`~repro.core.grid_cache.GridTensorCache`
+        lookup made on this layer's behalf (the cache lives with the
+        driver, but its effect — a saved backend pass — belongs in this
+        layer's :class:`ExecutionStats` so harness deltas see it)."""
+        with self._stats_lock:
+            if hit:
+                self.stats.cache_hits += 1
+                self.stats.cache_bytes += nbytes
+            else:
+                self.stats.cache_misses += 1
 
     def _timed(self) -> _Timer:
         return _Timer(self.stats, self._stats_lock)
@@ -319,20 +389,49 @@ class EvaluationLayer:
 
 
 def grid_identity_tensor(
-    space: "RefinedSpace", aggregate: "OSPAggregate"
+    space: "RefinedSpace",
+    aggregate: "OSPAggregate",
+    lo: Optional[Sequence[int]] = None,
+    hi: Optional[Sequence[int]] = None,
 ) -> np.ndarray:
-    """Identity-filled cell tensor for a refined space.
+    """Identity-filled cell tensor for a refined space (or a tile of it).
 
-    Shape ``(*[m + 1 for m in space.max_coords], state_arity)``; every
-    entry starts at the aggregate's identity state so cells a backend
-    never touches (empty regions) finalize exactly as a serial query
-    over an empty region would.
+    Without bounds the shape is
+    ``(*[m + 1 for m in space.max_coords], state_arity)``; with
+    inclusive ``lo``/``hi`` bounds it is the tile's
+    ``(*[hi_i - lo_i + 1], state_arity)``. Every entry starts at the
+    aggregate's identity state so cells a backend never touches (empty
+    regions) finalize exactly as a serial query over an empty region
+    would.
     """
-    shape = tuple(limit + 1 for limit in space.max_coords)
+    if lo is None or hi is None:
+        shape = tuple(limit + 1 for limit in space.max_coords)
+    else:
+        shape = tuple(h - l + 1 for l, h in zip(lo, hi))
     identity = aggregate.identity()
     tensor = np.empty(shape + (len(identity),), dtype=np.float64)
     tensor[...] = identity
     return tensor
+
+
+def _check_tile_bounds(
+    space: "RefinedSpace", lo: Sequence[int], hi: Sequence[int]
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Validate inclusive tile bounds against the grid extent."""
+    lo = tuple(int(c) for c in lo)
+    hi = tuple(int(c) for c in hi)
+    if len(lo) != space.d or len(hi) != space.d:
+        raise EngineError(
+            f"tile bound arity ({len(lo)}, {len(hi)}) != "
+            f"dimensionality {space.d}"
+        )
+    for l, h, limit in zip(lo, hi, space.max_coords):
+        if not 0 <= l <= h <= limit:
+            raise EngineError(
+                f"tile bounds [{lo}, {hi}] outside grid extent "
+                f"{space.max_coords}"
+            )
+    return lo, hi
 
 
 __all__ = [

@@ -239,31 +239,79 @@ class HistogramBackend(EvaluationLayer):
         in the same order as the serial per-cell loop, keeping every
         estimate bit-identical to :meth:`execute_cell`.
         """
-        aggregate = prepared.query.constraint.spec.aggregate
         with self._timed():
-            step = space.step
-            count = np.array(float(prepared.total_rows))
-            for histogram, limit in zip(
-                prepared.histograms, space.max_coords
-            ):
-                fractions = np.empty(limit + 1)
-                fractions[0] = histogram.fraction_at_most(0.0)
-                for level in range(1, limit + 1):
-                    fractions[level] = histogram.fraction_in(
+            tensor = self._fraction_tensor(
+                prepared,
+                space,
+                (0,) * len(prepared.histograms),
+                space.max_coords,
+            )
+        self._count_grid(
+            int(np.prod(tensor.shape[:-1], dtype=np.int64))
+        )
+        return tensor
+
+    def execute_grid_tile(
+        self,
+        prepared: _HistogramPrepared,
+        space: RefinedSpace,
+        lo: Sequence[int],
+        hi: Sequence[int],
+    ) -> np.ndarray:
+        """Native tile materialization: the same outer product over the
+        per-level fraction vectors sliced to ``lo..hi`` per dimension —
+        each estimate is the identical product of the identical factors,
+        so the tile is bit-identical to the full grid's ``[lo, hi]``
+        box."""
+        from repro.engine.backends import _check_tile_bounds
+
+        lo, hi = _check_tile_bounds(space, lo, hi)
+        with self._timed():
+            tensor = self._fraction_tensor(prepared, space, lo, hi)
+        self._count_grid(
+            int(np.prod(tensor.shape[:-1], dtype=np.int64)), tile=True
+        )
+        return tensor
+
+    def _fraction_tensor(
+        self,
+        prepared: _HistogramPrepared,
+        space: RefinedSpace,
+        lo: Sequence[int],
+        hi: Sequence[int],
+    ) -> np.ndarray:
+        """Cell tensor of the inclusive ``[lo, hi]`` box (no counters).
+
+        Under attribute-value independence a cell's estimated count is
+        ``total * f_1 * ... * f_d`` with ``f_i`` the dimension-i annulus
+        fraction — so any rectangular box of the grid is the outer
+        product of d per-level fraction vectors. The broadcasted
+        multiply applies the factors in the same order as the serial
+        per-cell loop, keeping every estimate bit-identical to
+        :meth:`execute_cell`.
+        """
+        aggregate = prepared.query.constraint.spec.aggregate
+        step = space.step
+        count = np.array(float(prepared.total_rows))
+        for histogram, low, high in zip(prepared.histograms, lo, hi):
+            fractions = np.empty(high - low + 1)
+            for level in range(low, high + 1):
+                if level == 0:
+                    fractions[0] = histogram.fraction_at_most(0.0)
+                else:
+                    fractions[level - low] = histogram.fraction_in(
                         (level - 1) * step, level * step
                     )
-                count = count[..., None] * fractions
-            if aggregate.name == "COUNT":
-                tensor = count[..., None]
-            elif aggregate.name == "SUM":
-                tensor = (count * prepared.mean_agg_value)[..., None]
-            else:  # AVG: (sum, count) with the mean-value heuristic.
-                tensor = np.stack(
-                    (count * prepared.mean_agg_value, count), axis=-1
-                )
-            tensor = np.ascontiguousarray(tensor, dtype=np.float64)
-        self._count_grid(int(count.size))
-        return tensor
+            count = count[..., None] * fractions
+        if aggregate.name == "COUNT":
+            tensor = count[..., None]
+        elif aggregate.name == "SUM":
+            tensor = (count * prepared.mean_agg_value)[..., None]
+        else:  # AVG: (sum, count) with the mean-value heuristic.
+            tensor = np.stack(
+                (count * prepared.mean_agg_value, count), axis=-1
+            )
+        return np.ascontiguousarray(tensor, dtype=np.float64)
 
     def execute_box(
         self, prepared: _HistogramPrepared, scores: Sequence[float]

@@ -187,6 +187,40 @@ class MemoryBackend(EvaluationLayer):
         self._count_grid(cells, rows=rows)
         return tensor
 
+    def execute_grid_tile(
+        self,
+        prepared: _MemoryPrepared,
+        space: RefinedSpace,
+        lo: Sequence[int],
+        hi: Sequence[int],
+    ) -> np.ndarray:
+        """Native tile materialization: one digitize + group-by sweep.
+
+        The same :meth:`_build_grid` pass as :meth:`execute_grid`
+        (per-cell states are bit-identical to serial
+        :meth:`execute_cell` by the stable-lexsort argument), scattering
+        only the cells that fall inside the inclusive ``[lo, hi]`` box.
+        """
+        from repro.engine.backends import _check_tile_bounds
+
+        lo, hi = _check_tile_bounds(space, lo, hi)
+        aggregate = prepared.query.constraint.spec.aggregate
+        if self.vectorized_grid:
+            grid = self._grid_for(prepared, space)
+            rows = 0
+        else:
+            with self._timed():
+                grid = self._build_grid(prepared, space)
+            rows = prepared.candidate.nrows
+        with self._timed():
+            tensor = grid_identity_tensor(space, aggregate, lo, hi)
+            for cell, state in grid.items():
+                if all(l <= c <= h for c, l, h in zip(cell, lo, hi)):
+                    tensor[tuple(c - l for c, l in zip(cell, lo))] = state
+        cells = int(np.prod(tensor.shape[:-1], dtype=np.int64))
+        self._count_grid(cells, rows=rows, tile=True)
+        return tensor
+
     def _execute_cell_indexed(
         self,
         prepared: _MemoryPrepared,

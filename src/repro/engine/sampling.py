@@ -169,6 +169,24 @@ class SamplingBackend(EvaluationLayer):
             return tensor
         return tensor / factor
 
+    def execute_grid_tile(self, prepared, space, lo, hi) -> np.ndarray:
+        """Delegate tile materialization, then rescale like
+        :meth:`execute_grid` — the same elementwise division keeps the
+        tile bit-identical to the rescaled full grid's ``[lo, hi]``
+        box."""
+        tensor = self._inner.execute_grid_tile(prepared, space, lo, hi)
+        aggregate = prepared.query.constraint.spec.aggregate
+        if aggregate.name not in _EXTENSIVE:
+            return tensor
+        sampled = sum(
+            1 for table in prepared.query.tables
+            if table in self.sampled_tables
+        )
+        factor = self.fraction ** sampled
+        if factor == 0:
+            return tensor
+        return tensor / factor
+
     def execute_box(self, prepared, scores) -> AggState:
         state = self._inner.execute_box(prepared, scores)
         return self._scale(prepared.query, state)

@@ -259,11 +259,46 @@ class SQLiteBackend(EvaluationLayer):
         self._count_grid(cells)
         return tensor
 
+    def execute_grid_tile(
+        self,
+        prepared: _SQLitePrepared,
+        space: RefinedSpace,
+        lo: Sequence[int],
+        hi: Sequence[int],
+    ) -> np.ndarray:
+        """Native tile materialization: one bounded ``GROUP BY``.
+
+        The same CASE-ladder statement as :meth:`execute_grid` with the
+        ladders spanning only levels ``lo..hi`` per dimension and the
+        WHERE clause excluding tuples already admitted below ``lo``
+        (their minimal coordinate belongs to another tile), so each
+        group is exactly the annulus a serial cell query would see.
+        """
+        from repro.engine.backends import _check_tile_bounds
+
+        lo, hi = _check_tile_bounds(space, lo, hi)
+        dims = space.dims
+        if not dims:
+            return super().execute_grid_tile(prepared, space, lo, hi)
+        aggregate = prepared.query.constraint.spec.aggregate
+        grouped = self._grouped_cell_states(
+            prepared, space, list(hi), min_coords=list(lo)
+        )
+        with self._timed():
+            tensor = grid_identity_tensor(space, aggregate, lo, hi)
+            for cell, state in grouped.items():
+                if all(l <= c <= h for c, l, h in zip(cell, lo, hi)):
+                    tensor[tuple(c - l for c, l in zip(cell, lo))] = state
+        cells = int(np.prod(tensor.shape[:-1], dtype=np.int64))
+        self._count_grid(cells, tile=True)
+        return tensor
+
     def _grouped_cell_states(
         self,
         prepared: _SQLitePrepared,
         space: RefinedSpace,
         max_coords: Sequence[int],
+        min_coords: Optional[Sequence[int]] = None,
     ) -> dict[tuple[int, ...], AggState]:
         """One ``GROUP BY`` statement bucketing tuples into grid cells.
 
@@ -273,21 +308,32 @@ class SQLiteBackend(EvaluationLayer):
         coordinate, so grouping by the ladders buckets tuples exactly
         as per-cell round trips would. Cells absent from the result are
         empty; their state is the aggregate identity.
+
+        ``min_coords`` restricts the bucketing to the box
+        ``[min_coords, max_coords]``: ladders start at the lower bound
+        and tuples admitted at level ``min_coords[d] - 1`` (minimal
+        coordinate below the box) are filtered out, so the first
+        matching level is still each tuple's true minimal coordinate.
         """
         dims = space.dims
         spec = prepared.query.constraint.spec
         step = space.step
+        if min_coords is None:
+            min_coords = [0] * len(dims)
         aliases = [f"cell_b{d}" for d in range(len(dims))]
         bucket_exprs = []
         for d, predicate in enumerate(dims):
             ladder = " ".join(
                 f"WHEN {predicate.sql_condition(level * step)} THEN {level}"
-                for level in range(max_coords[d] + 1)
+                for level in range(min_coords[d], max_coords[d] + 1)
             )
             bucket_exprs.append(f"CASE {ladder} ELSE -1 END")
         conditions = list(prepared.fixed_sql)
         for d, predicate in enumerate(dims):
             conditions.append(predicate.sql_condition(max_coords[d] * step))
+            if min_coords[d] > 0:
+                below = predicate.sql_condition((min_coords[d] - 1) * step)
+                conditions.append(f"NOT ({below})")
         where = " AND ".join(f"({c})" for c in conditions) or "1=1"
         attribute_sql = (
             spec.attribute.to_sql() if spec.attribute is not None else None

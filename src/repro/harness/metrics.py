@@ -30,6 +30,9 @@ class Row:
     satisfied: bool
     batches: int = 0
     materializations: int = 0
+    tiles: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
     explore_mode: str = ""
     extra: dict = field(default_factory=dict)
 
@@ -48,6 +51,9 @@ class Row:
             satisfied=run.satisfied,
             batches=run.execution.batches,
             materializations=run.execution.grid_materializations,
+            tiles=run.execution.grid_tiles,
+            cache_hits=run.execution.cache_hits,
+            cache_misses=run.execution.cache_misses,
             explore_mode=str(run.details.get("explore_mode", "")),
             extra=dict(run.details),
         )

@@ -18,9 +18,17 @@ _COLUMNS = (
     ("queries", lambda row: str(row.queries)),
     ("batches", lambda row: str(row.batches)),
     ("grids", lambda row: str(row.materializations)),
+    ("tiles", lambda row: str(row.tiles)),
+    ("cache", lambda row: _fmt_cache(row)),
     ("explore", lambda row: row.explore_mode or "-"),
     ("ok", lambda row: "y" if row.satisfied else "n"),
 )
+
+
+def _fmt_cache(row: Row) -> str:
+    if row.cache_hits == 0 and row.cache_misses == 0:
+        return "-"
+    return f"{row.cache_hits}h/{row.cache_misses}m"
 
 
 def _fmt_x(row: Row) -> str:
@@ -167,7 +175,8 @@ def save_csv(result: ExperimentResult, path: str) -> str:
     fields = (
         "x_name", "x_value", "method", "time_ms", "error", "qscore",
         "aggregate_value", "queries", "rows_scanned", "batches",
-        "materializations", "explore_mode", "satisfied",
+        "materializations", "tiles", "cache_hits", "cache_misses",
+        "explore_mode", "satisfied",
     )
     with open(path, "w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)

@@ -98,6 +98,8 @@ def run_acquire(
             "cells": result.stats.cells_executed,
             "original": result.original_value,
             "explore_mode": result.stats.explore_mode,
+            "plan_reason": result.stats.plan_reason,
+            "estimated_visited": result.stats.estimated_visited,
         },
     )
 

@@ -1,18 +1,25 @@
-"""Differential suite for the materialized Explore path.
+"""Differential suite for the materialized and tiled Explore paths.
 
-Proves the three-way contract of ``docs/EXPLORE_MODES.md``:
+Proves the contract of ``docs/EXPLORE_MODES.md``:
 
 * ``GridExplorer`` block states are **bit-identical** to the serial
   incremental :class:`~repro.core.explore.Explorer` on the exact
   backends (memory in every mode, sqlite, and the base-class
   ``execute_grid`` fallback), and match the estimation backends'
   serial arithmetic exactly as well;
+* ``TiledGridExplorer`` is bit-identical to both, for every tile shape
+  — including shapes that split traversal layers mid-seam — and a
+  cache-hit replay reproduces every block state bit for bit;
+* ``execute_grid_tile`` returns exactly the corresponding slice of
+  ``execute_grid`` on every backend;
 * turning materialization on is observable only in the round-trip
-  counters (``grid_materializations`` / ``grid_cells`` /
-  ``queries_executed``), never in an answer;
+  counters (``grid_materializations`` / ``grid_tiles`` /
+  ``grid_cells`` / ``queries_executed`` / cache counters), never in an
+  answer;
 * the ``auto`` plan chooser never costs more round trips than the
   better fixed mode, stays incremental for sparse / early-terminating
-  searches, and enforces ``materialize_cell_cap``.
+  searches, and routes over-cap / over-budget grids to the tiled
+  engine.
 
 Aggregate values are multiples of 0.25 (exact binary fractions), as in
 ``tests/engine/test_differential.py``, so the bit-identical assertions
@@ -32,9 +39,24 @@ from repro.core.aggregates import (
 )
 from repro.core.expand import make_traversal
 from repro.core.explore import Explorer
-from repro.core.grid_explore import GridExplorer, prefix_combine
+from repro.core.grid_cache import (
+    GridTensorCache,
+    layer_cache_token,
+    query_fingerprint,
+)
+from repro.core.grid_explore import (
+    GridExplorer,
+    TiledGridExplorer,
+    prefix_combine,
+    tile_prefix_combine,
+    tile_shape_for,
+)
 from repro.core.interval import Interval
-from repro.core.plan import SMALL_GRID_CELLS, choose_explore_mode
+from repro.core.plan import (
+    SMALL_GRID_CELLS,
+    PlanCalibration,
+    choose_explore_mode,
+)
 from repro.core.predicate import Direction, SelectPredicate
 from repro.core.query import AggregateConstraint, ConstraintOp, Query
 from repro.core.refined_space import RefinedSpace
@@ -45,7 +67,7 @@ from repro.engine.histogram_backend import HistogramBackend
 from repro.engine.memory_backend import MemoryBackend
 from repro.engine.sampling import SamplingBackend
 from repro.engine.sqlite_backend import SQLiteBackend
-from repro.exceptions import QueryModelError
+from repro.exceptions import EngineError, QueryModelError, SearchError
 
 ALL_AGGREGATES = ("COUNT", "SUM", "MIN", "MAX", "AVG")
 HISTOGRAM_AGGREGATES = ("COUNT", "SUM", "AVG")
@@ -145,6 +167,33 @@ def _pair(backend_name, query, dim_caps, space, aggregate, database):
         grid_layer, grid_layer.prepare(query, dim_caps), space, aggregate
     )
     return serial, grid, grid_layer
+
+
+def _tiled_pair(
+    backend_name,
+    query,
+    dim_caps,
+    space,
+    aggregate,
+    database,
+    tile_shape=None,
+    cache=None,
+):
+    """A serial Explorer and a TiledGridExplorer on independent layers."""
+    serial_layer = _make_layer(backend_name, database)
+    tiled_layer = _make_layer(backend_name, database)
+    serial = Explorer(
+        serial_layer, serial_layer.prepare(query, dim_caps), space, aggregate
+    )
+    tiled = TiledGridExplorer(
+        tiled_layer,
+        tiled_layer.prepare(query, dim_caps),
+        space,
+        aggregate,
+        tile_shape=tile_shape,
+        cache=cache,
+    )
+    return serial, tiled, tiled_layer
 
 
 # ----------------------------------------------------------------------
@@ -425,11 +474,25 @@ class TestPlanChooser:
         assert plan.reason == "cost-model"
         assert 0 < plan.estimated_visited < plan.grid_cells
 
-    def test_grid_over_cap_falls_back(self):
+    def test_grid_over_cap_falls_back_to_tiled(self):
         plan = _plan(_query("COUNT", target=380.0), AcquireConfig(
             explore_mode="auto", materialize_cell_cap=4))
-        assert plan.mode == "incremental"
+        assert plan.mode == "tiled"
         assert plan.reason == "grid-over-cap"
+
+    def test_grid_over_budget_goes_tiled(self):
+        """The materialized path must respect ``max_grid_queries``: a
+        grid bigger than the budget may not be materialized whole even
+        when it fits the tensor cap."""
+        plan = _plan(_query("COUNT", target=380.0), AcquireConfig(
+            explore_mode="auto", max_grid_queries=4))
+        assert plan.mode == "tiled"
+        assert plan.reason == "grid-over-budget"
+
+    def test_forced_tiled_passes_through(self):
+        plan = _plan(_query("COUNT", target=380.0), AcquireConfig(
+            explore_mode="tiled"))
+        assert (plan.mode, plan.reason) == ("tiled", "forced")
 
     def test_forced_materialized_over_cap_raises(self):
         with pytest.raises(QueryModelError):
@@ -501,19 +564,17 @@ class TestAcquireModes:
         )
         assert runs["auto"].stats.execution.queries_executed <= fixed_best
 
-    def test_auto_over_cap_runs_incremental(self):
+    def test_auto_over_cap_runs_tiled(self):
         database = _database(seed=34, n=150)
         query = _query("COUNT", target=120.0)
         capped = _run(
             database, query, explore_mode="auto", materialize_cell_cap=2
         )
         plain = _run(database, query, explore_mode="incremental")
-        assert capped.stats.explore_mode == "incremental"
+        assert capped.stats.explore_mode == "tiled"
+        assert capped.stats.plan_reason == "grid-over-cap"
         assert _answer_key(capped) == _answer_key(plain)
-        assert (
-            capped.stats.execution.queries_executed
-            == plain.stats.execution.queries_executed
-        )
+        assert capped.stats.execution.grid_tiles >= 1
 
     def test_forced_materialized_over_cap_raises_in_run(self):
         database = _database(seed=34, n=150)
@@ -525,3 +586,687 @@ class TestAcquireModes:
                 explore_mode="materialized",
                 materialize_cell_cap=2,
             )
+
+    def test_forced_tiled_matches_incremental(self):
+        database = _database(seed=35, n=180)
+        query = _query("COUNT", target=140.0)
+        tiled = _run(database, query, explore_mode="tiled")
+        plain = _run(database, query, explore_mode="incremental")
+        assert tiled.stats.explore_mode == "tiled"
+        assert tiled.stats.plan_reason == "forced"
+        assert _answer_key(tiled) == _answer_key(plain)
+        assert tiled.satisfied == plain.satisfied
+
+    def test_grid_budget_respected_by_materializing_paths(self):
+        """Satellite: ``max_grid_queries`` must bound the *backend*
+        work of the auto path too — a grid larger than the budget may
+        not be materialized whole."""
+        database = _database(seed=36, n=150)
+        query = _query("COUNT", target=120.0)
+        budget = 6
+        run = _run(
+            database,
+            query,
+            explore_mode="auto",
+            max_grid_queries=budget,
+        )
+        assert run.stats.explore_mode == "tiled"
+        assert run.stats.plan_reason == "grid-over-budget"
+        assert run.stats.grid_queries_examined <= budget
+
+
+# ----------------------------------------------------------------------
+# TiledGridExplorer == serial Explorer == GridExplorer, bit-identical
+# ----------------------------------------------------------------------
+class TestTiledMatchesSerial:
+    @pytest.mark.parametrize("tile_shape", [(1, 1), (3, 2), (2, 3)])
+    @pytest.mark.parametrize("aggregate", ALL_AGGREGATES)
+    @pytest.mark.parametrize(
+        "backend_name", ["memory", "memory-vectorized", "sqlite", "fallback"]
+    )
+    def test_exact_backends(self, backend_name, aggregate, tile_shape):
+        """Tile shapes that split traversal layers mid-seam (and the
+        degenerate one-cell tiling) all reproduce the serial states."""
+        database = _database(seed=41, n=180)
+        query = _query(aggregate)
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        serial, tiled, tiled_layer = _tiled_pair(
+            backend_name,
+            query,
+            [100.0, 100.0],
+            space,
+            query.constraint.spec.aggregate,
+            database,
+            tile_shape=tile_shape,
+        )
+        for coords in _grid_coords(space):
+            assert tiled.block_state(coords) == serial.block_state(coords), (
+                coords
+            )
+            assert tiled.compute_aggregate(
+                coords
+            ) == serial.compute_aggregate(coords)
+        assert tiled_layer.stats.grid_tiles == tiled.tiles_materialized
+        assert tiled.cells_executed == space.grid_size
+
+    @pytest.mark.parametrize("aggregate", ALL_AGGREGATES)
+    def test_tiled_matches_whole_grid_engine(self, aggregate):
+        database = _database(seed=42, n=160)
+        query = _query(aggregate)
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        agg = query.constraint.spec.aggregate
+        _, grid, _ = _pair(
+            "memory", query, [100.0, 100.0], space, agg, database
+        )
+        _, tiled, _ = _tiled_pair(
+            "memory", query, [100.0, 100.0], space, agg, database,
+            tile_shape=(2, 3),
+        )
+        for coords in _grid_coords(space):
+            assert tiled.block_state(coords) == grid.block_state(coords)
+
+    @pytest.mark.parametrize(
+        "columns, bounds, max_scores, tile_shape",
+        [
+            (("x",), (30.0,), [70.0], (2,)),
+            (
+                ("x", "y", "z"),
+                (40.0, 40.0, 40.0),
+                [40.0, 40.0, 40.0],
+                (2, 1, 2),
+            ),
+        ],
+    )
+    @pytest.mark.parametrize("aggregate", ("COUNT", "MAX"))
+    def test_other_dimensionalities(
+        self, aggregate, columns, bounds, max_scores, tile_shape
+    ):
+        database = _database(seed=43, n=150)
+        query = _query(aggregate, bounds, columns)
+        space = RefinedSpace(query, 15.0 * len(columns), max_scores)
+        serial, tiled, _ = _tiled_pair(
+            "memory",
+            query,
+            [100.0] * len(columns),
+            space,
+            query.constraint.spec.aggregate,
+            database,
+            tile_shape=tile_shape,
+        )
+        for coords in _grid_coords(space):
+            assert tiled.block_state(coords) == serial.block_state(coords)
+
+    @pytest.mark.parametrize("aggregate", HISTOGRAM_AGGREGATES)
+    def test_histogram_backend(self, aggregate):
+        database = _database(seed=44, n=180)
+        query = _query(aggregate)
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        agg = query.constraint.spec.aggregate
+        serial_layer = HistogramBackend(database)
+        tiled_layer = HistogramBackend(database)
+        serial = Explorer(
+            serial_layer, serial_layer.prepare(query, [100.0, 100.0]),
+            space, agg,
+        )
+        tiled = TiledGridExplorer(
+            tiled_layer, tiled_layer.prepare(query, [100.0, 100.0]),
+            space, agg, tile_shape=(2, 3),
+        )
+        for coords in _grid_coords(space):
+            assert tiled.block_state(coords) == serial.block_state(coords)
+
+    @pytest.mark.parametrize("aggregate", ("COUNT", "SUM"))
+    def test_sampling_backend(self, aggregate):
+        database = _database(seed=45, n=300)
+        query = _query(aggregate)
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        agg = query.constraint.spec.aggregate
+        serial_layer = SamplingBackend(database, fraction=0.5, seed=3)
+        tiled_layer = SamplingBackend(database, fraction=0.5, seed=3)
+        serial = Explorer(
+            serial_layer, serial_layer.prepare(query, [100.0, 100.0]),
+            space, agg,
+        )
+        tiled = TiledGridExplorer(
+            tiled_layer, tiled_layer.prepare(query, [100.0, 100.0]),
+            space, agg, tile_shape=(3, 2),
+        )
+        for coords in _grid_coords(space):
+            assert tiled.block_state(coords) == serial.block_state(coords)
+
+    def test_user_defined_aggregate_seam_order(self):
+        """A non-commutative user aggregate exercises the generic seam
+        fold; matching the serial Explorer proves the carry enters each
+        line in the serial operand order."""
+        concat = UserDefinedAggregate(
+            name="FIRST_LAST",
+            identity=(np.inf, -np.inf),
+            combine=lambda left, right: (
+                min(left[0], right[0]),
+                max(left[1], right[1]),
+            ),
+            lift=lambda values: (
+                (float(np.min(values)), float(np.max(values)))
+                if len(values)
+                else (np.inf, -np.inf)
+            ),
+        )
+        database = _database(seed=46, n=160)
+        query = _query(concat)
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        serial, tiled, _ = _tiled_pair(
+            "memory", query, [100.0, 100.0], space, concat, database,
+            tile_shape=(2, 2),
+        )
+        for coords in _grid_coords(space):
+            assert tiled.block_state(coords) == serial.block_state(coords)
+
+    def test_lazy_partial_materialization(self):
+        """Only the down-set of touched tiles is ever materialized."""
+        database = _database(seed=47, n=150)
+        query = _query("COUNT")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        serial, tiled, tiled_layer = _tiled_pair(
+            "memory",
+            query,
+            [100.0, 100.0],
+            space,
+            query.constraint.spec.aggregate,
+            database,
+            tile_shape=(2, 2),
+        )
+        assert tiled.tiles_materialized == 0
+        assert tiled.block_state(space.origin) == serial.block_state(
+            space.origin
+        )
+        assert tiled.tiles_materialized == 1
+        assert tiled.cells_executed == 4
+        assert tiled_layer.stats.grid_tiles == 1
+        # The far corner needs the full down-set: every tile.
+        tiled.block_state(space.max_coords)
+        assert tiled.cells_executed == space.grid_size
+
+    def test_prime_cells_reports_new_work_only(self):
+        database = _database(seed=48, n=120)
+        query = _query("COUNT")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        _, tiled, _ = _tiled_pair(
+            "memory",
+            query,
+            [100.0, 100.0],
+            space,
+            query.constraint.spec.aggregate,
+            database,
+            tile_shape=(2, 2),
+        )
+        executed = tiled.prime_cells([space.origin])
+        assert executed == 4
+        assert tiled.prime_cells([space.origin]) == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        n=st.integers(min_value=0, max_value=100),
+        aggregate=st.sampled_from(ALL_AGGREGATES),
+        backend_name=st.sampled_from(("memory", "sqlite")),
+        width_x=st.integers(min_value=1, max_value=4),
+        width_y=st.integers(min_value=1, max_value=4),
+        gamma=st.floats(min_value=16.0, max_value=40.0),
+    )
+    def test_random_tilings(
+        self, seed, n, aggregate, backend_name, width_x, width_y, gamma
+    ):
+        """Property: over random data, grids and tile shapes, every
+        tiled block state equals the serial Explorer's."""
+        database = _database(seed=seed, n=n)
+        query = _query(aggregate)
+        space = RefinedSpace(query, gamma, [80.0, 80.0])
+        serial, tiled, _ = _tiled_pair(
+            backend_name,
+            query,
+            [150.0, 150.0],
+            space,
+            query.constraint.spec.aggregate,
+            database,
+            tile_shape=(width_x, width_y),
+        )
+        for coords in _grid_coords(space)[:40]:
+            assert tiled.block_state(coords) == serial.block_state(coords), (
+                coords
+            )
+
+
+# ----------------------------------------------------------------------
+# execute_grid_tile == the corresponding execute_grid slice
+# ----------------------------------------------------------------------
+def _tile_layer(backend_name, database):
+    if backend_name == "histogram":
+        return HistogramBackend(database)
+    if backend_name == "sampling":
+        return SamplingBackend(database, fraction=0.5, seed=3)
+    return _make_layer(backend_name, database)
+
+
+class TestExecuteGridTile:
+    @pytest.mark.parametrize("aggregate", ALL_AGGREGATES)
+    @pytest.mark.parametrize(
+        "backend_name",
+        ["memory", "memory-vectorized", "sqlite", "sampling", "fallback"],
+    )
+    def test_tile_is_grid_slice(self, backend_name, aggregate):
+        database = _database(seed=51, n=200)
+        query = _query(aggregate)
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        layer = _tile_layer(backend_name, database)
+        prepared = layer.prepare(query, [100.0, 100.0])
+        full = layer.execute_grid(prepared, space)
+        lo = (1, 0)
+        hi = (space.max_coords[0] - 1, space.max_coords[1])
+        tile = layer.execute_grid_tile(prepared, space, lo, hi)
+        expected = full[lo[0]:hi[0] + 1, lo[1]:hi[1] + 1]
+        assert tile.shape == expected.shape
+        assert np.array_equal(tile, expected), backend_name
+
+    @pytest.mark.parametrize("aggregate", HISTOGRAM_AGGREGATES)
+    def test_histogram_tile_is_grid_slice(self, aggregate):
+        database = _database(seed=52, n=200)
+        query = _query(aggregate)
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        layer = HistogramBackend(database)
+        prepared = layer.prepare(query, [100.0, 100.0])
+        full = layer.execute_grid(prepared, space)
+        lo, hi = (1, 1), (2, space.max_coords[1])
+        tile = layer.execute_grid_tile(prepared, space, lo, hi)
+        assert np.array_equal(tile, full[1:3, 1:hi[1] + 1])
+
+    def test_single_cell_tile_matches_execute_cell(self):
+        database = _database(seed=53, n=150)
+        query = _query("SUM")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(query, [100.0, 100.0])
+        tile = layer.execute_grid_tile(prepared, space, (2, 1), (2, 1))
+        cell = layer.execute_cell(prepared, space, (2, 1))
+        assert tuple(float(v) for v in tile[0, 0]) == cell
+
+    def test_tile_counters(self):
+        database = _database(seed=54, n=150)
+        query = _query("COUNT")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(query, [100.0, 100.0])
+        before = layer.stats.snapshot()
+        layer.execute_grid_tile(prepared, space, (0, 0), (1, 1))
+        delta = layer.stats.since(before)
+        assert delta.queries_executed == 1
+        assert delta.grid_tiles == 1
+        assert delta.grid_materializations == 1
+        assert delta.grid_cells == 4
+
+    @pytest.mark.parametrize(
+        "lo, hi",
+        [
+            ((0,), (1, 1)),        # arity mismatch
+            ((2, 2), (1, 3)),      # lo > hi
+            ((0, 0), (0, 99)),     # beyond the grid extent
+            ((-1, 0), (1, 1)),     # negative coordinate
+        ],
+    )
+    def test_bad_bounds_raise(self, lo, hi):
+        database = _database(seed=55, n=50)
+        query = _query("COUNT")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(query, [100.0, 100.0])
+        with pytest.raises(EngineError):
+            layer.execute_grid_tile(prepared, space, lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Tiling helpers
+# ----------------------------------------------------------------------
+class TestTileHelpers:
+    def test_tile_shape_for_respects_budget(self):
+        query = _query("COUNT")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        full = tuple(limit + 1 for limit in space.max_coords)
+        assert tile_shape_for(space, space.grid_size) == full
+        capped = tile_shape_for(space, 4)
+        assert int(np.prod(capped)) <= 4
+        assert all(width >= 1 for width in capped)
+        assert tile_shape_for(space, 1) == (1,) * space.d
+
+    def test_explicit_tile_shape_validated(self):
+        database = _database(seed=56, n=50)
+        query = _query("COUNT")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(query, [100.0, 100.0])
+        aggregate = query.constraint.spec.aggregate
+        for bad in [(2,), (0, 2), (2, -1)]:
+            with pytest.raises(SearchError):
+                TiledGridExplorer(
+                    layer, prepared, space, aggregate, tile_shape=bad
+                )
+
+
+# ----------------------------------------------------------------------
+# Aliasing: the prefix passes must never write their input tensors
+# ----------------------------------------------------------------------
+class TestAliasingRegression:
+    def test_prefix_combine_leaves_input_unchanged(self):
+        """Regression: ``prefix_combine`` used to accumulate with
+        ``out=tensor``, corrupting the caller's (possibly shared) cell
+        tensor in place."""
+        rng = np.random.default_rng(7)
+        cells = np.floor(rng.uniform(0, 40, (3, 4, 1))) / 4.0
+        pristine = cells.copy()
+        blocks = prefix_combine(cells, get_aggregate("SUM"))
+        assert blocks is not cells
+        assert np.array_equal(cells, pristine)
+
+    def test_tile_prefix_combine_leaves_input_and_carries_unchanged(self):
+        rng = np.random.default_rng(8)
+        cells = np.floor(rng.uniform(0, 40, (3, 4, 1))) / 4.0
+        carries = {
+            0: np.floor(rng.uniform(0, 40, (4, 1))) / 4.0,
+            1: np.floor(rng.uniform(0, 40, (3, 1))) / 4.0,
+        }
+        pristine = cells.copy()
+        pristine_carries = {k: v.copy() for k, v in carries.items()}
+        blocks, seams = tile_prefix_combine(
+            cells, get_aggregate("MAX"), carries
+        )
+        assert blocks is not cells
+        assert np.array_equal(cells, pristine)
+        for axis, carry in carries.items():
+            assert np.array_equal(carry, pristine_carries[axis])
+        # Seams are private copies, not views into the block tensor.
+        for seam in seams.values():
+            assert not np.shares_memory(seam, blocks)
+
+    def test_block_state_leaves_cached_tensor_unchanged(self):
+        """Satellite regression: running the prefix passes through
+        ``block_state`` must not corrupt the cached (shared) source
+        tensor — a second consumer must read the raw cell states."""
+        database = _database(seed=57, n=150)
+        query = _query("SUM")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(query, [100.0, 100.0])
+        aggregate = query.constraint.spec.aggregate
+        cache = GridTensorCache()
+        explorer = GridExplorer(
+            layer, prepared, space, aggregate, cache=cache
+        )
+        explorer.block_state(space.max_coords)
+        key = GridTensorCache.key_for(layer, query, space)
+        cached = cache.get(key)
+        assert cached is not None
+        assert not cached.flags.writeable
+        fresh = layer.execute_grid(prepared, space)
+        assert np.array_equal(cached, fresh)
+
+
+# ----------------------------------------------------------------------
+# GridTensorCache unit behavior
+# ----------------------------------------------------------------------
+class TestGridTensorCache:
+    def test_put_get_and_counters(self):
+        cache = GridTensorCache(max_bytes=4096)
+        tensor = np.arange(8, dtype=np.float64).reshape(4, 2)
+        stored = cache.put("k", tensor)
+        assert not stored.flags.writeable
+        assert cache.get("missing") is None
+        hit = cache.get("k")
+        assert np.array_equal(hit, tensor)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_put_copies_writable_input(self):
+        cache = GridTensorCache(max_bytes=4096)
+        tensor = np.zeros((2, 2))
+        stored = cache.put("k", tensor)
+        tensor[0, 0] = 99.0
+        assert stored[0, 0] == 0.0
+        assert cache.get("k")[0, 0] == 0.0
+
+    def test_lru_eviction_by_bytes(self):
+        entry = np.zeros(16)  # 128 bytes each
+        cache = GridTensorCache(max_bytes=300)
+        cache.put("a", entry)
+        cache.put("b", entry)
+        assert cache.get("a") is not None  # "a" is now most recent
+        cache.put("c", entry)  # 384 bytes > 300: evict LRU ("b")
+        assert cache.evictions == 1
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.current_bytes <= cache.max_bytes
+
+    def test_oversized_entry_not_admitted(self):
+        cache = GridTensorCache(max_bytes=100)
+        stored = cache.put("big", np.zeros(64))  # 512 bytes
+        assert not stored.flags.writeable  # still usable by the caller
+        assert len(cache) == 0
+        assert cache.get("big") is None
+
+    def test_budget_validated(self):
+        with pytest.raises(QueryModelError):
+            GridTensorCache(max_bytes=0)
+
+    def test_clear(self):
+        cache = GridTensorCache(max_bytes=4096)
+        cache.put("k", np.zeros(4))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+
+    def test_layer_tokens_are_unique_and_stable(self):
+        database = _database(seed=58, n=20)
+        first = MemoryBackend(database)
+        second = MemoryBackend(database)
+        assert layer_cache_token(first) == layer_cache_token(first)
+        assert layer_cache_token(first) != layer_cache_token(second)
+
+    def test_keys_separate_layers(self):
+        database = _database(seed=58, n=20)
+        query = _query("COUNT")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        first = MemoryBackend(database)
+        second = MemoryBackend(database)
+        assert GridTensorCache.key_for(
+            first, query, space
+        ) != GridTensorCache.key_for(second, query, space)
+
+    def test_fingerprint_ignores_constraint_target(self):
+        """The whole point of the cache: sweep points over targets (or
+        operators) share one entry."""
+        base = query_fingerprint(_query("COUNT", target=100.0))
+        assert base == query_fingerprint(_query("COUNT", target=250.0))
+        assert base == query_fingerprint(
+            _query("COUNT", target=50.0, op=ConstraintOp.GE)
+        )
+
+    def test_fingerprint_sees_predicates_and_aggregate(self):
+        base = query_fingerprint(_query("COUNT"))
+        assert base != query_fingerprint(_query("SUM"))
+        assert base != query_fingerprint(_query("COUNT", bounds=(40.0, 30.0)))
+
+
+# ----------------------------------------------------------------------
+# Cache-hit replay is bit-for-bit
+# ----------------------------------------------------------------------
+class TestCacheReplay:
+    @pytest.mark.parametrize("aggregate", ("COUNT", "SUM", "MIN"))
+    def test_materialized_replay(self, aggregate):
+        database = _database(seed=61, n=180)
+        query = _query(aggregate)
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(query, [100.0, 100.0])
+        agg = query.constraint.spec.aggregate
+        cache = GridTensorCache()
+        first = GridExplorer(layer, prepared, space, agg, cache=cache)
+        reference = {
+            coords: first.block_state(coords)
+            for coords in _grid_coords(space)
+        }
+        assert layer.stats.cache_misses == 1
+        before = layer.stats.snapshot()
+        replay = GridExplorer(layer, prepared, space, agg, cache=cache)
+        for coords, expected in reference.items():
+            assert replay.block_state(coords) == expected, coords
+        delta = layer.stats.since(before)
+        assert delta.cache_hits == 1
+        assert delta.queries_executed == 0  # no backend pass at all
+        assert replay.cells_executed == 0
+
+    def test_tiled_replay(self):
+        database = _database(seed=62, n=180)
+        query = _query("SUM")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        layer = MemoryBackend(database)
+        prepared = layer.prepare(query, [100.0, 100.0])
+        agg = query.constraint.spec.aggregate
+        cache = GridTensorCache()
+        first = TiledGridExplorer(
+            layer, prepared, space, agg, tile_shape=(2, 2), cache=cache
+        )
+        reference = {
+            coords: first.block_state(coords)
+            for coords in _grid_coords(space)
+        }
+        tiles = first.tiles_materialized
+        assert tiles > 1
+        before = layer.stats.snapshot()
+        replay = TiledGridExplorer(
+            layer, prepared, space, agg, tile_shape=(2, 2), cache=cache
+        )
+        for coords, expected in reference.items():
+            assert replay.block_state(coords) == expected, coords
+        delta = layer.stats.since(before)
+        assert delta.cache_hits == tiles
+        assert delta.queries_executed == 0
+        assert replay.cells_executed == 0
+
+    def test_acquire_sweep_reuses_tensors(self):
+        """End to end: a second Acquire run over a different target on
+        the same layer serves the grid from cache — same answers as an
+        uncached run, strictly fewer backend queries."""
+        database = _database(seed=63, n=200)
+        layer = MemoryBackend(database)
+        cache = GridTensorCache()
+        config = lambda **kw: AcquireConfig(  # noqa: E731
+            gamma=10.0, delta=0.05, explore_mode="materialized", **kw
+        )
+        Acquire(layer).run(_query("COUNT", target=150.0),
+                           config(grid_cache=cache))
+        before = layer.stats.snapshot()
+        cached = Acquire(layer).run(_query("COUNT", target=180.0),
+                                    config(grid_cache=cache))
+        cached_delta = layer.stats.since(before)
+        fresh_layer = MemoryBackend(database)
+        uncached = Acquire(fresh_layer).run(_query("COUNT", target=180.0),
+                                            config())
+        assert _answer_key(cached) == _answer_key(uncached)
+        assert cached_delta.cache_hits >= 1
+        assert (
+            cached_delta.queries_executed
+            < fresh_layer.stats.queries_executed
+        )
+
+
+# ----------------------------------------------------------------------
+# PlanCalibration
+# ----------------------------------------------------------------------
+class TestPlanCalibration:
+    def test_identity_until_observed(self):
+        calibration = PlanCalibration()
+        assert calibration.factor() == 1.0
+        assert calibration.correct(40) == 40
+        assert calibration.observations == 0
+
+    def test_geometric_mean_correction(self):
+        calibration = PlanCalibration()
+        calibration.observe(10, 20)
+        assert calibration.factor() == pytest.approx(2.0)
+        assert calibration.correct(10) == 20
+        calibration.observe(10, 5)  # ratios 2.0 and 0.5: geo-mean 1.0
+        assert calibration.factor() == pytest.approx(1.0)
+
+    def test_zero_observations_ignored(self):
+        calibration = PlanCalibration()
+        calibration.observe(0, 50)
+        calibration.observe(50, 0)
+        assert calibration.observations == 0
+        assert calibration.factor() == 1.0
+
+    def test_window_slides(self):
+        calibration = PlanCalibration(window=2)
+        calibration.observe(10, 80)  # falls out of the window
+        calibration.observe(10, 20)
+        calibration.observe(10, 20)
+        assert calibration.observations == 2
+        assert calibration.factor() == pytest.approx(2.0)
+
+    def test_correct_never_below_one(self):
+        calibration = PlanCalibration()
+        calibration.observe(100, 1)
+        assert calibration.correct(3) == 1
+
+    def test_window_validated(self):
+        with pytest.raises(QueryModelError):
+            PlanCalibration(window=0)
+
+    def test_driver_feeds_observations(self):
+        database = _database(seed=64, n=200)
+        calibration = PlanCalibration()
+        result = _run(
+            database,
+            _query("COUNT", target=150.0),
+            explore_mode="auto",
+            calibration=calibration,
+        )
+        assert result.stats.estimated_visited > 0
+        assert calibration.observations == 1
+
+
+# ----------------------------------------------------------------------
+# SearchStats.layers_explored counts repartitioned answers too
+# ----------------------------------------------------------------------
+class TestLayersExploredStats:
+    def test_repartition_only_answers_counted(self):
+        """Satellite regression: a search whose only answers come from
+        repartitioning (grid ``coords`` is None) used to report
+        ``layers_explored == 0``."""
+        database = Database()
+        database.create_table(
+            "t",
+            {
+                # count(x <= 30) = 10, count(x <= 40) = 15: the grid
+                # point at score 10 overshoots target 12 and the
+                # bisection's first midpoint (bound 35) hits it exactly.
+                "x": np.array(
+                    [5.0] * 10 + [31.0, 32.0, 39.0, 39.0, 39.0]
+                ),
+                "y": np.zeros(15),
+                "z": np.zeros(15),
+                "v": np.zeros(15),
+            },
+        )
+        query = _query(
+            "COUNT", bounds=(30.0,), columns=("x",), target=12.0
+        )
+        result = _run(database, query, step=10.0)
+        assert result.answers, "scenario must produce an answer"
+        assert all(answer.coords is None for answer in result.answers)
+        assert result.stats.repartition_probes >= 1
+        assert result.stats.layers_explored == 1
+
+    def test_mixed_answers_count_distinct_layers(self):
+        database = _database(seed=65, n=200)
+        result = _run(database, _query("COUNT", target=150.0))
+        if result.answers:
+            expected = len({round(a.qscore, 9) for a in result.answers})
+            assert result.stats.layers_explored == expected

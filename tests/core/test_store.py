@@ -100,6 +100,20 @@ class TestPagedStore:
         with pytest.raises(SearchError):
             PagedSubAggregateStore(cache_size=0)
 
+    def test_mixed_arity_states_rejected(self):
+        # The page encoding packs one (count, arity) header per entry;
+        # a mixed-arity list would flatten to the wrong number of slots
+        # and page back in as garbage. It must be rejected up front,
+        # naming the offending coordinates.
+        with PagedSubAggregateStore() as store:
+            with pytest.raises(SearchError, match=r"\(3, 7\)"):
+                store.put((3, 7), [(1.0,), (2.0, 4.0)])
+            assert (3, 7) not in store
+            # Uniform arity-2 states (e.g. AVG) still round-trip.
+            store.put((3, 7), [(1.0, 2.0), (3.0, 4.0)])
+            store.flush()
+            assert store.get((3, 7)) == [(1.0, 2.0), (3.0, 4.0)]
+
     def test_temp_file_removed_on_close(self):
         import os
 
