@@ -1,6 +1,6 @@
 # Canonical developer commands for the ACQUIRE reproduction.
 
-.PHONY: install test bench bench-smoke experiments examples clean lint typecheck
+.PHONY: install test bench bench-smoke bench-parallel experiments examples clean lint typecheck
 
 install:
 	pip install -e . || python setup.py develop
@@ -33,6 +33,13 @@ bench:
 # round-trip regression guard against BENCH_explore_baseline.json.
 bench-smoke:
 	python benchmarks/smoke.py
+
+# Sharded-tile + persistent-cache gates only: bit-identical block
+# states at every worker count, wall-clock sanity vs serial, and a
+# warm cross-process cache run issuing strictly fewer backend queries
+# (regression-guarded by BENCH_parallel_baseline.json).
+bench-parallel:
+	python benchmarks/smoke.py --parallel-only
 
 experiments:
 	python -m repro.harness all --save

@@ -22,12 +22,22 @@ dependencies (no pytest-benchmark).
    records hits, that it issues *strictly fewer* backend queries than
    the uncached arm, and that its query total has not regressed above
    the checked-in ``BENCH_cache_baseline.json``.
+4. ``sharded_tiles`` + ``persistent_cache`` (the ``bench-parallel``
+   job; ``--parallel-only`` runs just these) — writes
+   ``BENCH_parallel.json`` and checks that the sharded tiled arm is
+   bit-identical to serial at every worker count and no slower than
+   ``WALL_CLOCK_SLACK``x serial wall-clock, and that the warm
+   persistent-cache process answers identically to the cold one while
+   issuing *strictly fewer* backend queries; the warm arm's query
+   total is regression-guarded by the checked-in
+   ``BENCH_parallel_baseline.json``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke.py [--scale-rows N] [--out PATH]
-        [--explore-out PATH] [--cache-out PATH] [--baseline PATH]
-        [--cache-baseline PATH] [--update-baseline]
+        [--explore-out PATH] [--cache-out PATH] [--parallel-out PATH]
+        [--baseline PATH] [--cache-baseline PATH]
+        [--parallel-baseline PATH] [--update-baseline] [--parallel-only]
 """
 
 from __future__ import annotations
@@ -43,6 +53,27 @@ EXPLORE_MODES = ("serial", "batched", "materialized", "auto")
 
 #: Required round-trip reduction of materialized vs serial Explore.
 MIN_SPEEDUP = 5
+
+#: Wall-clock tolerance for the sharded tiled arm vs serial. At CI
+#: scale a tile is a handful of milliseconds, so thread-pool overhead
+#: can eat most of the overlap win; the gate only has to prove
+#: sharding is not a slowdown, hence a noise allowance rather than a
+#: demanded speedup. On a single-core machine threads *cannot* beat
+#: serial — there the gate degrades to a sanity bound that still
+#: catches pathological serialization (a lock bug turning overlap
+#: into convoying). The *deterministic* gates — bit-identical
+#: answers, strictly fewer warm-cache queries — carry no slack at
+#: all.
+WALL_CLOCK_SLACK = 1.25
+SINGLE_CORE_SLACK = 2.0
+
+
+def _wall_clock_slack() -> float:
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
+    return SINGLE_CORE_SLACK if cores <= 1 else WALL_CLOCK_SLACK
 
 
 def _check_layers(payload: dict) -> list[str]:
@@ -220,6 +251,126 @@ def _check_cache_baseline(payload: dict, baseline_path: str) -> list[str]:
     return []
 
 
+def _check_parallel(payload: dict) -> list[str]:
+    """Gates for the sharded-tile and persistent-cache arms.
+
+    Answers must be bit-identical across worker counts and processes
+    (exact gates); the sharded arm may not exceed ``WALL_CLOCK_SLACK``
+    times the serial arm's wall-clock (noise-tolerant gate); the warm
+    process must issue strictly fewer backend queries than the cold
+    one (exact gate).
+    """
+    failures = []
+    sharded: dict[str, dict[int, dict]] = {}
+    arms: dict[str, dict] = {}
+    for row in payload["rows"]:
+        method = row["method"]
+        backend, _, tag = method.partition("/")
+        if tag.startswith("w") and tag[1:].isdigit():
+            sharded.setdefault(backend, {})[int(tag[1:])] = row
+        elif tag in ("cold", "warm"):
+            arms[tag] = row
+    if not sharded:
+        failures.append("sharded rows missing from JSON")
+    for backend, per_worker in sharded.items():
+        if 1 not in per_worker or len(per_worker) < 2:
+            failures.append(
+                f"{backend}: need a serial and a sharded arm, got "
+                f"workers {sorted(per_worker)}"
+            )
+            continue
+        qscores = {w: row["qscore"] for w, row in per_worker.items()}
+        if len(set(qscores.values())) != 1:
+            failures.append(
+                f"{backend}: worker counts disagree on answer: {qscores}"
+            )
+        serial_ms = per_worker[1]["time_ms"]
+        slack = _wall_clock_slack()
+        for workers, row in per_worker.items():
+            if workers == 1:
+                continue
+            if not row["extra"].get("identical_to_serial", False):
+                failures.append(
+                    f"{backend}/w{workers}: block states diverged from "
+                    "the serial explorer"
+                )
+            if row["extra"].get("parallel_tiles", 0) < 1:
+                failures.append(
+                    f"{backend}/w{workers}: no tiles went through the "
+                    "scheduler"
+                )
+            if row["time_ms"] > serial_ms * slack:
+                failures.append(
+                    f"{backend}/w{workers}: sharded arm too slow — "
+                    f"{row['time_ms']:.1f}ms vs {serial_ms:.1f}ms serial "
+                    f"(allowed {slack}x)"
+                )
+    if "cold" not in arms or "warm" not in arms:
+        failures.append(f"persistent-cache arms missing: {sorted(arms)}")
+        return failures
+    cold, warm = arms["cold"], arms["warm"]
+    if cold["extra"].get("qscores") != warm["extra"].get("qscores"):
+        failures.append(
+            "warm process answers diverged: "
+            f"{warm['extra'].get('qscores')} != "
+            f"{cold['extra'].get('qscores')}"
+        )
+    if warm["queries"] >= cold["queries"]:
+        failures.append(
+            "persistent cache saved nothing: warm process issued "
+            f"{warm['queries']} backend queries vs {cold['queries']} cold "
+            "(must be strictly fewer)"
+        )
+    if warm["persistent_hits"] < 1:
+        failures.append("warm process recorded no persistent-tier hits")
+    return failures
+
+
+def _check_parallel_baseline(
+    payload: dict, baseline_path: str
+) -> list[str]:
+    """Perf-regression guard on the warm process's backend queries."""
+    if not os.path.exists(baseline_path):
+        return [f"parallel baseline missing: {baseline_path}"]
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if baseline.get("scale_rows") != payload["settings"].get("scale_rows"):
+        print(
+            "note: parallel baseline scale_rows "
+            f"{baseline.get('scale_rows')} != run scale_rows "
+            f"{payload['settings'].get('scale_rows')}; skipping the "
+            "regression guard"
+        )
+        return []
+    warm_queries = sum(
+        row["queries"]
+        for row in payload["rows"]
+        if row["method"].endswith("/warm")
+    )
+    allowed = baseline.get("warm_queries", 0)
+    if warm_queries > allowed:
+        return [
+            "warm-process backend queries regressed — "
+            f"{warm_queries} > baseline {allowed}"
+        ]
+    return []
+
+
+def _write_parallel_baseline(payload: dict, baseline_path: str) -> None:
+    baseline = {
+        "scale_rows": payload["settings"].get("scale_rows"),
+        "warm_queries": sum(
+            row["queries"]
+            for row in payload["rows"]
+            if row["method"].endswith("/warm")
+        ),
+    }
+    with open(baseline_path, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote baseline {baseline_path}")
+
+
 def _write_cache_baseline(payload: dict, baseline_path: str) -> None:
     baseline = {
         "scale_rows": payload["settings"].get("scale_rows"),
@@ -279,9 +430,26 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--parallel-out",
+        default=os.path.join(
+            "benchmarks", "results", "BENCH_parallel.json"
+        ),
+    )
+    parser.add_argument(
+        "--parallel-baseline",
+        default=os.path.join(
+            "benchmarks", "results", "BENCH_parallel_baseline.json"
+        ),
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
-        help="rewrite the explore regression baseline from this run",
+        help="rewrite the regression baselines from this run",
+    )
+    parser.add_argument(
+        "--parallel-only",
+        action="store_true",
+        help="run only the sharded-tile / persistent-cache section",
     )
     args = parser.parse_args(argv)
 
@@ -289,10 +457,22 @@ def main(argv=None) -> int:
         evaluation_layers,
         explore_modes,
         grid_cache_sweep,
+        persistent_cache,
+        sharded_tiles,
     )
+    from repro.harness.metrics import ExperimentResult
     from repro.harness.report import render_rows, save_json
 
     failures = []
+
+    if args.parallel_only:
+        failures += _run_parallel(
+            args, sharded_tiles, persistent_cache, ExperimentResult,
+            render_rows, save_json,
+        )
+        for failure in failures:
+            print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+        return 1 if failures else 0
 
     result = evaluation_layers(scale_rows=args.scale_rows, batched=True)
     os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
@@ -324,11 +504,54 @@ def main(argv=None) -> int:
     else:
         failures += _check_cache_baseline(cache_payload, args.cache_baseline)
     print(render_rows(cache.rows))
-    print(f"\nwrote {cache_path}")
+    print(f"\nwrote {cache_path}\n")
+
+    failures += _run_parallel(
+        args, sharded_tiles, persistent_cache, ExperimentResult,
+        render_rows, save_json,
+    )
 
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _run_parallel(
+    args, sharded_tiles, persistent_cache, ExperimentResult,
+    render_rows, save_json,
+) -> list[str]:
+    """Run section 4 (sharded tiles + persistent cache) and gate it."""
+    # Floor the sharded arm's scale: below a few thousand rows a tile
+    # fetch is sub-millisecond and pool dispatch overhead — not backend
+    # work — dominates the wall-clock comparison.
+    sharded = sharded_tiles(scale_rows=max(args.scale_rows, 4000))
+    persist = persistent_cache(scale_rows=args.scale_rows)
+    combined = ExperimentResult(
+        name="parallel",
+        title="Sharded tiles + persistent cross-process grid cache",
+        paper_expectation=(
+            "Sharding and caching are pure execution strategies: "
+            "identical answers, less backend work."
+        ),
+        rows=sharded.rows + persist.rows,
+        settings={
+            "scale_rows": sharded.settings["scale_rows"],
+            "sharded": sharded.settings,
+            "persistent": persist.settings,
+        },
+    )
+    os.makedirs(os.path.dirname(args.parallel_out) or ".", exist_ok=True)
+    path = save_json(combined, args.parallel_out)
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    failures = _check_parallel(payload)
+    if args.update_baseline:
+        _write_parallel_baseline(payload, args.parallel_baseline)
+    else:
+        failures += _check_parallel_baseline(payload, args.parallel_baseline)
+    print(render_rows(combined.rows))
+    print(f"\nwrote {path}")
+    return failures
 
 
 if __name__ == "__main__":

@@ -36,7 +36,11 @@ import numpy as np
 
 from repro.analysis import analyze_sql
 from repro.core.acquire import Acquire, AcquireConfig
-from repro.core.grid_cache import GridTensorCache
+from repro.core.grid_cache import (
+    DEFAULT_CACHE_BYTES,
+    GridTensorCache,
+    PersistentGridCache,
+)
 from repro.core.scoring import LInfNorm, LpNorm
 from repro.engine.catalog import Database
 from repro.engine.memory_backend import MemoryBackend
@@ -159,6 +163,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the cross-query grid tensor cache with this byte "
         "budget (0 disables); only the materialized/tiled engines "
         "consult it",
+    )
+    parser.add_argument(
+        "--cache-path",
+        default=None,
+        metavar="DIR",
+        help="directory for the persistent cross-process grid cache; "
+        "repeated invocations over the same data hit warm tensors "
+        "(implies the in-memory cache even without --grid-cache-mb)",
+    )
+    parser.add_argument(
+        "--tile-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads for the sharded tile pipeline (tiled "
+        "explore mode); answers are bit-identical at any worker count",
     )
     parser.add_argument("--alternatives", type=int, default=3,
                         help="how many refined queries to print")
@@ -283,9 +303,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         if args.backend == "memory"
         else SQLiteBackend(database)
     )
+    persistent = (
+        PersistentGridCache(args.cache_path) if args.cache_path else None
+    )
     cache = (
-        GridTensorCache(args.grid_cache_mb * 1024 * 1024)
-        if args.grid_cache_mb > 0
+        GridTensorCache(
+            args.grid_cache_mb * 1024 * 1024
+            if args.grid_cache_mb > 0
+            else DEFAULT_CACHE_BYTES,
+            persistent=persistent,
+        )
+        if args.grid_cache_mb > 0 or persistent is not None
         else None
     )
     config = AcquireConfig(
@@ -296,6 +324,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         parallelism=args.parallelism,
         explore_mode=args.explore_mode,
         grid_cache=cache,
+        tile_workers=args.tile_workers,
     )
     acquire = Acquire(layer)
     result = acquire.run(query, config)

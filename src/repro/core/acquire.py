@@ -32,7 +32,7 @@ from typing import Optional, Sequence
 from repro.core.error import AggregateErrorFunction, default_error_for
 from repro.core.expand import LAYER_DECIMALS, make_traversal
 from repro.core.explore import Explorer
-from repro.core.grid_cache import GridTensorCache
+from repro.core.grid_cache import GridTensorCache, PersistentGridCache
 from repro.core.grid_explore import GridExplorer, TiledGridExplorer
 from repro.core.plan import PlanCalibration, choose_explore_mode
 from repro.core.query import ConstraintOp, Query
@@ -102,6 +102,19 @@ class AcquireConfig:
             reports (estimated, actual) visited counts into it after
             each search, and ``auto`` planning corrects later
             estimates by the measured factor.
+        tile_workers: worker threads for the sharded tile pipeline —
+            the tiled engine fetches independent tiles concurrently
+            and stitches them serially, so answers stay bit-identical
+            to serial at any worker count. 1 (default) is fully
+            serial.
+        cache_path: directory for a cross-process
+            :class:`~repro.core.grid_cache.PersistentGridCache` tier.
+            Only consulted when ``grid_cache`` is None: the driver
+            then builds a default-budget memory cache backed by this
+            path, so repeated CLI invocations and harness subprocesses
+            hit warm tensors. To combine a custom memory budget with
+            persistence, pass ``grid_cache=GridTensorCache(bytes,
+            persistent=PersistentGridCache(path))`` directly.
     """
 
     gamma: float = 10.0
@@ -120,6 +133,8 @@ class AcquireConfig:
     materialize_cell_cap: int = 2_000_000
     grid_cache: Optional[GridTensorCache] = None
     calibration: Optional[PlanCalibration] = None
+    tile_workers: int = 1
+    cache_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.gamma <= 0:
@@ -139,11 +154,39 @@ class AcquireConfig:
             )
         if self.materialize_cell_cap < 1:
             raise QueryModelError("materialize_cell_cap must be >= 1")
+        if self.tile_workers < 1:
+            raise QueryModelError("tile_workers must be >= 1")
 
     @property
     def use_batch(self) -> bool:
-        """Whether the driver should batch layers of cell queries."""
-        return self.batched or self.parallelism > 1
+        """Whether the driver should batch layers of cell queries.
+
+        ``tile_workers > 1`` implies batching: the sharded tile
+        pipeline only overlaps fetches when a whole layer's tiles are
+        primed together, so asking for workers without priming would
+        silently serialize.
+        """
+        return self.batched or self.parallelism > 1 or self.tile_workers > 1
+
+    def resolve_grid_cache(self) -> Optional[GridTensorCache]:
+        """The tensor cache the Explore engines should consult.
+
+        ``grid_cache`` wins when set; otherwise ``cache_path`` lazily
+        builds (and memoizes, so one config keeps one cache) a
+        default-budget memory tier backed by the persistent file store
+        at that path.
+        """
+        if self.grid_cache is not None:
+            return self.grid_cache
+        if self.cache_path is None:
+            return None
+        cache = getattr(self, "_resolved_cache", None)
+        if cache is None:
+            cache = GridTensorCache(
+                persistent=PersistentGridCache(self.cache_path)
+            )
+            object.__setattr__(self, "_resolved_cache", cache)
+        return cache
 
 
 class Acquire:
@@ -230,13 +273,14 @@ class Acquire:
             "explore plan: %s (%s; grid=%d cells, est. visited=%d)",
             plan.mode, plan.reason, plan.grid_cells, plan.estimated_visited,
         )
+        grid_cache = config.resolve_grid_cache()
         if plan.mode == "materialized":
             # The bitmap index only saves per-cell round trips, which
             # the materializing engines do not issue.
             explorer: Explorer | GridExplorer | TiledGridExplorer = (
                 GridExplorer(
                     self.layer, prepared, space, aggregate,
-                    cache=config.grid_cache,
+                    cache=grid_cache,
                 )
             )
         elif plan.mode == "tiled":
@@ -248,7 +292,8 @@ class Acquire:
                 max_tile_cells=min(
                     config.max_grid_queries, config.materialize_cell_cap
                 ),
-                cache=config.grid_cache,
+                cache=grid_cache,
+                tile_workers=config.tile_workers,
             )
         else:
             bitmap = None
@@ -262,148 +307,158 @@ class Acquire:
                 bitmap_index=bitmap,
                 parallelism=config.parallelism,
             )
-        stats = SearchStats(
-            explore_mode=plan.mode,
-            plan_reason=plan.reason,
-            estimated_visited=plan.estimated_visited,
-        )
-
-        # Figure 2, step 1: estimate the original aggregate first; an
-        # equality query that already overshoots cannot be fixed by
-        # expansion — hand it to the contraction extension.
-        original_value = explorer.compute_aggregate(space.origin)
-        if (
-            constraint.op is ConstraintOp.EQ
-            and aggregate.monotone_expanding
-            and original_value > target
-            and error_fn(target, original_value) > config.delta
-        ):
-            from repro.core.contraction import contract_query
-
-            return contract_query(self.layer, query, config)
-
-        answers: list[RefinedQuery] = []
-        closest: Optional[RefinedQuery] = None
-        answer_layer = math.inf
-
-        # Early-stop bookkeeping for monotone aggregates with equality
-        # constraints: every query in layer k+1 contains some query in
-        # layer k, so once an entire layer overshoots target*(1+delta)
-        # no later layer can come back within the threshold.
-        check_overshoot = (
-            constraint.op is ConstraintOp.EQ and aggregate.monotone_expanding
-        )
-        layer_key: Optional[float] = None
-        layer_min_actual = math.inf
-
-        # The traversal is consumed layer by layer (maximal runs of
-        # equal rounded QScore). Concatenated, the layers reproduce the
-        # per-coordinate stream exactly, so serial behaviour and stats
-        # are unchanged; with ``config.use_batch`` each layer's cell
-        # queries are primed through the backend's batched path first.
-        # ``layers_scored`` carries each point's QScore along, so no
-        # grid point is ever scored twice.
-        stop = False
-        traversal = make_traversal(space, config.traversal)
-        for layer_scored in traversal.layers_scored():
-            first_qscore = layer_scored[0][1]
-            if first_qscore > answer_layer + _LAYER_EPS:
-                break  # the answer layer is fully explored
-            if check_overshoot:
-                key = round(first_qscore, LAYER_DECIMALS)
-                if layer_key is None:
-                    layer_key = key
-                elif key != layer_key:
-                    if layer_min_actual > target * (1 + config.delta):
-                        break  # the whole previous layer overshot
-                    layer_key = key
-                    layer_min_actual = math.inf
-            if stats.grid_queries_examined >= config.max_grid_queries:
-                break
-            if config.use_batch:
-                # Prime only what the examination loop will actually
-                # reach under the query budget, so cells_executed is
-                # identical to serial even when the budget truncates a
-                # layer.
-                remaining = (
-                    config.max_grid_queries - stats.grid_queries_examined
-                )
-                explorer.prime_cells(
-                    [coords for coords, _ in layer_scored[:remaining]]
-                )
-            for coords, qscore in layer_scored:
-                if qscore > answer_layer + _LAYER_EPS:
-                    stop = True
-                    break
-                if stats.grid_queries_examined >= config.max_grid_queries:
-                    stop = True
-                    break
-                stats.grid_queries_examined += 1
-
-                actual = explorer.compute_aggregate(coords)
-                error = error_fn(target, actual)
-                if check_overshoot and not math.isnan(actual):
-                    layer_min_actual = min(layer_min_actual, actual)
-                refined = self._refined_query(
-                    query, space, coords, actual, error
-                )
-                closest = _closer(closest, refined)
-
-                if error <= config.delta:
-                    logger.debug(
-                        "answer at %s: A=%g err=%.4f QScore=%.3f",
-                        coords, actual, error, qscore,
-                    )
-                    answers.append(refined)
-                    answer_layer = min(answer_layer, qscore)
-                elif (
-                    constraint.op is ConstraintOp.EQ
-                    and not math.isnan(actual)
-                    and actual > target
-                ):
-                    candidate = self._repartition(
-                        prepared, space, coords, target, error_fn, config,
-                        stats,
-                    )
-                    if candidate is not None:
-                        closest = _closer(closest, candidate)
-                        if candidate.error <= config.delta:
-                            answers.append(candidate)
-                            answer_layer = min(answer_layer, qscore)
-            if stop:
-                break
-
-        stats.cells_executed = explorer.cells_executed
-        stats.cells_skipped = explorer.cells_skipped
-        # Every answer carries its QScore — including repartitioned
-        # ones, whose grid ``coords`` are None — so count answer layers
-        # from the QScores directly.
-        stats.layers_explored = len(
-            {round(a.qscore, LAYER_DECIMALS) for a in answers}
-        )
-        stats.elapsed_s = time.perf_counter() - started
-        stats.execution = self.layer.stats.since(layer_stats_before)
-        if config.calibration is not None and plan.estimated_visited > 0:
-            config.calibration.observe(
-                plan.estimated_visited, stats.grid_queries_examined
+        try:
+            stats = SearchStats(
+                explore_mode=plan.mode,
+                plan_reason=plan.reason,
+                estimated_visited=plan.estimated_visited,
+                tile_workers=(
+                    config.tile_workers if plan.mode == "tiled" else 0
+                ),
             )
-        logger.info(
-            "ACQUIRE %s: %d answers, %d grid queries, %d cells, %.1f ms",
-            query.name,
-            len(answers),
-            stats.grid_queries_examined,
-            stats.cells_executed,
-            stats.elapsed_s * 1000,
-        )
 
-        answers.sort(key=lambda a: (a.qscore, a.error))
-        return AcquireResult(
-            query=query,
-            answers=answers,
-            closest=closest,
-            original_value=original_value,
-            stats=stats,
-        )
+            # Figure 2, step 1: estimate the original aggregate first; an
+            # equality query that already overshoots cannot be fixed by
+            # expansion — hand it to the contraction extension.
+            original_value = explorer.compute_aggregate(space.origin)
+            if (
+                constraint.op is ConstraintOp.EQ
+                and aggregate.monotone_expanding
+                and original_value > target
+                and error_fn(target, original_value) > config.delta
+            ):
+                from repro.core.contraction import contract_query
+
+                return contract_query(self.layer, query, config)
+
+            answers: list[RefinedQuery] = []
+            closest: Optional[RefinedQuery] = None
+            answer_layer = math.inf
+
+            # Early-stop bookkeeping for monotone aggregates with equality
+            # constraints: every query in layer k+1 contains some query in
+            # layer k, so once an entire layer overshoots target*(1+delta)
+            # no later layer can come back within the threshold.
+            check_overshoot = (
+                constraint.op is ConstraintOp.EQ and aggregate.monotone_expanding
+            )
+            layer_key: Optional[float] = None
+            layer_min_actual = math.inf
+
+            # The traversal is consumed layer by layer (maximal runs of
+            # equal rounded QScore). Concatenated, the layers reproduce the
+            # per-coordinate stream exactly, so serial behaviour and stats
+            # are unchanged; with ``config.use_batch`` each layer's cell
+            # queries are primed through the backend's batched path first.
+            # ``layers_scored`` carries each point's QScore along, so no
+            # grid point is ever scored twice.
+            stop = False
+            traversal = make_traversal(space, config.traversal)
+            for layer_scored in traversal.layers_scored():
+                first_qscore = layer_scored[0][1]
+                if first_qscore > answer_layer + _LAYER_EPS:
+                    break  # the answer layer is fully explored
+                if check_overshoot:
+                    key = round(first_qscore, LAYER_DECIMALS)
+                    if layer_key is None:
+                        layer_key = key
+                    elif key != layer_key:
+                        if layer_min_actual > target * (1 + config.delta):
+                            break  # the whole previous layer overshot
+                        layer_key = key
+                        layer_min_actual = math.inf
+                if stats.grid_queries_examined >= config.max_grid_queries:
+                    break
+                if config.use_batch:
+                    # Prime only what the examination loop will actually
+                    # reach under the query budget, so cells_executed is
+                    # identical to serial even when the budget truncates a
+                    # layer.
+                    remaining = (
+                        config.max_grid_queries - stats.grid_queries_examined
+                    )
+                    explorer.prime_cells(
+                        [coords for coords, _ in layer_scored[:remaining]]
+                    )
+                for coords, qscore in layer_scored:
+                    if qscore > answer_layer + _LAYER_EPS:
+                        stop = True
+                        break
+                    if stats.grid_queries_examined >= config.max_grid_queries:
+                        stop = True
+                        break
+                    stats.grid_queries_examined += 1
+
+                    actual = explorer.compute_aggregate(coords)
+                    error = error_fn(target, actual)
+                    if check_overshoot and not math.isnan(actual):
+                        layer_min_actual = min(layer_min_actual, actual)
+                    refined = self._refined_query(
+                        query, space, coords, actual, error
+                    )
+                    closest = _closer(closest, refined)
+
+                    if error <= config.delta:
+                        logger.debug(
+                            "answer at %s: A=%g err=%.4f QScore=%.3f",
+                            coords, actual, error, qscore,
+                        )
+                        answers.append(refined)
+                        answer_layer = min(answer_layer, qscore)
+                    elif (
+                        constraint.op is ConstraintOp.EQ
+                        and not math.isnan(actual)
+                        and actual > target
+                    ):
+                        candidate = self._repartition(
+                            prepared, space, coords, target, error_fn, config,
+                            stats,
+                        )
+                        if candidate is not None:
+                            closest = _closer(closest, candidate)
+                            if candidate.error <= config.delta:
+                                answers.append(candidate)
+                                answer_layer = min(answer_layer, qscore)
+                if stop:
+                    break
+
+            stats.cells_executed = explorer.cells_executed
+            stats.cells_skipped = explorer.cells_skipped
+            # Every answer carries its QScore — including repartitioned
+            # ones, whose grid ``coords`` are None — so count answer layers
+            # from the QScores directly.
+            stats.layers_explored = len(
+                {round(a.qscore, LAYER_DECIMALS) for a in answers}
+            )
+            stats.elapsed_s = time.perf_counter() - started
+            stats.execution = self.layer.stats.since(layer_stats_before)
+            if config.calibration is not None and plan.estimated_visited > 0:
+                config.calibration.observe(
+                    plan.estimated_visited, stats.grid_queries_examined
+                )
+            logger.info(
+                "ACQUIRE %s: %d answers, %d grid queries, %d cells, %.1f ms",
+                query.name,
+                len(answers),
+                stats.grid_queries_examined,
+                stats.cells_executed,
+                stats.elapsed_s * 1000,
+            )
+
+            answers.sort(key=lambda a: (a.qscore, a.error))
+            return AcquireResult(
+                query=query,
+                answers=answers,
+                closest=closest,
+                original_value=original_value,
+                stats=stats,
+            )
+        finally:
+            # The tiled engine may own a worker pool; release it
+            # even when the search aborts.
+            closer = getattr(explorer, "close", None)
+            if closer is not None:
+                closer()
 
     # ------------------------------------------------------------------
     def _refined_query(

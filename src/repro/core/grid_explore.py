@@ -39,11 +39,22 @@ both the whole-grid and the serial engines. A tile's carries come from
 its componentwise-predecessor tiles, so materializing the down-set
 ``{t' : t' <= t}`` in lexicographic order satisfies every dependency.
 
+Sharding (:class:`TileScheduler`): tile *fetches* — the backend pass
+producing a tile's cell tensor — have no inter-tile dependency; only
+the seam *stitching* is dependency-ordered. The scheduler therefore
+dispatches every missing tile's fetch to a worker pool up front and
+stitches serially in lexicographic order as tensors arrive, overlapping
+backend I/O with prefix passes. Because each cell tensor is
+deterministic regardless of fetch timing and the stitch order never
+changes, block states stay bit-identical to the serial engine.
+
 Both materializing engines optionally consult a
-:class:`~repro.core.grid_cache.GridTensorCache`: cell tensors (not
-block tensors) are cached under a target-independent key, so constraint
-sweeps re-use the expensive backend pass and only repeat the cheap
-in-memory prefix passes.
+:class:`~repro.core.grid_cache.GridTensorCache`, at two granularities:
+raw *cell* tensors (kind ``"cells"``), so constraint sweeps re-use the
+expensive backend pass; and finished *block* tensors plus tile seam
+slabs (kinds ``"blocks"`` / ``"seam<axis>"``), so a warm replay skips
+Explore entirely — no backend pass *and* no prefix passes. With a
+persistent cache tier the block tensors survive across processes.
 
 See ``docs/EXPLORE_MODES.md`` for the mode contract and when the
 driver picks each path.
@@ -52,6 +63,8 @@ driver picks each path.
 from __future__ import annotations
 
 import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence
 
 import numpy as np
@@ -129,8 +142,29 @@ class GridExplorer:
     # -- materialization -----------------------------------------------
     def _materialized(self) -> np.ndarray:
         if self._blocks is None:
+            blocks_key = None
+            if self.cache is not None:
+                blocks_key = GridTensorCache.key_for(
+                    self.layer, self.prepared.query, self.space,
+                    kind="blocks",
+                )
+                cached, tier = self.cache.lookup(blocks_key)
+                if cached is not None:
+                    # A finished block tensor: skip the backend pass
+                    # and the d prefix passes entirely.
+                    self.layer.count_cache_event(
+                        True,
+                        int(cached.nbytes),
+                        persistent=tier == "persistent",
+                        block=True,
+                    )
+                    self._blocks = cached
+                    return cached
             tensor = self._fetch_grid()
-            self._blocks = prefix_combine(tensor, self.aggregate)
+            blocks = prefix_combine(tensor, self.aggregate)
+            if blocks_key is not None:
+                blocks = self.cache.put(blocks_key, blocks)
+            self._blocks = blocks
         return self._blocks
 
     def _fetch_grid(self) -> np.ndarray:
@@ -143,9 +177,11 @@ class GridExplorer:
         key = GridTensorCache.key_for(
             self.layer, self.prepared.query, self.space
         )
-        cached = self.cache.get(key)
+        cached, tier = self.cache.lookup(key)
         if cached is not None:
-            self.layer.count_cache_event(True, int(cached.nbytes))
+            self.layer.count_cache_event(
+                True, int(cached.nbytes), persistent=tier == "persistent"
+            )
             return cached
         tensor = self.layer.execute_grid(self.prepared, self.space)
         self.cells_executed = int(np.prod(tensor.shape[:-1], dtype=np.int64))
@@ -175,8 +211,16 @@ class TiledGridExplorer:
         tile_shape: explicit per-axis tile widths, overriding
             ``max_tile_cells`` (used by tests to force seams through
             specific layers).
-        cache: optional cross-query tensor cache; tiles are keyed by
-            their ``(lo, hi)`` box, so replays hit tile by tile.
+        cache: optional cross-query tensor cache; cell tensors are
+            keyed by their ``(lo, hi)`` box and finished block/seam
+            tensors by the same box under distinct kinds, so replays
+            hit tile by tile — a block hit skips the tile's backend
+            pass and its prefix passes.
+        tile_workers: worker threads for the sharded tile pipeline
+            (1 = serial). Tile fetches are dispatched to a pool while
+            stitching stays serial in lexicographic order, so results
+            are bit-identical to the serial engine at any worker
+            count.
     """
 
     def __init__(
@@ -188,6 +232,7 @@ class TiledGridExplorer:
         max_tile_cells: int = 65536,
         tile_shape: Optional[Sequence[int]] = None,
         cache: Optional[GridTensorCache] = None,
+        tile_workers: int = 1,
     ) -> None:
         self.layer = layer
         self.prepared = prepared
@@ -207,11 +252,29 @@ class TiledGridExplorer:
             -(-(limit + 1) // width)
             for limit, width in zip(space.max_coords, self.tile_shape)
         )
+        if int(tile_workers) < 1:
+            raise SearchError(
+                f"tile_workers must be >= 1, got {tile_workers}"
+            )
+        self.tile_workers = int(tile_workers)
         self.cells_executed = 0
         self.cells_skipped = 0
         self.tiles_materialized = 0
+        self.tiles_restored = 0
         self._blocks: dict[Coords, np.ndarray] = {}
         self._seams: dict[tuple[Coords, int], np.ndarray] = {}
+        # Guards counters written from fetch worker threads.
+        self._count_lock = threading.Lock()
+        self._scheduler = (
+            TileScheduler(self, self.tile_workers)
+            if self.tile_workers > 1
+            else None
+        )
+
+    def close(self) -> None:
+        """Shut down the tile worker pool (no-op when serial)."""
+        if self._scheduler is not None:
+            self._scheduler.close()
 
     # -- Explorer interface --------------------------------------------
     def compute_aggregate(self, coords: Sequence[int]) -> float:
@@ -242,8 +305,7 @@ class TiledGridExplorer:
             tuple(int(c) // w for c, w in zip(coords, self.tile_shape))
             for coords in coords_list
         }
-        for tile in sorted(tiles):
-            self._ensure_tile(tile)
+        self._ensure_tiles(sorted(tiles))
         return self.cells_executed - before
 
     # -- tiling --------------------------------------------------------
@@ -261,18 +323,82 @@ class TiledGridExplorer:
     def _ensure_tile(self, tile: Coords) -> np.ndarray:
         blocks = self._blocks.get(tile)
         if blocks is None:
-            # Seam carries chain through every componentwise
-            # predecessor, so materialize the down-set {t' : t' <= t};
-            # lexicographic order guarantees t - e_a precedes t.
-            for dep in itertools.product(*(range(t + 1) for t in tile)):
-                if dep not in self._blocks:
-                    self._materialize_tile(dep)
+            self._ensure_tiles([tile])
             blocks = self._blocks[tile]
         return blocks
 
-    def _materialize_tile(self, tile: Coords) -> None:
+    def _ensure_tiles(self, tiles: Sequence[Coords]) -> None:
+        """Materialize every missing tile in the targets' down-sets.
+
+        Seam carries chain through every componentwise predecessor, so
+        each target needs its down-set ``{t' : t' <= t}``; global
+        lexicographic order guarantees ``t - e_a`` is handled before
+        ``t``. Tiles restorable from the block cache are installed
+        first (they need no carries and *provide* their seams); the
+        rest are fetched — in parallel when a scheduler is attached —
+        and stitched serially in lexicographic order.
+        """
+        pending: list[Coords] = []
+        seen: set[Coords] = set()
+        for target in sorted(tuple(int(t) for t in tile) for tile in tiles):
+            if target in self._blocks:
+                continue
+            for dep in itertools.product(*(range(t + 1) for t in target)):
+                if dep in seen or dep in self._blocks:
+                    continue
+                seen.add(dep)
+                if not self._restore_tile(dep):
+                    pending.append(dep)
+        pending.sort()
+        if self._scheduler is not None and len(pending) > 1:
+            self._scheduler.run(pending)
+        else:
+            for dep in pending:
+                self._materialize_tile(dep)
+
+    def _tile_key(self, tile: Coords, kind: str):
         lo, hi = self.tile_bounds(tile)
-        tensor = self._fetch_tile(lo, hi)
+        return GridTensorCache.key_for(
+            self.layer, self.prepared.query, self.space, lo, hi, kind=kind
+        )
+
+    def _restore_tile(self, tile: Coords) -> bool:
+        """Install a tile's finished blocks + seams from the cache.
+
+        Succeeds only when the block tensor *and* every seam slab a
+        successor tile could need are all present — a partial hit is
+        treated as a miss so stitching never sees half a tile.
+        """
+        if self.cache is None:
+            return False
+        blocks, tier = self.cache.lookup(self._tile_key(tile, "blocks"))
+        if blocks is None:
+            return False
+        nbytes = int(blocks.nbytes)
+        seams: Carries = {}
+        for axis in range(self.space.d):
+            if tile[axis] + 1 >= self._tile_counts[axis]:
+                continue
+            seam, _ = self.cache.lookup(self._tile_key(tile, f"seam{axis}"))
+            if seam is None:
+                return False
+            seams[axis] = seam
+            nbytes += int(seam.nbytes)
+        self._blocks[tile] = blocks
+        for axis, seam in seams.items():
+            self._seams[(tile, axis)] = seam
+        self.layer.count_cache_event(
+            True, nbytes, persistent=tier == "persistent", block=True
+        )
+        self.tiles_restored += 1
+        return True
+
+    def _materialize_tile(
+        self, tile: Coords, tensor: Optional[np.ndarray] = None
+    ) -> None:
+        lo, hi = self.tile_bounds(tile)
+        if tensor is None:
+            tensor = self._fetch_tile(lo, hi)
         carries: Carries = {}
         for axis in range(self.space.d):
             if tile[axis] > 0:
@@ -281,9 +407,15 @@ class TiledGridExplorer:
                 )
                 carries[axis] = self._seams[(neighbour, axis)]
         blocks, seams = tile_prefix_combine(tensor, self.aggregate, carries)
+        if self.cache is not None:
+            blocks = self.cache.put(self._tile_key(tile, "blocks"), blocks)
         self._blocks[tile] = blocks
         for axis, seam in seams.items():
             if tile[axis] + 1 < self._tile_counts[axis]:
+                if self.cache is not None:
+                    seam = self.cache.put(
+                        self._tile_key(tile, f"seam{axis}"), seam
+                    )
                 self._seams[(tile, axis)] = seam
         self.tiles_materialized += 1
 
@@ -292,22 +424,76 @@ class TiledGridExplorer:
             tensor = self.layer.execute_grid_tile(
                 self.prepared, self.space, lo, hi
             )
-            self.cells_executed += int(
-                np.prod(tensor.shape[:-1], dtype=np.int64)
-            )
+            with self._count_lock:
+                self.cells_executed += int(
+                    np.prod(tensor.shape[:-1], dtype=np.int64)
+                )
             return tensor
         key = GridTensorCache.key_for(
             self.layer, self.prepared.query, self.space, lo, hi
         )
-        cached = self.cache.get(key)
+        cached, tier = self.cache.lookup(key)
         if cached is not None:
-            self.layer.count_cache_event(True, int(cached.nbytes))
+            self.layer.count_cache_event(
+                True, int(cached.nbytes), persistent=tier == "persistent"
+            )
             return cached
         tensor = self.layer.execute_grid_tile(self.prepared, self.space, lo, hi)
-        self.cells_executed += int(np.prod(tensor.shape[:-1], dtype=np.int64))
+        with self._count_lock:
+            self.cells_executed += int(
+                np.prod(tensor.shape[:-1], dtype=np.int64)
+            )
         tensor = self.cache.put(key, tensor)
         self.layer.count_cache_event(False)
         return tensor
+
+
+class TileScheduler:
+    """Dispatches independent tile fetches to a worker pool.
+
+    The down-set arrives topologically ordered (lexicographic order is
+    a linearization of the componentwise-predecessor DAG). Fetches —
+    the backend pass producing a tile's *cell* tensor — have no
+    inter-tile dependency, so all of them are submitted up front;
+    stitching (seam carries + prefix passes) consumes the futures
+    strictly in the given order on the calling thread. Materialization
+    of tile ``k`` thus overlaps the fetches of tiles ``k+1..n`` while
+    block states stay bit-identical to the serial engine.
+    """
+
+    def __init__(self, explorer: "TiledGridExplorer", workers: int) -> None:
+        self.explorer = explorer
+        self.workers = int(workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _pool_for(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-tile"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def run(self, pending: Sequence[Coords]) -> None:
+        explorer = self.explorer
+        pool = self._pool_for()
+        futures = {}
+        for tile in pending:
+            lo, hi = explorer.tile_bounds(tile)
+            futures[tile] = pool.submit(explorer._fetch_tile, lo, hi)
+        try:
+            for tile in pending:
+                explorer._materialize_tile(
+                    tile, tensor=futures[tile].result()
+                )
+        finally:
+            for future in futures.values():
+                future.cancel()
+        explorer.layer.count_parallel_tiles(len(pending))
 
 
 def tile_shape_for(space: RefinedSpace, max_tile_cells: int) -> Coords:

@@ -50,6 +50,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro.core.grid_cache import GridTensorCache
 from repro.core.predicate import SelectPredicate
 from repro.core.query import ConstraintOp, Query
 from repro.core.refined_space import RefinedSpace
@@ -174,6 +175,21 @@ def choose_explore_mode(
     cap = config.materialize_cell_cap
     materialized_fits = grid_cells <= cap and grid_cells <= budget
 
+    # Warm tiers beat every cost estimate: a finished block tensor in
+    # the cache (memory or persistent) makes the materialized engine a
+    # pure lookup — no backend pass, no prefix passes.
+    resolver = getattr(config, "resolve_grid_cache", None)
+    grid_cache = (
+        resolver() if callable(resolver)
+        else getattr(config, "grid_cache", None)
+    )
+    if grid_cache is not None and materialized_fits:
+        blocks_key = GridTensorCache.key_for(
+            layer, query, space, kind="blocks"
+        )
+        if grid_cache.contains(blocks_key):
+            return ExplorePlan("materialized", "warm-cache", grid_cells)
+
     database = getattr(layer, "database", None)
     estimate = _estimate_visited_cells(database, query, space, config)
     if estimate is None:
@@ -192,11 +208,17 @@ def choose_explore_mode(
     rows = _largest_table_rows(database, query)
 
     # Cost of each engine, in row-access units (docstring formulas).
+    # With tile workers, the per-tile data passes overlap (wall-clock
+    # ~ ceil(tiles/workers) passes) while the stitching term stays
+    # serial — that is exactly the sharded pipeline's shape.
+    workers = max(1, int(getattr(config, "tile_workers", 1)))
     incremental_cost = visited * rows
     materialized_cost = rows + grid_cells
     tile_cells = min(cap, budget, grid_cells)
     tiles_needed = -(-visited // tile_cells)
-    tiled_cost = tiles_needed * (rows + tile_cells)
+    tiled_cost = (
+        -(-tiles_needed // workers) * rows + tiles_needed * tile_cells
+    )
 
     best_mode, best_cost = "incremental", incremental_cost
     if tiled_cost < best_cost:

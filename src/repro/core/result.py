@@ -62,7 +62,10 @@ class SearchStats:
     plan's justification (``forced``, ``cost-model``, ...) and
     ``estimated_visited`` its predicted visited-cell count, kept next
     to ``grid_queries_examined`` so planner calibration can compare
-    prediction against outcome.
+    prediction against outcome. ``tile_workers`` is the worker count
+    the sharded tile pipeline ran with (0 when the engine was not
+    tiled); per-tier cache counters live in ``execution``
+    (``persistent_hits``, ``block_hits``, ``parallel_tiles``).
     """
 
     grid_queries_examined: int = 0
@@ -74,6 +77,7 @@ class SearchStats:
     explore_mode: str = "incremental"
     plan_reason: str = ""
     estimated_visited: int = 0
+    tile_workers: int = 0
     execution: ExecutionStats = field(default_factory=ExecutionStats)
 
 

@@ -68,7 +68,13 @@ class ExecutionStats:
     ``grid_tiles``). ``cache_hits``/``cache_misses``/``cache_bytes``
     track :class:`~repro.core.grid_cache.GridTensorCache` lookups made
     on this layer's behalf; a hit serves ``cache_bytes`` tensor bytes
-    without any backend pass.
+    without any backend pass. ``persistent_hits``/``persistent_bytes``
+    are the subset of cache hits served from the cross-process
+    :class:`~repro.core.grid_cache.PersistentGridCache` tier,
+    ``block_hits`` counts finished block tensors served from cache
+    (each one skips the backend pass *and* the d prefix passes), and
+    ``parallel_tiles`` counts tiles whose materialization was
+    dispatched to the sharded tile pipeline's worker pool.
     """
 
     queries_executed: int = 0
@@ -83,6 +89,10 @@ class ExecutionStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_bytes: int = 0
+    persistent_hits: int = 0
+    persistent_bytes: int = 0
+    block_hits: int = 0
+    parallel_tiles: int = 0
     rows_scanned: int = 0
     execution_time_s: float = 0.0
 
@@ -164,12 +174,59 @@ class EvaluationLayer:
         # Guards counter updates when execute_cells falls back to the
         # thread pool; uncontended in the (default) serial path.
         self._stats_lock = threading.Lock()
+        # Lazily created, reused across layers/batches; see
+        # _cell_pool_for. Torn down by close().
+        self._cell_pool: Optional[ThreadPoolExecutor] = None
+        self._cell_pool_size = 0
+        self._cell_pool_lock = threading.Lock()
 
     # -- lifecycle -------------------------------------------------------
     def prepare(
         self, query: Query, dim_caps: Optional[Sequence[float]] = None
     ) -> PreparedQuery:
         raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled resources (worker threads, connections).
+
+        Safe to call more than once; the layer keeps working after a
+        close (pools are re-created on demand).
+        """
+        with self._cell_pool_lock:
+            pool, self._cell_pool = self._cell_pool, None
+            self._cell_pool_size = 0
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def persistent_cache_key(self) -> Optional[tuple]:
+        """Stable cross-process identity of this layer's data, or None.
+
+        Used as the persistent-tier replacement for the process-unique
+        layer cache token (see ``repro.core.grid_cache``). The base
+        class opts out — only backends that can fingerprint their
+        dataset (class + content digest) participate in the
+        :class:`~repro.core.grid_cache.PersistentGridCache` tier.
+        """
+        return None
+
+    def _cell_pool_for(self, parallelism: int) -> ThreadPoolExecutor:
+        """The layer's shared fallback thread pool, (re)sized on demand.
+
+        One pool per layer, reused across every batch and traversal
+        layer — constructing/tearing down an executor per batch costs
+        more than the batch itself on small layers. Only replaced when
+        the requested ``parallelism`` changes.
+        """
+        with self._cell_pool_lock:
+            if self._cell_pool is None or self._cell_pool_size != parallelism:
+                stale = self._cell_pool
+                self._cell_pool = ThreadPoolExecutor(
+                    max_workers=parallelism
+                )
+                self._cell_pool_size = parallelism
+                if stale is not None:
+                    stale.shutdown(wait=False)
+            return self._cell_pool
 
     def useful_max_scores(self, prepared: PreparedQuery) -> list[float]:
         """Per-dimension maximum *useful* PScore.
@@ -213,15 +270,15 @@ class EvaluationLayer:
         if not coords_batch:
             return []
         if parallelism > 1 and len(coords_batch) > 1:
-            with ThreadPoolExecutor(max_workers=parallelism) as pool:
-                states = list(
-                    pool.map(
-                        lambda coords: self.execute_cell(
-                            prepared, space, coords
-                        ),
-                        coords_batch,
-                    )
+            pool = self._cell_pool_for(parallelism)
+            states = list(
+                pool.map(
+                    lambda coords: self.execute_cell(
+                        prepared, space, coords
+                    ),
+                    coords_batch,
                 )
+            )
             with self._stats_lock:
                 self.stats.parallel_cells += len(coords_batch)
             return states
@@ -369,17 +426,37 @@ class EvaluationLayer:
             self.stats.grid_cells += cells
             self.stats.rows_scanned += rows
 
-    def count_cache_event(self, hit: bool, nbytes: int = 0) -> None:
+    def count_cache_event(
+        self,
+        hit: bool,
+        nbytes: int = 0,
+        persistent: bool = False,
+        block: bool = False,
+    ) -> None:
         """Record one :class:`~repro.core.grid_cache.GridTensorCache`
         lookup made on this layer's behalf (the cache lives with the
         driver, but its effect — a saved backend pass — belongs in this
-        layer's :class:`ExecutionStats` so harness deltas see it)."""
+        layer's :class:`ExecutionStats` so harness deltas see it).
+        ``persistent=True`` marks a hit served by the cross-process
+        file tier; ``block=True`` marks a finished block tensor (the
+        hit also skipped the prefix passes)."""
         with self._stats_lock:
             if hit:
                 self.stats.cache_hits += 1
                 self.stats.cache_bytes += nbytes
+                if persistent:
+                    self.stats.persistent_hits += 1
+                    self.stats.persistent_bytes += nbytes
+                if block:
+                    self.stats.block_hits += 1
             else:
                 self.stats.cache_misses += 1
+
+    def count_parallel_tiles(self, tiles: int) -> None:
+        """Record ``tiles`` tile materializations dispatched to the
+        sharded tile pipeline's worker pool."""
+        with self._stats_lock:
+            self.stats.parallel_tiles += tiles
 
     def _timed(self) -> _Timer:
         return _Timer(self.stats, self._stats_lock)

@@ -19,6 +19,7 @@ baseline numbers assume plain per-query execution:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
@@ -80,6 +81,15 @@ class MemoryBackend(EvaluationLayer):
         self.max_rows = max_rows
         self.vectorized_grid = vectorized_grid
         self.indexed = indexed
+        # Guards the lazy grid rebuild in _grid_for against concurrent
+        # tile workers (the build is deterministic, so the lock only
+        # prevents duplicated work and torn cache state).
+        self._grid_build_lock = threading.Lock()
+
+    def persistent_cache_key(self) -> tuple:
+        from repro.core.grid_cache import database_digest
+
+        return ("MemoryBackend", database_digest(self.database))
 
     # ------------------------------------------------------------------
     def prepare(
@@ -351,12 +361,15 @@ class MemoryBackend(EvaluationLayer):
 
     def _grid_for(self, prepared: _MemoryPrepared, space: RefinedSpace) -> dict:
         key = id(space)
-        if key not in prepared.grid_cache:
-            with self._timed():
-                prepared.grid_cache.clear()
-                prepared.grid_cache[key] = self._build_grid(prepared, space)
-            self.stats.rows_scanned += prepared.candidate.nrows
-        return prepared.grid_cache[key]
+        with self._grid_build_lock:
+            if key not in prepared.grid_cache:
+                with self._timed():
+                    grid = self._build_grid(prepared, space)
+                    prepared.grid_cache.clear()
+                    prepared.grid_cache[key] = grid
+                with self._stats_lock:
+                    self.stats.rows_scanned += prepared.candidate.nrows
+            return prepared.grid_cache[key]
 
     def _build_grid(
         self, prepared: _MemoryPrepared, space: RefinedSpace

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 import sqlite3
+import threading
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -33,10 +34,10 @@ from repro.engine.backends import (
     TopKAdmission,
     grid_identity_tensor,
 )
+from repro.core.grid_cache import database_digest
 from repro.engine.catalog import Database
 from repro.engine.schema import ColumnType
 from repro.exceptions import EngineError
-
 
 @dataclass
 class _SQLitePrepared:
@@ -55,7 +56,24 @@ class SQLiteBackend(EvaluationLayer):
         super().__init__()
         self.database = database
         self.create_indexes = create_indexes
-        self._connection = sqlite3.connect(":memory:")
+        self._connection = sqlite3.connect(
+            ":memory:", check_same_thread=False
+        )
+        self._owner_ident = threading.get_ident()
+        # Worker threads (the sharded tile pipeline) read through
+        # private deserialized snapshots of the primary database —
+        # shared-cache connections would serialize on the cache mutex,
+        # losing the fetch overlap the scheduler exists to create. A
+        # generation counter invalidates snapshots when later loads or
+        # index builds change the primary; each worker holds one full
+        # copy, so memory scales with ``tile_workers``, not tiles.
+        self._local = threading.local()
+        self._readers: list[sqlite3.Connection] = []
+        self._readers_lock = threading.Lock()
+        self._load_generation = 0
+        self._snapshot_generation = -1
+        self._snapshot_data: Optional[bytes] = None
+        self._snapshot_lock = threading.Lock()
         self._loaded: set[str] = set()
         self._indexed: set[str] = set()
 
@@ -63,7 +81,64 @@ class SQLiteBackend(EvaluationLayer):
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
+        with self._readers_lock:
+            readers, self._readers = self._readers, []
+        for connection in readers:
+            try:
+                connection.close()
+            except sqlite3.Error:
+                pass
+        self._local = threading.local()
         self._connection.close()
+        super().close()
+
+    def persistent_cache_key(self) -> tuple:
+        return ("SQLiteBackend", database_digest(self.database))
+
+    def _snapshot(self) -> tuple[int, bytes]:
+        """Serialized image of the primary database, memoized per load
+        generation. All loads/index builds happen on the primary
+        connection before any worker reads (``_ensure_tiles`` installs
+        every table the prepared query touches), so a snapshot taken at
+        fetch time is complete for that query."""
+        with self._snapshot_lock:
+            if self._snapshot_generation != self._load_generation:
+                self._snapshot_data = self._connection.serialize()
+                self._snapshot_generation = self._load_generation
+            assert self._snapshot_data is not None
+            return self._snapshot_generation, self._snapshot_data
+
+    def _cursor(self) -> sqlite3.Cursor:
+        """A read cursor safe for the calling thread.
+
+        The owning thread reads through the primary connection; worker
+        threads get a lazily created per-thread private connection
+        deserialized from the primary's current image. Private copies
+        (rather than shared-cache readers) keep concurrent tile fetches
+        off any shared page-cache mutex, so they genuinely overlap.
+        """
+        if threading.get_ident() == self._owner_ident:
+            return self._connection.cursor()
+        if not hasattr(self._connection, "serialize"):
+            # Python < 3.11 has no Connection.serialize; fall back to
+            # the shared primary connection (the sqlite3 module
+            # serializes access internally) — correct, just without
+            # genuine fetch overlap.
+            return self._connection.cursor()
+        generation = getattr(self._local, "generation", -1)
+        connection = getattr(self._local, "connection", None)
+        if connection is None or generation != self._load_generation:
+            image_generation, image = self._snapshot()
+            if connection is None:
+                connection = sqlite3.connect(
+                    ":memory:", check_same_thread=False
+                )
+                with self._readers_lock:
+                    self._readers.append(connection)
+                self._local.connection = connection
+            connection.deserialize(image)
+            self._local.generation = image_generation
+        return connection.cursor()
 
     def __enter__(self) -> "SQLiteBackend":
         return self
@@ -90,6 +165,7 @@ class SQLiteBackend(EvaluationLayer):
         )
         self._connection.commit()
         self._loaded.add(table_name)
+        self._load_generation += 1
         self.stats.rows_scanned += len(table)
 
     def _ensure_index(self, table_name: str, column_name: str) -> None:
@@ -102,6 +178,7 @@ class SQLiteBackend(EvaluationLayer):
             f"ON {table_name} ({column_name})"
         )
         self._indexed.add(key)
+        self._load_generation += 1
 
     # ------------------------------------------------------------------
     # Preparation
@@ -154,7 +231,7 @@ class SQLiteBackend(EvaluationLayer):
         return scores
 
     def _expr_domain(self, expr_sql: str, table_name: str) -> Interval:
-        cursor = self._connection.cursor()
+        cursor = self._cursor()
         with self._timed():
             row = cursor.execute(
                 f"SELECT MIN({expr_sql}), MAX({expr_sql}) FROM {table_name}"
@@ -177,7 +254,7 @@ class SQLiteBackend(EvaluationLayer):
         selects = ", ".join(spec.aggregate.sql_selects(attribute_sql))
         where = " AND ".join(f"({c})" for c in conditions) or "1=1"
         sql = f"SELECT {selects} FROM {prepared.from_sql} WHERE {where}"
-        cursor = self._connection.cursor()
+        cursor = self._cursor()
         with self._timed():
             row = cursor.execute(sql).fetchone()
         self._count_query(kind)
@@ -350,7 +427,7 @@ class SQLiteBackend(EvaluationLayer):
             f"SELECT {select_items} FROM {prepared.from_sql} "
             f"WHERE {where} GROUP BY {', '.join(aliases)}"
         )
-        cursor = self._connection.cursor()
+        cursor = self._cursor()
         with self._timed():
             fetched = cursor.execute(sql).fetchall()
         grouped: dict[tuple[int, ...], AggState] = {}
@@ -401,7 +478,7 @@ class SQLiteBackend(EvaluationLayer):
         )
         if limit is not None:
             sql += f" LIMIT {int(limit)}"
-        cursor = self._connection.cursor()
+        cursor = self._cursor()
         with self._timed():
             fetched = cursor.execute(sql).fetchall()
         self._count_query("box")
@@ -438,7 +515,7 @@ class SQLiteBackend(EvaluationLayer):
             f"SELECT {inner_selects} FROM {prepared.from_sql} "
             f"WHERE {where} ORDER BY ({total}) LIMIT {int(k)})"
         )
-        cursor = self._connection.cursor()
+        cursor = self._cursor()
         with self._timed():
             row = cursor.execute(sql).fetchone()
         self._count_query("box")

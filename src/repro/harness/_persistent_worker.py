@@ -1,0 +1,107 @@
+"""Subprocess worker for the ``persistent_cache`` experiment.
+
+Runs one materialized-mode constraint sweep with a persistent-backed
+grid tensor cache and prints a JSON stats summary to stdout. The
+parent experiment (:func:`repro.harness.experiments.persistent_cache`)
+launches this module twice against the same ``--cache-dir`` — a cold
+process that populates the cache and a warm process that should serve
+every grid tensor from disk — and compares the two summaries.
+
+Determinism contract: given the same ``--scale-rows``/``--seed`` the
+worker regenerates byte-identical data (the TPC-H generator is
+seeded), so the persistent fingerprint of the warm process matches the
+cold one and cross-process hits are guaranteed, not incidental.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.acquire import AcquireConfig
+from repro.core.grid_cache import GridTensorCache, PersistentGridCache
+from repro.datagen.tpch import TPCHConfig, generate_tpch
+from repro.harness.runner import make_backend, run_method
+from repro.workloads.generator import build_ratio_workload
+from repro.workloads.templates import Q2_JOINS, Q2_TABLES, q2_flex_specs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness._persistent_worker",
+        description="Run one persistent-cache sweep arm (internal).",
+    )
+    parser.add_argument("--cache-dir", required=True)
+    parser.add_argument("--scale-rows", type=int, default=4_000)
+    parser.add_argument("--ratios", default="0.5,0.3")
+    parser.add_argument("--backend", default="memory")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--gamma", type=float, default=10.0)
+    parser.add_argument("--delta", type=float, default=0.05)
+    parser.add_argument("--step", type=float, default=5.0)
+    parser.add_argument("--selectivity", type=float, default=0.2)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    ratios = [float(part) for part in args.ratios.split(",") if part]
+    database = generate_tpch(
+        TPCHConfig(
+            scale_rows=args.scale_rows,
+            seed=args.seed,
+            tables=("supplier", "part", "partsupp"),
+        )
+    )
+    layer = make_backend(database, args.backend)
+    persistent = PersistentGridCache(args.cache_dir)
+    cache = GridTensorCache(persistent=persistent)
+    summary = {
+        "backend": args.backend,
+        "ratios": ratios,
+        "qscores": [],
+        "queries": 0,
+        "rows_scanned": 0,
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "persistent_hits": 0,
+        "persistent_bytes": 0,
+        "block_hits": 0,
+    }
+    for ratio in ratios:
+        workload = build_ratio_workload(
+            database,
+            Q2_TABLES,
+            q2_flex_specs(2, args.selectivity),
+            ratio,
+            aggregate="COUNT",
+            joins=Q2_JOINS,
+            name=f"persist_{ratio:g}",
+        )
+        config = AcquireConfig(
+            gamma=args.gamma,
+            delta=args.delta,
+            step=args.step,
+            explore_mode="materialized",
+            grid_cache=cache,
+        )
+        run = run_method(
+            "ACQUIRE", layer, workload.query, acquire_config=config
+        )
+        summary["qscores"].append(run.qscore)
+        summary["queries"] += run.execution.queries_executed
+        summary["rows_scanned"] += run.execution.rows_scanned
+        summary["cache_hits"] += run.execution.cache_hits
+        summary["cache_misses"] += run.execution.cache_misses
+        summary["persistent_hits"] += run.execution.persistent_hits
+        summary["persistent_bytes"] += run.execution.persistent_bytes
+        summary["block_hits"] += run.execution.block_hits
+    summary["store"] = persistent.summary()
+    json.dump(summary, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

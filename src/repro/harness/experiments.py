@@ -868,6 +868,252 @@ def grid_cache_sweep(
     )
 
 
+def sharded_tiles(
+    scale_rows: int = 6_000,
+    ratio: float = 0.25,
+    gamma: float = 10.0,
+    step: float = 2.0,
+    selectivity: float = BASE_SELECTIVITY,
+    backends: Sequence[str] = ("memory", "sqlite"),
+    workers: Sequence[int] = (1, 4),
+    tile_width: int = 5,
+    repeats: int = 3,
+) -> ExperimentResult:
+    """Sharded tile pipeline: full-grid materialization, serial vs N
+    workers.
+
+    Times exactly the phase the :class:`TileScheduler` parallelizes —
+    one ``prime_cells`` of the whole down-set grid, every tile pending
+    at once — rather than a full ACQUIRE run, where driver scoring
+    dilutes the fetch overlap (Amdahl) and makes a wall-clock gate
+    flaky. Tile *fetches* are independent; only the seam stitching is
+    ordered, so every worker count must produce bit-identical block
+    states. ``qscore`` carries the summed finalized aggregate over the
+    whole grid as an identity checksum, and ``extra`` records the
+    exact cell-by-cell comparison against the serial arm
+    (``identical_to_serial``) plus ``parallel_tiles``. Each arm
+    reports its best of ``repeats`` runs, the usual antidote to
+    scheduler noise at millisecond scale.
+    """
+    import itertools as _it
+    import time as _time
+
+    import numpy as _np
+
+    from repro.core.grid_explore import TiledGridExplorer
+    from repro.core.refined_space import RefinedSpace
+
+    database = _tpch(_scaled(scale_rows))
+    workload = build_ratio_workload(
+        database,
+        Q2_TABLES,
+        q2_flex_specs(2, selectivity),
+        ratio,
+        aggregate="COUNT",
+        joins=Q2_JOINS,
+        name="sharded",
+    )
+    query = workload.query
+    aggregate = query.constraint.spec.aggregate
+    config = AcquireConfig(gamma=gamma, step=step)
+    rows: list[Row] = []
+    for backend in backends:
+        layer = make_backend(database, backend)
+        dim_caps = [config.dim_cap_default] * query.dimensionality
+        prepared = layer.prepare(query, dim_caps)
+        useful = layer.useful_max_scores(prepared)
+        max_scores = [min(c, s) for c, s in zip(dim_caps, useful)]
+        space = RefinedSpace(query, gamma, max_scores, config.norm, step)
+        corner = space.max_coords
+        grid_coords = list(
+            _it.product(*(range(limit + 1) for limit in corner))
+        )
+        serial_values: Optional[_np.ndarray] = None
+        for count in workers:
+            best_s = math.inf
+            explorer = None
+            stats_delta = None
+            for _ in range(max(repeats, 1)):
+                candidate = TiledGridExplorer(
+                    layer,
+                    prepared,
+                    space,
+                    aggregate,
+                    tile_shape=(tile_width,) * space.d,
+                    tile_workers=count,
+                )
+                before = layer.stats.snapshot()
+                started = _time.perf_counter()
+                candidate.prime_cells([corner])
+                elapsed = _time.perf_counter() - started
+                delta = layer.stats.since(before)
+                if elapsed < best_s:
+                    if explorer is not None:
+                        explorer.close()
+                    best_s, explorer, stats_delta = (
+                        elapsed, candidate, delta,
+                    )
+                else:
+                    candidate.close()
+            values = _np.array(
+                [explorer.compute_aggregate(c) for c in grid_coords]
+            )
+            identical = (
+                True
+                if serial_values is None
+                else bool(_np.array_equal(values, serial_values))
+            )
+            if serial_values is None:
+                serial_values = values
+            rows.append(
+                Row(
+                    x_name="workers",
+                    x_value=count,
+                    method=f"{backend}/w{count}",
+                    time_ms=best_s * 1000.0,
+                    error=0.0,
+                    qscore=float(values.sum()),
+                    aggregate_value=float(values[-1]),
+                    queries=stats_delta.queries_executed,
+                    rows_scanned=stats_delta.rows_scanned,
+                    satisfied=identical,
+                    tiles=explorer.tiles_materialized,
+                    cache_hits=stats_delta.cache_hits,
+                    cache_misses=stats_delta.cache_misses,
+                    explore_mode="tiled",
+                    extra={
+                        "identical_to_serial": identical,
+                        "parallel_tiles": stats_delta.parallel_tiles,
+                        "grid_cells": len(grid_coords),
+                    },
+                )
+            )
+            explorer.close()
+    return ExperimentResult(
+        name="sharded_tiles",
+        title="Sharded tiles: tiled Explore at 1 vs N workers "
+              "(bit-identical answers)",
+        paper_expectation=(
+            "Tile fetches carry no inter-tile dependency, so the "
+            "sharded pipeline overlaps backend work across workers "
+            "while the ordered seam stitching keeps every block state "
+            "— and hence the answer set — bit-identical to serial."
+        ),
+        rows=rows,
+        settings={
+            "scale_rows": _scaled(scale_rows),
+            "ratio": ratio,
+            "step": step,
+            "tile_width": tile_width,
+            "workers": list(workers),
+            "backends": list(backends),
+            "repeats": repeats,
+        },
+    )
+
+
+def persistent_cache(
+    scale_rows: int = 4_000,
+    ratios: Sequence[float] = (0.5, 0.3),
+    backend: str = "memory",
+    gamma: float = 10.0,
+    delta: float = 0.05,
+    step: float = 5.0,
+    selectivity: float = BASE_SELECTIVITY,
+) -> ExperimentResult:
+    """Cross-process grid cache: a cold and a warm subprocess.
+
+    Runs the same materialized-mode sweep in two fresh Python
+    processes sharing one on-disk :class:`PersistentGridCache`
+    directory (see :mod:`repro.harness._persistent_worker`). The cold
+    process pays every backend grid pass and publishes the tensors;
+    the warm process — no shared memory, only the cache directory —
+    must answer identically while issuing strictly fewer backend
+    queries. ``benchmarks/smoke.py`` gates on exactly that.
+    """
+    import subprocess
+    import sys as _sys
+    import tempfile
+
+    rows: list[Row] = []
+    with tempfile.TemporaryDirectory(prefix="repro-pcache-") as cache_dir:
+        command = [
+            _sys.executable,
+            "-m",
+            "repro.harness._persistent_worker",
+            "--cache-dir", cache_dir,
+            "--scale-rows", str(_scaled(scale_rows)),
+            "--ratios", ",".join(f"{r:g}" for r in ratios),
+            "--backend", backend,
+            "--gamma", str(gamma),
+            "--delta", str(delta),
+            "--step", str(step),
+            "--selectivity", str(selectivity),
+        ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [path for path in _sys.path if path]
+        )
+        summaries = {}
+        for arm in ("cold", "warm"):
+            completed = subprocess.run(
+                command,
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            import json as _json
+
+            summaries[arm] = _json.loads(completed.stdout)
+        for arm in ("cold", "warm"):
+            summary = summaries[arm]
+            rows.append(
+                Row(
+                    x_name="arm",
+                    x_value=arm,
+                    method=f"{backend}/{arm}",
+                    time_ms=0.0,
+                    error=0.0,
+                    qscore=float(summary["qscores"][0]),
+                    aggregate_value=math.nan,
+                    queries=summary["queries"],
+                    rows_scanned=summary["rows_scanned"],
+                    satisfied=True,
+                    cache_hits=summary["cache_hits"],
+                    cache_misses=summary["cache_misses"],
+                    persistent_hits=summary["persistent_hits"],
+                    block_hits=summary["block_hits"],
+                    cache_bytes=summary["persistent_bytes"],
+                    explore_mode="materialized",
+                    extra={
+                        "qscores": summary["qscores"],
+                        "store": summary["store"],
+                    },
+                )
+            )
+    return ExperimentResult(
+        name="persistent_cache",
+        title="Persistent grid cache: cold vs warm process over one "
+              "cache directory",
+        paper_expectation=(
+            "Grid tensors are pure functions of (data fingerprint, "
+            "geometry), so a second process over the same data serves "
+            "every tensor from disk: identical qscores, strictly fewer "
+            "backend queries, nonzero persistent-hit bytes."
+        ),
+        rows=rows,
+        settings={
+            "scale_rows": _scaled(scale_rows),
+            "ratios": list(ratios),
+            "backend": backend,
+            "gamma": gamma,
+            "delta": delta,
+            "step": step,
+        },
+    )
+
+
 def plan_calibration(
     scale_rows: int = 6_000,
     ratios: Sequence[float] = (0.5, 0.4, 0.3, 0.2),
@@ -1000,6 +1246,8 @@ EXPERIMENTS = {
     "layers": evaluation_layers,
     "explore": explore_modes,
     "grid_cache": grid_cache_sweep,
+    "sharded_tiles": sharded_tiles,
+    "persistent_cache": persistent_cache,
     "calibration": plan_calibration,
     "shapes": shape_robustness,
 }

@@ -33,6 +33,9 @@ class Row:
     tiles: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    persistent_hits: int = 0
+    block_hits: int = 0
+    cache_bytes: int = 0
     explore_mode: str = ""
     extra: dict = field(default_factory=dict)
 
@@ -54,6 +57,9 @@ class Row:
             tiles=run.execution.grid_tiles,
             cache_hits=run.execution.cache_hits,
             cache_misses=run.execution.cache_misses,
+            persistent_hits=run.execution.persistent_hits,
+            block_hits=run.execution.block_hits,
+            cache_bytes=run.execution.persistent_bytes,
             explore_mode=str(run.details.get("explore_mode", "")),
             extra=dict(run.details),
         )

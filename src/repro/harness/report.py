@@ -20,6 +20,7 @@ _COLUMNS = (
     ("grids", lambda row: str(row.materializations)),
     ("tiles", lambda row: str(row.tiles)),
     ("cache", lambda row: _fmt_cache(row)),
+    ("warm", lambda row: _fmt_warm(row)),
     ("explore", lambda row: row.explore_mode or "-"),
     ("ok", lambda row: "y" if row.satisfied else "n"),
 )
@@ -29,6 +30,12 @@ def _fmt_cache(row: Row) -> str:
     if row.cache_hits == 0 and row.cache_misses == 0:
         return "-"
     return f"{row.cache_hits}h/{row.cache_misses}m"
+
+
+def _fmt_warm(row: Row) -> str:
+    if row.persistent_hits == 0 and row.block_hits == 0:
+        return "-"
+    return f"{row.persistent_hits}p/{row.block_hits}b"
 
 
 def _fmt_x(row: Row) -> str:
@@ -176,6 +183,7 @@ def save_csv(result: ExperimentResult, path: str) -> str:
         "x_name", "x_value", "method", "time_ms", "error", "qscore",
         "aggregate_value", "queries", "rows_scanned", "batches",
         "materializations", "tiles", "cache_hits", "cache_misses",
+        "persistent_hits", "block_hits", "cache_bytes",
         "explore_mode", "satisfied",
     )
     with open(path, "w", newline="", encoding="utf-8") as handle:
