@@ -1,6 +1,6 @@
 # Canonical developer commands for the ACQUIRE reproduction.
 
-.PHONY: install test bench bench-smoke bench-parallel experiments examples clean lint typecheck
+.PHONY: install test bench bench-smoke bench-parallel experiments examples clean lint lint-engine typecheck
 
 install:
 	pip install -e . || python setup.py develop
@@ -8,15 +8,20 @@ install:
 test:
 	pytest tests/
 
-# Invariant lint always runs (stdlib-only); ruff is skipped with a
-# notice when not installed so offline checkouts still get the gate.
-lint:
-	python tools/lint_invariants.py
+# Engine-invariant lint always runs (see docs/ANALYSIS.md: EL1xx
+# purity, EL2xx locks, EL3xx exceptions/imports, EL4xx stats drift);
+# ruff is skipped with a notice when not installed so offline
+# checkouts still get the gate.
+lint: lint-engine
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests tools; \
 	else \
 		echo "ruff not installed; skipping style lint (CI runs it)"; \
 	fi
+
+# Fails on any finding not covered by tools/engine_lint_baseline.txt.
+lint-engine:
+	PYTHONPATH=src python -m repro lint --engine
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \

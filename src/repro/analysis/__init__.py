@@ -27,6 +27,7 @@ from repro.analysis.passes import (
     AnalysisContext,
     aggregate_pass,
     cost_pass,
+    plan_pass,
     refinability_pass,
     satisfiability_pass,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "analyze",
     "analyze_sql",
     "cost_pass",
+    "plan_pass",
     "refinability_pass",
     "satisfiability_pass",
 ]

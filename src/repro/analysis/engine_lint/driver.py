@@ -1,0 +1,177 @@
+"""Engine-lint driver: file discovery, baseline loading, CLI entry.
+
+The library surface is :func:`lint_paths` (returns an
+:class:`~repro.analysis.engine_lint.model.EngineLintReport`); the CLI
+surface is ``repro lint --engine`` which lands in :func:`engine_lint_main`.
+
+Defaults are derived from the installed package location, so the tool
+works from any working directory: the project root is two levels above
+``repro/__init__.py`` (the ``src`` layout), the analyzed tree is
+``src/repro``, and the baseline is ``tools/engine_lint_baseline.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.engine_lint.model import (
+    EngineLintReport,
+    Suppression,
+    apply_baseline,
+    parse_suppressions,
+)
+from repro.analysis.engine_lint.passes import LintModule, ProjectContext, run_passes
+from repro.exceptions import LintBaselineError
+
+#: Repo-relative location of the committed baseline-suppressions file.
+DEFAULT_BASELINE = "tools/engine_lint_baseline.txt"
+
+
+def default_project_root() -> Path:
+    """Repository root inferred from the package location (src layout)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parents[2]
+
+
+def default_source_root(project_root: Optional[Path] = None) -> Path:
+    root = project_root if project_root is not None else default_project_root()
+    return root / "src" / "repro"
+
+
+def collect_files(
+    paths: Optional[Sequence[Path]] = None,
+    project_root: Optional[Path] = None,
+) -> List[Path]:
+    """Python files to lint: explicit paths, or the whole src tree."""
+    if not paths:
+        return sorted(default_source_root(project_root).rglob("*.py"))
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def load_modules(
+    files: Iterable[Path], project_root: Optional[Path] = None
+) -> List[LintModule]:
+    root = project_root if project_root is not None else default_project_root()
+    modules: List[LintModule] = []
+    for path in files:
+        path = Path(path).resolve()
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.name
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        modules.append(LintModule(path=path, rel=rel, tree=tree))
+    return modules
+
+
+def load_baseline(
+    baseline: Optional[Path] = None, project_root: Optional[Path] = None
+) -> tuple:
+    """Baseline entries; the default file is optional, an explicit one is not."""
+    if baseline is None:
+        root = project_root if project_root is not None else default_project_root()
+        candidate = root / DEFAULT_BASELINE
+        if not candidate.is_file():
+            return ()
+        baseline = candidate
+    baseline = Path(baseline)
+    if not baseline.is_file():
+        raise LintBaselineError(f"baseline file not found: {baseline}")
+    return parse_suppressions(
+        baseline.read_text(encoding="utf-8"), origin=str(baseline)
+    )
+
+
+def lint_paths(
+    paths: Optional[Sequence[Path]] = None,
+    project_root: Optional[Path] = None,
+    baseline: Optional[Sequence[Suppression]] = None,
+) -> EngineLintReport:
+    """Run every engine pass and apply the baseline.
+
+    ``baseline=None`` loads the committed default (if present); pass an
+    empty sequence to lint without suppressions.
+    """
+    files = collect_files(paths, project_root)
+    modules = load_modules(files, project_root)
+    findings = run_passes(modules, ProjectContext(modules))
+    entries = load_baseline(None, project_root) if baseline is None else tuple(baseline)
+    return apply_baseline(findings, entries, files_checked=len(modules))
+
+
+def engine_lint_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro lint --engine [paths...]`` — 0 clean, 1 findings, 2 usage."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint --engine",
+        description=(
+            "Static analysis over the repro source tree itself: tensor "
+            "purity (EL1xx), lock discipline (EL2xx), exception/import "
+            "policy (EL3xx), stats counter drift (EL4xx)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the installed src/repro tree)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"suppressions file (default: {DEFAULT_BASELINE} at the repo root)",
+    )
+    parser.add_argument(
+        "--project-root",
+        type=Path,
+        default=None,
+        help=(
+            "root that finding paths (and baseline entries) are "
+            "relative to (default: the repo the package was loaded from)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    try:
+        entries: Optional[Sequence[Suppression]]
+        if args.no_baseline:
+            entries = ()
+        elif args.baseline is not None:
+            entries = load_baseline(args.baseline)
+        else:
+            entries = None
+        report = lint_paths(
+            paths=args.paths or None,
+            project_root=args.project_root,
+            baseline=entries,
+        )
+    except (LintBaselineError, OSError, SyntaxError) as exc:
+        print(f"engine lint error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1

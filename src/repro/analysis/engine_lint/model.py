@@ -1,0 +1,238 @@
+"""Finding / suppression / report model of the engine lint.
+
+The engine lint (``repro lint --engine``) analyzes *this repository's
+own source* rather than a user's ACQ, so its findings point at Python
+files and lines instead of SQL character spans. Every finding carries a
+stable ``EL###`` (or ``ACQ###``) code, a repo-relative path, a 1-based
+``line:col`` span, and the dotted qualname of the enclosing
+class/function — enough for a reviewer to jump straight to the
+offending statement and for the baseline file to address it stably.
+
+Baseline suppressions. The gate's contract is "every finding is either
+fixed or explicitly suppressed with a reason". Suppressions live in a
+committed text file (one per line)::
+
+    # code  path[:qualname]  reason...
+    EL103  src/repro/core/grid_explore.py:_vector_ops  callers copy first
+
+A suppression matches a finding when the code and path are equal and
+the qualname is empty, ``*``, the finding's qualname, or a dotted
+prefix of it (so suppressing ``_vector_ops`` also covers the lambdas
+defined inside it). Reasons are mandatory: an entry without one is a
+parse error, keeping "why is this ok" in the file forever. Line
+numbers are deliberately *not* part of the match — baselines must
+survive unrelated edits above the finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.exceptions import LintBaselineError
+
+
+@dataclass(frozen=True)
+class EngineFinding:
+    """One engine-lint finding, pinned to a source span.
+
+    Attributes:
+        code: stable identifier (``EL101``...), documented in
+            ``docs/ANALYSIS.md``.
+        message: what is wrong.
+        path: repo-relative posix path of the offending file.
+        line: 1-based source line of the offending node.
+        col: 1-based source column of the offending node.
+        symbol: dotted qualname of the enclosing scope
+            (``TiledGridExplorer.prime_cells``); empty at module level.
+        hint: how to fix it, when the pass can tell.
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+    symbol: str = ""
+    hint: Optional[str] = None
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        where = f" (in {self.symbol})" if self.symbol else ""
+        lines = [f"{self.location}: {self.code} {self.message}{where}"]
+        if self.hint:
+            lines.append(f"  = help: {self.hint}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+        if self.symbol:
+            payload["symbol"] = self.symbol
+        if self.hint:
+            payload["hint"] = self.hint
+        return payload
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One baseline entry: (code, path, qualname prefix) plus a reason."""
+
+    code: str
+    path: str
+    symbol: str
+    reason: str
+    lineno: int = 0
+
+    def matches(self, finding: EngineFinding) -> bool:
+        if self.code != finding.code or self.path != finding.path:
+            return False
+        if self.symbol in ("", "*"):
+            return True
+        return finding.symbol == self.symbol or finding.symbol.startswith(
+            self.symbol + "."
+        )
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.symbol}" if self.symbol else self.path
+        return f"{self.code} {where}  # {self.reason}"
+
+
+def parse_suppressions(text: str, origin: str = "<baseline>") -> tuple:
+    """Parse a baseline file into :class:`Suppression` entries.
+
+    Grammar per non-comment line: ``CODE LOCATION REASON...`` where
+    ``LOCATION`` is ``path`` or ``path:qualname``. A missing reason is
+    an error — the file is the audit trail, not a mute button.
+    """
+    entries: list[Suppression] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 2)
+        if len(parts) < 3:
+            raise LintBaselineError(
+                f"{origin}:{lineno}: suppression needs "
+                f"'CODE path[:qualname] reason', got {line!r}"
+            )
+        code, location, reason = parts
+        path, _, symbol = location.partition(":")
+        entries.append(
+            Suppression(
+                code=code,
+                path=path,
+                symbol=symbol,
+                reason=reason.strip(),
+                lineno=lineno,
+            )
+        )
+    return tuple(entries)
+
+
+@dataclass(frozen=True)
+class EngineLintReport:
+    """Outcome of one engine-lint run over a file set.
+
+    ``findings`` is everything the passes produced; applying the
+    baseline partitions it into ``unsuppressed`` (gate failures) and
+    ``suppressed`` pairs. ``unused`` lists baseline entries that
+    matched nothing — stale suppressions worth deleting, reported but
+    never failing the gate (they would make every fix a two-step
+    dance).
+    """
+
+    findings: tuple[EngineFinding, ...]
+    suppressed: tuple[tuple[EngineFinding, Suppression], ...] = ()
+    unsuppressed: tuple[EngineFinding, ...] = ()
+    unused: tuple[Suppression, ...] = ()
+    files_checked: int = 0
+    extra_notes: tuple[str, ...] = field(default=(), compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed
+
+    def codes(self) -> tuple[str, ...]:
+        return tuple(f.code for f in self.findings)
+
+    def render(self) -> str:
+        parts: list[str] = []
+        for finding in self.unsuppressed:
+            parts.append(finding.render())
+        if self.suppressed:
+            parts.append(
+                f"{len(self.suppressed)} finding(s) suppressed by baseline:"
+            )
+            for finding, entry in self.suppressed:
+                parts.append(
+                    f"  {finding.location}: {finding.code} "
+                    f"[{entry.reason}]"
+                )
+        for entry in self.unused:
+            parts.append(
+                f"note: unused suppression at baseline line "
+                f"{entry.lineno}: {entry.render()}"
+            )
+        for note in self.extra_notes:
+            parts.append(f"note: {note}")
+        verdict = "FAILED" if self.unsuppressed else "ok"
+        parts.append(
+            f"engine lint {verdict}: {len(self.unsuppressed)} finding(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{self.files_checked} file(s) checked"
+        )
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "unsuppressed": [f.to_dict() for f in self.unsuppressed],
+            "suppressed": [
+                {**f.to_dict(), "reason": s.reason}
+                for f, s in self.suppressed
+            ],
+            "unused_suppressions": [
+                {"code": s.code, "path": s.path, "symbol": s.symbol}
+                for s in self.unused
+            ],
+        }
+
+
+def apply_baseline(
+    findings: Iterable[EngineFinding],
+    baseline: Iterable[Suppression],
+    files_checked: int = 0,
+) -> EngineLintReport:
+    """Partition findings by the baseline into a final report."""
+    ordered = tuple(
+        sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+    )
+    entries = tuple(baseline)
+    used: set[Suppression] = set()
+    suppressed: list[tuple[EngineFinding, Suppression]] = []
+    unsuppressed: list[EngineFinding] = []
+    for finding in ordered:
+        entry = next((s for s in entries if s.matches(finding)), None)
+        if entry is None:
+            unsuppressed.append(finding)
+        else:
+            used.add(entry)
+            suppressed.append((finding, entry))
+    unused = tuple(s for s in entries if s not in used)
+    return EngineLintReport(
+        findings=ordered,
+        suppressed=tuple(suppressed),
+        unsuppressed=tuple(unsuppressed),
+        unused=unused,
+        files_checked=files_checked,
+    )

@@ -30,6 +30,11 @@ ACQ303 WARNING  SUM over negative values is not monotone expanding
 ACQ401 WARNING  refined-space grid exceeds the search budget
 ACQ402 WARNING  unbounded refinement axis (no statistics, no limit)
 ACQ403 INFO     search-cost estimate (grid size, per-layer counts)
+ACQ501 WARNING  grid exceeds materialize_cell_cap (ERROR when the
+                materialized engine is forced — execution would raise)
+ACQ502 WARNING  config-derived axis extents defeat grid-cache key
+                sharing (only with a grid cache configured)
+ACQ503 INFO     predicted explore plan (mode, reason, visited cells)
 ====== ======== =====================================================
 """
 
@@ -365,20 +370,18 @@ def aggregate_pass(ctx: AnalysisContext) -> Iterable[Diagnostic]:
 # ----------------------------------------------------------------------
 # Pass 4: search-cost pre-estimation (ACQ4xx)
 # ----------------------------------------------------------------------
-def cost_pass(ctx: AnalysisContext) -> Iterable[Diagnostic]:
-    """Estimate the refined-space grid before any query runs.
+def _build_space(
+    ctx: AnalysisContext,
+) -> tuple[RefinedSpace, list[str]]:
+    """Rebuild the driver's refined space from catalog statistics alone.
 
-    Rebuilds the driver's grid sizing from catalog statistics alone:
-    per-dimension caps come from predicate limits and the observed
-    attribute domains, the step is ``gamma / d`` (paper Theorem 1), so
-    the grid holds roughly ``(100 / (gamma / d))^d`` queries when every
-    axis spans its full percent range. Callers can raise ``gamma`` (or
-    add per-predicate limits) *before* burning compute.
+    Per-dimension caps come from predicate limits and observed
+    attribute domains; axes with neither (no statistics, no explicit
+    limit) fall back to the configured cap and are returned by name as
+    ``unbounded`` — both the ACQ4xx and ACQ5xx passes reason about
+    those.
     """
     query = ctx.query
-    if query.dimensionality == 0:
-        return  # ACQ201 already covers this
-
     max_scores = []
     unbounded: list[str] = []
     for predicate in query.refinable_predicates:
@@ -405,6 +408,24 @@ def cost_pass(ctx: AnalysisContext) -> Iterable[Diagnostic]:
     space = RefinedSpace(
         query, ctx.config.gamma, max_scores, ctx.config.norm, ctx.config.step
     )
+    return space, unbounded
+
+
+def cost_pass(ctx: AnalysisContext) -> Iterable[Diagnostic]:
+    """Estimate the refined-space grid before any query runs.
+
+    Rebuilds the driver's grid sizing from catalog statistics alone:
+    per-dimension caps come from predicate limits and the observed
+    attribute domains, the step is ``gamma / d`` (paper Theorem 1), so
+    the grid holds roughly ``(100 / (gamma / d))^d`` queries when every
+    axis spans its full percent range. Callers can raise ``gamma`` (or
+    add per-predicate limits) *before* burning compute.
+    """
+    query = ctx.query
+    if query.dimensionality == 0:
+        return  # ACQ201 already covers this
+
+    space, unbounded = _build_space(ctx)
 
     for name in unbounded:
         predicate = next(
@@ -454,10 +475,128 @@ def cost_pass(ctx: AnalysisContext) -> Iterable[Diagnostic]:
     )
 
 
+# ----------------------------------------------------------------------
+# Pass 5: plan-cost / cache-geometry checks (ACQ5xx)
+# ----------------------------------------------------------------------
+class _PlanProbe:
+    """Minimal stand-in for an evaluation layer during planning.
+
+    :func:`~repro.core.plan.choose_explore_mode` only reads
+    ``layer.database`` (for statistics) and optional cache-key hooks
+    (absent here, so the probe always keys as a process-local layer).
+    """
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+
+def plan_pass(ctx: AnalysisContext) -> Iterable[Diagnostic]:
+    """Predict the explore plan and flag grid/cache geometry hazards.
+
+    ACQ501 fires when the refined grid cannot fit a whole-grid tensor
+    (``materialize_cell_cap``) — a WARNING under ``auto``/``tiled``
+    (the tiled engine absorbs it at a seam-stitching cost), an ERROR
+    when ``explore_mode='materialized'`` is forced, because execution
+    would raise :class:`~repro.exceptions.QueryModelError`.
+
+    ACQ502 fires when a grid cache is configured but some axis extent
+    derives from ``dim_cap_default`` rather than the query or the data
+    (no catalog statistics, no explicit limit): the cache key then
+    embeds a config value, so tensors cached under one configuration
+    can never be shared with another — silently defeating the
+    persistent tier.
+
+    ACQ503 reports the plan the driver would pick, so benchmark
+    configs see mode flips (incremental vs tiled) before running.
+    """
+    from repro.core.grid_explore import tile_shape_for
+    from repro.core.plan import choose_explore_mode
+    from repro.exceptions import QueryModelError
+
+    query = ctx.query
+    if query.dimensionality == 0:
+        return  # ACQ201 already covers this
+
+    space, unbounded = _build_space(ctx)
+    grid = space.grid_size
+    cap = ctx.config.materialize_cell_cap
+
+    if grid > cap:
+        tile_shape = tile_shape_for(space, cap)
+        tile_cells = math.prod(tile_shape)
+        tiles = math.prod(
+            -(-(limit + 1) // width)
+            for limit, width in zip(space.max_coords, tile_shape)
+        )
+        forced = ctx.config.explore_mode == "materialized"
+        yield Diagnostic(
+            code="ACQ501",
+            severity=Severity.ERROR if forced else Severity.WARNING,
+            message=(
+                f"the refined grid holds {grid:g} cells, over "
+                f"materialize_cell_cap ({cap:g}); "
+                + (
+                    "explore_mode='materialized' would raise at run time"
+                    if forced
+                    else (
+                        f"the tiled engine splits it into {tiles} tiles "
+                        f"of {tile_cells:g} cells (shape "
+                        f"{list(tile_shape)})"
+                    )
+                )
+            ),
+            hint=(
+                "raise gamma or add predicate limits to shrink the grid, "
+                "raise materialize_cell_cap, or use explore_mode='auto'"
+            ),
+        )
+
+    if unbounded:
+        grid_cache = ctx.config.resolve_grid_cache()
+        if grid_cache is not None:
+            names = ", ".join(repr(name) for name in sorted(unbounded))
+            yield Diagnostic(
+                code="ACQ502",
+                severity=Severity.WARNING,
+                message=(
+                    f"a grid cache is configured but axis extent(s) for "
+                    f"{names} derive from dim_cap_default "
+                    f"({ctx.config.dim_cap_default:g}), not the query or "
+                    "data; cached tensors key on that config value and "
+                    "cannot be shared across configurations"
+                ),
+                hint=(
+                    "set explicit per-predicate limits so cache keys "
+                    "depend only on the query and the data"
+                ),
+            )
+
+    try:
+        plan = choose_explore_mode(
+            _PlanProbe(ctx.database), query, space, ctx.config
+        )
+    except QueryModelError:
+        return  # forced-materialized over cap: ACQ501 already reported
+    visited = (
+        f", estimated visited={plan.estimated_visited:g} cells"
+        if plan.estimated_visited
+        else ""
+    )
+    yield Diagnostic(
+        code="ACQ503",
+        severity=Severity.INFO,
+        message=(
+            f"plan estimate: explore mode {plan.mode!r} "
+            f"({plan.reason}), grid={grid:g} cells{visited}"
+        ),
+    )
+
+
 #: Pass registry, in execution order.
 PASSES: tuple[AnalysisPass, ...] = (
     satisfiability_pass,
     refinability_pass,
     aggregate_pass,
     cost_pass,
+    plan_pass,
 )

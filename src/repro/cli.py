@@ -262,7 +262,17 @@ def _read_lint_source(argument: str) -> str:
 
 
 def lint_main(argv: Optional[list[str]] = None) -> int:
-    """``python -m repro lint`` — analyze an ACQ without running it."""
+    """``python -m repro lint`` — analyze an ACQ without running it.
+
+    ``--engine`` switches to the self-lint: the engine-invariant
+    static analysis over the repro source tree itself
+    (:mod:`repro.analysis.engine_lint`).
+    """
+    if argv is not None and "--engine" in argv:
+        from repro.analysis.engine_lint import engine_lint_main
+
+        rest = [arg for arg in argv if arg != "--engine"]
+        return engine_lint_main(rest)
     args = build_lint_parser().parse_args(argv)
     database = Database("lint")
     if not _load_tables(database, args.csv):

@@ -300,13 +300,15 @@ class TiledGridExplorer:
         (0 when every touched tile was already materialized or served
         from cache), mirroring ``Explorer.prime_cells`` accounting.
         """
-        before = self.cells_executed
+        with self._count_lock:
+            before = self.cells_executed
         tiles = {
             tuple(int(c) // w for c, w in zip(coords, self.tile_shape))
             for coords in coords_list
         }
         self._ensure_tiles(sorted(tiles))
-        return self.cells_executed - before
+        with self._count_lock:
+            return self.cells_executed - before
 
     # -- tiling --------------------------------------------------------
     def tile_bounds(self, tile: Sequence[int]) -> tuple[Coords, Coords]:

@@ -459,10 +459,12 @@ class EvaluationLayer:
             self.stats.parallel_tiles += tiles
 
     def _timed(self) -> _Timer:
-        return _Timer(self.stats, self._stats_lock)
+        with self._stats_lock:
+            return _Timer(self.stats, self._stats_lock)
 
     def reset_stats(self) -> None:
-        self.stats = ExecutionStats()
+        with self._stats_lock:
+            self.stats = ExecutionStats()
 
 
 def grid_identity_tensor(

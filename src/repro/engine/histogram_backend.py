@@ -143,7 +143,8 @@ class HistogramBackend(EvaluationLayer):
                 if candidate.nrows
                 else 0.0
             )
-        self.stats.rows_scanned += candidate.rows_scanned
+        with self._stats_lock:
+            self.stats.rows_scanned += candidate.rows_scanned
         return _HistogramPrepared(
             query=query,
             histograms=histograms,

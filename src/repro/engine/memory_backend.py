@@ -102,7 +102,8 @@ class MemoryBackend(EvaluationLayer):
             candidate = build_candidate(
                 self.database, query, caps, self.max_rows
             )
-        self.stats.rows_scanned += candidate.rows_scanned
+        with self._stats_lock:
+            self.stats.rows_scanned += candidate.rows_scanned
         return _MemoryPrepared(query=query, candidate=candidate, dim_caps=caps)
 
     def useful_max_scores(self, prepared: _MemoryPrepared) -> list[float]:
@@ -356,7 +357,8 @@ class MemoryBackend(EvaluationLayer):
             index = GridBitmapIndex.from_scores(
                 prepared.candidate.scores, space
             )
-        self.stats.rows_scanned += prepared.candidate.nrows
+        with self._stats_lock:
+            self.stats.rows_scanned += prepared.candidate.nrows
         return index
 
     def _grid_for(self, prepared: _MemoryPrepared, space: RefinedSpace) -> dict:

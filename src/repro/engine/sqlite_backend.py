@@ -166,7 +166,8 @@ class SQLiteBackend(EvaluationLayer):
         self._connection.commit()
         self._loaded.add(table_name)
         self._load_generation += 1
-        self.stats.rows_scanned += len(table)
+        with self._stats_lock:
+            self.stats.rows_scanned += len(table)
 
     def _ensure_index(self, table_name: str, column_name: str) -> None:
         key = f"{table_name}.{column_name}"

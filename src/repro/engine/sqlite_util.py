@@ -2,7 +2,7 @@
 
 The :mod:`sqlite3` standard-library module is an evaluation-layer
 implementation detail: the repo invariant (enforced by
-``tools/lint_invariants.py``) is that only ``repro.engine`` imports it.
+engine lint, EL302) is that only ``repro.engine`` imports it.
 Code elsewhere that needs a SQLite file as a storage substrate — e.g.
 the paged sub-aggregate store — goes through this seam instead.
 """

@@ -96,6 +96,15 @@ class AnalysisError(ReproError):
         self.report = report
 
 
+class LintBaselineError(ReproError):
+    """An engine-lint baseline-suppressions file could not be parsed.
+
+    Raised by :func:`repro.analysis.engine_lint.parse_suppressions`
+    when an entry is malformed or lacks the mandatory reason; the gate
+    must fail loudly rather than silently ignore a suppression.
+    """
+
+
 class DataGenError(ReproError):
     """Synthetic data generation was mis-configured."""
 

@@ -80,7 +80,21 @@ def _run_point(
     tqgen: Optional[dict] = None,
 ) -> None:
     # Fail a misconfigured sweep in milliseconds, not after a long run.
-    preflight_query(layer, workload.query, config)
+    report = preflight_query(layer, workload.query, config)
+    # Surface the analyzer's plan verdicts (ACQ5xx: grid over the
+    # tensor cap, config-keyed cache geometry) next to the
+    # measurements, so a benchmark config silently exceeding the cell
+    # cap is visible in the saved result rows.
+    plan_warnings = (
+        sum(
+            1
+            for diagnostic in report.diagnostics
+            if diagnostic.code.startswith("ACQ5")
+            and diagnostic.severity.name != "INFO"
+        )
+        if report is not None
+        else 0
+    )
     for method in methods:
         run = run_method(
             method,
@@ -92,6 +106,7 @@ def _run_point(
         row = Row.from_run(x_name, x_value, run)
         row.extra.setdefault("target", workload.target)
         row.extra.setdefault("original", workload.original_value)
+        row.extra.setdefault("plan_warnings", plan_warnings)
         rows.append(row)
 
 

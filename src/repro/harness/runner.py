@@ -10,7 +10,7 @@ the paper's numbers reflect).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.baselines import (
     BinSearch,
@@ -31,6 +31,9 @@ from repro.engine.memory_backend import MemoryBackend
 from repro.engine.sqlite_backend import SQLiteBackend
 from repro.exceptions import ReproError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis import AnalysisReport
+
 METHOD_NAMES = ("ACQUIRE", "Top-k", "TQGen", "BinSearch")
 
 logger = logging.getLogger(__name__)
@@ -40,18 +43,21 @@ def preflight_query(
     layer: EvaluationLayer,
     query: Query,
     config: Optional[AcquireConfig] = None,
-) -> None:
+) -> Optional["AnalysisReport"]:
     """Statically validate a workload query before a long run.
 
     Raises :class:`~repro.exceptions.AnalysisError` on ERROR-level
     diagnostics (provably unsatisfiable constraint, nothing to refine)
     so misconfigured experiment sweeps fail in milliseconds instead of
     after hours of sub-queries; warnings are logged and the run
-    proceeds. Backends without a catalog skip the check.
+    proceeds. Returns the full analyzer report so callers (the
+    experiment sweeps) can surface plan verdicts — e.g. the ACQ5xx
+    grid/cache warnings — next to their measurements. Backends without
+    a catalog skip the check and return None.
     """
     database = getattr(layer, "database", None)
     if database is None:
-        return
+        return None
     from repro.analysis import analyze
 
     report = analyze(query, database, config or AcquireConfig())
@@ -63,6 +69,7 @@ def preflight_query(
             diagnostic.message,
         )
     report.raise_if_errors()
+    return report
 
 
 def make_backend(database: Database, kind: str = "sqlite") -> EvaluationLayer:

@@ -119,8 +119,9 @@ class TestGoldenRendering:
         )
         rendered = report.render()
         assert rendered.startswith("info[ACQ403]: search-cost estimate")
+        assert "info[ACQ503]: plan estimate" in rendered
         assert rendered.endswith(
-            "analysis ok: 0 error(s), 0 warning(s), 1 note(s)"
+            "analysis ok: 0 error(s), 0 warning(s), 2 note(s)"
         )
 
 

@@ -256,6 +256,76 @@ class TestCostPass:
         assert "ACQ402" not in codes(analyze(query, database))
 
 
+class TestPlanPass:
+    """ACQ5xx: plan-cost and cache-geometry checks."""
+
+    def test_grid_over_cap_is_acq501_warning(self, shop_db):
+        report = sql(
+            shop_db,
+            "SELECT * FROM products CONSTRAINT COUNT(*) = 10 "
+            "WHERE price <= 400 AND rating <= 4",
+            config=AcquireConfig(materialize_cell_cap=10),
+        )
+        assert "ACQ501" in codes(report) and report.ok
+        (diag,) = [d for d in report.diagnostics if d.code == "ACQ501"]
+        assert "tiles" in diag.message
+
+    def test_forced_materialized_over_cap_is_error(self, shop_db):
+        report = sql(
+            shop_db,
+            "SELECT * FROM products CONSTRAINT COUNT(*) = 10 "
+            "WHERE price <= 400 AND rating <= 4",
+            config=AcquireConfig(
+                materialize_cell_cap=10, explore_mode="materialized"
+            ),
+        )
+        assert "ACQ501" in codes(report) and report.has_errors
+        # execution would raise, so no plan estimate is possible
+        assert "ACQ503" not in codes(report)
+
+    def test_grid_within_cap_has_no_acq501(self, shop_db):
+        report = sql(
+            shop_db,
+            "SELECT * FROM products CONSTRAINT COUNT(*) = 10 "
+            "WHERE price <= 50",
+        )
+        assert "ACQ501" not in codes(report)
+
+    def test_statless_axis_with_cache_is_acq502(self):
+        from repro.core.grid_cache import GridTensorCache
+
+        database = Database("j")
+        database.create_table("a", {"x": np.linspace(0.0, 100.0, 50)})
+        database.create_table("b", {"x": np.linspace(0.0, 100.0, 50)})
+        join = JoinPredicate(name="a_b", left=col("a.x"), right=col("b.x"))
+        constraint = AggregateConstraint(
+            AggregateSpec(get_aggregate("COUNT")), ConstraintOp.GE, 10
+        )
+        query = Query.build("j", ("a", "b"), [join], constraint)
+        with_cache = analyze(
+            query,
+            database,
+            config=AcquireConfig(grid_cache=GridTensorCache()),
+        )
+        assert "ACQ502" in codes(with_cache)
+        (diag,) = [
+            d for d in with_cache.diagnostics if d.code == "ACQ502"
+        ]
+        assert "'a_b'" in diag.message
+        # without a cache there is nothing whose keys could fragment
+        assert "ACQ502" not in codes(analyze(query, database))
+
+    def test_every_live_query_gets_a_plan_note(self, shop_db):
+        report = sql(
+            shop_db,
+            "SELECT * FROM products CONSTRAINT COUNT(*) = 10 "
+            "WHERE price <= 50",
+        )
+        notes = [d for d in report.diagnostics if d.code == "ACQ503"]
+        assert len(notes) == 1
+        assert "explore mode" in notes[0].message
+
+
 class TestLayerSizes:
     """The DP behind the ACQ403 per-layer query counts."""
 
