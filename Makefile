@@ -1,12 +1,40 @@
 # Canonical developer commands for the ACQUIRE reproduction.
 
-.PHONY: install test bench bench-smoke bench-parallel experiments examples clean lint lint-engine typecheck
+.PHONY: install test test-fast test-cov corpus-gate corpus-rebuild bench bench-smoke bench-parallel experiments examples clean lint lint-engine typecheck
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Tier-1 minus the slow corpus/differential tests (docs/CORPUS.md).
+test-fast:
+	pytest tests/ -m "not slow"
+
+# Coverage floor on the refinement core + SQL extension (CI enforces
+# it with pytest-cov installed; skipped locally when the plugin is
+# missing so offline checkouts still have a working target).
+test-cov:
+	@if python -c "import pytest_cov" 2>/dev/null; then \
+		PYTHONPATH=src python -m pytest -q \
+			--cov=src/repro/core --cov=src/repro/sqlext \
+			--cov-report=term-missing --cov-fail-under=75; \
+	else \
+		echo "pytest-cov not installed; skipping coverage gate (CI runs it)"; \
+	fi
+
+# Quality-regression gate: replays every committed gold-standard
+# triple (tests/corpus/data/corpus_manifest.json) through all four
+# explore backends and asserts 100% oracle-optimality plus stable
+# top-k rankings. See docs/CORPUS.md.
+corpus-gate:
+	PYTHONPATH=src python -m repro.corpus gate
+
+# Regenerate the committed manifest (only after a deliberate scoring
+# or corpus change; the diff is the review artifact).
+corpus-rebuild:
+	PYTHONPATH=src python -m repro.corpus rebuild
 
 # Engine-invariant lint always runs (see docs/ANALYSIS.md: EL1xx
 # purity, EL2xx locks, EL3xx exceptions/imports, EL4xx stats drift);

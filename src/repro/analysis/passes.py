@@ -80,10 +80,16 @@ class AnalysisContext:
         raw = self.spans.predicate_span(name)
         return Span(*raw) if raw is not None else None
 
-    def constraint_span(self) -> Optional[Span]:
-        if self.spans is None or self.spans.constraint is None:
+    def constraint_span(self, index: int = 0) -> Optional[Span]:
+        """Span of the index-th constraint clause (0 = the primary).
+
+        Multi-constraint ACQs carry one span per clause, so each
+        diagnostic can point at the constraint it is about.
+        """
+        if self.spans is None:
             return None
-        return Span(*self.spans.constraint)
+        raw = self.spans.constraint_span_at(index)
+        return Span(*raw) if raw is not None else None
 
     # -- catalog plumbing -----------------------------------------------
     def column_stats(
@@ -117,19 +123,28 @@ AnalysisPass = Callable[[AnalysisContext], Iterable[Diagnostic]]
 # Pass 1: constraint satisfiability (ACQ1xx)
 # ----------------------------------------------------------------------
 def satisfiability_pass(ctx: AnalysisContext) -> Iterable[Diagnostic]:
-    """Compare the constraint target against catalog upper bounds.
+    """Compare each constraint target against catalog upper bounds.
 
     Full refinement can never admit more than the cross product of the
     FROM tables (COUNT), more mass than a column's total sum (SUM over
     a single table with non-negative values), or values outside a
     column's observed [min, max] (MIN / MAX / AVG). Targets beyond
     those bounds are provably unmeetable without running anything.
+    Multi-constraint ACQs are conjunctions, so every clause is checked:
+    one provably-unmeetable clause sinks the whole query.
     """
-    constraint = ctx.query.constraint
+    for index, constraint in enumerate(ctx.query.constraints):
+        yield from _constraint_satisfiability(
+            ctx, constraint, ctx.constraint_span(index)
+        )
+
+
+def _constraint_satisfiability(
+    ctx: AnalysisContext, constraint, span: Optional[Span]
+) -> Iterable[Diagnostic]:
     aggregate = constraint.spec.aggregate
     op = constraint.op
     target = constraint.target
-    span = ctx.constraint_span()
     subject = constraint.describe()
 
     def beyond(bound: float) -> bool:
@@ -326,11 +341,19 @@ def aggregate_pass(ctx: AnalysisContext) -> Iterable[Diagnostic]:
 
     Non-OSP aggregates never bind (``get_aggregate`` rejects them; the
     SQL entry point turns that into ACQ301), so this pass covers the
-    statically detectable soft spots of the ones that do.
+    statically detectable soft spots of the ones that do — every clause
+    of a multi-constraint conjunction gets its own check.
     """
-    constraint = ctx.query.constraint
+    for index, constraint in enumerate(ctx.query.constraints):
+        yield from _constraint_aggregate_checks(
+            ctx, constraint, ctx.constraint_span(index)
+        )
+
+
+def _constraint_aggregate_checks(
+    ctx: AnalysisContext, constraint, span: Optional[Span]
+) -> Iterable[Diagnostic]:
     aggregate = constraint.spec.aggregate
-    span = ctx.constraint_span()
 
     if aggregate.name == "AVG":
         yield Diagnostic(

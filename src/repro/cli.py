@@ -180,6 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for the sharded tile pipeline (tiled "
         "explore mode); answers are bit-identical at any worker count",
     )
+    parser.add_argument(
+        "--top-k",
+        type=int,
+        default=1,
+        metavar="K",
+        help="keep exploring until the K best answer layers are "
+        "complete, so the printed alternatives are a certified "
+        "score-ranked list (default 1: the paper's stopping rule)",
+    )
     parser.add_argument("--alternatives", type=int, default=3,
                         help="how many refined queries to print")
     parser.add_argument("--show-rows", type=int, default=0,
@@ -335,12 +344,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         explore_mode=args.explore_mode,
         grid_cache=cache,
         tile_workers=args.tile_workers,
+        top_k=args.top_k,
     )
     acquire = Acquire(layer)
     result = acquire.run(query, config)
 
     print(result.summary())
-    shown = result.answers[: args.alternatives] or (
+    shown = result.answers[: max(args.alternatives, args.top_k)] or (
         [result.closest] if result.closest else []
     )
     for index, answer in enumerate(shown, start=1):

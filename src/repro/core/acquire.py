@@ -38,7 +38,12 @@ from repro.core.plan import PlanCalibration, choose_explore_mode
 from repro.core.query import ConstraintOp, Query
 from repro.core.refined_space import RefinedSpace
 from repro.core.result import AcquireResult, RefinedQuery, SearchStats
-from repro.core.scoring import LpNorm, Norm
+from repro.core.scoring import (
+    ConstraintDistance,
+    LpNorm,
+    MaxConstraintDistance,
+    Norm,
+)
 from repro.engine.backends import EvaluationLayer
 from repro.exceptions import QueryModelError
 
@@ -107,6 +112,19 @@ class AcquireConfig:
             and stitches them serially, so answers stay bit-identical
             to serial at any worker count. 1 (default) is fully
             serial.
+        top_k: how many distinct answer layers to complete before the
+            traversal stops. 1 (default) reproduces the paper's
+            stopping rule — finish the first layer that produced an
+            answer; ``k > 1`` keeps exploring until the k best-ranked
+            answers' layers are complete, so ``result.top(k)`` is a
+            certified ranking of alternative refinements (the first
+            element is always identical to the ``top_k=1`` answer).
+        constraint_distance: combiner for per-constraint errors of a
+            multi-constraint ACQ (``CONSTRAINT c1 AND c2``); defaults
+            to :class:`~repro.core.scoring.MaxConstraintDistance`,
+            whose conjunction semantics make ``error <= delta`` mean
+            "every constraint within delta". Identity for
+            single-constraint queries either way.
         cache_path: directory for a cross-process
             :class:`~repro.core.grid_cache.PersistentGridCache` tier.
             Only consulted when ``grid_cache`` is None: the driver
@@ -135,8 +153,12 @@ class AcquireConfig:
     calibration: Optional[PlanCalibration] = None
     tile_workers: int = 1
     cache_path: Optional[str] = None
+    top_k: int = 1
+    constraint_distance: Optional[ConstraintDistance] = None
 
     def __post_init__(self) -> None:
+        if self.top_k < 1:
+            raise QueryModelError("top_k must be >= 1")
         if self.gamma <= 0:
             raise QueryModelError("gamma must be > 0")
         if self.delta < 0:
@@ -254,6 +276,7 @@ class Acquire:
         aggregate = constraint.spec.aggregate
         target = constraint.target
         error_fn = config.error_fn or default_error_for(constraint.op)
+        distance = config.constraint_distance or MaxConstraintDistance()
 
         dim_caps = [
             predicate.limit if predicate.limit is not None
@@ -261,6 +284,18 @@ class Acquire:
             for predicate in query.refinable_predicates
         ]
         prepared = self.layer.prepare(query, dim_caps)
+        # Each extra constraint of a multi-constraint ACQ evaluates
+        # through its own prepared handle: the Explore recurrence only
+        # carries the primary aggregate's cell states, so the extras are
+        # measured with direct box queries at each examined grid point.
+        extra_ctx = [
+            (
+                extra,
+                self.layer.prepare(query.with_only_constraint(extra), dim_caps),
+                default_error_for(extra.op),
+            )
+            for extra in query.extra_constraints
+        ]
         useful = self.layer.useful_max_scores(prepared)
         max_scores = [
             min(cap, score) for cap, score in zip(dim_caps, useful)
@@ -309,6 +344,7 @@ class Acquire:
             )
         try:
             stats = SearchStats(
+                top_k=config.top_k,
                 explore_mode=plan.mode,
                 plan_reason=plan.reason,
                 estimated_visited=plan.estimated_visited,
@@ -333,14 +369,28 @@ class Acquire:
 
             answers: list[RefinedQuery] = []
             closest: Optional[RefinedQuery] = None
-            answer_layer = math.inf
+            # Grid-layer QScores at which answers were recorded, in
+            # traversal (hence non-decreasing) order. The stop threshold
+            # is the k-th smallest: with top_k=1 this is exactly the
+            # paper's answer_layer rule, with k > 1 the traversal keeps
+            # going until the k best answer layers are complete.
+            answer_layers: list[float] = []
+
+            def answer_threshold() -> float:
+                if len(answer_layers) < config.top_k:
+                    return math.inf
+                return answer_layers[config.top_k - 1]
 
             # Early-stop bookkeeping for monotone aggregates with equality
             # constraints: every query in layer k+1 contains some query in
             # layer k, so once an entire layer overshoots target*(1+delta)
-            # no later layer can come back within the threshold.
+            # no later layer can come back within the threshold. A
+            # multi-constraint conjunction breaks the monotone argument
+            # for the combined error, so extras disable the shortcut.
             check_overshoot = (
-                constraint.op is ConstraintOp.EQ and aggregate.monotone_expanding
+                constraint.op is ConstraintOp.EQ
+                and aggregate.monotone_expanding
+                and not extra_ctx
             )
             layer_key: Optional[float] = None
             layer_min_actual = math.inf
@@ -356,8 +406,8 @@ class Acquire:
             traversal = make_traversal(space, config.traversal)
             for layer_scored in traversal.layers_scored():
                 first_qscore = layer_scored[0][1]
-                if first_qscore > answer_layer + _LAYER_EPS:
-                    break  # the answer layer is fully explored
+                if first_qscore > answer_threshold() + _LAYER_EPS:
+                    break  # the k-th answer layer is fully explored
                 if check_overshoot:
                     key = round(first_qscore, LAYER_DECIMALS)
                     if layer_key is None:
@@ -381,7 +431,7 @@ class Acquire:
                         [coords for coords, _ in layer_scored[:remaining]]
                     )
                 for coords, qscore in layer_scored:
-                    if qscore > answer_layer + _LAYER_EPS:
+                    if qscore > answer_threshold() + _LAYER_EPS:
                         stop = True
                         break
                     if stats.grid_queries_examined >= config.max_grid_queries:
@@ -390,11 +440,22 @@ class Acquire:
                     stats.grid_queries_examined += 1
 
                     actual = explorer.compute_aggregate(coords)
-                    error = error_fn(target, actual)
+                    primary_error = error_fn(target, actual)
+                    if extra_ctx:
+                        extra_values, extra_errors = self._extra_aggregates(
+                            extra_ctx, space.scores(coords)
+                        )
+                        error = distance.combine(
+                            (primary_error,) + extra_errors
+                        )
+                    else:
+                        extra_values = ()
+                        error = primary_error
                     if check_overshoot and not math.isnan(actual):
                         layer_min_actual = min(layer_min_actual, actual)
                     refined = self._refined_query(
-                        query, space, coords, actual, error
+                        query, space, coords, actual, error,
+                        extra_values=extra_values,
                     )
                     closest = _closer(closest, refined)
 
@@ -404,12 +465,16 @@ class Acquire:
                             coords, actual, error, qscore,
                         )
                         answers.append(refined)
-                        answer_layer = min(answer_layer, qscore)
+                        answer_layers.append(qscore)
                     elif (
                         constraint.op is ConstraintOp.EQ
+                        and not extra_ctx
                         and not math.isnan(actual)
                         and actual > target
                     ):
+                        # Off-grid bisection probes only measure the
+                        # primary aggregate, so repartitioning is
+                        # restricted to single-constraint queries.
                         candidate = self._repartition(
                             prepared, space, coords, target, error_fn, config,
                             stats,
@@ -418,7 +483,7 @@ class Acquire:
                             closest = _closer(closest, candidate)
                             if candidate.error <= config.delta:
                                 answers.append(candidate)
-                                answer_layer = min(answer_layer, qscore)
+                                answer_layers.append(qscore)
                 if stop:
                     break
 
@@ -461,6 +526,21 @@ class Acquire:
                 closer()
 
     # ------------------------------------------------------------------
+    def _extra_aggregates(
+        self,
+        extra_ctx: Sequence[tuple],
+        scores: Sequence[float],
+    ) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """Evaluate every extra constraint at one refinement vector."""
+        values: list[float] = []
+        errors: list[float] = []
+        for extra, prepared_extra, extra_error_fn in extra_ctx:
+            state = self.layer.execute_box(prepared_extra, tuple(scores))
+            value = extra.spec.aggregate.finalize(state)
+            values.append(value)
+            errors.append(extra_error_fn(extra.target, value))
+        return tuple(values), tuple(errors)
+
     def _refined_query(
         self,
         query: Query,
@@ -469,6 +549,7 @@ class Acquire:
         actual: float,
         error: float,
         scores: Optional[Sequence[float]] = None,
+        extra_values: tuple[float, ...] = (),
     ) -> RefinedQuery:
         if scores is None:
             scores = space.scores(coords)
@@ -487,6 +568,7 @@ class Acquire:
             error=error,
             intervals=intervals,
             coords=grid_coords,
+            extra_values=extra_values,
         )
 
     def _repartition(

@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from repro.core.error import default_error_for
 from repro.core.query import ConstraintOp, Query
 from repro.core.result import AcquireResult, RefinedQuery, SearchStats
-from repro.core.scoring import Norm
+from repro.core.scoring import MaxConstraintDistance, Norm
 from repro.engine.backends import EvaluationLayer
 from repro.exceptions import QueryModelError
 
@@ -115,17 +115,39 @@ def contract_query(
     aggregate = constraint.spec.aggregate
     target = constraint.target
     error_fn = config.error_fn or default_error_for(constraint.op)
+    distance = config.constraint_distance or MaxConstraintDistance()
 
     prepared = layer.prepare(query, [0.0] * query.dimensionality)
+    # Extra constraints of a multi-constraint ACQ evaluate through their
+    # own prepared handles, one box query per examined shrink point.
+    extra_ctx = [
+        (
+            extra,
+            layer.prepare(
+                query.with_only_constraint(extra),
+                [0.0] * query.dimensionality,
+            ),
+            default_error_for(extra.op),
+        )
+        for extra in query.extra_constraints
+    ]
     space = ContractionSpace(query, config.gamma, config.norm, config.step)
-    stats = SearchStats()
+    stats = SearchStats(top_k=config.top_k)
 
     original_state = layer.execute_box(prepared, (0.0,) * space.d)
     original_value = aggregate.finalize(original_state)
 
     answers: list[RefinedQuery] = []
     closest: Optional[RefinedQuery] = None
-    answer_layer = math.inf
+    # Heap-pop QScores at which answers were recorded (non-decreasing);
+    # the stop threshold is the k-th smallest, exactly the expansion
+    # path's generalized answer-layer rule.
+    answer_layers: list[float] = []
+
+    def answer_threshold() -> float:
+        if len(answer_layers) < config.top_k:
+            return math.inf
+        return answer_layers[config.top_k - 1]
 
     # Best-first over shrinkage grid, mirroring the Expand phase but
     # with subtree pruning once a monotone aggregate falls below any
@@ -134,7 +156,7 @@ def contract_query(
     queued: set[Coords] = {space.origin}
     while heap:
         qscore, total, coords = heapq.heappop(heap)
-        if qscore > answer_layer + _LAYER_EPS:
+        if qscore > answer_threshold() + _LAYER_EPS:
             break
         if stats.grid_queries_examined >= config.max_grid_queries:
             break
@@ -147,8 +169,23 @@ def contract_query(
             else layer.execute_box(prepared, scores)
         )
         actual = aggregate.finalize(state)
-        error = error_fn(target, actual)
-        refined = _refined(query, space, scores, actual, error, coords)
+        primary_error = error_fn(target, actual)
+        extra_values: tuple[float, ...] = ()
+        if extra_ctx:
+            extra_errors = []
+            values = []
+            for extra, prepared_extra, extra_error_fn in extra_ctx:
+                extra_state = layer.execute_box(prepared_extra, scores)
+                value = extra.spec.aggregate.finalize(extra_state)
+                values.append(value)
+                extra_errors.append(extra_error_fn(extra.target, value))
+            extra_values = tuple(values)
+            error = distance.combine([primary_error, *extra_errors])
+        else:
+            error = primary_error
+        refined = _refined(
+            query, space, scores, actual, error, coords, extra_values
+        )
         closest = _closer(closest, refined)
 
         overshrunk = (
@@ -158,8 +195,8 @@ def contract_query(
         )
         if error <= config.delta:
             answers.append(refined)
-            answer_layer = min(answer_layer, qscore)
-        elif overshrunk and constraint.op is ConstraintOp.EQ:
+            answer_layers.append(qscore)
+        elif overshrunk and constraint.op is ConstraintOp.EQ and not extra_ctx:
             candidate = _repartition_shrink(
                 layer,
                 prepared,
@@ -175,10 +212,17 @@ def contract_query(
                 closest = _closer(closest, candidate)
                 if candidate.error <= config.delta:
                     answers.append(candidate)
-                    answer_layer = min(answer_layer, qscore)
+                    answer_layers.append(qscore)
 
-        if overshrunk:
-            continue  # monotone: deeper shrinkage only reduces further
+        if overshrunk and config.top_k == 1 and not extra_ctx:
+            # Monotone: deeper shrinkage only reduces further, and with
+            # k=1 no pruned descendant can reach the first answer rank.
+            # A top-k ranking *does* want those deeper satisfying points
+            # (a <= constraint's answers get cheaper to satisfy, not
+            # rarer, as shrinkage grows), and a conjunction of
+            # constraints voids the monotone argument, so both keep
+            # expanding.
+            continue
         for dim in range(space.d):
             if coords[dim] >= space.max_coords[dim]:
                 continue
@@ -209,6 +253,7 @@ def _refined(
     actual: float,
     error: float,
     coords: Optional[Coords],
+    extra_values: tuple[float, ...] = (),
 ) -> RefinedQuery:
     intervals = tuple(
         predicate.interval_at(score)
@@ -222,6 +267,7 @@ def _refined(
         error=error,
         intervals=intervals,
         coords=coords,
+        extra_values=extra_values,
     )
 
 

@@ -155,11 +155,18 @@ class SelectPredicate(_BasePredicate):
         self._require_refinable(score)
         amount = self._amount(score)
         if self.direction is Direction.UPPER:
-            amount = max(amount, self.interval.lo - self.interval.hi)
-            return Interval(self.interval.lo, self.interval.hi + amount)
+            # Clamp the endpoint itself, not just ``amount``: at full
+            # shrink, ``hi + (lo - hi)`` can land a few ulps below
+            # ``lo`` and a point interval must not become empty.
+            return Interval(
+                self.interval.lo,
+                max(self.interval.lo, self.interval.hi + amount),
+            )
         if self.direction is Direction.LOWER:
-            amount = max(amount, self.interval.lo - self.interval.hi)
-            return Interval(self.interval.lo - amount, self.interval.hi)
+            return Interval(
+                min(self.interval.hi, self.interval.lo - amount),
+                self.interval.hi,
+            )
         return self.interval.expand_both(max(amount, 0.0))
 
     def scores_of_values(self, values: np.ndarray) -> np.ndarray:

@@ -92,6 +92,7 @@ class Query:
     tables: tuple[str, ...]
     predicates: tuple[Predicate, ...]
     constraint: AggregateConstraint
+    extra_constraints: tuple[AggregateConstraint, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.tables:
@@ -117,12 +118,31 @@ class Query:
         tables: Sequence[str],
         predicates: Sequence[Predicate],
         constraint: AggregateConstraint,
+        extra_constraints: Sequence[AggregateConstraint] = (),
     ) -> "Query":
-        return cls(name, tuple(tables), tuple(predicates), constraint)
+        return cls(
+            name,
+            tuple(tables),
+            tuple(predicates),
+            constraint,
+            tuple(extra_constraints),
+        )
 
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
+    @property
+    def constraints(self) -> tuple[AggregateConstraint, ...]:
+        """All aggregate constraints, primary first.
+
+        A multi-constraint ACQ (``CONSTRAINT c1 AND c2 ...``) is a
+        conjunction: a refined query satisfies the ACQ only when every
+        constraint's aggregate error is within delta. The first
+        constraint drives the Expand traversal; the extras are checked
+        per examined grid point.
+        """
+        return (self.constraint,) + self.extra_constraints
+
     @property
     def refinable_predicates(self) -> tuple[Predicate, ...]:
         """The d flexible predicates — the refined space dimensions."""
@@ -166,12 +186,24 @@ class Query:
     def with_constraint(self, constraint: AggregateConstraint) -> "Query":
         return replace(self, constraint=constraint)
 
+    def with_only_constraint(self, constraint: AggregateConstraint) -> "Query":
+        """Single-constraint view: replace the primary, drop the extras.
+
+        The driver and the corpus oracle evaluate each constraint of a
+        multi-constraint ACQ through its own prepared handle; this is
+        the query those handles are prepared from.
+        """
+        return replace(self, constraint=constraint, extra_constraints=())
+
     def with_predicates(self, predicates: Sequence[Predicate]) -> "Query":
         return replace(self, predicates=tuple(predicates))
 
     def describe(self) -> str:
         lines = [f"SELECT * FROM {', '.join(self.tables)}"]
-        lines.append(f"CONSTRAINT {self.constraint.describe()}")
+        lines.append(
+            "CONSTRAINT "
+            + " AND ".join(c.describe() for c in self.constraints)
+        )
         conditions = []
         for predicate in self.predicates:
             text = predicate.describe()

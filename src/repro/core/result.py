@@ -9,6 +9,7 @@ from typing import Optional
 from repro.core.interval import Interval
 from repro.core.query import Query
 from repro.engine.backends import ExecutionStats
+from repro.exceptions import QueryModelError
 
 
 @dataclass(frozen=True)
@@ -20,10 +21,16 @@ class RefinedQuery:
             indexed like ``query.refinable_predicates``.
         qscore: query refinement score under the configured norm.
         aggregate_value: the actual aggregate ``Aactual`` of this query.
-        error: aggregate error ``Err_A`` against the constraint target.
+        error: aggregate error ``Err_A`` against the constraint target —
+            for multi-constraint ACQs the *combined* distance over all
+            constraints (see
+            :class:`~repro.core.scoring.ConstraintDistance`).
         coords: originating grid coordinates (``None`` for off-grid
             queries produced by repartitioning).
         intervals: refined value interval per refinable predicate.
+        extra_values: actual aggregates of the extra constraints, in
+            ``query.extra_constraints`` order (empty for the common
+            single-constraint case).
     """
 
     query: Query
@@ -33,6 +40,12 @@ class RefinedQuery:
     error: float
     intervals: tuple[Interval, ...]
     coords: Optional[tuple[int, ...]] = None
+    extra_values: tuple[float, ...] = ()
+
+    @property
+    def aggregate_values(self) -> tuple[float, ...]:
+        """Per-constraint actual aggregates, primary first."""
+        return (self.aggregate_value,) + self.extra_values
 
     def describe(self) -> str:
         """Human-readable rendering of the refined predicates."""
@@ -66,8 +79,13 @@ class SearchStats:
     the sharded tile pipeline ran with (0 when the engine was not
     tiled); per-tier cache counters live in ``execution``
     (``persistent_hits``, ``block_hits``, ``parallel_tiles``).
+    ``top_k`` is the ranking depth the search was asked for
+    (``AcquireConfig.top_k``): the traversal keeps exploring layers
+    until the k best answer layers are complete instead of just the
+    first.
     """
 
+    top_k: int = 1
     grid_queries_examined: int = 0
     cells_executed: int = 0
     cells_skipped: int = 0
@@ -107,6 +125,22 @@ class AcquireResult:
         if self.answers:
             return self.answers[0]
         return self.closest
+
+    def top(self, k: Optional[int] = None) -> list[RefinedQuery]:
+        """The k best alternative refinements, (qscore, error)-ranked.
+
+        Defaults to the ``top_k`` the search ran with. The list is
+        score-monotone (non-decreasing qscore) and its first element is
+        always ``best`` when the constraint was satisfied: extra ranks
+        come from exploring *further* layers, which can never displace
+        an earlier one. Fewer than k entries means the space genuinely
+        holds fewer satisfying refinements (within the search budget).
+        """
+        if k is None:
+            k = self.stats.top_k or 1
+        if k < 1:
+            raise QueryModelError(f"top(k) requires k >= 1, got {k}")
+        return self.answers[:k]
 
     @property
     def qscore(self) -> float:

@@ -78,6 +78,58 @@ class LInfNorm:
         return isinstance(other, LInfNorm)
 
 
+class ConstraintDistance(Protocol):
+    """Combine per-constraint aggregate errors into one distance.
+
+    Multi-constraint ACQs (``CONSTRAINT c1 AND c2 ...``) evaluate every
+    constraint at each candidate refinement; the combined distance is
+    what the driver compares against ``delta`` and what breaks ties in
+    the answer ordering.
+    """
+
+    def combine(self, errors: Sequence[float]) -> float:
+        ...
+
+
+class MaxConstraintDistance:
+    """Chebyshev combine: the worst per-constraint error.
+
+    ``combine(errors) <= delta`` iff *every* constraint's error is
+    within delta — the conjunction semantics of a multi-constraint ACQ
+    — which is why this is the default. For a single constraint it is
+    the identity.
+    """
+
+    def combine(self, errors: Sequence[float]) -> float:
+        if not errors:
+            return 0.0
+        return float(max(errors))
+
+    def __repr__(self) -> str:
+        return "MaxConstraintDistance()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MaxConstraintDistance)
+
+
+class SumConstraintDistance:
+    """Additive combine: total violation mass across constraints.
+
+    Unlike :class:`MaxConstraintDistance` this can exceed ``delta``
+    even when each individual error is within it, so it expresses a
+    stricter joint tolerance. Identity for a single constraint.
+    """
+
+    def combine(self, errors: Sequence[float]) -> float:
+        return float(sum(errors))
+
+    def __repr__(self) -> str:
+        return "SumConstraintDistance()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SumConstraintDistance)
+
+
 def pscore_interval(
     original: Interval, refined: Interval, denominator: float | None = None
 ) -> float:

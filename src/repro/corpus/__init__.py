@@ -1,0 +1,61 @@
+"""Gold-standard ACQ corpus: generator, exhaustive oracle, quality gate.
+
+The corpus is the reproduction's ground-truth anchor: a committed set
+of (dataset, ACQ, known-optimal refinement) triples whose labels are
+certified by brute-force enumeration of the full refinement lattice —
+completely independent of the Expand/Explore machinery under test.
+
+* :mod:`repro.corpus.generator` — seeded triple generator spanning
+  expansion, contraction, categorical/ontology and multi-constraint
+  families;
+* :mod:`repro.corpus.oracle` — exhaustive enumeration and ranking of
+  every lattice point (:func:`certify`);
+* :mod:`repro.corpus.manifest` — JSON (de)serialization of the corpus
+  with dataset digests;
+* :mod:`repro.corpus.gate` — the quality-regression gate: re-certifies
+  every committed label and asserts all four Explore engine
+  configurations return oracle-optimal, stably-ranked top-k answers
+  (``make corpus-gate`` / ``python -m repro.corpus gate``).
+"""
+
+from repro.corpus.generator import (
+    TripleSpec,
+    build_database,
+    build_ontologies,
+    realize,
+    sample_specs,
+)
+from repro.corpus.manifest import (
+    CorpusManifest,
+    LabeledTriple,
+    build_manifest,
+    load_manifest,
+    save_manifest,
+)
+from repro.corpus.oracle import (
+    DEFAULT_MAX_POINTS,
+    OracleCertificate,
+    OracleEntry,
+    certify,
+)
+from repro.corpus.gate import GateReport, TripleCheck, run_gate
+
+__all__ = [
+    "TripleSpec",
+    "build_database",
+    "build_ontologies",
+    "realize",
+    "sample_specs",
+    "CorpusManifest",
+    "LabeledTriple",
+    "build_manifest",
+    "load_manifest",
+    "save_manifest",
+    "DEFAULT_MAX_POINTS",
+    "OracleCertificate",
+    "OracleEntry",
+    "certify",
+    "GateReport",
+    "TripleCheck",
+    "run_gate",
+]

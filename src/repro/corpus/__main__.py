@@ -1,0 +1,79 @@
+"""Command-line entry point: ``python -m repro.corpus {gate,rebuild}``.
+
+* ``gate`` — load the committed manifest, gate every triple, print the
+  report, exit non-zero on any regression (wired as ``make
+  corpus-gate`` and the CI ``corpus-gate`` job);
+* ``rebuild`` — regenerate and re-certify the corpus from a seed and
+  write the manifest (the only sanctioned way to change the committed
+  labels).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.corpus.gate import run_gate
+from repro.corpus.manifest import (
+    DEFAULT_MANIFEST_PATH,
+    build_manifest,
+    load_manifest,
+    save_manifest,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.corpus",
+        description="Gold-standard ACQ corpus: quality gate and rebuild.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gate = sub.add_parser(
+        "gate", help="re-certify the committed corpus on all engines"
+    )
+    gate.add_argument(
+        "--manifest",
+        default=str(DEFAULT_MANIFEST_PATH),
+        help="path to the corpus manifest JSON",
+    )
+    gate.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="gate only the first N triples (smoke runs)",
+    )
+
+    rebuild = sub.add_parser(
+        "rebuild", help="regenerate, re-certify and write the corpus"
+    )
+    rebuild.add_argument(
+        "--manifest",
+        default=str(DEFAULT_MANIFEST_PATH),
+        help="path to write the corpus manifest JSON",
+    )
+    rebuild.add_argument(
+        "--seed", type=int, default=0, help="corpus generator seed"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "gate":
+        manifest = load_manifest(args.manifest)
+        report = run_gate(manifest, limit=args.limit)
+        print(report.render())
+        return 0 if report.passed else 1
+    manifest = build_manifest(seed=args.seed)
+    save_manifest(manifest, args.manifest)
+    print(
+        f"wrote {len(manifest.triples)} certified triples "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(manifest.families.items()))}) "
+        f"to {args.manifest}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

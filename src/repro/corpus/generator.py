@@ -1,0 +1,491 @@
+"""Seeded generator of gold-standard (dataset, ACQ, label) triples.
+
+Every triple is fully determined by a :class:`TripleSpec` — a small,
+JSON-serializable recipe holding the dataset parameters and the ACQ
+dialect text. :func:`sample_specs` draws a corpus of specs across four
+families:
+
+* ``expansion`` — ``>=`` / ``=`` constraints the driver answers by
+  expanding predicates (1-3 dimensions, uniform and Zipf-skewed data);
+* ``contraction`` — ``<=`` constraints plus monotone equality
+  constraints whose original query overshoots (the EQ-delegation path);
+* ``categorical`` — ontology-driven refinement of string predicates on
+  the advertising ``users`` table, with the two-level ``cities``
+  taxonomy and the depth-1 flat fallback;
+* ``multi`` — conjunctions ``CONSTRAINT c1 AND c2`` exercising the
+  multi-constraint distance.
+
+Satisfiability by construction: targets are *planted*. The generator
+picks a random lattice point ``p`` of the triple's own refinement grid,
+measures the true aggregate(s) there with direct box queries, and uses
+the measured values as constraint targets — so ``p`` has zero error and
+the oracle is guaranteed a non-empty ranking. Corpus configs run with
+``repartition_iterations=0`` so every driver answer stays on the
+lattice the oracle enumerates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional, Sequence
+
+from repro.core.acquire import AcquireConfig
+from repro.core.contraction import ContractionSpace
+from repro.core.ontology import OntologyTree
+from repro.core.query import Query
+from repro.core.refined_space import RefinedSpace
+from repro.corpus import oracle as corpus_oracle
+from repro.datagen.synthetic import numeric_table, users_table
+from repro.engine.catalog import Database
+from repro.engine.memory_backend import MemoryBackend
+from repro.exceptions import CorpusError
+from repro.sqlext import parse_acq
+
+#: Ranking depth every corpus triple is labeled (and gated) at.
+CORPUS_TOP_K = 3
+
+#: Retry budget for planting a target that meets a family's invariants
+#: (non-zero aggregate, genuine overshoot for EQ-contraction, ...).
+_PLANT_ATTEMPTS = 48
+
+
+@dataclass(frozen=True)
+class TripleSpec:
+    """Recipe for one corpus triple; everything needed to rebuild it.
+
+    ``dataset`` is a JSON-able mapping understood by
+    :func:`build_database` (``kind`` plus generator parameters);
+    ``ontology`` names a taxonomy from :func:`build_ontologies`.
+    """
+
+    triple_id: str
+    family: str  # expansion | contraction | categorical | multi
+    dataset: Mapping[str, object]
+    sql: str
+    gamma: float
+    delta: float
+    top_k: int = CORPUS_TOP_K
+    ontology: Optional[str] = None
+
+    def to_json(self) -> dict:
+        return {
+            "triple_id": self.triple_id,
+            "family": self.family,
+            "dataset": dict(self.dataset),
+            "sql": self.sql,
+            "gamma": self.gamma,
+            "delta": self.delta,
+            "top_k": self.top_k,
+            "ontology": self.ontology,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "TripleSpec":
+        return cls(
+            triple_id=str(data["triple_id"]),
+            family=str(data["family"]),
+            dataset=dict(data["dataset"]),  # type: ignore[call-overload]
+            sql=str(data["sql"]),
+            gamma=float(data["gamma"]),  # type: ignore[arg-type]
+            delta=float(data["delta"]),  # type: ignore[arg-type]
+            top_k=int(data.get("top_k", CORPUS_TOP_K)),  # type: ignore[arg-type]
+            ontology=(
+                None if data.get("ontology") is None
+                else str(data["ontology"])
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Dataset and ontology realization
+# ----------------------------------------------------------------------
+_DATABASE_CACHE: dict[tuple, Database] = {}
+
+
+def _dataset_key(dataset: Mapping[str, object]) -> tuple:
+    return tuple(sorted(
+        (k, tuple(v) if isinstance(v, list) else v)
+        for k, v in dataset.items()
+    ))
+
+
+def build_database(dataset: Mapping[str, object]) -> Database:
+    """Rebuild (and memoize) the catalog database a spec describes."""
+    key = _dataset_key(dataset)
+    cached = _DATABASE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    kind = dataset.get("kind")
+    if kind == "numeric":
+        database = Database("corpus")
+        database.add_table(numeric_table(
+            name=str(dataset.get("name", "data")),
+            n=int(dataset["n"]),  # type: ignore[arg-type]
+            columns=tuple(dataset.get("columns", ("x", "y", "z"))),
+            low=float(dataset.get("low", 0.0)),  # type: ignore[arg-type]
+            high=float(dataset.get("high", 100.0)),  # type: ignore[arg-type]
+            seed=int(dataset["seed"]),  # type: ignore[arg-type]
+            zipf_z=float(dataset.get("zipf_z", 0.0)),  # type: ignore[arg-type]
+        ))
+    elif kind == "users":
+        database = users_table(
+            n=int(dataset["n"]),  # type: ignore[arg-type]
+            seed=int(dataset["seed"]),  # type: ignore[arg-type]
+        )
+    else:
+        raise CorpusError(f"unknown corpus dataset kind {kind!r}")
+    _DATABASE_CACHE[key] = database
+    return database
+
+
+def build_ontologies(
+    name: Optional[str],
+) -> Optional[Mapping[str, OntologyTree]]:
+    """Named taxonomies a spec may bind its categorical predicates to."""
+    if name is None:
+        return None
+    if name == "cities":
+        # Two-level roll-up over the users_table city column: value ->
+        # region -> USA, so one refinement level admits a whole region.
+        tree = OntologyTree.from_mapping(
+            {
+                "USA": ["East", "West", "Central"],
+                "East": ["Boston", "NewYork", "Miami"],
+                "West": ["Seattle", "Portland", "Denver"],
+                "Central": ["Austin", "Chicago"],
+            },
+            root="USA",
+        )
+        return {"city": tree}
+    raise CorpusError(f"unknown corpus ontology {name!r}")
+
+
+def realize(
+    spec: TripleSpec,
+) -> tuple[Database, Query, AcquireConfig]:
+    """Turn a spec into the concrete (database, query, config) triple.
+
+    The config pins ``repartition_iterations=0`` (answers stay on the
+    oracle's lattice) and the spec's ``top_k``.
+    """
+    database = build_database(spec.dataset)
+    query = parse_acq(
+        spec.sql,
+        database,
+        build_ontologies(spec.ontology),
+        name=spec.triple_id,
+    )
+    config = AcquireConfig(
+        gamma=spec.gamma,
+        delta=spec.delta,
+        repartition_iterations=0,
+        top_k=spec.top_k,
+    )
+    return database, query, config
+
+
+# ----------------------------------------------------------------------
+# Target planting
+# ----------------------------------------------------------------------
+def _format_target(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    # repr round-trips the float exactly, so a planted target measured
+    # at a lattice point has error 0.0 there even under delta == 0.
+    return repr(float(value))
+
+
+def _random_coords(
+    rng: random.Random, max_coords: Sequence[int]
+) -> tuple[int, ...]:
+    """A random lattice point, biased off the origin when possible."""
+    coords = tuple(rng.randint(0, limit) for limit in max_coords)
+    if any(coords) or not any(max_coords):
+        return coords
+    dim = rng.randrange(len(max_coords))
+    bumped = list(coords)
+    bumped[dim] = rng.randint(1, max_coords[dim])
+    return tuple(bumped)
+
+
+def _plant_targets(
+    spec_sql: str,
+    spec: TripleSpec,
+    targets_needed: int,
+    contraction: bool,
+    rng: random.Random,
+    accept,
+) -> str:
+    """Fill the ``{t0}``/``{t1}`` slots of a template with measured
+    aggregates at a random lattice point, retrying until ``accept``
+    (which sees the measured values and the originals) is happy."""
+    database = build_database(spec.dataset)
+    layer = MemoryBackend(database)
+    probe_sql = spec_sql.format(
+        **{f"t{i}": "1" for i in range(targets_needed)}
+    )
+    query = parse_acq(
+        probe_sql, database, build_ontologies(spec.ontology),
+        name=spec.triple_id,
+    )
+    config = AcquireConfig(
+        gamma=spec.gamma, delta=spec.delta, repartition_iterations=0,
+    )
+    if contraction:
+        space: ContractionSpace | RefinedSpace = ContractionSpace(
+            query, config.gamma, config.norm, config.step
+        )
+    else:
+        dim_caps = [
+            predicate.limit if predicate.limit is not None
+            else config.dim_cap_default
+            for predicate in query.refinable_predicates
+        ]
+        prepared = layer.prepare(query, dim_caps)
+        useful = layer.useful_max_scores(prepared)
+        max_scores = [
+            min(cap, score) for cap, score in zip(dim_caps, useful)
+        ]
+        space = RefinedSpace(
+            query, config.gamma, max_scores, config.norm, config.step
+        )
+    originals = corpus_oracle.grid_point_values(
+        layer, query, config, (0,) * query.dimensionality, contraction
+    )
+    for _ in range(_PLANT_ATTEMPTS):
+        coords = _random_coords(rng, space.max_coords)
+        values = corpus_oracle.grid_point_values(
+            layer, query, config, coords, contraction
+        )
+        if any(value <= 0 or not math.isfinite(value) for value in values):
+            continue
+        if not accept(values, originals):
+            continue
+        return spec_sql.format(
+            **{
+                f"t{i}": _format_target(value)
+                for i, value in enumerate(values)
+            }
+        )
+    raise CorpusError(
+        f"could not plant a target for {spec.triple_id} "
+        f"({spec.family}) within {_PLANT_ATTEMPTS} attempts"
+    )
+
+
+# ----------------------------------------------------------------------
+# Family samplers
+# ----------------------------------------------------------------------
+_NUMERIC_COLUMNS = ("x", "y", "z")
+
+
+def _numeric_dataset(rng: random.Random) -> dict:
+    return {
+        "kind": "numeric",
+        "name": "data",
+        "n": rng.choice([60, 90, 120, 160]),
+        "columns": ["x", "y", "z"],
+        "seed": rng.randrange(10_000),
+        "zipf_z": rng.choice([0.0, 0.0, 1.0]),
+    }
+
+
+def _numeric_predicates(rng: random.Random, dims: int) -> list[str]:
+    columns = list(_NUMERIC_COLUMNS[:dims])
+    rng.shuffle(columns)
+    parts = []
+    for column in columns:
+        if rng.random() < 0.5:
+            bound = rng.choice([25, 30, 40, 50])
+            parts.append(f"(data.{column} <= {bound})")
+        else:
+            bound = rng.choice([50, 60, 70, 75])
+            parts.append(f"(data.{column} >= {bound})")
+    return parts
+
+
+def _aggregate_term(rng: random.Random, dims: int) -> str:
+    # Aggregate over a column not used by the predicates when possible,
+    # so SUM targets move smoothly with the box.
+    pool = _NUMERIC_COLUMNS[dims:] or _NUMERIC_COLUMNS
+    column = rng.choice(list(pool))
+    return rng.choice(["COUNT(*)", f"SUM(data.{column})"])
+
+
+def _delta_for(rng: random.Random, aggregate_term: str) -> float:
+    """delta == 0 demands bit-exact aggregates, which only COUNT(*)
+    guarantees across the engines' different summation orders."""
+    if aggregate_term.startswith("COUNT"):
+        return float(rng.choice([0.0, 0.02, 0.05]))
+    return float(rng.choice([0.02, 0.05]))
+
+
+def _sample_expansion(rng: random.Random, triple_id: str) -> TripleSpec:
+    dims = rng.choice([1, 2, 2, 3])
+    dataset = _numeric_dataset(rng)
+    op = rng.choice([">=", ">=", "="])
+    aggregate = _aggregate_term(rng, dims)
+    template = (
+        "SELECT * FROM data\n"
+        f"CONSTRAINT {aggregate} {op} {{t0}}\n"
+        "WHERE " + " AND ".join(_numeric_predicates(rng, dims))
+    )
+    spec = TripleSpec(
+        triple_id=triple_id,
+        family="expansion",
+        dataset=dataset,
+        sql=template,
+        # Three-dimensional lattices get a coarser grid so exhaustive
+        # enumeration stays within the oracle's point ceiling.
+        gamma=float(
+            rng.choice([24.0, 30.0]) if dims == 3
+            else rng.choice([10.0, 15.0, 20.0])
+        ),
+        delta=_delta_for(rng, aggregate),
+    )
+    sql = _plant_targets(
+        template, spec, 1, contraction=False, rng=rng,
+        accept=lambda values, originals: True,
+    )
+    return replace(spec, sql=sql)
+
+
+def _sample_contraction(rng: random.Random, triple_id: str) -> TripleSpec:
+    dims = rng.choice([1, 2, 2])
+    dataset = _numeric_dataset(rng)
+    op = rng.choice(["<=", "<=", "="])
+    aggregate = _aggregate_term(rng, dims)
+    delta = _delta_for(rng, aggregate) if op == "<=" else 0.02
+    template = (
+        "SELECT * FROM data\n"
+        f"CONSTRAINT {aggregate} {op} {{t0}}\n"
+        "WHERE " + " AND ".join(_numeric_predicates(rng, dims))
+    )
+    spec = TripleSpec(
+        triple_id=triple_id,
+        family="contraction",
+        dataset=dataset,
+        sql=template,
+        gamma=float(rng.choice([10.0, 15.0, 20.0])),
+        delta=delta,
+    )
+    if op == "=":
+        # The EQ-delegation path needs a genuine overshoot: original
+        # strictly beyond target * (1 + delta).
+        accept = lambda values, originals: (  # noqa: E731
+            originals[0] > values[0] * (1 + delta) + 1e-9
+        )
+    else:
+        accept = lambda values, originals: True  # noqa: E731
+    sql = _plant_targets(
+        template, spec, 1, contraction=True, rng=rng, accept=accept,
+    )
+    return replace(spec, sql=sql)
+
+
+def _sample_categorical(rng: random.Random, triple_id: str) -> TripleSpec:
+    dataset = {
+        "kind": "users",
+        "n": rng.choice([80, 120, 160]),
+        "seed": rng.randrange(10_000),
+    }
+    ontology = rng.choice(["cities", "cities", None])
+    if ontology == "cities":
+        value = rng.choice(
+            ["Boston", "NewYork", "Seattle", "Miami", "Austin"]
+        )
+        categorical = f"(users.city = '{value}')"
+    else:
+        value = rng.choice(["Retail", "Sports", "Travel", "Cooking"])
+        categorical = f"(users.interest = '{value}')"
+    numeric = f"(users.age <= {rng.choice([30, 35, 40])})"
+    template = (
+        "SELECT * FROM users\n"
+        "CONSTRAINT COUNT(*) >= {t0}\n"
+        f"WHERE {categorical} AND {numeric}"
+    )
+    spec = TripleSpec(
+        triple_id=triple_id,
+        family="categorical",
+        dataset=dataset,
+        sql=template,
+        gamma=float(rng.choice([40.0, 50.0, 60.0])),
+        delta=float(rng.choice([0.0, 0.05])),
+        ontology=ontology,
+    )
+    sql = _plant_targets(
+        template, spec, 1, contraction=False, rng=rng,
+        accept=lambda values, originals: True,
+    )
+    return replace(spec, sql=sql)
+
+
+def _sample_multi(rng: random.Random, triple_id: str) -> TripleSpec:
+    dims = rng.choice([1, 2, 2])
+    dataset = _numeric_dataset(rng)
+    extra_column = rng.choice(list(_NUMERIC_COLUMNS[dims:] or ("z",)))
+    extra_op = rng.choice([">=", "<="])
+    template = (
+        "SELECT * FROM data\n"
+        "CONSTRAINT COUNT(*) >= {t0} "
+        f"AND SUM(data.{extra_column}) {extra_op} {{t1}}\n"
+        "WHERE " + " AND ".join(_numeric_predicates(rng, dims))
+    )
+    spec = TripleSpec(
+        triple_id=triple_id,
+        family="multi",
+        dataset=dataset,
+        sql=template,
+        gamma=float(rng.choice([10.0, 15.0, 20.0])),
+        # The extra constraint is always a SUM, so delta must leave
+        # room for cross-engine summation-order noise (see _delta_for).
+        delta=float(rng.choice([0.02, 0.05])),
+    )
+    # Both targets measured at the same lattice point, so the combined
+    # (max) distance is exactly zero there: conjunction satisfiable.
+    sql = _plant_targets(
+        template, spec, 2, contraction=False, rng=rng,
+        accept=lambda values, originals: True,
+    )
+    return replace(spec, sql=sql)
+
+
+_FAMILY_SAMPLERS = {
+    "expansion": _sample_expansion,
+    "contraction": _sample_contraction,
+    "categorical": _sample_categorical,
+    "multi": _sample_multi,
+}
+
+#: Family mix of the default committed corpus (sums to 205 triples).
+DEFAULT_COUNTS = {
+    "expansion": 60,
+    "contraction": 50,
+    "categorical": 45,
+    "multi": 50,
+}
+
+
+def sample_specs(
+    seed: int = 0,
+    counts: Optional[Mapping[str, int]] = None,
+) -> list[TripleSpec]:
+    """Draw a deterministic corpus of specs (same seed, same corpus).
+
+    Per-triple RNGs are derived from ``(seed, family, index)`` strings,
+    so single triples can be regenerated without replaying the stream
+    and adding a family never perturbs the others.
+    """
+    counts = dict(DEFAULT_COUNTS if counts is None else counts)
+    specs: list[TripleSpec] = []
+    for family in sorted(counts):
+        sampler = _FAMILY_SAMPLERS.get(family)
+        if sampler is None:
+            raise CorpusError(f"unknown corpus family {family!r}")
+        for index in range(counts[family]):
+            triple_id = f"{family}-{seed:04d}-{index:03d}"
+            rng = random.Random(f"{seed}:{family}:{index}")
+            specs.append(sampler(rng, triple_id))
+    return specs

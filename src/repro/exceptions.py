@@ -111,3 +111,7 @@ class DataGenError(ReproError):
 
 class OntologyError(ReproError):
     """A categorical ontology tree is malformed or a value is missing."""
+
+
+class CorpusError(ReproError):
+    """The gold-standard corpus, its oracle, or its gate mis-fired."""

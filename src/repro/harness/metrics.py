@@ -37,6 +37,7 @@ class Row:
     block_hits: int = 0
     cache_bytes: int = 0
     explore_mode: str = ""
+    top_k: int = 1
     extra: dict = field(default_factory=dict)
 
     @classmethod
@@ -61,6 +62,7 @@ class Row:
             block_hits=run.execution.block_hits,
             cache_bytes=run.execution.persistent_bytes,
             explore_mode=str(run.details.get("explore_mode", "")),
+            top_k=int(run.details.get("top_k", 1)),
             extra=dict(run.details),
         )
 

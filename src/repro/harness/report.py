@@ -22,8 +22,18 @@ _COLUMNS = (
     ("cache", lambda row: _fmt_cache(row)),
     ("warm", lambda row: _fmt_warm(row)),
     ("explore", lambda row: row.explore_mode or "-"),
+    ("topk", lambda row: _fmt_topk(row)),
     ("ok", lambda row: "y" if row.satisfied else "n"),
 )
+
+
+def _fmt_topk(row: Row) -> str:
+    """k plus how many ranked alternatives the search certified."""
+    if row.top_k <= 1:
+        return "-"
+    ranked = row.extra.get("top_qscores")
+    found = len(ranked) if isinstance(ranked, list) else 0
+    return f"{found}/{row.top_k}"
 
 
 def _fmt_cache(row: Row) -> str:
@@ -184,7 +194,7 @@ def save_csv(result: ExperimentResult, path: str) -> str:
         "aggregate_value", "queries", "rows_scanned", "batches",
         "materializations", "tiles", "cache_hits", "cache_misses",
         "persistent_hits", "block_hits", "cache_bytes",
-        "explore_mode", "satisfied",
+        "explore_mode", "top_k", "satisfied",
     )
     with open(path, "w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)

@@ -107,6 +107,12 @@ def run_acquire(
             "explore_mode": result.stats.explore_mode,
             "plan_reason": result.stats.plan_reason,
             "estimated_visited": result.stats.estimated_visited,
+            "top_k": result.stats.top_k,
+            # The certified ranking (qscore per rank) so reports can
+            # surface alternatives without re-running the search.
+            "top_qscores": [
+                answer.qscore for answer in result.top()
+            ],
         },
     )
 

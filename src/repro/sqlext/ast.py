@@ -106,7 +106,15 @@ class ConstraintClause:
 
 @dataclass(frozen=True)
 class SelectStatement:
+    """A parsed ACQ.
+
+    ``extra_constraints`` holds the second and later clauses of a
+    multi-constraint ``CONSTRAINT c1 AND c2 AND ...`` conjunction; the
+    common single-constraint statement leaves it empty.
+    """
+
     projection: tuple[str, ...]  # ("*",) or column names
     tables: tuple[str, ...]
     constraint: Optional[ConstraintClause]
     conjuncts: tuple[Conjunct, ...]
+    extra_constraints: tuple[ConstraintClause, ...] = ()

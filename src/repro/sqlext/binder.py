@@ -58,9 +58,18 @@ class QuerySpans:
     source: Optional[str] = None
     constraint: Optional[ast.Span] = None
     predicates: Mapping[str, ast.Span] = field(default_factory=dict)
+    extra_constraints: tuple[Optional[ast.Span], ...] = ()
 
     def predicate_span(self, name: str) -> Optional[ast.Span]:
         return self.predicates.get(name)
+
+    def constraint_span_at(self, index: int) -> Optional[ast.Span]:
+        """Span of the index-th constraint (0 = the primary clause)."""
+        if index == 0:
+            return self.constraint
+        if 0 < index <= len(self.extra_constraints):
+            return self.extra_constraints[index - 1]
+        return None
 
 
 def parse_acq(
@@ -100,6 +109,9 @@ def bind_with_spans(
         source=source,
         constraint=constraint_span,
         predicates=dict(binder.spans),
+        extra_constraints=tuple(
+            clause.span for clause in statement.extra_constraints
+        ),
     )
 
 
@@ -126,6 +138,10 @@ class _Binder:
                 "(CONSTRAINT AGG(attr) Op X)"
             )
         constraint = self._bind_constraint(statement.constraint)
+        extra_constraints = tuple(
+            self._bind_constraint(clause)
+            for clause in statement.extra_constraints
+        )
 
         predicates: list[Predicate] = []
         for conjunct in statement.conjuncts:
@@ -134,7 +150,9 @@ class _Binder:
                 for predicate in bound:
                     self.spans[predicate.name] = conjunct.span
             predicates.extend(bound)
-        return Query.build(name, statement.tables, predicates, constraint)
+        return Query.build(
+            name, statement.tables, predicates, constraint, extra_constraints
+        )
 
     # ------------------------------------------------------------------
     def _bind_constraint(

@@ -69,7 +69,10 @@ def _predicate_sql(
 def format_query(query: Query) -> str:
     """Render a core query in the ACQ dialect of paper section 2.1."""
     lines = [f"SELECT * FROM {', '.join(query.tables)}"]
-    lines.append(f"CONSTRAINT {query.constraint.describe()}")
+    lines.append(
+        "CONSTRAINT "
+        + " AND ".join(c.describe() for c in query.constraints)
+    )
     conditions = []
     for predicate in query.predicates:
         text = f"({_predicate_sql(predicate, 0.0, dialect=True)})"

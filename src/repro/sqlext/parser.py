@@ -5,7 +5,8 @@ Grammar (informal)::
     statement  := SELECT projection FROM tables [constraint] [WHERE conj]
     projection := '*' | ident (',' ident)*
     tables     := ident (',' ident)*
-    constraint := CONSTRAINT ident '(' ('*' | expr) ')' cmp NUMBER
+    constraint := CONSTRAINT acqc (AND acqc)*
+    acqc       := ident '(' ('*' | expr) ')' cmp NUMBER
     conj       := conjunct (AND conjunct)*
     conjunct   := ['('] condition [')'] [NOREFINE]
     condition  := expr cmp expr [cmp expr]          -- chained = range
@@ -89,8 +90,16 @@ class _Parser:
         self._expect_keyword("FROM")
         tables = self._parse_name_list()
         constraint = None
+        extra_constraints: tuple[ast.ConstraintClause, ...] = ()
         if self._match_keyword("CONSTRAINT"):
+            # A conjunction of aggregate constraints: CONSTRAINT c1 AND
+            # c2 AND ... — unambiguous because the predicate conjuncts
+            # only start after the WHERE keyword.
             constraint = self._parse_constraint()
+            extras = []
+            while self._match_keyword("AND"):
+                extras.append(self._parse_constraint())
+            extra_constraints = tuple(extras)
         conjuncts: tuple[ast.Conjunct, ...] = ()
         if self._match_keyword("WHERE"):
             conjuncts = self._parse_conjuncts()
@@ -100,7 +109,9 @@ class _Parser:
                 f"unexpected trailing input: {self._current.text!r}",
                 self._current.position,
             )
-        return ast.SelectStatement(projection, tables, constraint, conjuncts)
+        return ast.SelectStatement(
+            projection, tables, constraint, conjuncts, extra_constraints
+        )
 
     def _parse_projection(self) -> tuple[str, ...]:
         if self._match_punct("*"):

@@ -1,0 +1,138 @@
+"""Multi-constraint ACQs: conjunction semantics end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acquire import Acquire, AcquireConfig
+from repro.core.aggregates import AggregateSpec, get_aggregate
+from repro.core.error import default_error_for
+from repro.core.query import AggregateConstraint, ConstraintOp, Query
+from repro.core.scoring import MaxConstraintDistance, SumConstraintDistance
+from repro.engine.expression import col
+from repro.engine.memory_backend import MemoryBackend
+
+from tests.conftest import count_query
+
+
+def _sum_constraint(column: str, op: ConstraintOp, target: float):
+    return AggregateConstraint(
+        AggregateSpec(get_aggregate("SUM"), col(column)), op, target
+    )
+
+
+def _with_extra(query: Query, *extras) -> Query:
+    return Query.build(
+        query.name,
+        query.tables,
+        query.predicates,
+        query.constraint,
+        extra_constraints=extras,
+    )
+
+
+def _run(db, query, **overrides):
+    defaults = dict(gamma=20.0, delta=0.05, repartition_iterations=0)
+    defaults.update(overrides)
+    return Acquire(MemoryBackend(db)).run(query, AcquireConfig(**defaults))
+
+
+class TestQueryModel:
+    def test_constraints_property_primary_first(self, small_db):
+        base = count_query("data", {"x": 40.0}, 200.0, ConstraintOp.GE)
+        extra = _sum_constraint("data.y", ConstraintOp.GE, 5000.0)
+        query = _with_extra(base, extra)
+        assert query.constraints == (query.constraint, extra)
+
+    def test_with_only_constraint_drops_extras(self, small_db):
+        base = count_query("data", {"x": 40.0}, 200.0, ConstraintOp.GE)
+        extra = _sum_constraint("data.y", ConstraintOp.GE, 5000.0)
+        query = _with_extra(base, extra)
+        only = query.with_only_constraint(extra)
+        assert only.constraint is extra
+        assert only.extra_constraints == ()
+        assert only.predicates == query.predicates
+
+    def test_describe_renders_conjunction(self, small_db):
+        base = count_query("data", {"x": 40.0}, 200.0, ConstraintOp.GE)
+        query = _with_extra(
+            base, _sum_constraint("data.y", ConstraintOp.GE, 5000.0)
+        )
+        text = query.describe()
+        assert "COUNT(*) >= 200" in text
+        assert " AND SUM(data.y) >= 5000" in text
+
+
+class TestDistanceCombiners:
+    def test_max_distance_is_conjunction(self):
+        distance = MaxConstraintDistance()
+        assert distance.combine([0.0, 0.2, 0.1]) == 0.2
+        assert distance.combine([]) == 0.0
+
+    def test_sum_distance_accumulates(self):
+        distance = SumConstraintDistance()
+        assert distance.combine([0.1, 0.2]) == pytest.approx(0.3)
+
+
+class TestAcquireConjunction:
+    def test_answers_satisfy_every_constraint(self, small_db):
+        base = count_query(
+            "data", {"x": 40.0, "y": 40.0}, 150.0, ConstraintOp.GE
+        )
+        extra = _sum_constraint("data.z", ConstraintOp.GE, 6000.0)
+        query = _with_extra(base, extra)
+        config_delta = 0.05
+        result = _run(small_db, query, delta=config_delta)
+        assert result.satisfied
+        extra_error_fn = default_error_for(extra.op)
+        for answer in result.answers:
+            assert len(answer.extra_values) == 1
+            assert answer.aggregate_values == (
+                answer.aggregate_value,
+            ) + answer.extra_values
+            # Combined (max) distance within delta means each
+            # constraint is individually within delta.
+            assert extra_error_fn(
+                extra.target, answer.extra_values[0]
+            ) <= config_delta + 1e-12
+
+    def test_extra_constraint_can_change_the_answer(self, small_db):
+        base = count_query(
+            "data", {"x": 40.0, "y": 40.0}, 150.0, ConstraintOp.GE
+        )
+        plain = _run(small_db, base)
+        # An extra demand the plain winner cannot meet pushes the
+        # search further out.
+        demanding = _sum_constraint("data.z", ConstraintOp.GE, 12000.0)
+        harder = _run(small_db, _with_extra(base, demanding))
+        assert plain.satisfied and harder.satisfied
+        assert harder.qscore >= plain.qscore
+
+    def test_single_constraint_distance_is_identity(self, small_db):
+        base = count_query("data", {"x": 40.0}, 250.0, ConstraintOp.GE)
+        default = _run(small_db, base)
+        summed = _run(
+            small_db, base, constraint_distance=SumConstraintDistance()
+        )
+        assert [a.pscores for a in default.answers] == [
+            a.pscores for a in summed.answers
+        ]
+
+    def test_contraction_with_extra_constraint(self, small_db):
+        base = count_query("data", {"x": 60.0}, 150.0, ConstraintOp.LE)
+        extra = _sum_constraint("data.y", ConstraintOp.LE, 9000.0)
+        query = _with_extra(base, extra)
+        result = _run(small_db, query)
+        assert result.satisfied
+        for answer in result.answers:
+            assert len(answer.extra_values) == 1
+            assert answer.extra_values[0] <= 9000.0 * 1.05 + 1e-9
+
+    def test_top_k_with_extras_is_monotone(self, small_db):
+        base = count_query(
+            "data", {"x": 40.0, "y": 40.0}, 150.0, ConstraintOp.GE
+        )
+        extra = _sum_constraint("data.z", ConstraintOp.GE, 6000.0)
+        result = _run(small_db, _with_extra(base, extra), top_k=3)
+        qscores = [answer.qscore for answer in result.top(3)]
+        assert qscores == sorted(qscores)

@@ -1,0 +1,114 @@
+"""Top-k alternative refinements (``AcquireConfig.top_k``).
+
+The contract: ``run`` with ``top_k=k`` keeps exploring until the k
+best answer layers are complete, ``result.top(k)`` is score-monotone,
+and its first element is bit-identical to the ``top_k=1`` answer —
+top-k is a pure extension of the paper's stopping rule, never a
+different search.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acquire import Acquire, AcquireConfig
+from repro.core.query import ConstraintOp
+from repro.engine.memory_backend import MemoryBackend
+from repro.exceptions import QueryModelError
+
+from tests.conftest import count_query
+
+
+def _run(db, query, **overrides):
+    defaults = dict(gamma=20.0, delta=0.05, repartition_iterations=0)
+    defaults.update(overrides)
+    return Acquire(MemoryBackend(db)).run(query, AcquireConfig(**defaults))
+
+
+class TestExpansionTopK:
+    def test_top_k_returns_k_ranked_answers(self, small_db):
+        query = count_query("data", {"x": 40.0, "y": 40.0}, 150.0,
+                            ConstraintOp.GE)
+        result = _run(small_db, query, top_k=3)
+        ranked = result.top(3)
+        assert len(ranked) == 3
+        assert result.stats.top_k == 3
+
+    def test_ranking_is_score_monotone(self, small_db):
+        query = count_query("data", {"x": 40.0, "y": 40.0}, 150.0,
+                            ConstraintOp.GE)
+        result = _run(small_db, query, top_k=4)
+        qscores = [answer.qscore for answer in result.top(4)]
+        assert qscores == sorted(qscores)
+
+    def test_first_element_equals_single_answer_result(self, small_db):
+        query = count_query("data", {"x": 40.0, "y": 40.0}, 150.0,
+                            ConstraintOp.GE)
+        single = _run(small_db, query, top_k=1)
+        ranked = _run(small_db, query, top_k=4)
+        assert ranked.answers[0].qscore == single.answers[0].qscore
+        assert ranked.answers[0].pscores == single.answers[0].pscores
+        assert ranked.answers[0].error == single.answers[0].error
+
+    def test_k1_reproduces_default_run(self, small_db):
+        query = count_query("data", {"x": 40.0}, 280.0, ConstraintOp.GE)
+        default = _run(small_db, query)
+        explicit = _run(small_db, query, top_k=1)
+        assert [a.pscores for a in default.answers] == [
+            a.pscores for a in explicit.answers
+        ]
+
+    def test_higher_k_explores_at_least_as_much(self, small_db):
+        query = count_query("data", {"x": 40.0, "y": 40.0}, 150.0,
+                            ConstraintOp.GE)
+        single = _run(small_db, query, top_k=1)
+        ranked = _run(small_db, query, top_k=3)
+        assert (
+            ranked.stats.grid_queries_examined
+            >= single.stats.grid_queries_examined
+        )
+        assert len(ranked.answers) >= len(single.answers)
+
+    def test_eq_constraint_top_k(self, small_db):
+        query = count_query("data", {"x": 40.0, "y": 40.0}, 170.0,
+                            ConstraintOp.EQ)
+        result = _run(small_db, query, top_k=2)
+        if result.satisfied:
+            qscores = [answer.qscore for answer in result.top(2)]
+            assert qscores == sorted(qscores)
+
+
+class TestContractionTopK:
+    def test_top_k_ranked_and_monotone(self, small_db):
+        query = count_query("data", {"x": 60.0}, 100.0, ConstraintOp.LE)
+        result = _run(small_db, query, top_k=3)
+        assert result.satisfied
+        ranked = result.top(3)
+        assert len(ranked) >= 1
+        qscores = [answer.qscore for answer in ranked]
+        assert qscores == sorted(qscores)
+
+    def test_first_element_equals_single_answer_result(self, small_db):
+        query = count_query("data", {"x": 60.0}, 100.0, ConstraintOp.LE)
+        single = _run(small_db, query, top_k=1)
+        ranked = _run(small_db, query, top_k=3)
+        assert ranked.answers[0].qscore == single.answers[0].qscore
+        assert ranked.answers[0].pscores == single.answers[0].pscores
+
+
+class TestValidation:
+    def test_config_rejects_nonpositive_top_k(self):
+        with pytest.raises(QueryModelError):
+            AcquireConfig(top_k=0)
+
+    def test_result_top_rejects_nonpositive_k(self, small_db):
+        query = count_query("data", {"x": 40.0}, 280.0, ConstraintOp.GE)
+        result = _run(small_db, query)
+        with pytest.raises(QueryModelError):
+            result.top(0)
+
+    def test_result_top_defaults_to_search_depth(self, small_db):
+        query = count_query("data", {"x": 40.0, "y": 40.0}, 150.0,
+                            ConstraintOp.GE)
+        result = _run(small_db, query, top_k=2)
+        assert result.top() == result.answers[:2]

@@ -1,0 +1,101 @@
+"""The committed-corpus quality gate.
+
+Tier-1 checks a deterministic cross-family subset of the committed
+manifest (the full 205-triple sweep runs under ``make corpus-gate`` and
+the CI ``corpus-gate`` job, marked slow here); plus unit tests that the
+gate actually *fails*, readably, when a label or ranking drifts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.corpus.gate import check_triple, run_gate
+from repro.corpus.manifest import (
+    DEFAULT_MANIFEST_PATH,
+    LabeledTriple,
+    load_manifest,
+)
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return load_manifest(DEFAULT_MANIFEST_PATH)
+
+
+def _subset(manifest, per_family: int):
+    picked, seen = [], {}
+    for triple in manifest.triples:
+        family = triple.spec.family
+        if seen.get(family, 0) < per_family:
+            seen[family] = seen.get(family, 0) + 1
+            picked.append(triple)
+    return picked
+
+
+class TestCommittedManifest:
+    def test_manifest_is_large_and_diverse(self, manifest):
+        assert len(manifest.triples) >= 200
+        families = manifest.families
+        assert set(families) == {
+            "expansion", "contraction", "categorical", "multi"
+        }
+        assert all(count >= 40 for count in families.values())
+
+    def test_all_labels_certified_satisfiable(self, manifest):
+        assert all(triple.satisfied for triple in manifest.triples)
+        assert all(triple.ranking_size >= 1 for triple in manifest.triples)
+
+    def test_subset_passes_gate(self, manifest):
+        # Four triples per family: digest, oracle re-certification and
+        # all four engine configs, end to end.
+        for triple in _subset(manifest, per_family=4):
+            check = check_triple(triple)
+            assert check.passed, (
+                f"{check.triple_id}: " + "; ".join(check.problems)
+            )
+
+
+@pytest.mark.slow
+class TestFullGate:
+    def test_every_triple_passes(self, manifest):
+        report = run_gate(manifest)
+        assert report.passed, report.render()
+
+
+class TestGateDetectsDrift:
+    def _tampered(self, triple: LabeledTriple, **label_changes):
+        return dataclasses.replace(triple, **label_changes)
+
+    def test_digest_drift_is_reported(self, manifest):
+        triple = self._tampered(manifest.triples[0], digest="0" * 16)
+        check = check_triple(triple)
+        assert not check.passed
+        assert any("digest" in problem for problem in check.problems)
+
+    def test_label_drift_is_reported(self, manifest):
+        victim = manifest.triples[0]
+        entry = dataclasses.replace(
+            victim.top_closed[0], qscore=victim.top_closed[0].qscore + 1.0
+        )
+        triple = self._tampered(
+            victim, top_closed=(entry,) + victim.top_closed[1:]
+        )
+        check = check_triple(triple)
+        assert not check.passed
+        assert any("drifted" in problem for problem in check.problems)
+
+    def test_report_render_is_readable(self, manifest):
+        triple = self._tampered(manifest.triples[0], digest="0" * 16)
+        report = run_gate(
+            dataclasses.replace(manifest, triples=(triple,))
+        )
+        text = report.render()
+        assert "FAIL" in text
+        assert triple.spec.triple_id in text
+        passing = run_gate(
+            dataclasses.replace(manifest, triples=manifest.triples[:1])
+        )
+        assert "PASS" in passing.render()

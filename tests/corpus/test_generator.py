@@ -1,0 +1,87 @@
+"""Determinism and well-formedness of the corpus generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generator import (
+    CORPUS_TOP_K,
+    TripleSpec,
+    build_database,
+    build_ontologies,
+    realize,
+    sample_specs,
+)
+from repro.corpus.manifest import digest_hex
+from repro.exceptions import CorpusError
+
+SMALL_COUNTS = {
+    "expansion": 3, "contraction": 3, "categorical": 3, "multi": 3,
+}
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return sample_specs(7, SMALL_COUNTS)
+
+
+class TestDeterminism:
+    def test_same_seed_same_specs(self, specs):
+        again = sample_specs(7, SMALL_COUNTS)
+        assert specs == again
+
+    def test_different_seed_different_specs(self, specs):
+        other = sample_specs(8, SMALL_COUNTS)
+        assert specs != other
+
+    def test_dataset_rebuild_digest_stable(self, specs):
+        for spec in specs:
+            first = digest_hex(build_database(spec.dataset))
+            again = digest_hex(build_database(dict(spec.dataset)))
+            assert first == again, spec.triple_id
+
+
+class TestShape:
+    def test_family_mix(self, specs):
+        families = sorted(spec.family for spec in specs)
+        assert families == sorted(
+            family
+            for family, count in SMALL_COUNTS.items()
+            for _ in range(count)
+        )
+
+    def test_specs_realize_and_bind(self, specs):
+        for spec in specs:
+            database, query, config = realize(spec)
+            assert query.dimensionality >= 1
+            assert config.repartition_iterations == 0
+            assert config.top_k == spec.top_k == CORPUS_TOP_K
+
+    def test_multi_specs_carry_extra_constraints(self, specs):
+        for spec in specs:
+            _, query, _ = realize(spec)
+            expected = 2 if spec.family == "multi" else 1
+            assert len(query.constraints) == expected, spec.triple_id
+
+    def test_json_round_trip(self, specs):
+        for spec in specs:
+            assert TripleSpec.from_json(spec.to_json()) == spec
+
+
+class TestGuards:
+    def test_unknown_dataset_kind(self):
+        with pytest.raises(CorpusError, match="dataset kind"):
+            build_database({"kind": "nope"})
+
+    def test_unknown_ontology(self):
+        with pytest.raises(CorpusError, match="ontology"):
+            build_ontologies("nope")
+
+    def test_unknown_family(self):
+        with pytest.raises(CorpusError, match="family"):
+            sample_specs(0, {"nope": 1})
+
+    def test_cities_ontology_is_two_level(self):
+        ontologies = build_ontologies("cities")
+        assert ontologies is not None
+        assert ontologies["city"].depth == 2

@@ -1,0 +1,107 @@
+"""Unit tests of the exhaustive refinement-lattice oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acquire import AcquireConfig
+from repro.core.query import ConstraintOp
+from repro.corpus.oracle import certify, grid_point_values
+from repro.engine.memory_backend import MemoryBackend
+from repro.exceptions import CorpusError
+
+from tests.conftest import count_query
+
+
+def _config(**overrides):
+    defaults = dict(gamma=20.0, delta=0.05, repartition_iterations=0)
+    defaults.update(overrides)
+    return AcquireConfig(**defaults)
+
+
+class TestDirectionChoice:
+    def test_ge_constraint_expands(self, small_db):
+        query = count_query("data", {"x": 40.0}, 260.0, ConstraintOp.GE)
+        cert = certify(MemoryBackend(small_db), query, _config())
+        assert cert.direction == "expansion"
+
+    def test_le_constraint_contracts(self, small_db):
+        query = count_query("data", {"x": 60.0}, 100.0, ConstraintOp.LE)
+        cert = certify(MemoryBackend(small_db), query, _config())
+        assert cert.direction == "contraction"
+
+    def test_eq_overshoot_delegates_to_contraction(self, small_db):
+        # Plant an achievable contraction target: measure the COUNT at
+        # one interior shrink point, then constrain EQ to it. The
+        # original query overshoots, so the driver delegates to the
+        # contraction extension; the oracle must enumerate the same
+        # lattice and find the planted point.
+        layer = MemoryBackend(small_db)
+        probe = count_query("data", {"x": 60.0}, 1.0, ConstraintOp.EQ)
+        config = _config()
+        target = grid_point_values(
+            layer, probe, config, (2,), contraction=True
+        )[0]
+        query = count_query("data", {"x": 60.0}, target, ConstraintOp.EQ)
+        cert = certify(layer, query, config)
+        assert cert.original_value > target * (1 + config.delta)
+        assert cert.direction == "contraction"
+        assert cert.satisfied
+        assert cert.best.error == 0.0
+
+
+class TestRanking:
+    def test_ranking_sorted_and_satisfying(self, small_db):
+        query = count_query("data", {"x": 40.0, "y": 40.0}, 120.0,
+                            ConstraintOp.GE)
+        config = _config()
+        cert = certify(MemoryBackend(small_db), query, config)
+        assert cert.satisfied
+        keys = [entry.rank_key for entry in cert.ranking]
+        assert keys == sorted(keys)
+        assert all(entry.error <= config.delta for entry in cert.ranking)
+
+    def test_top_closed_extends_through_ties(self, small_db):
+        query = count_query("data", {"x": 40.0, "y": 40.0}, 120.0,
+                            ConstraintOp.GE)
+        cert = certify(MemoryBackend(small_db), query, _config())
+        k = 2
+        closed = cert.top_closed(k)
+        assert len(closed) >= min(k, len(cert.ranking))
+        if len(cert.ranking) > len(closed):
+            # The first entry past the closed prefix must break the tie.
+            assert (
+                cert.ranking[len(closed)].rank_key != closed[-1].rank_key
+            )
+
+    def test_best_is_first_rank(self, small_db):
+        query = count_query("data", {"x": 40.0}, 250.0, ConstraintOp.GE)
+        cert = certify(MemoryBackend(small_db), query, _config())
+        assert cert.best is cert.ranking[0]
+
+    def test_unsatisfiable_reports_closest(self, small_db):
+        # COUNT can never exceed the table size under delta=0.
+        query = count_query("data", {"x": 40.0}, 1200.0, ConstraintOp.EQ)
+        cert = certify(
+            MemoryBackend(small_db), query, _config(delta=0.0)
+        )
+        assert not cert.satisfied
+        assert cert.ranking == ()
+        assert cert.closest is not None
+        assert cert.closest.error > 0
+
+    def test_entry_values_track_constraints(self, small_db):
+        query = count_query("data", {"x": 40.0}, 250.0, ConstraintOp.GE)
+        cert = certify(MemoryBackend(small_db), query, _config())
+        for entry in cert.ranking[:5]:
+            assert len(entry.values) == len(query.constraints) == 1
+
+
+class TestGuards:
+    def test_max_points_ceiling_raises(self, small_db):
+        query = count_query("data", {"x": 40.0, "y": 40.0}, 200.0,
+                            ConstraintOp.GE)
+        with pytest.raises(CorpusError, match="ceiling"):
+            certify(
+                MemoryBackend(small_db), query, _config(), max_points=4
+            )

@@ -1,0 +1,100 @@
+"""Parsing, binding, spans and formatting of ``CONSTRAINT c1 AND c2``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_sql
+from repro.core.query import ConstraintOp
+from repro.sqlext import (
+    bind_with_spans,
+    format_query,
+    parse_acq,
+    parse_statement,
+)
+from repro.exceptions import ParseError
+
+MULTI_SQL = (
+    "SELECT * FROM data\n"
+    "CONSTRAINT COUNT(*) >= 50 AND SUM(data.y) >= 900\n"
+    "WHERE data.x <= 30 AND data.y <= 40"
+)
+
+
+class TestParser:
+    def test_parses_conjunction(self):
+        statement = parse_statement(MULTI_SQL)
+        assert statement.constraint is not None
+        assert len(statement.extra_constraints) == 1
+
+    def test_three_way_conjunction(self):
+        statement = parse_statement(
+            "SELECT * FROM t CONSTRAINT COUNT(*) >= 1 AND "
+            "SUM(t.a) >= 2 AND AVG(t.b) = 3 WHERE t.a <= 10"
+        )
+        assert len(statement.extra_constraints) == 2
+
+    def test_single_constraint_unchanged(self):
+        statement = parse_statement(
+            "SELECT * FROM t CONSTRAINT COUNT(*) >= 1 WHERE t.a <= 10"
+        )
+        assert statement.extra_constraints == ()
+
+    def test_dangling_and_is_an_error(self):
+        with pytest.raises(ParseError):
+            parse_statement(
+                "SELECT * FROM t CONSTRAINT COUNT(*) >= 1 AND "
+                "WHERE t.a <= 10"
+            )
+
+
+class TestBinder:
+    def test_binds_extra_constraints(self, small_db):
+        query = parse_acq(MULTI_SQL, small_db)
+        assert len(query.constraints) == 2
+        primary, extra = query.constraints
+        assert primary.spec.describe() == "COUNT(*)"
+        assert extra.spec.describe() == "SUM(data.y)"
+        assert extra.op is ConstraintOp.GE
+        assert extra.target == 900.0
+
+    def test_spans_point_at_each_clause(self, small_db):
+        statement = parse_statement(MULTI_SQL)
+        _, spans = bind_with_spans(
+            statement, small_db, source=MULTI_SQL
+        )
+        primary_span = spans.constraint_span_at(0)
+        extra_span = spans.constraint_span_at(1)
+        assert primary_span is not None and extra_span is not None
+        assert MULTI_SQL[slice(*primary_span)].startswith("COUNT(*)")
+        assert MULTI_SQL[slice(*extra_span)].startswith("SUM(data.y)")
+        assert spans.constraint_span_at(2) is None
+
+
+class TestFormatter:
+    def test_round_trip_preserves_conjunction(self, small_db):
+        query = parse_acq(MULTI_SQL, small_db)
+        rendered = format_query(query)
+        assert "CONSTRAINT COUNT(*) >= 50 AND SUM(data.y) >= 900" in rendered
+        reparsed = parse_acq(rendered, small_db)
+        assert reparsed.constraints == query.constraints
+        assert len(reparsed.predicates) == len(query.predicates)
+
+
+class TestAnalysis:
+    def test_diagnostics_attach_to_the_offending_clause(self, small_db):
+        # The extra SUM demands more than the whole table can supply:
+        # the ERROR must cite the second clause, not the primary.
+        sql = (
+            "SELECT * FROM data\n"
+            "CONSTRAINT COUNT(*) >= 50 AND SUM(data.y) >= 1e12\n"
+            "WHERE data.x <= 30"
+        )
+        report = analyze_sql(sql, small_db)
+        errors = [d for d in report.errors if d.code == "ACQ102"]
+        assert errors, report.render()
+        assert any(
+            d.span is not None
+            and sql[d.span.start:d.span.end].startswith("SUM(data.y)")
+            for d in errors
+        ), report.render()
