@@ -8,9 +8,10 @@ install:
 test:
 	pytest tests/
 
-# Tier-1 minus the slow corpus/differential tests (docs/CORPUS.md).
+# Tier-1 minus the slow corpus/differential tests (docs/CORPUS.md)
+# and the worker-process-pool suites (spawn cost dominates).
 test-fast:
-	pytest tests/ -m "not slow"
+	pytest tests/ -m "not slow and not procpool"
 
 # Coverage floor on the refinement core + SQL extension (CI enforces
 # it with pytest-cov installed; skipped locally when the plugin is
@@ -68,9 +69,11 @@ bench-smoke:
 	python benchmarks/smoke.py
 
 # Sharded-tile + persistent-cache gates only: bit-identical block
-# states at every worker count, wall-clock sanity vs serial, and a
-# warm cross-process cache run issuing strictly fewer backend queries
-# (regression-guarded by BENCH_parallel_baseline.json).
+# states at every worker count on both executor tiers (thread and
+# process), wall-clock sanity vs serial, the GIL-escape speedup gate
+# on >=4-core hosts, and a warm cross-process cache run issuing
+# strictly fewer backend queries (regression-guarded by
+# BENCH_parallel_baseline.json).
 bench-parallel:
 	python benchmarks/smoke.py --parallel-only
 

@@ -181,6 +181,15 @@ def build_parser() -> argparse.ArgumentParser:
         "explore mode); answers are bit-identical at any worker count",
     )
     parser.add_argument(
+        "--tile-executor",
+        choices=("thread", "process", "auto"),
+        default="thread",
+        help="worker tier for tiled explore fetches: 'thread' shares "
+        "the interpreter, 'process' escapes the GIL via a persistent "
+        "worker-process pool over shared memory, 'auto' lets the "
+        "calibrated planner pick (needs --tile-workers > 1)",
+    )
+    parser.add_argument(
         "--top-k",
         type=int,
         default=1,
@@ -344,6 +353,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         explore_mode=args.explore_mode,
         grid_cache=cache,
         tile_workers=args.tile_workers,
+        tile_executor=args.tile_executor,
         top_k=args.top_k,
     )
     acquire = Acquire(layer)

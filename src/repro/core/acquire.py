@@ -112,6 +112,14 @@ class AcquireConfig:
             and stitches them serially, so answers stay bit-identical
             to serial at any worker count. 1 (default) is fully
             serial.
+        tile_executor: which worker tier the tiled engine fetches on.
+            ``thread`` (default) shares the interpreter — it overlaps
+            only backends that release the GIL. ``process`` dispatches
+            fetches to a persistent worker-process pool over shared
+            memory, escaping the GIL for every backend that can ship a
+            picklable recipe (falls back to threads otherwise).
+            ``auto`` lets the planner pick per query from the
+            calibrated cost model. Ignored when ``tile_workers`` is 1.
         top_k: how many distinct answer layers to complete before the
             traversal stops. 1 (default) reproduces the paper's
             stopping rule — finish the first layer that produced an
@@ -152,6 +160,7 @@ class AcquireConfig:
     grid_cache: Optional[GridTensorCache] = None
     calibration: Optional[PlanCalibration] = None
     tile_workers: int = 1
+    tile_executor: str = "thread"
     cache_path: Optional[str] = None
     top_k: int = 1
     constraint_distance: Optional[ConstraintDistance] = None
@@ -178,6 +187,11 @@ class AcquireConfig:
             raise QueryModelError("materialize_cell_cap must be >= 1")
         if self.tile_workers < 1:
             raise QueryModelError("tile_workers must be >= 1")
+        if self.tile_executor not in ("thread", "process", "auto"):
+            raise QueryModelError(
+                "tile_executor must be 'thread', 'process' or 'auto', "
+                f"got {self.tile_executor!r}"
+            )
 
     @property
     def use_batch(self) -> bool:
@@ -319,16 +333,24 @@ class Acquire:
                 )
             )
         elif plan.mode == "tiled":
+            # The plan picked executor, worker count and tile size from
+            # the calibrated cost model; fall back to the raw config for
+            # plans minted before those fields existed.
+            executor = plan.tile_executor or (
+                "thread" if config.tile_executor == "auto"
+                else config.tile_executor
+            )
             explorer = TiledGridExplorer(
                 self.layer,
                 prepared,
                 space,
                 aggregate,
-                max_tile_cells=min(
+                max_tile_cells=plan.tile_cells or min(
                     config.max_grid_queries, config.materialize_cell_cap
                 ),
                 cache=grid_cache,
-                tile_workers=config.tile_workers,
+                tile_workers=plan.tile_workers or config.tile_workers,
+                tile_executor=executor,
             )
         else:
             bitmap = None
@@ -349,7 +371,14 @@ class Acquire:
                 plan_reason=plan.reason,
                 estimated_visited=plan.estimated_visited,
                 tile_workers=(
-                    config.tile_workers if plan.mode == "tiled" else 0
+                    explorer.tile_workers if plan.mode == "tiled" else 0
+                ),
+                tile_executor=(
+                    # The explorer records the *effective* tier after
+                    # any runtime fallback (no spec, generic aggregate).
+                    explorer.tile_executor
+                    if plan.mode == "tiled" and explorer.tile_workers > 1
+                    else ""
                 ),
             )
 
@@ -497,9 +526,23 @@ class Acquire:
             )
             stats.elapsed_s = time.perf_counter() - started
             stats.execution = self.layer.stats.since(layer_stats_before)
-            if config.calibration is not None and plan.estimated_visited > 0:
-                config.calibration.observe(
-                    plan.estimated_visited, stats.grid_queries_examined
+            if config.calibration is not None:
+                if plan.estimated_visited > 0:
+                    config.calibration.observe(
+                        plan.estimated_visited, stats.grid_queries_examined
+                    )
+                # Feed the executor cost model: observed pass rate plus
+                # the process tier's spawn/IPC overheads (no-ops when
+                # the respective counters are zero).
+                execution = stats.execution
+                config.calibration.observe_pass(
+                    execution.rows_scanned, execution.execution_time_s
+                )
+                config.calibration.observe_spawn(
+                    execution.process_pools, execution.process_spawn_s
+                )
+                config.calibration.observe_ipc(
+                    execution.process_tiles, execution.process_ipc_s
                 )
             logger.info(
                 "ACQUIRE %s: %d answers, %d grid queries, %d cells, %.1f ms",

@@ -52,6 +52,7 @@ import itertools
 import os
 import struct
 import threading
+import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -186,6 +187,13 @@ class PersistentGridCache:
     MAGIC = b"RGT1"
     _HEADER = struct.Struct("<4sIi")
     SUFFIX = ".tensor"
+    TEMP_PREFIX = ".tmp-"
+
+    #: Grace period before a stray temp file — a writer that died
+    #: between ``open`` and ``os.replace`` — is reaped by another
+    #: process's budget sweep. Younger temp files may belong to a
+    #: *live* writer mid-publish and are never touched.
+    TEMP_REAP_AGE_S = 300.0
 
     def __init__(
         self, path: str, max_bytes: int = DEFAULT_PERSISTENT_BYTES
@@ -288,7 +296,7 @@ class PersistentGridCache:
             return False
         final = self.file_for(key)
         temp = os.path.join(
-            self.path, f".tmp-{os.getpid()}-{next(self._seq)}"
+            self.path, f"{self.TEMP_PREFIX}{os.getpid()}-{next(self._seq)}"
         )
         try:
             with open(temp, "wb") as handle:
@@ -306,12 +314,22 @@ class PersistentGridCache:
         return True
 
     def _published(self) -> list:
+        """(mtime, size, path) of every *published* tensor file.
+
+        In-flight temp files (``TEMP_PREFIX``) are explicitly
+        excluded: they are not entries — counting them against the
+        budget, or evicting one out from under a concurrent writer's
+        ``os.replace``, would turn another process's publish into a
+        spurious failure.
+        """
         entries = []
         try:
             names = os.listdir(self.path)
         except OSError:
             return entries
         for name in names:
+            if name.startswith(self.TEMP_PREFIX):
+                continue
             if not name.endswith(self.SUFFIX):
                 continue
             path = os.path.join(self.path, name)
@@ -322,14 +340,44 @@ class PersistentGridCache:
             entries.append((info.st_mtime, info.st_size, path))
         return entries
 
+    def _reap_orphans(self) -> None:
+        """Delete temp files abandoned by a writer that died mid-publish.
+
+        Only files older than ``TEMP_REAP_AGE_S`` are removed — a
+        younger temp file may be a live writer in another process that
+        has opened but not yet ``os.replace``d.
+        """
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return
+        cutoff = time.time() - self.TEMP_REAP_AGE_S
+        for name in names:
+            if not name.startswith(self.TEMP_PREFIX):
+                continue
+            path = os.path.join(self.path, name)
+            try:
+                if os.stat(path).st_mtime < cutoff:
+                    os.unlink(path)
+            except OSError:
+                continue
+
     def _enforce_budget(self) -> None:
+        self._reap_orphans()
         entries = self._published()
         total = sum(size for _, size, _ in entries)
         entries.sort()  # oldest mtime first
-        for _, size, path in entries:
+        for mtime, size, path in entries:
             if total <= self.max_bytes:
                 break
             try:
+                # Re-stat before deleting: a concurrent process may
+                # have *hit* (and mtime-bumped) this entry since the
+                # listing — it is no longer the LRU victim, so skip it
+                # rather than evict a hot tensor; the budget converges
+                # on the next insert.
+                if os.stat(path).st_mtime > mtime:
+                    continue
                 os.unlink(path)
             except OSError:
                 continue

@@ -48,6 +48,20 @@ backend I/O with prefix passes. Because each cell tensor is
 deterministic regardless of fetch timing and the stitch order never
 changes, block states stay bit-identical to the serial engine.
 
+Process tier (:class:`ProcessTileScheduler`): thread workers only help
+backends whose fetch path releases the GIL (sqlite); the numpy memory
+backend computes tiles under the GIL, so its thread arm is flat. With
+``tile_executor="process"`` fetches are dispatched to a persistent
+``multiprocessing`` pool instead: workers rebuild the backend once per
+pool from a picklable :class:`~repro.core.tile_worker.BackendSpec` and
+return tile tensors through ``multiprocessing.shared_memory`` blocks,
+so the parent stitches straight out of the mapped buffer. Stitching
+stays serial in lex order on the parent, so answers remain
+bit-identical to serial at any worker count. Pools are registered
+process-wide keyed by (spec digest, workers) and survive across
+explorer instances; a broken pool degrades to in-process fetches
+(counted as ``process_fallbacks``) rather than failing the search.
+
 Both materializing engines optionally consult a
 :class:`~repro.core.grid_cache.GridTensorCache`, at two granularities:
 raw *cell* tensors (kind ``"cells"``), so constraint sweeps re-use the
@@ -62,9 +76,18 @@ driver picks each path.
 
 from __future__ import annotations
 
+import atexit
 import itertools
+import multiprocessing
+import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import (
+    BrokenProcessPool,
+    ProcessPoolExecutor,
+)
+from multiprocessing import shared_memory
 from typing import Optional, Sequence
 
 import numpy as np
@@ -221,6 +244,15 @@ class TiledGridExplorer:
             stitching stays serial in lexicographic order, so results
             are bit-identical to the serial engine at any worker
             count.
+        tile_executor: ``"thread"`` (default) or ``"process"``. The
+            process tier dispatches fetches to a persistent worker
+            *process* pool over shared memory, escaping the GIL for
+            backends whose fetch path is pure Python/numpy. It needs a
+            picklable backend recipe (``layer.backend_spec``) and a
+            vectorized aggregate; otherwise the explorer silently
+            falls back to the thread tier (the effective choice is
+            recorded on :attr:`tile_executor`). Ignored when
+            ``tile_workers == 1``.
     """
 
     def __init__(
@@ -233,6 +265,7 @@ class TiledGridExplorer:
         tile_shape: Optional[Sequence[int]] = None,
         cache: Optional[GridTensorCache] = None,
         tile_workers: int = 1,
+        tile_executor: str = "thread",
     ) -> None:
         self.layer = layer
         self.prepared = prepared
@@ -257,6 +290,11 @@ class TiledGridExplorer:
                 f"tile_workers must be >= 1, got {tile_workers}"
             )
         self.tile_workers = int(tile_workers)
+        if tile_executor not in ("thread", "process"):
+            raise SearchError(
+                f"unknown tile_executor {tile_executor!r}; "
+                "expected 'thread' or 'process'"
+            )
         self.cells_executed = 0
         self.cells_skipped = 0
         self.tiles_materialized = 0
@@ -265,11 +303,26 @@ class TiledGridExplorer:
         self._seams: dict[tuple[Coords, int], np.ndarray] = {}
         # Guards counters written from fetch worker threads.
         self._count_lock = threading.Lock()
-        self._scheduler = (
-            TileScheduler(self, self.tile_workers)
-            if self.tile_workers > 1
-            else None
-        )
+        self._scheduler: Optional[TileScheduler | ProcessTileScheduler]
+        self._scheduler = None
+        self.tile_executor = "serial"
+        if self.tile_workers > 1:
+            self.tile_executor = "thread"
+            spec = (
+                layer.backend_spec(prepared)
+                if tile_executor == "process"
+                else None
+            )
+            if spec is not None and _vector_ops(aggregate) is not None:
+                # Process tier: picklable backend + float64 tiles only.
+                # Anything else (custom backend, generic OSP aggregate)
+                # falls back to thread workers.
+                self._scheduler = ProcessTileScheduler(
+                    self, self.tile_workers, spec
+                )
+                self.tile_executor = "process"
+            else:
+                self._scheduler = TileScheduler(self, self.tile_workers)
 
     def close(self) -> None:
         """Shut down the tile worker pool (no-op when serial)."""
@@ -422,15 +475,20 @@ class TiledGridExplorer:
         self.tiles_materialized += 1
 
     def _fetch_tile(self, lo: Coords, hi: Coords) -> np.ndarray:
+        cached = self._cached_tile(lo, hi)
+        if cached is not None:
+            return cached
+        tensor = self.layer.execute_grid_tile(self.prepared, self.space, lo, hi)
+        return self._store_tile(lo, hi, tensor)
+
+    def _cached_tile(self, lo: Coords, hi: Coords) -> Optional[np.ndarray]:
+        """Cell-cache lookup for one tile (None on miss or no cache).
+
+        Split out of :meth:`_fetch_tile` so the process scheduler can
+        pre-check the cache in the parent and dispatch only misses.
+        """
         if self.cache is None:
-            tensor = self.layer.execute_grid_tile(
-                self.prepared, self.space, lo, hi
-            )
-            with self._count_lock:
-                self.cells_executed += int(
-                    np.prod(tensor.shape[:-1], dtype=np.int64)
-                )
-            return tensor
+            return None
         key = GridTensorCache.key_for(
             self.layer, self.prepared.query, self.space, lo, hi
         )
@@ -439,12 +497,27 @@ class TiledGridExplorer:
             self.layer.count_cache_event(
                 True, int(cached.nbytes), persistent=tier == "persistent"
             )
-            return cached
-        tensor = self.layer.execute_grid_tile(self.prepared, self.space, lo, hi)
+        return cached
+
+    def _store_tile(
+        self, lo: Coords, hi: Coords, tensor: np.ndarray
+    ) -> np.ndarray:
+        """Account for a freshly executed tile and admit it to the
+        cell cache (counterpart of a :meth:`_cached_tile` miss).
+
+        Callers handing in a shared-memory view must copy it out first
+        when a cache is attached — the cache may retain the array past
+        the block's unlink.
+        """
         with self._count_lock:
             self.cells_executed += int(
                 np.prod(tensor.shape[:-1], dtype=np.int64)
             )
+        if self.cache is None:
+            return tensor
+        key = GridTensorCache.key_for(
+            self.layer, self.prepared.query, self.space, lo, hi
+        )
         tensor = self.cache.put(key, tensor)
         self.layer.count_cache_event(False)
         return tensor
@@ -496,6 +569,281 @@ class TileScheduler:
             for future in futures.values():
                 future.cancel()
         explorer.layer.count_parallel_tiles(len(pending))
+
+
+# ---------------------------------------------------------------------------
+# Process tier: persistent worker-process pools over shared memory
+
+#: Environment override for the worker start method ("spawn" default;
+#: "fork" skips the interpreter boot but inherits parent state).
+_START_METHOD_ENV = "REPRO_TILE_START_METHOD"
+
+
+def _start_method() -> str:
+    method = os.environ.get(_START_METHOD_ENV, "spawn")
+    if method not in multiprocessing.get_all_start_methods():
+        return "spawn"
+    return method
+
+
+class _ProcessPool:
+    """Registry entry: one persistent worker pool per (spec, workers)."""
+
+    __slots__ = ("key", "executor")
+
+    def __init__(
+        self, key: tuple[str, int], executor: ProcessPoolExecutor
+    ) -> None:
+        self.key = key
+        self.executor = executor
+
+
+#: Process-wide pool registry. Workers rebuild their backend once per
+#: pool (the expensive part), so pools outlive explorer instances and
+#: repeated searches over the same data reuse warm workers.
+_PROCESS_POOLS: dict[tuple[str, int], _ProcessPool] = {}
+_PROCESS_POOL_LOCK = threading.Lock()
+
+
+def _process_pool_for(
+    spec, workers: int, layer: EvaluationLayer
+) -> Optional[_ProcessPool]:
+    """A warm worker pool for ``spec``, spawning one if needed.
+
+    Spawning submits one barrier task per worker so process start-up
+    and the per-worker backend rebuild complete here — recorded as
+    ``process_spawn_s`` — rather than bleeding into the first tile
+    batch's IPC measurement. Returns None when workers cannot be
+    spawned (the scheduler then degrades to in-process fetches).
+    """
+    from repro.core import tile_worker
+
+    key = (spec.digest(), int(workers))
+    with _PROCESS_POOL_LOCK:
+        pool = _PROCESS_POOLS.get(key)
+        if pool is not None:
+            return pool
+        started = time.perf_counter()
+        executor: Optional[ProcessPoolExecutor] = None
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=int(workers),
+                mp_context=multiprocessing.get_context(_start_method()),
+                initializer=tile_worker.initialize_worker,
+                initargs=(spec,),
+            )
+            warm = [
+                executor.submit(tile_worker.warm_worker)
+                for _ in range(int(workers))
+            ]
+            for future in warm:
+                future.result(timeout=120)
+        except (OSError, ValueError, RuntimeError):
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+            return None
+        pool = _ProcessPool(key, executor)
+        _PROCESS_POOLS[key] = pool
+    layer.count_process_tiles(
+        pools=1, spawn_s=time.perf_counter() - started
+    )
+    return pool
+
+
+def _retire_pool(key: tuple[str, int]) -> None:
+    """Drop a broken pool from the registry and reap its processes."""
+    with _PROCESS_POOL_LOCK:
+        pool = _PROCESS_POOLS.pop(key, None)
+    if pool is not None:
+        pool.executor.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_process_pools() -> None:
+    """Shut down every registered tile worker pool (idempotent).
+
+    Pools persist across explorer instances so repeated searches reuse
+    warm workers; call this to reclaim the processes. An ``atexit``
+    hook covers normal interpreter exit.
+    """
+    with _PROCESS_POOL_LOCK:
+        pools = list(_PROCESS_POOLS.values())
+        _PROCESS_POOLS.clear()
+    for pool in pools:
+        pool.executor.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_process_pools)
+
+
+class ProcessTileScheduler:
+    """Dispatches tile fetches to a persistent worker-*process* pool.
+
+    Same contract as :class:`TileScheduler` — fetches fan out, stitching
+    consumes strictly in the given lexicographic order on the calling
+    thread, results are bit-identical to serial — but the fetch runs in
+    another process, so backends that compute tiles under the GIL (the
+    numpy memory backend, histograms) scale too.
+
+    Mechanics per batch: the parent pre-checks the cell cache and, for
+    each miss, creates a ``multiprocessing.shared_memory`` block sized
+    from the tile's shape and the aggregate's state arity (the process
+    tier is float64-only by construction), then submits
+    :func:`repro.core.tile_worker.fetch_tile`. The worker fills the
+    block and ships back only its stats delta; the parent stitches
+    straight out of the mapped buffer (``tile_prefix_combine`` copies
+    into its work array, so the zero-copy read is safe) and then closes
+    + unlinks the block. Infrastructure failures — pool crash, worker
+    death, shm exhaustion — degrade to in-process fetches and are
+    counted as ``process_fallbacks``; deterministic engine errors
+    propagate exactly as the serial path would raise them.
+    """
+
+    def __init__(
+        self, explorer: "TiledGridExplorer", workers: int, spec
+    ) -> None:
+        self.explorer = explorer
+        self.workers = int(workers)
+        self.spec = spec
+        self._key = (spec.digest(), self.workers)
+        self._arity = len(explorer.aggregate.identity())
+
+    def close(self) -> None:
+        """No-op: pools are process-wide and stay warm for the next
+        explorer (see :func:`shutdown_process_pools`)."""
+
+    def run(self, pending: Sequence[Coords]) -> None:
+        from repro.core import tile_worker
+
+        explorer = self.explorer
+        layer = explorer.layer
+        pool = _process_pool_for(self.spec, self.workers, layer)
+        if pool is None:
+            for tile in pending:
+                explorer._materialize_tile(tile)
+            layer.count_process_tiles(fallbacks=len(pending))
+            return
+        started = time.perf_counter()
+        stitch_s = 0.0
+        worker_exec_s = 0.0
+        dispatched = 0
+        fallbacks = 0
+        shm_bytes = 0
+        tasks: dict[Coords, tuple[str, object]] = {}
+        blocks: dict[Coords, shared_memory.SharedMemory] = {}
+        broken = False
+        try:
+            for tile in pending:
+                lo, hi = explorer.tile_bounds(tile)
+                cached = explorer._cached_tile(lo, hi)
+                if cached is not None:
+                    tasks[tile] = ("tensor", cached)
+                    continue
+                if broken:
+                    tasks[tile] = ("fetch", (lo, hi))
+                    continue
+                shape = tuple(
+                    high - low + 1 for low, high in zip(lo, hi)
+                ) + (self._arity,)
+                nbytes = int(np.prod(shape, dtype=np.int64)) * 8
+                try:
+                    block = shared_memory.SharedMemory(
+                        create=True, size=nbytes
+                    )
+                    blocks[tile] = block
+                    future = pool.executor.submit(
+                        tile_worker.fetch_tile,
+                        explorer.space, lo, hi, block.name, shape,
+                    )
+                except BrokenProcessPool:
+                    # The pool is dead; stop dispatching and reap it so
+                    # the next explorer spawns a fresh one.
+                    broken = True
+                    _retire_pool(self._key)
+                    tasks[tile] = ("fetch", (lo, hi))
+                    continue
+                except OSError:
+                    # shm exhaustion or similar: the pool itself is
+                    # healthy, but this batch degrades in-process.
+                    broken = True
+                    tasks[tile] = ("fetch", (lo, hi))
+                    continue
+                tasks[tile] = ("future", (future, lo, hi, shape, nbytes))
+            for tile in pending:
+                kind, payload = tasks[tile]
+                if kind == "tensor":
+                    tensor = payload
+                elif kind == "future":
+                    future, lo, hi, shape, nbytes = payload
+                    try:
+                        delta = future.result()
+                    except (BrokenProcessPool, OSError):
+                        _retire_pool(self._key)
+                        fallbacks += 1
+                        tensor = self._fetch_fallback(lo, hi)
+                    else:
+                        layer.merge_stats(delta)
+                        worker_exec_s += delta.execution_time_s
+                        shm_bytes += nbytes
+                        dispatched += 1
+                        view = tile_worker.shm_tensor(blocks[tile], shape)
+                        if explorer.cache is not None:
+                            # The cache may retain the array past the
+                            # block's unlink; hand it an owned copy.
+                            view = np.array(
+                                view, dtype=np.float64, copy=True
+                            )
+                        tensor = explorer._store_tile(lo, hi, view)
+                else:  # "fetch": never dispatched (pool broke early)
+                    lo, hi = payload
+                    fallbacks += 1
+                    tensor = self._fetch_fallback(lo, hi)
+                stitch_started = time.perf_counter()
+                explorer._materialize_tile(tile, tensor=tensor)
+                stitch_s += time.perf_counter() - stitch_started
+                block = blocks.pop(tile, None)
+                if block is not None:
+                    _release_block(block)
+        finally:
+            for entry in tasks.values():
+                if entry[0] == "future":
+                    entry[1][0].cancel()
+            for block in blocks.values():
+                _release_block(block)
+            blocks.clear()
+        ipc_s = 0.0
+        if dispatched:
+            # The batch's parent-side overhead: wall time minus the
+            # stitching we timed and the workers' own execution spread
+            # across the pool — a coarse but monotone per-batch IPC
+            # estimate for the plan calibration.
+            wall = time.perf_counter() - started
+            effective = min(self.workers, dispatched)
+            ipc_s = max(wall - stitch_s - worker_exec_s / effective, 0.0)
+        layer.count_process_tiles(
+            tiles=dispatched,
+            fallbacks=fallbacks,
+            shm_bytes=shm_bytes,
+            ipc_s=ipc_s,
+        )
+        layer.count_parallel_tiles(dispatched)
+
+    def _fetch_fallback(self, lo: Coords, hi: Coords) -> np.ndarray:
+        """In-process fetch for a tile the pool could not deliver (the
+        cache was already checked and missed)."""
+        explorer = self.explorer
+        tensor = explorer.layer.execute_grid_tile(
+            explorer.prepared, explorer.space, lo, hi
+        )
+        return explorer._store_tile(lo, hi, tensor)
+
+
+def _release_block(block: shared_memory.SharedMemory) -> None:
+    """Close + unlink an owned shared-memory block, tolerating repeats."""
+    block.close()
+    try:
+        block.unlink()
+    except FileNotFoundError:
+        pass
 
 
 def tile_shape_for(space: RefinedSpace, max_tile_cells: int) -> Coords:
@@ -667,8 +1015,11 @@ def _generic_tile_prefix_combine(
 
 __all__ = [
     "GridExplorer",
+    "ProcessTileScheduler",
     "TiledGridExplorer",
+    "TileScheduler",
     "prefix_combine",
+    "shutdown_process_pools",
     "tile_prefix_combine",
     "tile_shape_for",
 ]

@@ -41,6 +41,18 @@ The estimate can be *calibrated*: a :class:`PlanCalibration` collects
 (estimated, actually-visited) pairs from finished searches and applies
 their geometric-mean ratio to later estimates, closing the loop
 between the star-join cost heuristic and observed traversal behaviour.
+
+Tiled plans additionally pick an *executor*. Thread workers only
+overlap tile fetches when the backend's fetch path releases the GIL
+(``EvaluationLayer.parallel_tile_scaling``); worker *processes*
+overlap for every backend but pay a per-pool spawn cost and a per-tile
+IPC cost. Both constants start as documented priors (spawn ~ one data
+pass per worker, IPC ~ an eighth of a tile pass) and are replaced by
+observed values as :class:`PlanCalibration` accumulates
+``observe_pass`` / ``observe_spawn`` / ``observe_ipc`` samples from
+finished searches — the calibration converts the observed seconds into
+row units through the observed pass rate, so the executor choice, the
+worker count, and the tile size all adapt to the machine.
 """
 
 from __future__ import annotations
@@ -94,11 +106,64 @@ class PlanCalibration:
                 f"calibration window must be >= 1, got {window}"
             )
         self._log_ratios: deque[float] = deque(maxlen=window)
+        self._pass_rates: deque[float] = deque(maxlen=window)
+        self._spawn_s: deque[float] = deque(maxlen=window)
+        self._ipc_s: deque[float] = deque(maxlen=window)
 
     def observe(self, estimated: int, actual: int) -> None:
         """Record one (estimate, outcome) pair; zeros are ignored."""
         if estimated > 0 and actual > 0:
             self._log_ratios.append(math.log(actual / estimated))
+
+    def observe_pass(self, rows: int, seconds: float) -> None:
+        """Record one search's backend execution: ``rows`` row accesses
+        in ``seconds`` of measured backend time. The resulting rows/sec
+        rate converts observed spawn/IPC seconds into the row units the
+        cost model compares."""
+        if rows > 0 and seconds > 0:
+            self._pass_rates.append(rows / seconds)
+
+    def observe_spawn(self, pools: int, seconds: float) -> None:
+        """Record worker-pool spawns: ``pools`` pools took ``seconds``
+        (process start-up + per-worker backend rebuild)."""
+        if pools > 0 and seconds > 0:
+            self._spawn_s.append(seconds / pools)
+
+    def observe_ipc(self, tiles: int, seconds: float) -> None:
+        """Record process-tier IPC overhead: ``tiles`` dispatched tiles
+        cost ``seconds`` of parent-side overhead beyond the workers'
+        own execution."""
+        if tiles > 0 and seconds > 0:
+            self._ipc_s.append(seconds / tiles)
+
+    def pass_rate(self) -> float:
+        """Observed backend row-access rate in rows/sec (0.0 until
+        ``observe_pass`` data arrives)."""
+        if not self._pass_rates:
+            return 0.0
+        return sum(self._pass_rates) / len(self._pass_rates)
+
+    def spawn_cost_rows(self, rows: int, workers: int) -> int:
+        """Per-pool spawn cost in row units.
+
+        Observed mean spawn seconds x observed pass rate when both are
+        available; otherwise the prior — one data pass per worker, the
+        shape of a pool whose initializer rebuilds the backend in every
+        worker.
+        """
+        rate = self.pass_rate()
+        if self._spawn_s and rate > 0:
+            mean = sum(self._spawn_s) / len(self._spawn_s)
+            return max(int(mean * rate), 1)
+        return max(rows * workers, 1)
+
+    def ipc_cost_rows(self, tile_cells: int) -> int:
+        """Per-tile IPC cost in row units (prior: tile_cells / 8)."""
+        rate = self.pass_rate()
+        if self._ipc_s and rate > 0:
+            mean = sum(self._ipc_s) / len(self._ipc_s)
+            return max(int(mean * rate), 1)
+        return max(tile_cells // 8, 1)
 
     @property
     def observations(self) -> int:
@@ -129,12 +194,21 @@ class ExplorePlan:
         estimated_visited: predicted visited-cell count for the
             incremental engine (after calibration, when configured);
             0 when no estimate was possible.
+        tile_executor: executor picked for a tiled plan — ``thread``
+            or ``process`` ("" for non-tiled plans).
+        tile_workers: worker count picked for a tiled plan (0 for
+            non-tiled plans).
+        tile_cells: per-tile cell budget picked for a tiled plan (0
+            for non-tiled plans).
     """
 
     mode: str
     reason: str
     grid_cells: int
     estimated_visited: int = 0
+    tile_executor: str = ""
+    tile_workers: int = 0
+    tile_cells: int = 0
 
 
 def choose_explore_mode(
@@ -156,6 +230,22 @@ def choose_explore_mode(
             f"expected one of {_MODES}"
         )
     grid_cells = space.grid_size
+    database = getattr(layer, "database", None)
+    rows = (
+        _largest_table_rows(database, query) if database is not None else 1
+    )
+
+    def tiled_plan(reason: str, visited: int = 0) -> ExplorePlan:
+        proxy = visited or min(grid_cells, config.max_grid_queries)
+        executor, workers, tile_cells, _ = _pick_tile_plan(
+            layer, config, proxy, grid_cells, rows
+        )
+        return ExplorePlan(
+            "tiled", reason, grid_cells, visited,
+            tile_executor=executor, tile_workers=workers,
+            tile_cells=tile_cells,
+        )
+
     if config.explore_mode == "incremental":
         return ExplorePlan("incremental", "forced", grid_cells)
     if config.explore_mode == "materialized":
@@ -168,7 +258,7 @@ def choose_explore_mode(
             )
         return ExplorePlan("materialized", "forced", grid_cells)
     if config.explore_mode == "tiled":
-        return ExplorePlan("tiled", "forced", grid_cells)
+        return tiled_plan("forced")
 
     # -- auto ----------------------------------------------------------
     budget = config.max_grid_queries
@@ -190,34 +280,30 @@ def choose_explore_mode(
         if grid_cache.contains(blocks_key):
             return ExplorePlan("materialized", "warm-cache", grid_cells)
 
-    database = getattr(layer, "database", None)
     estimate = _estimate_visited_cells(database, query, space, config)
     if estimate is None:
         if grid_cells <= SMALL_GRID_CELLS and materialized_fits:
             return ExplorePlan("materialized", "small-grid", grid_cells)
         if grid_cells > cap:
-            return ExplorePlan("tiled", "grid-over-cap", grid_cells)
+            return tiled_plan("grid-over-cap")
         if grid_cells > budget:
-            return ExplorePlan("tiled", "grid-over-budget", grid_cells)
+            return tiled_plan("grid-over-budget")
         return ExplorePlan("incremental", "no-statistics", grid_cells)
 
     calibration = getattr(config, "calibration", None)
     if calibration is not None:
         estimate = calibration.correct(estimate)
     visited = min(estimate, grid_cells, budget)
-    rows = _largest_table_rows(database, query)
 
     # Cost of each engine, in row-access units (docstring formulas).
-    # With tile workers, the per-tile data passes overlap (wall-clock
-    # ~ ceil(tiles/workers) passes) while the stitching term stays
-    # serial — that is exactly the sharded pipeline's shape.
-    workers = max(1, int(getattr(config, "tile_workers", 1)))
+    # The tiled term is minimized over executor, worker count and tile
+    # size: worker overlap divides the per-tile data passes — for
+    # threads only when the backend releases the GIL, for processes
+    # always, at the calibrated spawn + IPC overheads.
     incremental_cost = visited * rows
     materialized_cost = rows + grid_cells
-    tile_cells = min(cap, budget, grid_cells)
-    tiles_needed = -(-visited // tile_cells)
-    tiled_cost = (
-        -(-tiles_needed // workers) * rows + tiles_needed * tile_cells
+    executor, tile_workers, tile_cells, tiled_cost = _pick_tile_plan(
+        layer, config, visited, grid_cells, rows
     )
 
     best_mode, best_cost = "incremental", incremental_cost
@@ -231,13 +317,118 @@ def choose_explore_mode(
         and materialized_cost <= best_cost
     ):
         best_mode, best_cost = "materialized", materialized_cost
+    if best_mode != "tiled":
+        return ExplorePlan(best_mode, "cost-model", grid_cells, visited)
     reason = "cost-model"
-    if best_mode == "tiled":
-        if grid_cells > cap:
-            reason = "grid-over-cap"
-        elif grid_cells > budget:
-            reason = "grid-over-budget"
-    return ExplorePlan(best_mode, reason, grid_cells, visited)
+    if grid_cells > cap:
+        reason = "grid-over-cap"
+    elif grid_cells > budget:
+        reason = "grid-over-budget"
+    return ExplorePlan(
+        "tiled", reason, grid_cells, visited,
+        tile_executor=executor, tile_workers=tile_workers,
+        tile_cells=tile_cells,
+    )
+
+
+# ----------------------------------------------------------------------
+# Tiled-plan picker: executor x workers x tile size
+# ----------------------------------------------------------------------
+def _worker_candidates(requested: int) -> list[int]:
+    """1, powers of two below the request, and the request itself."""
+    counts = {1, requested}
+    width = 2
+    while width < requested:
+        counts.add(width)
+        width *= 2
+    return sorted(counts)
+
+
+def _pick_tile_plan(
+    layer: "EvaluationLayer",
+    config: "AcquireConfig",
+    visited: int,
+    grid_cells: int,
+    rows: int,
+) -> tuple[str, int, int, int]:
+    """Minimize the tiled cost over (executor, workers, tile_cells).
+
+    Thread workers overlap the per-tile data passes only when the
+    backend's fetch path releases the GIL
+    (``layer.parallel_tile_scaling``); process workers always overlap
+    but pay the calibrated per-pool spawn and per-tile IPC overheads.
+    Tile sizes considered: the cap (fewest seams and IPC round trips)
+    and "one tile per worker" (full overlap for small searches). Ties
+    break toward thread, then larger tiles, then fewer workers.
+    Returns ``(executor, workers, tile_cells, cost)``.
+    """
+    from repro.engine.backends import EvaluationLayer
+
+    requested = max(1, int(getattr(config, "tile_workers", 1)))
+    preference = getattr(config, "tile_executor", "thread")
+    calibration = getattr(config, "calibration", None)
+    scaling = bool(getattr(layer, "parallel_tile_scaling", False))
+    has_spec = (
+        type(layer).backend_spec is not EvaluationLayer.backend_spec
+    )
+    visited = max(int(visited), 1)
+    tc_max = max(
+        min(config.materialize_cell_cap, config.max_grid_queries,
+            grid_cells),
+        1,
+    )
+
+    def spawn_rows(workers: int) -> int:
+        if calibration is not None:
+            return calibration.spawn_cost_rows(rows, workers)
+        return max(rows * workers, 1)
+
+    def ipc_rows(tile_cells: int) -> int:
+        if calibration is not None:
+            return calibration.ipc_cost_rows(tile_cells)
+        return max(tile_cells // 8, 1)
+
+    executors = ["thread"]
+    if preference == "process" and has_spec and requested > 1:
+        executors = ["process"]
+    elif preference == "auto" and has_spec and requested > 1:
+        executors = ["thread", "process"]
+    # An explicit executor request also fixes the worker count — the
+    # planner only shops for workers when asked to ('auto').
+    worker_options = (
+        _worker_candidates(requested) if preference == "auto"
+        else [requested]
+    )
+
+    best: Optional[tuple[int, int, int, int, str]] = None
+    for executor in executors:
+        for workers in worker_options:
+            if executor == "process" and workers == 1:
+                continue  # a 1-worker pool is pure overhead
+            sizes = {tc_max}
+            if workers > 1:
+                # "One tile per worker": full overlap even when the
+                # search is smaller than a cap-sized tile.
+                sizes.add(min(max(-(-visited // workers), 1), tc_max))
+            for tile_cells in sizes:
+                tiles = -(-visited // tile_cells)
+                overlap = (
+                    workers if (executor == "process" or scaling) else 1
+                )
+                cost = -(-tiles // overlap) * rows + tiles * tile_cells
+                if executor == "process":
+                    cost += spawn_rows(workers) + tiles * ipc_rows(
+                        tile_cells
+                    )
+                ranked = (
+                    cost, executor == "process", -tile_cells, workers,
+                    executor,
+                )
+                if best is None or ranked < best:
+                    best = ranked
+    assert best is not None
+    cost, _, neg_tile_cells, workers, executor = best
+    return executor, workers, -neg_tile_cells, cost
 
 
 # ----------------------------------------------------------------------

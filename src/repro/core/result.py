@@ -77,8 +77,11 @@ class SearchStats:
     to ``grid_queries_examined`` so planner calibration can compare
     prediction against outcome. ``tile_workers`` is the worker count
     the sharded tile pipeline ran with (0 when the engine was not
-    tiled); per-tier cache counters live in ``execution``
-    (``persistent_hits``, ``block_hits``, ``parallel_tiles``).
+    tiled) and ``tile_executor`` the tier it ran on — ``thread`` or
+    ``process``, after any runtime fallback ("" when not tiled);
+    per-tier cache and process counters live in ``execution``
+    (``persistent_hits``, ``block_hits``, ``parallel_tiles``,
+    ``process_tiles``, ``process_fallbacks``, ...).
     ``top_k`` is the ranking depth the search was asked for
     (``AcquireConfig.top_k``): the traversal keeps exploring layers
     until the k best answer layers are complete instead of just the
@@ -96,6 +99,7 @@ class SearchStats:
     plan_reason: str = ""
     estimated_visited: int = 0
     tile_workers: int = 0
+    tile_executor: str = ""
     execution: ExecutionStats = field(default_factory=ExecutionStats)
 
 

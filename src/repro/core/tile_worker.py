@@ -1,0 +1,255 @@
+"""Process-tier tile workers: picklable backend recipes + shm plumbing.
+
+The sharded tile pipeline's thread tier (``TileScheduler``) overlaps
+``execute_grid_tile`` fetches only for backends that release the GIL;
+the numpy memory backend does not, so ``BENCH_parallel.json`` showed
+memory/w4 ~= memory/w1. This module is the escape hatch: the
+``ProcessTileScheduler`` in :mod:`repro.core.grid_explore` dispatches
+fetches to a persistent ``multiprocessing`` pool whose workers are
+initialized once from a :class:`BackendSpec` — a picklable recipe that
+rebuilds the evaluation layer and its prepared state from serializable
+parts (tables as plain column arrays, an optional sqlite snapshot,
+constructor keyword arguments).
+
+Tile tensors come home through ``multiprocessing.shared_memory``
+blocks: the parent creates the block (it knows the tile's shape and
+the aggregate's state arity up front), the worker attaches, fills, and
+closes it, and the parent stitches straight out of the mapped buffer —
+zero-copy on the read side — before closing and unlinking. Because a
+tile fetch is a pure function of (data, geometry) and stitching stays
+serial in lex order on the parent, answers are bit-identical to the
+serial explorer at any worker count, exactly as in the thread tier.
+
+Shared-memory hygiene (see ``docs/PARALLELISM.md``): on Python < 3.13,
+``SharedMemory`` registers the block with the ``resource_tracker``
+even on *attach* (bpo-39959), so a worker that merely attached would
+later have the tracker unlink a block it never owned — or warn about a
+"leak" at exit. :func:`attach_shm` therefore unregisters the block
+right after attaching; the parent, as the owner, keeps its
+registration and always pairs ``close()`` with ``unlink()``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import io
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import EngineError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.query import Query
+    from repro.core.refined_space import RefinedSpace
+    from repro.engine.backends import EvaluationLayer, ExecutionStats
+
+
+# ----------------------------------------------------------------------
+# picklable backend recipe
+# ----------------------------------------------------------------------
+
+
+TableColumns = Dict[str, Dict[str, np.ndarray]]
+
+
+def database_tables(database: Any) -> TableColumns:
+    """Plain column arrays for every table — the picklable image of a
+    :class:`~repro.engine.catalog.Database`."""
+    return {
+        table.name: {
+            name: table.column(name)
+            for name in table.schema.column_names
+        }
+        for table in database
+    }
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Picklable recipe rebuilding a backend + prepared state in a
+    worker process.
+
+    ``factory`` is a ``"module:ClassName"`` reference resolved at
+    worker start-up; ``tables`` are the catalog's column arrays;
+    ``kwargs`` the constructor keywords beyond the database. The
+    optional ``sqlite_snapshot`` carries a serialized sqlite image so
+    workers skip the CREATE TABLE + INSERT reload (see
+    ``SQLiteBackend.restore_snapshot``). Specs are produced by
+    :meth:`repro.engine.backends.EvaluationLayer.backend_spec`; a
+    backend that cannot be rebuilt from picklable parts returns None
+    there and the tiled Explore path stays on the thread tier.
+    """
+
+    factory: str
+    tables: TableColumns
+    kwargs: Dict[str, Any]
+    query: "Query"
+    dim_caps: Tuple[float, ...]
+    database_name: str = "db"
+    sqlite_snapshot: Optional[bytes] = field(default=None, repr=False)
+
+    def build_database(self) -> Any:
+        from repro.engine.catalog import Database
+
+        database = Database(self.database_name)
+        for name, columns in self.tables.items():
+            database.create_table(name, columns)
+        return database
+
+    def build_layer(self) -> "EvaluationLayer":
+        """Construct the backend this spec describes (worker side)."""
+        module_name, _, class_name = self.factory.partition(":")
+        if not module_name or not class_name:
+            raise EngineError(f"malformed backend factory {self.factory!r}")
+        module = importlib.import_module(module_name)
+        try:
+            cls = getattr(module, class_name)
+        except AttributeError:
+            raise EngineError(
+                f"backend factory {self.factory!r} does not resolve"
+            ) from None
+        layer = cls(self.build_database(), **self.kwargs)
+        if self.sqlite_snapshot is not None:
+            restore = getattr(layer, "restore_snapshot", None)
+            if restore is not None:
+                restore(self.sqlite_snapshot, tuple(self.tables))
+        return layer
+
+    def digest(self) -> str:
+        """Stable content digest keying the process-pool registry.
+
+        Two layers over the same data, query, and construction
+        arguments share one worker pool (pickle is deterministic for
+        the plain containers and ndarrays a spec holds).
+        """
+        buffer = io.BytesIO()
+        pickle.dump(
+            (
+                self.factory,
+                self.kwargs,
+                sorted(self.tables),
+                self.query,
+                self.dim_caps,
+                self.database_name,
+                self.sqlite_snapshot is not None,
+            ),
+            buffer,
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        checksum = zlib.crc32(buffer.getvalue())
+        for columns in self.tables.values():
+            for name in sorted(columns):
+                checksum = zlib.crc32(
+                    np.ascontiguousarray(columns[name]).tobytes(),
+                    checksum,
+                )
+        return f"{self.factory}:{checksum:08x}"
+
+
+# ----------------------------------------------------------------------
+# shared-memory lifecycle helpers
+# ----------------------------------------------------------------------
+
+
+def attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing shared-memory block *without* adopting it.
+
+    On Python < 3.13 attaching registers the block with the
+    ``resource_tracker`` as if it were owned here (bpo-39959). Pool
+    workers inherit the *parent's* tracker process, so that register is
+    a harmless set-add dedupe of the parent's own registration — it
+    must NOT be undone with ``unregister``, which would strip the
+    parent's entry and desynchronize the shared tracker (the parent's
+    later ``unlink()`` would hit a tracker ``KeyError``). Python 3.13+
+    exposes ``track=False`` to skip the registration outright; older
+    interpreters attach normally and rely on the dedupe.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+def shm_tensor(
+    block: shared_memory.SharedMemory, shape: Tuple[int, ...]
+) -> np.ndarray:
+    """Float64 ndarray view over a shared-memory block's buffer."""
+    return np.ndarray(shape, dtype=np.float64, buffer=block.buf)
+
+
+# ----------------------------------------------------------------------
+# worker-side entry points
+# ----------------------------------------------------------------------
+
+#: Worker-process state, filled once per pool by initialize_worker.
+_STATE: Dict[str, Any] = {}
+
+
+def initialize_worker(spec: BackendSpec) -> None:
+    """Pool initializer: rebuild the backend and prepare the query.
+
+    Runs once per worker process; every subsequent :func:`fetch_tile`
+    reuses the layer and prepared state built here.
+    """
+    layer = spec.build_layer()
+    prepared = layer.prepare(spec.query, list(spec.dim_caps))
+    _STATE["layer"] = layer
+    _STATE["prepared"] = prepared
+
+
+def warm_worker() -> bool:
+    """Barrier task: returns once this worker's initializer has run.
+
+    The pool registry submits one of these per worker right after
+    constructing a pool, so process spawn + backend rebuild cost is
+    paid (and measured as ``process_spawn_s``) before the first real
+    tile batch — keeping the per-tile IPC estimate clean.
+    """
+    return "layer" in _STATE
+
+
+def fetch_tile(
+    space: "RefinedSpace",
+    lo: Tuple[int, ...],
+    hi: Tuple[int, ...],
+    shm_name: str,
+    shape: Tuple[int, ...],
+) -> "ExecutionStats":
+    """Fetch one tile into the named shared-memory block.
+
+    Returns the worker layer's :meth:`ExecutionStats.since` delta for
+    this fetch; the parent folds it into its own layer via
+    ``merge_stats`` so ``cells_executed``-style accounting matches the
+    thread tier exactly.
+    """
+    layer: "EvaluationLayer" = _STATE["layer"]
+    prepared = _STATE["prepared"]
+    before = layer.stats.snapshot()
+    tensor = layer.execute_grid_tile(prepared, space, lo, hi)
+    delta = layer.stats.since(before)
+    if tuple(tensor.shape) != tuple(shape):
+        raise EngineError(
+            f"tile shape {tensor.shape} != reserved shm shape {shape}"
+        )
+    block = attach_shm(shm_name)
+    try:
+        shm_tensor(block, tuple(shape))[...] = tensor
+    finally:
+        block.close()
+    return delta
+
+
+__all__ = [
+    "BackendSpec",
+    "attach_shm",
+    "database_tables",
+    "fetch_tile",
+    "initialize_worker",
+    "shm_tensor",
+    "warm_worker",
+]

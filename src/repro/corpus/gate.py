@@ -32,12 +32,23 @@ from repro.corpus.manifest import (
 from repro.corpus.oracle import OracleEntry
 from repro.engine.memory_backend import MemoryBackend
 
-#: The four gated Explore configurations (name, config overrides).
+#: The five gated Explore configurations (name, config overrides).
+#: ``process`` runs the tiled engine on the worker-process tier (it
+#: degrades to the thread tier for aggregates without vector ops, so
+#: every triple stays gateable).
 ENGINE_CONFIGS: tuple[tuple[str, dict], ...] = (
     ("incremental", {"explore_mode": "incremental"}),
     ("materialized", {"explore_mode": "materialized"}),
     ("tiled", {"explore_mode": "tiled"}),
     ("sharded", {"explore_mode": "tiled", "tile_workers": 2}),
+    (
+        "process",
+        {
+            "explore_mode": "tiled",
+            "tile_workers": 2,
+            "tile_executor": "process",
+        },
+    ),
 )
 
 _TOL = dict(rel_tol=1e-9, abs_tol=1e-9)

@@ -75,6 +75,14 @@ class ExecutionStats:
     (each one skips the backend pass *and* the d prefix passes), and
     ``parallel_tiles`` counts tiles whose materialization was
     dispatched to the sharded tile pipeline's worker pool.
+    ``process_tiles``/``process_pools``/``process_fallbacks`` track the
+    process tier of that pipeline (tiles fetched in worker processes,
+    pools spawned on this layer's behalf, and tiles that fell back to
+    an in-process fetch after a pool failure); ``shm_bytes`` counts
+    tensor bytes returned through shared-memory blocks, and
+    ``process_spawn_s``/``process_ipc_s`` the observed pool start-up
+    and per-tile round-trip overheads the planner's calibration feeds
+    on (see ``docs/PARALLELISM.md``).
     """
 
     queries_executed: int = 0
@@ -93,6 +101,12 @@ class ExecutionStats:
     persistent_bytes: int = 0
     block_hits: int = 0
     parallel_tiles: int = 0
+    process_tiles: int = 0
+    process_pools: int = 0
+    process_fallbacks: int = 0
+    shm_bytes: int = 0
+    process_spawn_s: float = 0.0
+    process_ipc_s: float = 0.0
     rows_scanned: int = 0
     execution_time_s: float = 0.0
 
@@ -169,6 +183,13 @@ class EvaluationLayer:
     e.g. the half-width of a relaxed band join.
     """
 
+    #: Whether *thread* workers can overlap this backend's tile
+    #: fetches. True only when the fetch path releases the GIL (the
+    #: sqlite C library does; the numpy memory path mostly does not).
+    #: The planner's ``tile_executor='auto'`` uses this to decide when
+    #: escaping to processes is worth the spawn/IPC overhead.
+    parallel_tile_scaling: bool = False
+
     def __init__(self) -> None:
         self.stats = ExecutionStats()
         # Guards counter updates when execute_cells falls back to the
@@ -206,6 +227,18 @@ class EvaluationLayer:
         class opts out — only backends that can fingerprint their
         dataset (class + content digest) participate in the
         :class:`~repro.core.grid_cache.PersistentGridCache` tier.
+        """
+        return None
+
+    def backend_spec(self, prepared: PreparedQuery) -> Optional[object]:
+        """Picklable recipe rebuilding this layer + prepared state in a
+        worker process, or None.
+
+        Returns a :class:`repro.core.tile_worker.BackendSpec` when the
+        backend can be reconstructed from serializable parts (tables as
+        plain arrays, a sqlite snapshot, constructor arguments). The
+        base class opts out, which routes the tiled Explore path to the
+        thread tier; see ``docs/PARALLELISM.md`` ("Process tiles").
         """
         return None
 
@@ -457,6 +490,48 @@ class EvaluationLayer:
         sharded tile pipeline's worker pool."""
         with self._stats_lock:
             self.stats.parallel_tiles += tiles
+
+    def count_process_tiles(
+        self,
+        tiles: int = 0,
+        pools: int = 0,
+        fallbacks: int = 0,
+        shm_bytes: int = 0,
+        spawn_s: float = 0.0,
+        ipc_s: float = 0.0,
+    ) -> None:
+        """Record process-tier scheduler activity (see
+        :class:`ExecutionStats`): tiles fetched in worker processes,
+        pools spawned, in-process fallbacks after pool failures,
+        shared-memory bytes returned, and the observed spawn/IPC
+        overheads the plan calibration learns from."""
+        with self._stats_lock:
+            self.stats.process_tiles += tiles
+            self.stats.process_pools += pools
+            self.stats.process_fallbacks += fallbacks
+            self.stats.shm_bytes += shm_bytes
+            self.stats.process_spawn_s += spawn_s
+            self.stats.process_ipc_s += ipc_s
+
+    def merge_stats(self, delta: ExecutionStats) -> None:
+        """Fold a worker process's :meth:`ExecutionStats.since` delta
+        into this layer's counters.
+
+        Iterates dataclass fields so newly added counters are merged
+        automatically — the same no-drift discipline as ``since()``.
+        Used by the process tile scheduler: each worker snapshots its
+        own layer stats around a fetch and ships the delta home, so
+        ``cells_executed``-style accounting stays identical to the
+        thread tier.
+        """
+        with self._stats_lock:
+            for field in fields(self.stats):
+                setattr(
+                    self.stats,
+                    field.name,
+                    getattr(self.stats, field.name)
+                    + getattr(delta, field.name),
+                )
 
     def _timed(self) -> _Timer:
         with self._stats_lock:

@@ -91,6 +91,28 @@ class MemoryBackend(EvaluationLayer):
 
         return ("MemoryBackend", database_digest(self.database))
 
+    def backend_spec(self, prepared: _MemoryPrepared):
+        """Process-tier recipe: plain column arrays + constructor args.
+
+        A worker re-``prepare``s from the shipped tables; the candidate
+        relation build is deterministic, so worker tile fetches are
+        bit-identical to the parent's.
+        """
+        from repro.core.tile_worker import BackendSpec, database_tables
+
+        return BackendSpec(
+            factory="repro.engine.memory_backend:MemoryBackend",
+            tables=database_tables(self.database),
+            kwargs={
+                "max_rows": self.max_rows,
+                "vectorized_grid": self.vectorized_grid,
+                "indexed": self.indexed,
+            },
+            query=prepared.query,
+            dim_caps=tuple(prepared.dim_caps),
+            database_name=self.database.name,
+        )
+
     # ------------------------------------------------------------------
     def prepare(
         self, query: Query, dim_caps: Optional[Sequence[float]] = None

@@ -50,6 +50,10 @@ class _SQLitePrepared:
 class SQLiteBackend(EvaluationLayer):
     """Evaluation layer that compiles every request to SQL."""
 
+    #: The sqlite3 C library releases the GIL during statement
+    #: execution, so thread workers genuinely overlap tile fetches.
+    parallel_tile_scaling = True
+
     def __init__(
         self, database: Database, create_indexes: bool = True
     ) -> None:
@@ -94,6 +98,46 @@ class SQLiteBackend(EvaluationLayer):
 
     def persistent_cache_key(self) -> tuple:
         return ("SQLiteBackend", database_digest(self.database))
+
+    def backend_spec(self, prepared: _SQLitePrepared):
+        """Process-tier recipe: tables + the primary's serialized image.
+
+        The snapshot (``Connection.serialize``, Python >= 3.11) lets
+        workers skip the CREATE TABLE + INSERT reload; older runtimes
+        ship tables only and workers reload through ``prepare``.
+        """
+        from repro.core.tile_worker import BackendSpec, database_tables
+
+        snapshot: Optional[bytes] = None
+        if hasattr(self._connection, "serialize"):
+            snapshot = self._snapshot()[1]
+        return BackendSpec(
+            factory="repro.engine.sqlite_backend:SQLiteBackend",
+            tables=database_tables(self.database),
+            kwargs={"create_indexes": self.create_indexes},
+            query=prepared.query,
+            dim_caps=tuple(prepared.dim_caps),
+            database_name=self.database.name,
+            sqlite_snapshot=snapshot,
+        )
+
+    def restore_snapshot(
+        self, snapshot: bytes, loaded: Sequence[str]
+    ) -> bool:
+        """Adopt a serialized database image (worker-side restore).
+
+        Marks ``loaded`` tables as installed so the subsequent
+        ``prepare`` skips re-inserting them; indexes already live in
+        the image, and ``CREATE INDEX IF NOT EXISTS`` makes the
+        re-ensure a no-op. Returns False (leaving the reload path to
+        ``prepare``) when this runtime cannot deserialize.
+        """
+        if not hasattr(self._connection, "deserialize"):
+            return False
+        self._connection.deserialize(snapshot)
+        self._loaded.update(loaded)
+        self._load_generation += 1
+        return True
 
     def _snapshot(self) -> tuple[int, bytes]:
         """Serialized image of the primary database, memoized per load

@@ -891,24 +891,29 @@ def sharded_tiles(
     selectivity: float = BASE_SELECTIVITY,
     backends: Sequence[str] = ("memory", "sqlite"),
     workers: Sequence[int] = (1, 4),
+    executors: Sequence[str] = ("thread", "process"),
     tile_width: int = 5,
     repeats: int = 3,
 ) -> ExperimentResult:
     """Sharded tile pipeline: full-grid materialization, serial vs N
-    workers.
+    workers on each executor tier.
 
-    Times exactly the phase the :class:`TileScheduler` parallelizes —
-    one ``prime_cells`` of the whole down-set grid, every tile pending
-    at once — rather than a full ACQUIRE run, where driver scoring
+    Times exactly the phase the tile schedulers parallelize — one
+    ``prime_cells`` of the whole down-set grid, every tile pending at
+    once — rather than a full ACQUIRE run, where driver scoring
     dilutes the fetch overlap (Amdahl) and makes a wall-clock gate
     flaky. Tile *fetches* are independent; only the seam stitching is
-    ordered, so every worker count must produce bit-identical block
-    states. ``qscore`` carries the summed finalized aggregate over the
-    whole grid as an identity checksum, and ``extra`` records the
-    exact cell-by-cell comparison against the serial arm
-    (``identical_to_serial``) plus ``parallel_tiles``. Each arm
-    reports its best of ``repeats`` runs, the usual antidote to
-    scheduler noise at millisecond scale.
+    ordered, so every worker count on every tier must produce
+    bit-identical block states. Each ``executor`` in ``executors``
+    gets its own worker sweep (rows ``backend/executor/wN``); the
+    process tier's first repeat pays the pool spawn, which best-of-
+    ``repeats`` timing deliberately excludes (the pool is persistent —
+    steady state is the honest number; the spawn cost is reported
+    separately via ``process_spawn_s``). ``qscore`` carries the summed
+    finalized aggregate over the whole grid as an identity checksum,
+    and ``extra`` records the exact cell-by-cell comparison against
+    the serial arm (``identical_to_serial``), ``parallel_tiles``, and
+    the effective ``tile_executor`` after any runtime fallback.
     """
     import itertools as _it
     import time as _time
@@ -944,75 +949,84 @@ def sharded_tiles(
             _it.product(*(range(limit + 1) for limit in corner))
         )
         serial_values: Optional[_np.ndarray] = None
-        for count in workers:
-            best_s = math.inf
-            explorer = None
-            stats_delta = None
-            for _ in range(max(repeats, 1)):
-                candidate = TiledGridExplorer(
-                    layer,
-                    prepared,
-                    space,
-                    aggregate,
-                    tile_shape=(tile_width,) * space.d,
-                    tile_workers=count,
-                )
-                before = layer.stats.snapshot()
-                started = _time.perf_counter()
-                candidate.prime_cells([corner])
-                elapsed = _time.perf_counter() - started
-                delta = layer.stats.since(before)
-                if elapsed < best_s:
-                    if explorer is not None:
-                        explorer.close()
-                    best_s, explorer, stats_delta = (
-                        elapsed, candidate, delta,
+        for executor in executors:
+            for count in workers:
+                best_s = math.inf
+                explorer = None
+                stats_delta = None
+                for _ in range(max(repeats, 1)):
+                    candidate = TiledGridExplorer(
+                        layer,
+                        prepared,
+                        space,
+                        aggregate,
+                        tile_shape=(tile_width,) * space.d,
+                        tile_workers=count,
+                        tile_executor=executor,
                     )
-                else:
-                    candidate.close()
-            values = _np.array(
-                [explorer.compute_aggregate(c) for c in grid_coords]
-            )
-            identical = (
-                True
-                if serial_values is None
-                else bool(_np.array_equal(values, serial_values))
-            )
-            if serial_values is None:
-                serial_values = values
-            rows.append(
-                Row(
-                    x_name="workers",
-                    x_value=count,
-                    method=f"{backend}/w{count}",
-                    time_ms=best_s * 1000.0,
-                    error=0.0,
-                    qscore=float(values.sum()),
-                    aggregate_value=float(values[-1]),
-                    queries=stats_delta.queries_executed,
-                    rows_scanned=stats_delta.rows_scanned,
-                    satisfied=identical,
-                    tiles=explorer.tiles_materialized,
-                    cache_hits=stats_delta.cache_hits,
-                    cache_misses=stats_delta.cache_misses,
-                    explore_mode="tiled",
-                    extra={
-                        "identical_to_serial": identical,
-                        "parallel_tiles": stats_delta.parallel_tiles,
-                        "grid_cells": len(grid_coords),
-                    },
+                    before = layer.stats.snapshot()
+                    started = _time.perf_counter()
+                    candidate.prime_cells([corner])
+                    elapsed = _time.perf_counter() - started
+                    delta = layer.stats.since(before)
+                    if elapsed < best_s:
+                        if explorer is not None:
+                            explorer.close()
+                        best_s, explorer, stats_delta = (
+                            elapsed, candidate, delta,
+                        )
+                    else:
+                        candidate.close()
+                values = _np.array(
+                    [explorer.compute_aggregate(c) for c in grid_coords]
                 )
-            )
-            explorer.close()
+                identical = (
+                    True
+                    if serial_values is None
+                    else bool(_np.array_equal(values, serial_values))
+                )
+                if serial_values is None:
+                    serial_values = values
+                rows.append(
+                    Row(
+                        x_name="workers",
+                        x_value=count,
+                        method=f"{backend}/{executor}/w{count}",
+                        time_ms=best_s * 1000.0,
+                        error=0.0,
+                        qscore=float(values.sum()),
+                        aggregate_value=float(values[-1]),
+                        queries=stats_delta.queries_executed,
+                        rows_scanned=stats_delta.rows_scanned,
+                        satisfied=identical,
+                        tiles=explorer.tiles_materialized,
+                        cache_hits=stats_delta.cache_hits,
+                        cache_misses=stats_delta.cache_misses,
+                        explore_mode="tiled",
+                        extra={
+                            "identical_to_serial": identical,
+                            "parallel_tiles": stats_delta.parallel_tiles,
+                            "process_tiles": stats_delta.process_tiles,
+                            "process_fallbacks": (
+                                stats_delta.process_fallbacks
+                            ),
+                            "tile_executor": explorer.tile_executor,
+                            "grid_cells": len(grid_coords),
+                        },
+                    )
+                )
+                explorer.close()
     return ExperimentResult(
         name="sharded_tiles",
-        title="Sharded tiles: tiled Explore at 1 vs N workers "
-              "(bit-identical answers)",
+        title="Sharded tiles: tiled Explore at 1 vs N workers on the "
+              "thread and process tiers (bit-identical answers)",
         paper_expectation=(
             "Tile fetches carry no inter-tile dependency, so the "
-            "sharded pipeline overlaps backend work across workers "
-            "while the ordered seam stitching keeps every block state "
-            "— and hence the answer set — bit-identical to serial."
+            "sharded pipeline overlaps backend work across workers — "
+            "threads sharing the interpreter, or processes escaping "
+            "the GIL over shared memory — while the ordered seam "
+            "stitching keeps every block state — and hence the answer "
+            "set — bit-identical to serial."
         ),
         rows=rows,
         settings={
@@ -1021,6 +1035,7 @@ def sharded_tiles(
             "step": step,
             "tile_width": tile_width,
             "workers": list(workers),
+            "executors": list(executors),
             "backends": list(backends),
             "repeats": repeats,
         },

@@ -1,0 +1,293 @@
+"""Process tile tier: bit-identity, shm lifecycle, and degradation.
+
+Everything here spawns (or deliberately kills) real worker processes,
+so the whole module carries the ``procpool`` marker — ``make
+test-fast`` skips it; tier-1 and CI run it. Pools are process-wide and
+keyed by ``(BackendSpec.digest(), workers)``, so tests sharing a
+dataset reuse warm workers instead of paying the spawn cost per test;
+the module-level fixture shuts every pool down at the end.
+
+Coverage:
+
+* every backend family runs the process scheduler bit-identically to
+  the serial explorer (``TestProcessMatchesSerial``);
+* a hypothesis sweep over tile shapes x worker counts keeps the
+  identity at odd seam geometries (``test_shapes_and_workers``);
+* shared-memory blocks never leak — a subprocess run under
+  warnings-as-errors must exit without any ``resource_tracker``
+  complaint (``TestShmLifecycle``);
+* killing the pool's workers mid-run degrades to in-process fetches,
+  counts ``process_fallbacks``, and still answers bit-identically
+  (``TestWorkerDeath``);
+* a corpus subset replayed with ``tile_executor='process'`` stays
+  oracle-optimal (``TestCorpusSubset``).
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.explore import Explorer
+from repro.core.grid_explore import (
+    _PROCESS_POOLS,
+    _process_pool_for,
+    TiledGridExplorer,
+    shutdown_process_pools,
+)
+from repro.core.refined_space import RefinedSpace
+
+from tests.core.test_sharded_explore import (
+    BACKENDS,
+    _database,
+    _grid_coords,
+    _make_layer,
+    _query,
+)
+
+pytestmark = pytest.mark.procpool
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _reap_pools():
+    yield
+    shutdown_process_pools()
+
+
+def _process_explorer(
+    backend_name, database, query, space, tile_shape, workers
+):
+    layer = _make_layer(backend_name, database)
+    explorer = TiledGridExplorer(
+        layer,
+        layer.prepare(query, [100.0, 100.0]),
+        space,
+        query.constraint.spec.aggregate,
+        tile_shape=tile_shape,
+        tile_workers=workers,
+        tile_executor="process",
+    )
+    return explorer, layer
+
+
+# Shared dataset: every test over it hits the same warm pool.
+_SEED, _ROWS = 77, 160
+
+
+# ----------------------------------------------------------------------
+# Bit-identity across backends and geometries
+# ----------------------------------------------------------------------
+class TestProcessMatchesSerial:
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_all_backends(self, backend_name):
+        database = _database(seed=_SEED, n=_ROWS)
+        query = _query("SUM")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        serial_layer = _make_layer(backend_name, database)
+        serial = Explorer(
+            serial_layer,
+            serial_layer.prepare(query, [100.0, 100.0]),
+            space,
+            query.constraint.spec.aggregate,
+        )
+        sharded, layer = _process_explorer(
+            backend_name, database, query, space, (3, 3), workers=2
+        )
+        assert sharded.tile_executor == "process"
+        try:
+            sharded.prime_cells([space.max_coords])
+            for coords in _grid_coords(space):
+                assert sharded.block_state(coords) == serial.block_state(
+                    coords
+                ), coords
+            assert layer.stats.process_tiles > 0
+            assert layer.stats.process_fallbacks == 0
+            assert layer.stats.shm_bytes > 0
+        finally:
+            sharded.close()
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        width=st.integers(min_value=1, max_value=4),
+        height=st.integers(min_value=1, max_value=5),
+        workers=st.integers(min_value=2, max_value=4),
+    )
+    def test_shapes_and_workers(self, width, height, workers):
+        database = _database(seed=_SEED, n=_ROWS)
+        query = _query("COUNT")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        serial, _ = _process_explorer(
+            "memory", database, query, space, (3, 3), workers=1
+        )
+        serial.prime_cells([space.max_coords])
+        sharded, layer = _process_explorer(
+            "memory", database, query, space, (width, height), workers
+        )
+        try:
+            sharded.prime_cells([space.max_coords])
+            for coords in _grid_coords(space):
+                assert sharded.block_state(coords) == serial.block_state(
+                    coords
+                ), (coords, width, height, workers)
+            assert layer.stats.process_fallbacks == 0
+        finally:
+            sharded.close()
+            serial.close()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory lifecycle: no leaked blocks, ever
+# ----------------------------------------------------------------------
+class TestShmLifecycle:
+    def test_no_resource_tracker_leaks(self, tmp_path):
+        """A full process-tier run in a fresh interpreter must exit
+        clean: any leaked shared_memory block makes the resource
+        tracker print a ``leaked ... objects`` warning at shutdown,
+        which this test treats as an error."""
+        script = tmp_path / "leak_probe.py"
+        # The spawn start method re-imports __main__ in every worker,
+        # so the probe body must sit behind a __main__ guard.
+        script.write_text(textwrap.dedent(
+            """
+            def main():
+                from repro.core.grid_explore import (
+                    TiledGridExplorer,
+                    shutdown_process_pools,
+                )
+                from repro.core.refined_space import RefinedSpace
+                from tests.core.test_sharded_explore import (
+                    _database,
+                    _make_layer,
+                    _query,
+                )
+
+                database = _database(seed=77, n=160)
+                query = _query("SUM")
+                space = RefinedSpace(query, 20.0, [70.0, 70.0])
+                layer = _make_layer("memory", database)
+                explorer = TiledGridExplorer(
+                    layer,
+                    layer.prepare(query, [100.0, 100.0]),
+                    space,
+                    query.constraint.spec.aggregate,
+                    tile_shape=(3, 3),
+                    tile_workers=2,
+                    tile_executor="process",
+                )
+                assert explorer.tile_executor == "process"
+                explorer.prime_cells([space.max_coords])
+                explorer.close()
+                assert layer.stats.process_tiles > 0
+                shutdown_process_pools()
+                print("PROBE_OK")
+
+
+            if __name__ == "__main__":
+                main()
+            """
+        ))
+        root = os.path.abspath(
+            os.path.join(os.path.dirname(repro.__file__), os.pardir)
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [root, os.path.dirname(root), env.get("PYTHONPATH", "")]
+        )
+        proc = subprocess.run(
+            [sys.executable, "-W", "error", str(script)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=env,
+            cwd=os.path.dirname(root),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "PROBE_OK" in proc.stdout
+        assert "leaked" not in proc.stderr, proc.stderr
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+
+
+# ----------------------------------------------------------------------
+# Pool crash: degrade, count, stay correct
+# ----------------------------------------------------------------------
+class TestWorkerDeath:
+    def test_fallback_is_counted_and_identical(self):
+        database = _database(seed=78, n=140)
+        query = _query("COUNT")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        serial, _ = _process_explorer(
+            "memory", database, query, space, (3, 3), workers=1
+        )
+        serial.prime_cells([space.max_coords])
+        sharded, layer = _process_explorer(
+            "memory", database, query, space, (3, 3), workers=2
+        )
+        assert sharded.tile_executor == "process"
+        # Warm the pool (pools otherwise spawn lazily on the first
+        # multi-tile batch), then kill its workers out from under the
+        # scheduler: the next batch must degrade to in-process fetches.
+        pool = _process_pool_for(
+            sharded._scheduler.spec, 2, sharded._scheduler.explorer.layer
+        )
+        assert pool is not None, "worker pool failed to spawn"
+        assert pool is _PROCESS_POOLS[sharded._scheduler._key]
+        workers = list(pool.executor._processes.values())
+        for worker in workers:
+            worker.kill()
+        for worker in workers:
+            worker.join()
+        try:
+            sharded.prime_cells([space.max_coords])
+            for coords in _grid_coords(space):
+                assert sharded.block_state(coords) == serial.block_state(
+                    coords
+                ), coords
+            assert layer.stats.process_fallbacks > 0
+        finally:
+            sharded.close()
+            serial.close()
+        # The broken pool must have been retired from the registry.
+        assert sharded._scheduler._key not in _PROCESS_POOLS
+
+
+# ----------------------------------------------------------------------
+# Corpus subset stays oracle-optimal on the process tier
+# ----------------------------------------------------------------------
+class TestCorpusSubset:
+    def test_first_triples_pass_with_process_executor(self):
+        from dataclasses import replace
+
+        from repro.core.acquire import Acquire
+        from repro.corpus.gate import _check_ranking
+        from repro.corpus.generator import realize
+        from repro.corpus.manifest import (
+            DEFAULT_MANIFEST_PATH,
+            load_manifest,
+        )
+        from repro.engine.memory_backend import MemoryBackend
+
+        manifest = load_manifest(DEFAULT_MANIFEST_PATH)
+        assert manifest.triples, "committed corpus manifest is empty"
+        for labeled in manifest.triples[:2]:
+            database, query, config = realize(labeled.spec)
+            layer = MemoryBackend(database)
+            result = Acquire(layer).run(
+                query,
+                replace(
+                    config,
+                    explore_mode="tiled",
+                    tile_workers=2,
+                    tile_executor="process",
+                ),
+            )
+            problems: list[str] = []
+            _check_ranking(
+                "process", result, labeled, labeled.spec.top_k, problems
+            )
+            assert not problems, problems

@@ -28,10 +28,14 @@ be defeated by legitimate reassociation.
 """
 
 import os
+import textwrap
 import threading
+import time
 
 import numpy as np
 import pytest
+
+import repro
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -390,6 +394,127 @@ class TestPersistentGridCache:
         for thread in threads:
             thread.join()
         assert not errors
+        assert store.corrupt == 0
+
+    def test_budget_ignores_inflight_temp_files(self, tmp_path):
+        """A live writer's temp file is neither an entry nor a victim."""
+        entry_bytes = len(
+            PersistentGridCache(str(tmp_path))._encode(np.ones(16))
+        )
+        store = PersistentGridCache(
+            str(tmp_path), max_bytes=2 * entry_bytes
+        )
+        temp = os.path.join(
+            str(tmp_path), f"{store.TEMP_PREFIX}{os.getpid()}-777"
+        )
+        with open(temp, "wb") as handle:
+            handle.write(b"x" * (4 * entry_bytes))
+        store.put("a", np.ones(16))
+        store.put("b", np.full(16, 2.0))
+        # The giant temp file would blow the budget if counted; both
+        # published entries must survive and the temp must not be
+        # reaped (it is younger than the grace period).
+        assert store.evictions == 0
+        assert store.contains("a") and store.contains("b")
+        assert store.total_bytes() == 2 * entry_bytes
+        assert os.path.exists(temp)
+
+    def test_orphan_temp_files_reaped_after_grace(self, tmp_path):
+        store = PersistentGridCache(str(tmp_path))
+        old = os.path.join(str(tmp_path), f"{store.TEMP_PREFIX}1-0")
+        young = os.path.join(str(tmp_path), f"{store.TEMP_PREFIX}1-1")
+        for temp in (old, young):
+            with open(temp, "wb") as handle:
+                handle.write(b"partial")
+        stale = time.time() - store.TEMP_REAP_AGE_S - 60.0
+        os.utime(old, (stale, stale))
+        store.put("k", np.ones(8))  # any insert runs the sweep
+        assert not os.path.exists(old), "dead writer's temp must be reaped"
+        assert os.path.exists(young), "live writer's temp must survive"
+
+    def test_eviction_skips_entries_hit_since_listing(
+        self, tmp_path, monkeypatch
+    ):
+        """The re-stat guard: an entry whose mtime advanced after the
+        LRU listing (a concurrent hit) is no longer the victim."""
+        entry_bytes = len(
+            PersistentGridCache(str(tmp_path))._encode(np.ones(16))
+        )
+        store = PersistentGridCache(
+            str(tmp_path), max_bytes=2 * entry_bytes
+        )
+        store.put("a", np.ones(16))
+        store.put("b", np.full(16, 2.0))
+        assert store.evictions == 0
+        store.max_bytes = entry_bytes  # now over budget by one entry
+        # Serve every listing with stale mtimes, as if each entry was
+        # hit between the listing and the unlink attempt.
+        real = store._published
+
+        def stale_listing():
+            return [
+                (mtime - 10.0, size, path)
+                for mtime, size, path in real()
+            ]
+
+        monkeypatch.setattr(store, "_published", stale_listing)
+        store._enforce_budget()
+        assert store.evictions == 0
+        assert store.contains("a") and store.contains("b")
+
+    def test_two_process_stress(self, tmp_path):
+        """Hammer one cache directory from a second live process while
+        this one reads and writes: no torn reads, no corruption, and a
+        tight budget keeps eviction churn going throughout."""
+        import subprocess
+        import sys as _sys
+
+        entry_bytes = len(
+            PersistentGridCache(str(tmp_path))._encode(np.ones(64))
+        )
+        budget = 3 * entry_bytes
+        script = textwrap.dedent(
+            """
+            import sys
+
+            import numpy as np
+
+            from repro.core.grid_cache import PersistentGridCache
+
+            path, budget = sys.argv[1], int(sys.argv[2])
+            store = PersistentGridCache(path, max_bytes=budget)
+            for round_ in range(60):
+                for i in range(4):
+                    tensor = np.full(64, float(i) + 0.5)
+                    store.put(f"k{i}", tensor)
+                    out = store.get(f"k{i}")
+                    if out is not None and not np.array_equal(out, tensor):
+                        sys.exit(3)
+            sys.exit(4 if store.corrupt else 0)
+            """
+        )
+        src = os.path.join(
+            os.path.dirname(repro.__file__), os.pardir
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath(src), env.get("PYTHONPATH", "")]
+        )
+        peer = subprocess.Popen(
+            [_sys.executable, "-c", script, str(tmp_path), str(budget)],
+            env=env,
+        )
+        store = PersistentGridCache(str(tmp_path), max_bytes=budget)
+        mismatches = 0
+        while peer.poll() is None:
+            for i in range(4):
+                tensor = np.full(64, float(i) + 0.5)
+                store.put(f"k{i}", tensor)
+                out = store.get(f"k{i}")
+                if out is not None and not np.array_equal(out, tensor):
+                    mismatches += 1
+        assert peer.wait() == 0, "peer process saw corruption"
+        assert mismatches == 0
         assert store.corrupt == 0
 
 
