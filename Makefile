@@ -1,6 +1,6 @@
 # Canonical developer commands for the ACQUIRE reproduction.
 
-.PHONY: install test test-fast test-cov corpus-gate corpus-rebuild bench bench-smoke bench-parallel experiments examples clean lint lint-engine typecheck
+.PHONY: install test test-fast test-cov corpus-gate corpus-rebuild bench bench-smoke bench-parallel bench-service experiments examples clean lint lint-engine typecheck
 
 install:
 	pip install -e . || python setup.py develop
@@ -76,6 +76,14 @@ bench-smoke:
 # BENCH_parallel_baseline.json).
 bench-parallel:
 	python benchmarks/smoke.py --parallel-only
+
+# ACQ-as-a-service gates only: closed-loop p50/p99 + throughput vs
+# worker count (the 2x worker-scaling gate binds on >=4-core hosts),
+# cross-request shared-cache dedupe on the corpus arms, and the serial
+# replay's backend-query total regression-guarded by
+# BENCH_service_baseline.json. See docs/SERVICE.md.
+bench-service:
+	python benchmarks/smoke.py --service-only
 
 experiments:
 	python -m repro.harness all --save

@@ -36,13 +36,23 @@ dependencies (no pytest-benchmark).
    issuing *strictly fewer* backend queries; the warm arm's query
    total is regression-guarded by the checked-in
    ``BENCH_parallel_baseline.json``.
+5. ``service_load`` (the ``bench-service`` job; ``--service-only``
+   runs just this) — writes ``BENCH_service.json`` and checks that the
+   closed-loop arm completed every request with none rejected, that —
+   on hosts with at least ``PROCESS_GATE_CORES`` cores — throughput
+   at 4 service workers is at least ``MIN_SERVICE_SPEEDUP``x the
+   1-worker arm on the sqlite backend, that the corpus arms report
+   cross-request shared-cache hits (the dedupe gate), and that the
+   serial corpus replay's deterministic backend-query total has not
+   regressed above the checked-in ``BENCH_service_baseline.json``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke.py [--scale-rows N] [--out PATH]
         [--explore-out PATH] [--cache-out PATH] [--parallel-out PATH]
-        [--baseline PATH] [--cache-baseline PATH]
-        [--parallel-baseline PATH] [--update-baseline] [--parallel-only]
+        [--service-out PATH] [--baseline PATH] [--cache-baseline PATH]
+        [--parallel-baseline PATH] [--service-baseline PATH]
+        [--update-baseline] [--parallel-only] [--service-only]
 """
 
 from __future__ import annotations
@@ -90,6 +100,14 @@ PROCESS_GATE_CORES = 4
 #: this on that backend (pure-Python tile fetches hold the GIL);
 #: processes must.
 MIN_PROCESS_SPEEDUP = 1.5
+
+#: Required closed-loop throughput ratio of the 4-worker service over
+#: the 1-worker service on the sqlite backend, enforced only on hosts
+#: with >= PROCESS_GATE_CORES cores. SQLite's C execution drops the
+#: GIL, so service worker threads overlap real backend work; on a
+#: single core the same threads merely time-slice and the ratio
+#: measures the scheduler.
+MIN_SERVICE_SPEEDUP = 2.0
 
 
 def _cores() -> int:
@@ -429,6 +447,133 @@ def _check_parallel_baseline(
     return []
 
 
+def _check_service(payload: dict) -> list[str]:
+    """Gates for the ACQ-as-a-service load-generation arms.
+
+    The closed-loop sweep must complete every request with none
+    rejected and report latency percentiles (exact gates); on hosts
+    with at least ``PROCESS_GATE_CORES`` cores the 4-worker arm must
+    sustain ``MIN_SERVICE_SPEEDUP``x the 1-worker throughput on the
+    sqlite backend (the worker-scaling gate). The corpus arms must
+    report cross-request shared-cache hits — the serial replay
+    deterministically (its duplicates re-read tensors their originals
+    cached), the open-loop arm as the live demonstration of dedupe
+    under concurrent arrival.
+    """
+    failures = []
+    closed: dict[int, dict] = {}
+    corpus: dict[str, dict] = {}
+    for row in payload["rows"]:
+        if row["method"].startswith("service/closed/"):
+            closed[int(row["x_value"])] = row
+        elif row["method"] == "service/open/corpus":
+            corpus["open"] = row
+        elif row["method"] == "service/serial/corpus":
+            corpus["serial"] = row
+    if not closed:
+        failures.append("closed-loop service rows missing from JSON")
+    for workers, row in sorted(closed.items()):
+        label = f"{row['method']}/w{workers}"
+        extra = row["extra"]
+        if extra.get("rejected", 0):
+            failures.append(
+                f"{label}: {extra['rejected']} requests rejected — the "
+                "sweep sizes its queue to admit every request"
+            )
+        if extra.get("completed", 0) < 1:
+            failures.append(f"{label}: no requests completed")
+        if not row.get("satisfied", False):
+            failures.append(f"{label}: a completed request went unsatisfied")
+        if extra.get("p50_ms", 0.0) <= 0.0:
+            failures.append(f"{label}: no latency percentiles recorded")
+        if extra.get("p99_ms", 0.0) < extra.get("p50_ms", 0.0):
+            failures.append(
+                f"{label}: p99 {extra.get('p99_ms')}ms below p50 "
+                f"{extra.get('p50_ms')}ms"
+            )
+    cores = _cores()
+    one, four = closed.get(1), closed.get(4)
+    if (
+        cores >= PROCESS_GATE_CORES
+        and one is not None
+        and four is not None
+        and four["extra"]["throughput_rps"]
+        < one["extra"]["throughput_rps"] * MIN_SERVICE_SPEEDUP
+    ):
+        failures.append(
+            "service worker-scaling gate: 4 workers sustained "
+            f"{four['extra']['throughput_rps']:.1f} rps vs "
+            f"{one['extra']['throughput_rps']:.1f} rps at 1 worker — "
+            f"need {MIN_SERVICE_SPEEDUP}x on a {cores}-core host"
+        )
+    for arm in ("open", "serial"):
+        if arm not in corpus:
+            failures.append(f"service/{arm}/corpus row missing from JSON")
+    if corpus:
+        for arm, row in corpus.items():
+            extra = row["extra"]
+            if extra.get("completed", 0) != extra.get("requests", -1):
+                failures.append(
+                    f"service/{arm}/corpus: only {extra.get('completed')} "
+                    f"of {extra.get('requests')} requests completed"
+                )
+            if row["cache_hits"] < 1:
+                failures.append(
+                    f"service/{arm}/corpus: no cross-request shared-cache "
+                    "hits — duplicate requests did not dedupe"
+                )
+    return failures
+
+
+def _check_service_baseline(payload: dict, baseline_path: str) -> list[str]:
+    """Perf-regression guard on the serial corpus replay's queries.
+
+    Only the serial arm is pinned: the concurrent arms' counters
+    depend on request interleaving (two simultaneous identical
+    requests may both miss the cache), so their totals are not
+    reproducible run to run.
+    """
+    if not os.path.exists(baseline_path):
+        return [f"service baseline missing: {baseline_path}"]
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if baseline.get("scale_rows") != payload["settings"].get("scale_rows"):
+        print(
+            "note: service baseline scale_rows "
+            f"{baseline.get('scale_rows')} != run scale_rows "
+            f"{payload['settings'].get('scale_rows')}; skipping the "
+            "regression guard"
+        )
+        return []
+    serial_queries = sum(
+        row["queries"]
+        for row in payload["rows"]
+        if row["method"] == "service/serial/corpus"
+    )
+    allowed = baseline.get("serial_queries", 0)
+    if serial_queries > allowed:
+        return [
+            "serial corpus replay's backend queries regressed — "
+            f"{serial_queries} > baseline {allowed}"
+        ]
+    return []
+
+
+def _write_service_baseline(payload: dict, baseline_path: str) -> None:
+    baseline = {
+        "scale_rows": payload["settings"].get("scale_rows"),
+        "serial_queries": sum(
+            row["queries"]
+            for row in payload["rows"]
+            if row["method"] == "service/serial/corpus"
+        ),
+    }
+    with open(baseline_path, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote baseline {baseline_path}")
+
+
 def _write_parallel_baseline(payload: dict, baseline_path: str) -> None:
     baseline = {
         "scale_rows": payload["settings"].get("scale_rows"),
@@ -515,6 +660,18 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--service-out",
+        default=os.path.join(
+            "benchmarks", "results", "BENCH_service.json"
+        ),
+    )
+    parser.add_argument(
+        "--service-baseline",
+        default=os.path.join(
+            "benchmarks", "results", "BENCH_service_baseline.json"
+        ),
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help="rewrite the regression baselines from this run",
@@ -524,6 +681,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="run only the sharded-tile / persistent-cache section",
     )
+    parser.add_argument(
+        "--service-only",
+        action="store_true",
+        help="run only the ACQ-as-a-service load-generation section",
+    )
     args = parser.parse_args(argv)
 
     from repro.harness.experiments import (
@@ -531,6 +693,7 @@ def main(argv=None) -> int:
         explore_modes,
         grid_cache_sweep,
         persistent_cache,
+        service_load,
         sharded_tiles,
     )
     from repro.harness.metrics import ExperimentResult
@@ -538,11 +701,16 @@ def main(argv=None) -> int:
 
     failures = []
 
-    if args.parallel_only:
-        failures += _run_parallel(
-            args, sharded_tiles, persistent_cache, ExperimentResult,
-            render_rows, save_json,
-        )
+    if args.parallel_only or args.service_only:
+        if args.parallel_only:
+            failures += _run_parallel(
+                args, sharded_tiles, persistent_cache, ExperimentResult,
+                render_rows, save_json,
+            )
+        if args.service_only:
+            failures += _run_service(
+                args, service_load, render_rows, save_json,
+            )
         for failure in failures:
             print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
         return 1 if failures else 0
@@ -584,6 +752,8 @@ def main(argv=None) -> int:
         render_rows, save_json,
     )
 
+    failures += _run_service(args, service_load, render_rows, save_json)
+
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -623,6 +793,26 @@ def _run_parallel(
     else:
         failures += _check_parallel_baseline(payload, args.parallel_baseline)
     print(render_rows(combined.rows))
+    print(f"\nwrote {path}")
+    return failures
+
+
+def _run_service(args, service_load, render_rows, save_json) -> list[str]:
+    """Run section 5 (ACQ-as-a-service load generation) and gate it."""
+    # Same floor as the sharded arm: below a few thousand rows a full
+    # ACQ search is sub-millisecond and the closed-loop sweep measures
+    # thread handoff, not the engine.
+    result = service_load(scale_rows=max(args.scale_rows, 4000))
+    os.makedirs(os.path.dirname(args.service_out) or ".", exist_ok=True)
+    path = save_json(result, args.service_out)
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    failures = _check_service(payload)
+    if args.update_baseline:
+        _write_service_baseline(payload, args.service_baseline)
+    else:
+        failures += _check_service_baseline(payload, args.service_baseline)
+    print(render_rows(result.rows))
     print(f"\nwrote {path}")
     return failures
 

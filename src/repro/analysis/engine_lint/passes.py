@@ -70,7 +70,9 @@ TENSOR_SCOPE_MARKERS = ("core/grid_explore.py", "core/grid_cache.py", "engine/")
 ENGINE_SCOPE_MARKER = "engine/"
 
 #: Class names treated as stats dataclasses by EL4xx.
-STATS_CLASS_NAMES = frozenset({"ExecutionStats", "SearchStats"})
+STATS_CLASS_NAMES = frozenset(
+    {"ExecutionStats", "SearchStats", "ServiceStats"}
+)
 
 #: Raise targets permitted everywhere in addition to repro.exceptions.
 RAISE_ALLOWLIST = frozenset({"NotImplementedError"})

@@ -21,6 +21,15 @@ SQL text, runs the :mod:`repro.analysis` static analyzer against the
 loaded catalog, prints the diagnostics (``--json`` for machine-readable
 output) and exits 1 when ERROR-level diagnostics exist (``--strict``
 also fails on warnings).
+
+Load-generate against the concurrent service driver::
+
+    python -m repro serve-bench --requests 8 --workers 4 --rps 40
+
+``serve-bench`` stands up an :class:`repro.service.AcquireService`
+over corpus-sampled ACQs and replays an open-loop arrival schedule
+through it, printing completion counts, p50/p99 latency, throughput,
+and the shared-cache dedupe hit rate (see docs/SERVICE.md).
 """
 
 from __future__ import annotations
@@ -245,6 +254,103 @@ def build_lint_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve-bench",
+        description="Load-generate corpus ACQs against AcquireService.",
+    )
+    parser.add_argument("--requests", type=int, default=8, metavar="N",
+                        help="distinct corpus triples to sample (plus "
+                        "jittered duplicates; default 8)")
+    parser.add_argument("--workers", type=int, default=4, metavar="N",
+                        help="service worker threads (default 4)")
+    parser.add_argument("--max-queue", type=int, default=16, metavar="N",
+                        help="admitted-but-waiting slots beyond the "
+                        "workers (default 16)")
+    parser.add_argument("--rps", type=float, default=40.0,
+                        help="open-loop arrival rate in requests/s "
+                        "(default 40)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="corpus sampling seed (default 7)")
+    parser.add_argument(
+        "--admission",
+        choices=("reject", "wait"),
+        default="reject",
+        help="backpressure policy when all slots are taken (default "
+        "reject; see docs/SERVICE.md)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    return parser
+
+
+def serve_bench_main(argv: Optional[list[str]] = None) -> int:
+    """``python -m repro serve-bench`` — open-loop corpus load demo."""
+    from repro.service import (
+        AcquireService,
+        ServiceConfig,
+        run_open_loop,
+        sample_corpus_requests,
+    )
+
+    args = build_serve_bench_parser().parse_args(argv)
+    service = AcquireService(
+        ServiceConfig(
+            workers=args.workers,
+            max_queue=args.max_queue,
+            admission=args.admission,
+        )
+    )
+    try:
+        requests = sample_corpus_requests(
+            service, args.requests, seed=args.seed
+        )
+        report = run_open_loop(
+            service, requests, inter_arrival_s=1.0 / max(args.rps, 1e-9)
+        )
+        cache = service.grid_cache
+        hits = cache.hits + cache.persistent_hits if cache else 0
+        misses = cache.misses if cache else 0
+        stats = service.stats()
+    finally:
+        service.close()
+    summary = {
+        "requests": len(requests),
+        "completed": report.completed,
+        "rejected": report.rejected,
+        "wall_s": round(report.wall_s, 4),
+        "throughput_rps": round(report.throughput_rps, 2),
+        "p50_ms": round(report.latency_ms(0.50), 3),
+        "p99_ms": round(report.latency_ms(0.99), 3),
+        "shared_cache_hits": hits,
+        "shared_cache_misses": misses,
+        "dedupe_hit_rate": round(
+            hits / (hits + misses) if hits + misses else 0.0, 4
+        ),
+        "peak_in_flight": stats.peak_in_flight,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(
+            f"{summary['completed']}/{summary['requests']} requests "
+            f"completed ({summary['rejected']} rejected) in "
+            f"{summary['wall_s']}s — {summary['throughput_rps']} req/s"
+        )
+        print(
+            f"latency p50 {summary['p50_ms']}ms, p99 {summary['p99_ms']}ms; "
+            f"peak in-flight {summary['peak_in_flight']}"
+        )
+        print(
+            f"shared cache: {hits} hits / {misses} misses "
+            f"(dedupe hit rate {summary['dedupe_hit_rate']})"
+        )
+    return 0 if report.completed == len(requests) else 1
+
+
 def _norm_from_name(name: str):
     lowered = name.lower()
     if lowered == "linf":
@@ -311,6 +417,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "serve-bench":
+        return serve_bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     database = Database("cli")
     if not _load_tables(database, args.csv):

@@ -44,7 +44,7 @@ from repro.core.scoring import (
     MaxConstraintDistance,
     Norm,
 )
-from repro.engine.backends import EvaluationLayer
+from repro.engine.backends import EvaluationLayer, ExecutionStats
 from repro.exceptions import QueryModelError
 
 #: Tolerance when comparing QScores for layer membership.
@@ -284,8 +284,19 @@ class Acquire:
 
     # ------------------------------------------------------------------
     def _expand(self, query: Query, config: AcquireConfig) -> AcquireResult:
+        # One stat scope per search: the layer may be shared by
+        # concurrent drivers (``repro.service``), where snapshot/delta
+        # windows would attribute other requests' work to this one.
+        with self.layer.request_scope() as layer_scope:
+            return self._expand_scoped(query, config, layer_scope)
+
+    def _expand_scoped(
+        self,
+        query: Query,
+        config: AcquireConfig,
+        layer_scope: "ExecutionStats",
+    ) -> AcquireResult:
         started = time.perf_counter()
-        layer_stats_before = self.layer.stats.snapshot()
         constraint = query.constraint
         aggregate = constraint.spec.aggregate
         target = constraint.target
@@ -394,7 +405,13 @@ class Acquire:
             ):
                 from repro.core.contraction import contract_query
 
-                return contract_query(self.layer, query, config)
+                result = contract_query(self.layer, query, config)
+                # Report the outer scope: it credited the overshoot
+                # probe above *and* (scopes nest) every backend event
+                # of the contraction search, so per-request stats stay
+                # an exact partition of the layer's work.
+                result.stats.execution = layer_scope.snapshot()
+                return result
 
             answers: list[RefinedQuery] = []
             closest: Optional[RefinedQuery] = None
@@ -525,7 +542,7 @@ class Acquire:
                 {round(a.qscore, LAYER_DECIMALS) for a in answers}
             )
             stats.elapsed_s = time.perf_counter() - started
-            stats.execution = self.layer.stats.since(layer_stats_before)
+            stats.execution = layer_scope.snapshot()
             if config.calibration is not None:
                 if plan.estimated_visited > 0:
                     config.calibration.observe(

@@ -36,7 +36,7 @@ from repro.core.error import default_error_for
 from repro.core.query import ConstraintOp, Query
 from repro.core.result import AcquireResult, RefinedQuery, SearchStats
 from repro.core.scoring import MaxConstraintDistance, Norm
-from repro.engine.backends import EvaluationLayer
+from repro.engine.backends import EvaluationLayer, ExecutionStats
 from repro.exceptions import QueryModelError
 
 if TYPE_CHECKING:  # pragma: no cover - circular import guard
@@ -109,8 +109,20 @@ def contract_query(
     original query overshoots the target (the :class:`Acquire` driver
     delegates both cases here).
     """
+    # One stat scope per search (nested inside the expansion scope on
+    # the EQ-overshoot delegation path, where the inner scope reports
+    # exactly what the old snapshot/delta window did).
+    with layer.request_scope() as layer_scope:
+        return _contract_scoped(layer, query, config, layer_scope)
+
+
+def _contract_scoped(
+    layer: EvaluationLayer,
+    query: Query,
+    config: "AcquireConfig",
+    layer_scope: ExecutionStats,
+) -> AcquireResult:
     started = time.perf_counter()
-    layer_stats_before = layer.stats.snapshot()
     constraint = query.constraint
     aggregate = constraint.spec.aggregate
     target = constraint.target
@@ -235,7 +247,7 @@ def contract_query(
             )
 
     stats.elapsed_s = time.perf_counter() - started
-    stats.execution = layer.stats.since(layer_stats_before)
+    stats.execution = layer_scope.snapshot()
     answers.sort(key=lambda a: (a.qscore, a.error))
     return AcquireResult(
         query=query,

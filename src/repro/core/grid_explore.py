@@ -82,7 +82,7 @@ import multiprocessing
 import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import CancelledError, ThreadPoolExecutor
 from concurrent.futures.process import (
     BrokenProcessPool,
     ProcessPoolExecutor,
@@ -103,7 +103,12 @@ from repro.core.aggregates import (
 )
 from repro.core.grid_cache import GridTensorCache
 from repro.core.refined_space import RefinedSpace
-from repro.engine.backends import EvaluationLayer, PreparedQuery
+from repro.engine.backends import (
+    EvaluationLayer,
+    PreparedQuery,
+    current_scopes,
+    scoped_stats,
+)
 from repro.exceptions import SearchError
 
 Coords = tuple[int, ...]
@@ -272,6 +277,11 @@ class TiledGridExplorer:
         self.space = space
         self.aggregate = aggregate
         self.cache = cache
+        # Captured on the constructing (request) thread: pool workers
+        # start with an empty context, so _fetch_tile re-establishes
+        # these scopes to credit the owning request (see
+        # repro.engine.backends.scoped_stats).
+        self._scopes = current_scopes()
         if tile_shape is None:
             self.tile_shape: Coords = tile_shape_for(space, max_tile_cells)
         else:
@@ -475,11 +485,17 @@ class TiledGridExplorer:
         self.tiles_materialized += 1
 
     def _fetch_tile(self, lo: Coords, hi: Coords) -> np.ndarray:
-        cached = self._cached_tile(lo, hi)
-        if cached is not None:
-            return cached
-        tensor = self.layer.execute_grid_tile(self.prepared, self.space, lo, hi)
-        return self._store_tile(lo, hi, tensor)
+        # May run on a TileScheduler pool thread; re-establish the
+        # owning request's stat scopes (idempotent on the request
+        # thread itself, where they are already active).
+        with scoped_stats(self._scopes):
+            cached = self._cached_tile(lo, hi)
+            if cached is not None:
+                return cached
+            tensor = self.layer.execute_grid_tile(
+                self.prepared, self.space, lo, hi
+            )
+            return self._store_tile(lo, hi, tensor)
 
     def _cached_tile(self, lo: Coords, hi: Coords) -> Optional[np.ndarray]:
         """Cell-cache lookup for one tile (None on miss or no cache).
@@ -587,15 +603,25 @@ def _start_method() -> str:
 
 
 class _ProcessPool:
-    """Registry entry: one persistent worker pool per (spec, workers)."""
+    """Registry entry: one persistent worker pool per (spec, workers).
 
-    __slots__ = ("key", "executor")
+    ``refs`` counts in-flight batches using the executor and
+    ``retired`` marks a pool dropped from the registry after a
+    failure; both fields are guarded by ``_PROCESS_POOL_LOCK``. The
+    executor is only shut down once a retired pool's refcount reaches
+    zero, so one request's fallback-retirement can never cancel another
+    request's futures mid-batch.
+    """
+
+    __slots__ = ("key", "executor", "refs", "retired")
 
     def __init__(
         self, key: tuple[str, int], executor: ProcessPoolExecutor
     ) -> None:
         self.key = key
         self.executor = executor
+        self.refs = 0
+        self.retired = False
 
 
 #: Process-wide pool registry. Workers rebuild their backend once per
@@ -603,6 +629,11 @@ class _ProcessPool:
 #: repeated searches over the same data reuse warm workers.
 _PROCESS_POOLS: dict[tuple[str, int], _ProcessPool] = {}
 _PROCESS_POOL_LOCK = threading.Lock()
+#: Per-key spawn locks: concurrent first use of the *same* key blocks
+#: on one lock (double-checked against the registry) instead of both
+#: spawning, while lookups and spawns for unrelated keys proceed —
+#: the registry lock is never held across the spawn/warm barrier.
+_POOL_SPAWN_LOCKS: dict[tuple[str, int], threading.Lock] = {}
 
 
 def _process_pool_for(
@@ -615,6 +646,9 @@ def _process_pool_for(
     ``process_spawn_s`` — rather than bleeding into the first tile
     batch's IPC measurement. Returns None when workers cannot be
     spawned (the scheduler then degrades to in-process fetches).
+
+    The returned pool carries one reference owned by the caller;
+    release it with :func:`_release_pool` when the batch is done.
     """
     from repro.core import tile_worker
 
@@ -622,7 +656,17 @@ def _process_pool_for(
     with _PROCESS_POOL_LOCK:
         pool = _PROCESS_POOLS.get(key)
         if pool is not None:
+            pool.refs += 1
             return pool
+        spawn_lock = _POOL_SPAWN_LOCKS.setdefault(key, threading.Lock())
+    with spawn_lock:
+        # Double-check: another request may have finished spawning this
+        # key's pool while we waited on its spawn lock.
+        with _PROCESS_POOL_LOCK:
+            pool = _PROCESS_POOLS.get(key)
+            if pool is not None:
+                pool.refs += 1
+                return pool
         started = time.perf_counter()
         executor: Optional[ProcessPoolExecutor] = None
         try:
@@ -643,18 +687,40 @@ def _process_pool_for(
                 executor.shutdown(wait=False, cancel_futures=True)
             return None
         pool = _ProcessPool(key, executor)
-        _PROCESS_POOLS[key] = pool
+        with _PROCESS_POOL_LOCK:
+            pool.refs = 1
+            _PROCESS_POOLS[key] = pool
     layer.count_process_tiles(
         pools=1, spawn_s=time.perf_counter() - started
     )
     return pool
 
 
-def _retire_pool(key: tuple[str, int]) -> None:
-    """Drop a broken pool from the registry and reap its processes."""
+def _release_pool(pool: _ProcessPool) -> None:
+    """Drop one batch's reference; reap a retired pool on the last one."""
     with _PROCESS_POOL_LOCK:
-        pool = _PROCESS_POOLS.pop(key, None)
-    if pool is not None:
+        pool.refs -= 1
+        reap = pool.retired and pool.refs <= 0
+    if reap:
+        pool.executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _retire_pool(pool: _ProcessPool) -> None:
+    """Drop a broken pool from the registry.
+
+    The executor is reaped immediately when no other batch holds a
+    reference; otherwise shutdown is deferred to the last
+    :func:`_release_pool`, so concurrent batches finish (or observe the
+    breakage themselves) instead of having their futures cancelled out
+    from under them. Identity-checked against the registry so retiring
+    a stale pool never evicts a fresh replacement under the same key.
+    """
+    with _PROCESS_POOL_LOCK:
+        if _PROCESS_POOLS.get(pool.key) is pool:
+            del _PROCESS_POOLS[pool.key]
+        pool.retired = True
+        reap = pool.refs <= 0
+    if reap:
         pool.executor.shutdown(wait=False, cancel_futures=True)
 
 
@@ -668,6 +734,8 @@ def shutdown_process_pools() -> None:
     with _PROCESS_POOL_LOCK:
         pools = list(_PROCESS_POOLS.values())
         _PROCESS_POOLS.clear()
+        for pool in pools:
+            pool.retired = True
     for pool in pools:
         pool.executor.shutdown(wait=True, cancel_futures=True)
 
@@ -712,8 +780,6 @@ class ProcessTileScheduler:
         explorer (see :func:`shutdown_process_pools`)."""
 
     def run(self, pending: Sequence[Coords]) -> None:
-        from repro.core import tile_worker
-
         explorer = self.explorer
         layer = explorer.layer
         pool = _process_pool_for(self.spec, self.workers, layer)
@@ -722,6 +788,18 @@ class ProcessTileScheduler:
                 explorer._materialize_tile(tile)
             layer.count_process_tiles(fallbacks=len(pending))
             return
+        try:
+            self._run_batch(pool, pending)
+        finally:
+            _release_pool(pool)
+
+    def _run_batch(
+        self, pool: _ProcessPool, pending: Sequence[Coords]
+    ) -> None:
+        from repro.core import tile_worker
+
+        explorer = self.explorer
+        layer = explorer.layer
         started = time.perf_counter()
         stitch_s = 0.0
         worker_exec_s = 0.0
@@ -755,10 +833,11 @@ class ProcessTileScheduler:
                         explorer.space, lo, hi, block.name, shape,
                     )
                 except BrokenProcessPool:
-                    # The pool is dead; stop dispatching and reap it so
-                    # the next explorer spawns a fresh one.
+                    # The pool is dead; stop dispatching and retire it
+                    # so the next explorer spawns a fresh one (reaped
+                    # once every in-flight batch releases it).
                     broken = True
-                    _retire_pool(self._key)
+                    _retire_pool(pool)
                     tasks[tile] = ("fetch", (lo, hi))
                     continue
                 except OSError:
@@ -776,8 +855,10 @@ class ProcessTileScheduler:
                     future, lo, hi, shape, nbytes = payload
                     try:
                         delta = future.result()
-                    except (BrokenProcessPool, OSError):
-                        _retire_pool(self._key)
+                    except (BrokenProcessPool, OSError, CancelledError):
+                        # CancelledError: a shutdown raced this batch
+                        # (interpreter exit); degrade like a pool break.
+                        _retire_pool(pool)
                         fallbacks += 1
                         tensor = self._fetch_fallback(lo, hi)
                     else:

@@ -58,6 +58,7 @@ worker count, and the tile size all adapt to the machine.
 from __future__ import annotations
 
 import math
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
@@ -96,8 +97,12 @@ class PlanCalibration:
     later estimates — systematic over- or under-estimation by the
     star-join heuristic is measured once and compensated thereafter.
 
-    Thread-compatible but not thread-safe; share one instance per
-    workload, as the harness does.
+    Thread-safe: one instance is shared per workload (the harness) or
+    per service (:class:`repro.service.AcquireService`), where
+    concurrent searches feed observations and read corrections at the
+    same time. All window access happens under an internal re-entrant
+    lock — re-entrant because the cost accessors call each other
+    (``spawn_cost_rows`` reads ``pass_rate``).
     """
 
     def __init__(self, window: int = 64) -> None:
@@ -105,6 +110,7 @@ class PlanCalibration:
             raise QueryModelError(
                 f"calibration window must be >= 1, got {window}"
             )
+        self._lock = threading.RLock()
         self._log_ratios: deque[float] = deque(maxlen=window)
         self._pass_rates: deque[float] = deque(maxlen=window)
         self._spawn_s: deque[float] = deque(maxlen=window)
@@ -113,7 +119,8 @@ class PlanCalibration:
     def observe(self, estimated: int, actual: int) -> None:
         """Record one (estimate, outcome) pair; zeros are ignored."""
         if estimated > 0 and actual > 0:
-            self._log_ratios.append(math.log(actual / estimated))
+            with self._lock:
+                self._log_ratios.append(math.log(actual / estimated))
 
     def observe_pass(self, rows: int, seconds: float) -> None:
         """Record one search's backend execution: ``rows`` row accesses
@@ -121,27 +128,31 @@ class PlanCalibration:
         rate converts observed spawn/IPC seconds into the row units the
         cost model compares."""
         if rows > 0 and seconds > 0:
-            self._pass_rates.append(rows / seconds)
+            with self._lock:
+                self._pass_rates.append(rows / seconds)
 
     def observe_spawn(self, pools: int, seconds: float) -> None:
         """Record worker-pool spawns: ``pools`` pools took ``seconds``
         (process start-up + per-worker backend rebuild)."""
         if pools > 0 and seconds > 0:
-            self._spawn_s.append(seconds / pools)
+            with self._lock:
+                self._spawn_s.append(seconds / pools)
 
     def observe_ipc(self, tiles: int, seconds: float) -> None:
         """Record process-tier IPC overhead: ``tiles`` dispatched tiles
         cost ``seconds`` of parent-side overhead beyond the workers'
         own execution."""
         if tiles > 0 and seconds > 0:
-            self._ipc_s.append(seconds / tiles)
+            with self._lock:
+                self._ipc_s.append(seconds / tiles)
 
     def pass_rate(self) -> float:
         """Observed backend row-access rate in rows/sec (0.0 until
         ``observe_pass`` data arrives)."""
-        if not self._pass_rates:
-            return 0.0
-        return sum(self._pass_rates) / len(self._pass_rates)
+        with self._lock:
+            if not self._pass_rates:
+                return 0.0
+            return sum(self._pass_rates) / len(self._pass_rates)
 
     def spawn_cost_rows(self, rows: int, workers: int) -> int:
         """Per-pool spawn cost in row units.
@@ -151,29 +162,33 @@ class PlanCalibration:
         shape of a pool whose initializer rebuilds the backend in every
         worker.
         """
-        rate = self.pass_rate()
-        if self._spawn_s and rate > 0:
-            mean = sum(self._spawn_s) / len(self._spawn_s)
-            return max(int(mean * rate), 1)
+        with self._lock:
+            rate = self.pass_rate()
+            if self._spawn_s and rate > 0:
+                mean = sum(self._spawn_s) / len(self._spawn_s)
+                return max(int(mean * rate), 1)
         return max(rows * workers, 1)
 
     def ipc_cost_rows(self, tile_cells: int) -> int:
         """Per-tile IPC cost in row units (prior: tile_cells / 8)."""
-        rate = self.pass_rate()
-        if self._ipc_s and rate > 0:
-            mean = sum(self._ipc_s) / len(self._ipc_s)
-            return max(int(mean * rate), 1)
+        with self._lock:
+            rate = self.pass_rate()
+            if self._ipc_s and rate > 0:
+                mean = sum(self._ipc_s) / len(self._ipc_s)
+                return max(int(mean * rate), 1)
         return max(tile_cells // 8, 1)
 
     @property
     def observations(self) -> int:
-        return len(self._log_ratios)
+        with self._lock:
+            return len(self._log_ratios)
 
     def factor(self) -> float:
         """Geometric-mean correction factor (1.0 until observations)."""
-        if not self._log_ratios:
-            return 1.0
-        return math.exp(sum(self._log_ratios) / len(self._log_ratios))
+        with self._lock:
+            if not self._log_ratios:
+                return 1.0
+            return math.exp(sum(self._log_ratios) / len(self._log_ratios))
 
     def correct(self, estimate: int) -> int:
         """Apply the correction factor to a raw visited estimate."""

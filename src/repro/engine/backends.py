@@ -33,15 +33,29 @@ All are instrumented (queries issued, rows scanned, execution time,
 batch round trips) so the harness can report machine-independent work
 alongside wall-clock time. See ``docs/PARALLELISM.md`` for the batched
 execution contract.
+
+Per-request attribution: a layer shared by concurrent drivers keeps
+one global ``stats`` object, so snapshot/delta accounting would bleed
+one request's counters into another's report. Drivers therefore open a
+:meth:`EvaluationLayer.request_scope` around each search: the scope is
+a private :class:`ExecutionStats` registered in a ``contextvars``
+context variable, and every counting seam credits the layer total
+*and* every scope active on the calling thread (all under the existing
+``_stats_lock``). Worker threads do not inherit the caller's context,
+so the pooled paths (``execute_cells`` fallback, the tile schedulers)
+re-establish the submitting request's scopes around each task — see
+:func:`scoped_stats`.
 """
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, fields, replace
-from typing import TYPE_CHECKING, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -130,6 +144,51 @@ class ExecutionStats:
         )
 
 
+#: Per-request stat scopes active on the current thread/context. Each
+#: entry is an :class:`ExecutionStats` private to one in-flight driver
+#: request; counting seams credit every active scope in addition to the
+#: layer's global totals. A tuple (not a list) so captured values are
+#: immutable snapshots safe to re-establish on worker threads.
+_ACTIVE_SCOPES: contextvars.ContextVar[tuple[ExecutionStats, ...]] = (
+    contextvars.ContextVar("repro_stat_scopes", default=())
+)
+
+
+def current_scopes() -> tuple[ExecutionStats, ...]:
+    """The per-request stat scopes active on the calling thread."""
+    return _ACTIVE_SCOPES.get()
+
+
+@contextlib.contextmanager
+def scoped_stats(
+    scopes: tuple[ExecutionStats, ...]
+) -> Iterator[tuple[ExecutionStats, ...]]:
+    """Re-establish captured request scopes on the current thread.
+
+    Pool workers start with an empty context, so tasks that execute
+    backend work on behalf of a request capture
+    :func:`current_scopes` at submit time and wrap their body in this
+    context manager; counters then credit the submitting request even
+    though the work ran on a pool thread.
+    """
+    token = _ACTIVE_SCOPES.set(scopes)
+    try:
+        yield scopes
+    finally:
+        _ACTIVE_SCOPES.reset(token)
+
+
+def _sinks(stats: "ExecutionStats") -> tuple["ExecutionStats", ...]:
+    """``stats`` plus every request scope active on the calling thread.
+
+    Counting methods apply each increment to all sinks while holding
+    ``_stats_lock``, so per-request attribution can never drift from
+    the layer's global totals. Callers pass the already-read layer
+    ``stats`` object; this helper only consults the context variable.
+    """
+    return (stats,) + _ACTIVE_SCOPES.get()
+
+
 @dataclass
 class TopKAdmission:
     """Result of a top-k-by-refinement-distance request.
@@ -167,11 +226,16 @@ class _Timer:
 
     def __exit__(self, *exc_info: object) -> None:
         elapsed = time.perf_counter() - self._start
+        scopes = _ACTIVE_SCOPES.get()
         if self._lock is None:
             self._stats.execution_time_s += elapsed
+            for scope in scopes:
+                scope.execution_time_s += elapsed
         else:
             with self._lock:
                 self._stats.execution_time_s += elapsed
+                for scope in scopes:
+                    scope.execution_time_s += elapsed
 
 
 class EvaluationLayer:
@@ -304,10 +368,13 @@ class EvaluationLayer:
             return []
         if parallelism > 1 and len(coords_batch) > 1:
             pool = self._cell_pool_for(parallelism)
+            # Pool threads don't inherit the caller's context; carry
+            # the request scopes over so per-request attribution holds.
+            scopes = current_scopes()
             states = list(
                 pool.map(
-                    lambda coords: self.execute_cell(
-                        prepared, space, coords
+                    lambda coords: self._execute_cell_scoped(
+                        scopes, prepared, space, coords
                     ),
                     coords_batch,
                 )
@@ -319,6 +386,17 @@ class EvaluationLayer:
             self.execute_cell(prepared, space, coords)
             for coords in coords_batch
         ]
+
+    def _execute_cell_scoped(
+        self,
+        scopes: tuple[ExecutionStats, ...],
+        prepared: PreparedQuery,
+        space: RefinedSpace,
+        coords: Sequence[int],
+    ) -> AggState:
+        """One pooled cell fetch under the submitting request's scopes."""
+        with scoped_stats(scopes):
+            return self.execute_cell(prepared, space, coords)
 
     def execute_grid(
         self, prepared: PreparedQuery, space: RefinedSpace
@@ -417,23 +495,55 @@ class EvaluationLayer:
         raise NotImplementedError
 
     # -- bookkeeping -------------------------------------------------------
+    def request_scope(self) -> "contextlib.AbstractContextManager[ExecutionStats]":
+        """Open a per-request stat scope on the calling context.
+
+        Yields a private :class:`ExecutionStats` that accumulates
+        exactly the backend work performed while the scope is active on
+        the executing thread (pooled paths re-establish it on their
+        workers). Scopes nest: inner work credits every enclosing
+        scope, mirroring what nested snapshot/delta windows reported.
+        Drivers read the scope instead of ``stats.since(snapshot)`` so
+        concurrent requests on a shared layer cannot attribute each
+        other's work.
+        """
+        return self._request_scope()
+
+    @contextlib.contextmanager
+    def _request_scope(self) -> Iterator[ExecutionStats]:
+        scope = ExecutionStats()
+        token = _ACTIVE_SCOPES.set(_ACTIVE_SCOPES.get() + (scope,))
+        try:
+            yield scope
+        finally:
+            _ACTIVE_SCOPES.reset(token)
+
+    def _count_rows(self, rows: int) -> None:
+        """Record row accesses made outside a counted query round trip
+        (data loads, candidate builds, grid/bitmap construction)."""
+        with self._stats_lock:
+            for stats in _sinks(self.stats):
+                stats.rows_scanned += rows
+
     def _count_query(self, kind: str, rows: int = 0) -> None:
         with self._stats_lock:
-            self.stats.queries_executed += 1
-            self.stats.rows_scanned += rows
-            if kind == "cell":
-                self.stats.cell_queries += 1
-            elif kind == "box":
-                self.stats.box_queries += 1
+            for stats in _sinks(self.stats):
+                stats.queries_executed += 1
+                stats.rows_scanned += rows
+                if kind == "cell":
+                    stats.cell_queries += 1
+                elif kind == "box":
+                    stats.box_queries += 1
 
     def _count_batch(self, cells: int, rows: int = 0) -> None:
         """Record one physical round trip answering ``cells`` cell queries."""
         with self._stats_lock:
-            self.stats.queries_executed += 1
-            self.stats.batches += 1
-            self.stats.cell_queries += cells
-            self.stats.batched_cells += cells
-            self.stats.rows_scanned += rows
+            for stats in _sinks(self.stats):
+                stats.queries_executed += 1
+                stats.batches += 1
+                stats.cell_queries += cells
+                stats.batched_cells += cells
+                stats.rows_scanned += rows
 
     def _count_grid(
         self,
@@ -451,13 +561,14 @@ class EvaluationLayer:
         ``grid_tiles``.
         """
         with self._stats_lock:
-            if round_trip:
-                self.stats.queries_executed += 1
-            self.stats.grid_materializations += 1
-            if tile:
-                self.stats.grid_tiles += 1
-            self.stats.grid_cells += cells
-            self.stats.rows_scanned += rows
+            for stats in _sinks(self.stats):
+                if round_trip:
+                    stats.queries_executed += 1
+                stats.grid_materializations += 1
+                if tile:
+                    stats.grid_tiles += 1
+                stats.grid_cells += cells
+                stats.rows_scanned += rows
 
     def count_cache_event(
         self,
@@ -474,22 +585,24 @@ class EvaluationLayer:
         file tier; ``block=True`` marks a finished block tensor (the
         hit also skipped the prefix passes)."""
         with self._stats_lock:
-            if hit:
-                self.stats.cache_hits += 1
-                self.stats.cache_bytes += nbytes
-                if persistent:
-                    self.stats.persistent_hits += 1
-                    self.stats.persistent_bytes += nbytes
-                if block:
-                    self.stats.block_hits += 1
-            else:
-                self.stats.cache_misses += 1
+            for stats in _sinks(self.stats):
+                if hit:
+                    stats.cache_hits += 1
+                    stats.cache_bytes += nbytes
+                    if persistent:
+                        stats.persistent_hits += 1
+                        stats.persistent_bytes += nbytes
+                    if block:
+                        stats.block_hits += 1
+                else:
+                    stats.cache_misses += 1
 
     def count_parallel_tiles(self, tiles: int) -> None:
         """Record ``tiles`` tile materializations dispatched to the
         sharded tile pipeline's worker pool."""
         with self._stats_lock:
-            self.stats.parallel_tiles += tiles
+            for stats in _sinks(self.stats):
+                stats.parallel_tiles += tiles
 
     def count_process_tiles(
         self,
@@ -506,12 +619,13 @@ class EvaluationLayer:
         shared-memory bytes returned, and the observed spawn/IPC
         overheads the plan calibration learns from."""
         with self._stats_lock:
-            self.stats.process_tiles += tiles
-            self.stats.process_pools += pools
-            self.stats.process_fallbacks += fallbacks
-            self.stats.shm_bytes += shm_bytes
-            self.stats.process_spawn_s += spawn_s
-            self.stats.process_ipc_s += ipc_s
+            for stats in _sinks(self.stats):
+                stats.process_tiles += tiles
+                stats.process_pools += pools
+                stats.process_fallbacks += fallbacks
+                stats.shm_bytes += shm_bytes
+                stats.process_spawn_s += spawn_s
+                stats.process_ipc_s += ipc_s
 
     def merge_stats(self, delta: ExecutionStats) -> None:
         """Fold a worker process's :meth:`ExecutionStats.since` delta
@@ -525,13 +639,14 @@ class EvaluationLayer:
         thread tier.
         """
         with self._stats_lock:
-            for field in fields(self.stats):
-                setattr(
-                    self.stats,
-                    field.name,
-                    getattr(self.stats, field.name)
-                    + getattr(delta, field.name),
-                )
+            for stats in _sinks(self.stats):
+                for field in fields(stats):
+                    setattr(
+                        stats,
+                        field.name,
+                        getattr(stats, field.name)
+                        + getattr(delta, field.name),
+                    )
 
     def _timed(self) -> _Timer:
         with self._stats_lock:
@@ -593,5 +708,7 @@ __all__ = [
     "ExecutionStats",
     "PreparedQuery",
     "TopKAdmission",
+    "current_scopes",
     "grid_identity_tensor",
+    "scoped_stats",
 ]

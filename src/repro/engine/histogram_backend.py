@@ -158,8 +158,7 @@ class HistogramBackend(EvaluationLayer):
                 if candidate.nrows
                 else 0.0
             )
-        with self._stats_lock:
-            self.stats.rows_scanned += candidate.rows_scanned
+        self._count_rows(candidate.rows_scanned)
         return _HistogramPrepared(
             query=query,
             histograms=histograms,

@@ -124,8 +124,7 @@ class MemoryBackend(EvaluationLayer):
             candidate = build_candidate(
                 self.database, query, caps, self.max_rows
             )
-        with self._stats_lock:
-            self.stats.rows_scanned += candidate.rows_scanned
+        self._count_rows(candidate.rows_scanned)
         return _MemoryPrepared(query=query, candidate=candidate, dim_caps=caps)
 
     def useful_max_scores(self, prepared: _MemoryPrepared) -> list[float]:
@@ -379,8 +378,7 @@ class MemoryBackend(EvaluationLayer):
             index = GridBitmapIndex.from_scores(
                 prepared.candidate.scores, space
             )
-        with self._stats_lock:
-            self.stats.rows_scanned += prepared.candidate.nrows
+        self._count_rows(prepared.candidate.nrows)
         return index
 
     def _grid_for(self, prepared: _MemoryPrepared, space: RefinedSpace) -> dict:
@@ -391,8 +389,7 @@ class MemoryBackend(EvaluationLayer):
                     grid = self._build_grid(prepared, space)
                     prepared.grid_cache.clear()
                     prepared.grid_cache[key] = grid
-                with self._stats_lock:
-                    self.stats.rows_scanned += prepared.candidate.nrows
+                self._count_rows(prepared.candidate.nrows)
             return prepared.grid_cache[key]
 
     def _build_grid(

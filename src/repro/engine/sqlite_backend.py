@@ -78,6 +78,11 @@ class SQLiteBackend(EvaluationLayer):
         self._snapshot_generation = -1
         self._snapshot_data: Optional[bytes] = None
         self._snapshot_lock = threading.Lock()
+        # Loads and index builds are DDL against the shared primary
+        # connection: not idempotent, so concurrent cold ``prepare``
+        # calls (the service tier shares one backend across requests)
+        # must serialize on this lock.
+        self._load_lock = threading.Lock()
         self._loaded: set[str] = set()
         self._indexed: set[str] = set()
 
@@ -134,9 +139,10 @@ class SQLiteBackend(EvaluationLayer):
         """
         if not hasattr(self._connection, "deserialize"):
             return False
-        self._connection.deserialize(snapshot)
-        self._loaded.update(loaded)
-        self._load_generation += 1
+        with self._load_lock:
+            self._connection.deserialize(snapshot)
+            self._loaded.update(loaded)
+            self._load_generation += 1
         return True
 
     def _snapshot(self) -> tuple[int, bytes]:
@@ -171,7 +177,9 @@ class SQLiteBackend(EvaluationLayer):
             return self._connection.cursor()
         generation = getattr(self._local, "generation", -1)
         connection = getattr(self._local, "connection", None)
-        if connection is None or generation != self._load_generation:
+        with self._load_lock:
+            current_generation = self._load_generation
+        if connection is None or generation != current_generation:
             image_generation, image = self._snapshot()
             if connection is None:
                 connection = sqlite3.connect(
@@ -191,39 +199,40 @@ class SQLiteBackend(EvaluationLayer):
         self.close()
 
     def _ensure_loaded(self, table_name: str) -> None:
-        if table_name in self._loaded:
-            return
-        table = self.database.table(table_name)
-        columns_sql = ", ".join(
-            f"{column.name} {column.ctype.sql_type}"
-            for column in table.schema.columns
-        )
-        cursor = self._connection.cursor()
-        cursor.execute(f"CREATE TABLE {table_name} ({columns_sql})")
-        names = table.schema.column_names
-        placeholders = ", ".join("?" for _ in names)
-        column_lists = [table.column(name).tolist() for name in names]
-        cursor.executemany(
-            f"INSERT INTO {table_name} VALUES ({placeholders})",
-            zip(*column_lists) if column_lists else [],
-        )
-        self._connection.commit()
-        self._loaded.add(table_name)
-        self._load_generation += 1
-        with self._stats_lock:
-            self.stats.rows_scanned += len(table)
+        with self._load_lock:
+            if table_name in self._loaded:
+                return
+            table = self.database.table(table_name)
+            columns_sql = ", ".join(
+                f"{column.name} {column.ctype.sql_type}"
+                for column in table.schema.columns
+            )
+            cursor = self._connection.cursor()
+            cursor.execute(f"CREATE TABLE {table_name} ({columns_sql})")
+            names = table.schema.column_names
+            placeholders = ", ".join("?" for _ in names)
+            column_lists = [table.column(name).tolist() for name in names]
+            cursor.executemany(
+                f"INSERT INTO {table_name} VALUES ({placeholders})",
+                zip(*column_lists) if column_lists else [],
+            )
+            self._connection.commit()
+            self._loaded.add(table_name)
+            self._load_generation += 1
+            self._count_rows(len(table))
 
     def _ensure_index(self, table_name: str, column_name: str) -> None:
-        key = f"{table_name}.{column_name}"
-        if not self.create_indexes or key in self._indexed:
-            return
-        cursor = self._connection.cursor()
-        cursor.execute(
-            f"CREATE INDEX IF NOT EXISTS idx_{table_name}_{column_name} "
-            f"ON {table_name} ({column_name})"
-        )
-        self._indexed.add(key)
-        self._load_generation += 1
+        with self._load_lock:
+            key = f"{table_name}.{column_name}"
+            if not self.create_indexes or key in self._indexed:
+                return
+            cursor = self._connection.cursor()
+            cursor.execute(
+                f"CREATE INDEX IF NOT EXISTS idx_{table_name}_{column_name} "
+                f"ON {table_name} ({column_name})"
+            )
+            self._indexed.add(key)
+            self._load_generation += 1
 
     # ------------------------------------------------------------------
     # Preparation

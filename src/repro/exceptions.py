@@ -115,3 +115,18 @@ class OntologyError(ReproError):
 
 class CorpusError(ReproError):
     """The gold-standard corpus, its oracle, or its gate mis-fired."""
+
+
+class ServiceError(ReproError):
+    """A request was refused by :class:`repro.service.AcquireService`.
+
+    ``reason`` is a stable machine-readable code: ``"queue-full"``
+    (backpressure under the reject policy), ``"timeout"`` (the wait
+    policy's bound expired), ``"budget"`` (admission control predicted
+    the request would exceed its per-request query or row budget),
+    ``"unknown-backend"``, or ``"closed"``.
+    """
+
+    def __init__(self, message: str, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason

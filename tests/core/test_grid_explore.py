@@ -1231,6 +1231,49 @@ class TestPlanCalibration:
         assert result.stats.estimated_visited > 0
         assert calibration.observations == 1
 
+    def test_concurrent_hammer(self):
+        """N threads feed and read one instance at once — the shared
+        service shape. Windowed counts must come out exact, and the
+        geometric mean well-defined, under any interleaving."""
+        import threading
+
+        threads_n, per_thread = 8, 200
+        calibration = PlanCalibration(window=threads_n * per_thread)
+        barrier = threading.Barrier(threads_n)
+        errors: list[BaseException] = []
+
+        def hammer(seed: int) -> None:
+            try:
+                barrier.wait()
+                for step in range(per_thread):
+                    calibration.observe(10, 20 if seed % 2 else 5)
+                    calibration.observe_pass(1000, 0.01)
+                    calibration.observe_spawn(1, 0.5)
+                    calibration.observe_ipc(4, 0.02)
+                    # Interleave reads with writes: accessors must see
+                    # internally consistent windows, never raise.
+                    assert calibration.factor() > 0.0
+                    assert calibration.correct(100) >= 1
+                    assert calibration.pass_rate() >= 0.0
+                    assert calibration.spawn_cost_rows(1000, 2) >= 0
+                    assert calibration.ipc_cost_rows(64) >= 0
+            except BaseException as error:  # surfaced after join
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,))
+            for seed in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert calibration.observations == threads_n * per_thread
+        # 4 threads pushed ratio 2.0, 4 pushed 0.5: geo-mean is 1.0.
+        assert calibration.factor() == pytest.approx(1.0)
+        assert calibration.pass_rate() == pytest.approx(100_000.0)
+
 
 # ----------------------------------------------------------------------
 # SearchStats.layers_explored counts repartitioned answers too

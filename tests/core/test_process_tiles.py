@@ -257,6 +257,66 @@ class TestWorkerDeath:
 
 
 # ----------------------------------------------------------------------
+# Registry under concurrent spawn: one pool, refcounted retirement
+# ----------------------------------------------------------------------
+class TestConcurrentSpawn:
+    def test_racing_requests_share_one_pool(self):
+        """N threads hitting the registry for the same (spec, workers)
+        must spawn exactly one pool — the double-checked per-key spawn
+        lock — and refcounted release must leave it reusable until
+        retirement."""
+        import threading
+
+        from repro.core.grid_explore import _release_pool, _retire_pool
+
+        database = _database(seed=81, n=140)
+        query = _query("COUNT")
+        space = RefinedSpace(query, 20.0, [70.0, 70.0])
+        sharded, _ = _process_explorer(
+            "memory", database, query, space, (3, 3), workers=2
+        )
+        scheduler = sharded._scheduler
+        threads_n = 6
+        barrier = threading.Barrier(threads_n)
+        pools: list = [None] * threads_n
+
+        def spawn(index: int) -> None:
+            barrier.wait()
+            pools[index] = _process_pool_for(
+                scheduler.spec, 2, scheduler.explorer.layer
+            )
+
+        threads = [
+            threading.Thread(target=spawn, args=(index,))
+            for index in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        try:
+            assert all(pool is not None for pool in pools)
+            assert len({id(pool) for pool in pools}) == 1, (
+                "racing spawns created more than one pool"
+            )
+            pool = pools[0]
+            assert pool.refs == threads_n
+            assert _PROCESS_POOLS[scheduler._key] is pool
+            # Releasing every ref keeps an unretired pool registered
+            # (warm reuse is the registry's whole point).
+            for _ in range(threads_n):
+                _release_pool(pool)
+            assert pool.refs == 0
+            assert _PROCESS_POOLS[scheduler._key] is pool
+            # Retirement drops it; the executor is reaped since no
+            # refs remain.
+            _retire_pool(pool)
+            assert scheduler._key not in _PROCESS_POOLS
+        finally:
+            sharded.close()
+
+
+# ----------------------------------------------------------------------
 # Corpus subset stays oracle-optimal on the process tier
 # ----------------------------------------------------------------------
 class TestCorpusSubset:

@@ -1,0 +1,319 @@
+"""Unit tests for :mod:`repro.service`: admission, budgets, lifecycle.
+
+The backpressure tests pin the worker pool down with a monkeypatched
+request body (an :class:`threading.Event` the test controls), so slot
+exhaustion is deterministic rather than a race against real searches.
+Everything that *executes* an ACQ uses a tiny in-memory workload.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro.service.service as service_module
+from repro.core.acquire import AcquireConfig
+from repro.engine.catalog import Database
+from repro.engine.memory_backend import MemoryBackend
+from repro.exceptions import CorpusError, QueryModelError, ServiceError
+from repro.service import (
+    AcquireService,
+    ServiceConfig,
+    percentile,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.service.loadgen import RequestRecord, _jitter_target
+from tests.conftest import count_query
+
+
+def _db(seed: int = 11, n: int = 400) -> Database:
+    rng = np.random.default_rng(seed)
+    database = Database()
+    database.create_table(
+        "data",
+        {"x": rng.uniform(0, 100, n), "y": rng.uniform(0, 100, n)},
+    )
+    return database
+
+
+def _query(database=None, target: int = 120):
+    return count_query("data", {"x": 30.0, "y": 30.0}, target=target)
+
+
+@pytest.fixture
+def service():
+    instance = AcquireService(ServiceConfig(workers=2, max_queue=4))
+    instance.register_backend("default", MemoryBackend(_db()))
+    yield instance
+    instance.close()
+
+
+class TestServiceConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"max_queue": -1},
+            {"admission": "shed"},
+            {"cache_bytes": -1},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(QueryModelError):
+            ServiceConfig(**kwargs)
+
+    def test_cache_sharing_disabled_at_zero_bytes(self):
+        with AcquireService(ServiceConfig(cache_bytes=0)) as instance:
+            assert instance.grid_cache is None
+
+    def test_shared_state_injected_into_config(self):
+        with AcquireService(
+            ServiceConfig(max_grid_queries_per_request=5)
+        ) as instance:
+            effective = instance._effective_config(
+                AcquireConfig(max_grid_queries=10_000)
+            )
+            assert effective.grid_cache is instance.grid_cache
+            assert effective.calibration is instance.calibration
+            assert effective.max_grid_queries == 5
+
+
+class TestAdmission:
+    def test_unknown_backend(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.run(_query(), backend="nope")
+        assert excinfo.value.reason == "unknown-backend"
+
+    def test_closed_service_refuses(self, service):
+        service.close()
+        with pytest.raises(ServiceError) as excinfo:
+            service.run(_query())
+        assert excinfo.value.reason == "closed"
+        with pytest.raises(ServiceError) as excinfo:
+            service.register_backend("late", MemoryBackend(_db()))
+        assert excinfo.value.reason == "closed"
+
+    def test_row_budget_rejects_oversized_request(self):
+        with AcquireService(
+            ServiceConfig(max_rows_per_request=100)
+        ) as instance:
+            instance.register_backend("default", MemoryBackend(_db(n=400)))
+            with pytest.raises(ServiceError) as excinfo:
+                instance.run(_query())
+            assert excinfo.value.reason == "budget"
+            stats = instance.stats()
+            assert stats.rejected_budget == 1
+            assert stats.admitted == 0
+
+    def test_row_budget_admits_within_bound(self):
+        with AcquireService(
+            ServiceConfig(max_rows_per_request=1_000)
+        ) as instance:
+            instance.register_backend("default", MemoryBackend(_db(n=400)))
+            result = instance.run(_query())
+            assert result.satisfied
+
+
+class _Gate:
+    """Monkeypatched request body: blocks until the test releases it."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.entered = threading.Semaphore(0)
+
+    def __call__(self, service, driver, query, config):
+        self.entered.release()
+        assert self.release.wait(timeout=30.0)
+        return service._run_admitted_stub()
+
+
+def _stub_run_admitted(instance):
+    """Count a gated request as completed and free its slot."""
+    from types import SimpleNamespace
+
+    with instance._lock:
+        instance._stats.completed += 1
+    instance._slots.release()
+    execution = SimpleNamespace(
+        queries_executed=0, rows_scanned=0, cache_hits=0, cache_misses=0
+    )
+    return SimpleNamespace(
+        satisfied=True, stats=SimpleNamespace(execution=execution)
+    )
+
+
+class TestBackpressure:
+    @pytest.fixture
+    def gate(self, monkeypatch):
+        gate = _Gate()
+        monkeypatch.setattr(service_module, "_execute_request", gate)
+        monkeypatch.setattr(
+            AcquireService,
+            "_run_admitted_stub",
+            _stub_run_admitted,
+            raising=False,
+        )
+        return gate
+
+    def test_reject_policy_queue_full(self, gate):
+        instance = AcquireService(ServiceConfig(workers=1, max_queue=1))
+        instance.register_backend("default", MemoryBackend(_db()))
+        try:
+            futures = [instance.submit(_query()) for _ in range(2)]
+            with pytest.raises(ServiceError) as excinfo:
+                instance.submit(_query())
+            assert excinfo.value.reason == "queue-full"
+            gate.release.set()
+            for future in futures:
+                future.result(timeout=30.0)
+            stats = instance.stats()
+            assert stats.submitted == 3
+            assert stats.admitted == 2
+            assert stats.completed == 2
+            assert stats.rejected_queue == 1
+        finally:
+            gate.release.set()
+            instance.close()
+
+    def test_wait_policy_times_out(self, gate):
+        instance = AcquireService(
+            ServiceConfig(
+                workers=1, max_queue=0,
+                admission="wait", wait_timeout_s=0.05,
+            )
+        )
+        instance.register_backend("default", MemoryBackend(_db()))
+        try:
+            future = instance.submit(_query())
+            with pytest.raises(ServiceError) as excinfo:
+                instance.submit(_query())
+            assert excinfo.value.reason == "timeout"
+            assert instance.stats().timeouts == 1
+            gate.release.set()
+            future.result(timeout=30.0)
+        finally:
+            gate.release.set()
+            instance.close()
+
+    def test_wait_policy_blocks_until_slot_frees(self, gate):
+        instance = AcquireService(
+            ServiceConfig(workers=1, max_queue=0, admission="wait")
+        )
+        instance.register_backend("default", MemoryBackend(_db()))
+        try:
+            first = instance.submit(_query())
+            assert gate.entered.acquire(timeout=30.0)
+            releaser = threading.Timer(0.05, gate.release.set)
+            releaser.start()
+            second = instance.submit(_query())  # blocks until slot frees
+            first.result(timeout=30.0)
+            second.result(timeout=30.0)
+            releaser.join()
+            assert instance.stats().completed == 2
+        finally:
+            gate.release.set()
+            instance.close()
+
+
+class TestExecutionAccounting:
+    def test_run_returns_result_and_counts(self, service):
+        result = service.run(_query())
+        assert result.satisfied
+        stats = service.stats()
+        assert stats.submitted == stats.admitted == stats.completed == 1
+        assert stats.failed == 0
+        assert stats.in_flight == 0
+        assert stats.peak_in_flight == 1
+
+    def test_request_failure_counts_and_surfaces(self, service):
+        class _FailingDriver:
+            def run(self, query, config):
+                raise RuntimeError("engine exploded")
+
+        with service._lock:
+            layer = service._backends["default"][0]
+            service._backends["default"] = (layer, _FailingDriver())
+        with pytest.raises(RuntimeError):
+            service.run(_query())
+        stats = service.stats()
+        assert stats.failed == 1
+        assert stats.completed == 0
+        assert stats.in_flight == 0
+        # The slot was released: the next request is admitted normally.
+        with service._lock:
+            service._backends["default"] = (layer, service_module.Acquire(layer))
+        assert service.run(_query()).satisfied
+
+    def test_shared_cache_dedupes_across_requests(self, service):
+        import random
+
+        config = AcquireConfig(explore_mode="materialized")
+        query = _query()
+        first = service.run(query, config)
+        jittered = _jitter_target(query, random.Random(3))
+        second = service.run(jittered, config)
+        assert first.satisfied and second.satisfied
+        assert second.stats.execution.cache_hits > 0
+        assert service.grid_cache.hits > 0
+
+
+class TestLoadgenPrimitives:
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([10.0, 20.0, 30.0, 40.0], 0.5) == 20.0
+        assert percentile([10.0, 20.0, 30.0, 40.0], 0.99) == 40.0
+        assert percentile([10.0], 0.0) == 10.0
+        with pytest.raises(CorpusError):
+            percentile([1.0], 1.5)
+
+    def test_jitter_keeps_integer_targets_positive(self):
+        import random
+
+        query = _query(target=1)
+        for seed in range(20):
+            jittered = _jitter_target(query, random.Random(seed))
+            assert jittered.constraint.target >= 1
+            assert isinstance(jittered.constraint.target, int)
+
+    def test_closed_loop_reports_ordered_records(self, service):
+        requests = [("default", _query(), AcquireConfig())] * 4
+        report = run_closed_loop(service, requests, concurrency=2)
+        assert [record.index for record in report.records] == [0, 1, 2, 3]
+        assert report.completed == 4
+        assert report.rejected == 0
+        assert report.throughput_rps > 0
+        assert report.service.completed == 4
+        assert len(report.latencies_ms) == 4
+
+    def test_open_loop_records_rejections(self, monkeypatch):
+        gate = _Gate()
+        monkeypatch.setattr(service_module, "_execute_request", gate)
+        monkeypatch.setattr(
+            AcquireService,
+            "_run_admitted_stub",
+            _stub_run_admitted,
+            raising=False,
+        )
+        instance = AcquireService(ServiceConfig(workers=1, max_queue=0))
+        instance.register_backend("default", MemoryBackend(_db()))
+        try:
+            requests = [("default", _query(), AcquireConfig())] * 3
+            # The gated request holds the only slot; later arrivals are
+            # rejected. Release it once arrivals are done so the
+            # open-loop harness can join its futures.
+            releaser = threading.Timer(0.2, gate.release.set)
+            releaser.start()
+            report = run_open_loop(instance, requests, inter_arrival_s=0.0)
+            releaser.join()
+            assert report.rejected >= 1
+            rejected = [r for r in report.records if r.rejected_reason]
+            assert all(r.rejected_reason == "queue-full" for r in rejected)
+        finally:
+            gate.release.set()
+            instance.close()
+
+    def test_record_defaults(self):
+        record = RequestRecord(index=0, backend="default")
+        assert not record.completed
+        assert record.rejected_reason == ""
