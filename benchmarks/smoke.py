@@ -42,9 +42,13 @@ dependencies (no pytest-benchmark).
    on hosts with at least ``PROCESS_GATE_CORES`` cores — throughput
    at 4 service workers is at least ``MIN_SERVICE_SPEEDUP``x the
    1-worker arm on the sqlite backend, that the corpus arms report
-   cross-request shared-cache hits (the dedupe gate), and that the
-   serial corpus replay's deterministic backend-query total has not
-   regressed above the checked-in ``BENCH_service_baseline.json``.
+   cross-request shared-cache hits (the dedupe gate), that the
+   duplicate-heavy fused arm completes every request with zero
+   rejections, ``fused_passes > 0``, and strictly fewer backend
+   queries than its unfused twin (the cross-query fusion gate), and
+   that the serial corpus replay's deterministic backend-query total
+   has not regressed above the checked-in
+   ``BENCH_service_baseline.json``.
 
 Usage::
 
@@ -459,10 +463,17 @@ def _check_service(payload: dict) -> list[str]:
     deterministically (its duplicates re-read tensors their originals
     cached), the open-loop arm as the live demonstration of dedupe
     under concurrent arrival.
+
+    The fusion pair gates the cross-query coalescer: the fused arm
+    must complete every request with zero rejections, report
+    ``fused_passes > 0`` (merged passes actually served multiple
+    requests), and issue *strictly fewer* backend queries than the
+    unfused arm at equal workers.
     """
     failures = []
     closed: dict[int, dict] = {}
     corpus: dict[str, dict] = {}
+    fusion: dict[str, dict] = {}
     for row in payload["rows"]:
         if row["method"].startswith("service/closed/"):
             closed[int(row["x_value"])] = row
@@ -470,6 +481,10 @@ def _check_service(payload: dict) -> list[str]:
             corpus["open"] = row
         elif row["method"] == "service/serial/corpus":
             corpus["serial"] = row
+        elif row["method"] == "service/fused/corpus":
+            fusion["fused"] = row
+        elif row["method"] == "service/unfused/corpus":
+            fusion["unfused"] = row
     if not closed:
         failures.append("closed-loop service rows missing from JSON")
     for workers, row in sorted(closed.items()):
@@ -522,6 +537,34 @@ def _check_service(payload: dict) -> list[str]:
                     f"service/{arm}/corpus: no cross-request shared-cache "
                     "hits — duplicate requests did not dedupe"
                 )
+    for arm in ("fused", "unfused"):
+        if arm not in fusion:
+            failures.append(f"service/{arm}/corpus row missing from JSON")
+    if len(fusion) == 2:
+        fused, unfused = fusion["fused"], fusion["unfused"]
+        extra = fused["extra"]
+        if extra.get("rejected", 0):
+            failures.append(
+                f"service/fused/corpus: {extra['rejected']} requests "
+                "rejected — the fused arm admits with the wait policy"
+            )
+        if extra.get("completed", 0) != extra.get("requests", -1):
+            failures.append(
+                f"service/fused/corpus: only {extra.get('completed')} of "
+                f"{extra.get('requests')} requests completed"
+            )
+        if extra.get("fused_passes", 0) < 1:
+            failures.append(
+                "service/fused/corpus: fused_passes is 0 — no merged "
+                "pass served multiple in-flight requests"
+            )
+        if fused["queries"] >= unfused["queries"]:
+            failures.append(
+                "cross-query fusion gate: fused arm issued "
+                f"{fused['queries']} backend queries vs "
+                f"{unfused['queries']} unfused — fusion must be "
+                "strictly fewer at equal workers"
+            )
     return failures
 
 

@@ -406,6 +406,24 @@ class PersistentGridCache:
             )
 
 
+class _TensorFlight:
+    """One in-flight single-flight computation of a cache key.
+
+    The leader resolves it through
+    :meth:`GridTensorCache.complete_flight` /
+    :meth:`GridTensorCache.abort_flight`; waiters block on ``event``
+    and read ``tensor``/``failed`` afterwards (the Event provides the
+    happens-before edge, so no extra lock is needed on the fields).
+    """
+
+    __slots__ = ("event", "tensor", "failed")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.tensor: Optional[np.ndarray] = None
+        self.failed = False
+
+
 class GridTensorCache:
     """Byte-budgeted LRU cache of immutable grid/tile cell tensors.
 
@@ -415,6 +433,16 @@ class GridTensorCache:
     insert counts in ``rejected``. With a ``persistent`` tier attached,
     memory misses fall through to the file store and hits there are
     promoted back into memory (``persistent_hits``).
+
+    Misses can additionally be *single-flighted* through
+    :meth:`lookup_or_lead`: the first thread to miss a key becomes the
+    leader and computes the tensor once; every other thread missing the
+    same key before the leader publishes parks on the leader's flight
+    instead of paying its own backend pass (``inflight_waits`` counts
+    those parked reads). The plain :meth:`lookup`/:meth:`put` pair
+    ignores flights entirely, which the cross-query fusion path relies
+    on — its coalescer does its own in-flight joining and must see the
+    raw miss.
     """
 
     def __init__(
@@ -429,6 +457,7 @@ class GridTensorCache:
         self.max_bytes = int(max_bytes)
         self.persistent = persistent
         self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self._flights: dict[Hashable, _TensorFlight] = {}
         self._lock = threading.Lock()
         self.current_bytes = 0
         self.hits = 0
@@ -436,6 +465,7 @@ class GridTensorCache:
         self.evictions = 0
         self.rejected = 0
         self.persistent_hits = 0
+        self.inflight_waits = 0
 
     @staticmethod
     def key_for(
@@ -512,6 +542,88 @@ class GridTensorCache:
         tensor, _ = self.lookup(key)
         return tensor
 
+    def lookup_or_lead(
+        self, key: Hashable
+    ) -> tuple[Optional[np.ndarray], Optional[str], Optional[_TensorFlight]]:
+        """Single-flighted two-tier read: ``(tensor, tier, flight)``.
+
+        On a hit ``flight`` is None and ``tier`` names where the tensor
+        came from — ``"memory"``, ``"persistent"``, or ``"inflight"``
+        when another thread's in-progress computation of the same key
+        supplied it (a thundering-herd save, counted in
+        ``inflight_waits``). On a miss the caller is the *leader*:
+        ``flight`` is a token it **must** resolve, either by computing
+        the tensor and calling :meth:`complete_flight` or by calling
+        :meth:`abort_flight` on failure (waiters then retry and one of
+        them leads). The persistent tier is probed only by the leader,
+        so N threads missing one key pay at most one file read.
+        """
+        mem_key, persistent_key = self._split(key)
+        while True:
+            wait_for = None
+            with self._lock:
+                tensor = self._entries.get(mem_key)
+                if tensor is not None:
+                    self._entries.move_to_end(mem_key)
+                    self.hits += 1
+                    return tensor, "memory", None
+                flight = self._flights.get(mem_key)
+                if flight is None:
+                    flight = _TensorFlight()
+                    self._flights[mem_key] = flight
+                else:
+                    self.inflight_waits += 1
+                    wait_for = flight
+            if wait_for is None:
+                break
+            wait_for.event.wait()
+            if not wait_for.failed and wait_for.tensor is not None:
+                with self._lock:
+                    self.hits += 1
+                return wait_for.tensor, "inflight", None
+            # The leader aborted; loop and contend to lead ourselves.
+        if self.persistent is not None and persistent_key is not None:
+            tensor = self.persistent.get(persistent_key)
+            if tensor is not None:
+                stored = self._admit(mem_key, tensor)
+                with self._lock:
+                    self.persistent_hits += 1
+                    self._flights.pop(mem_key, None)
+                flight.tensor = stored
+                flight.event.set()
+                return stored, "persistent", None
+        with self._lock:
+            self.misses += 1
+        return None, None, flight
+
+    def complete_flight(
+        self, key: Hashable, tensor: np.ndarray
+    ) -> np.ndarray:
+        """Publish a led miss: admit the tensor and wake every waiter.
+
+        Returns the stored (read-only) array. Waiters receive it even
+        when the cache itself rejects the entry (over-budget tensors
+        are still correct answers).
+        """
+        stored = self.put(key, tensor)
+        mem_key, _ = self._split(key)
+        with self._lock:
+            flight = self._flights.pop(mem_key, None)
+        if flight is not None:
+            flight.tensor = stored
+            flight.event.set()
+        return stored
+
+    def abort_flight(self, key: Hashable) -> None:
+        """Resolve a led miss without a tensor (the computation failed);
+        waiters wake, re-check the cache, and contend to lead."""
+        mem_key, _ = self._split(key)
+        with self._lock:
+            flight = self._flights.pop(mem_key, None)
+        if flight is not None:
+            flight.failed = True
+            flight.event.set()
+
     def contains(self, key: Hashable) -> bool:
         """Peek either tier without touching LRU order or counters."""
         mem_key, persistent_key = self._split(key)
@@ -575,5 +687,6 @@ class GridTensorCache:
                 f"bytes={self.current_bytes}/{self.max_bytes}, "
                 f"hits={self.hits}, misses={self.misses}, "
                 f"evictions={self.evictions}, rejected={self.rejected}, "
-                f"persistent_hits={self.persistent_hits})"
+                f"persistent_hits={self.persistent_hits}, "
+                f"inflight_waits={self.inflight_waits})"
             )

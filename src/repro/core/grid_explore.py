@@ -171,12 +171,19 @@ class GridExplorer:
     def _materialized(self) -> np.ndarray:
         if self._blocks is None:
             blocks_key = None
+            flight = None
             if self.cache is not None:
                 blocks_key = GridTensorCache.key_for(
                     self.layer, self.prepared.query, self.space,
                     kind="blocks",
                 )
-                cached, tier = self.cache.lookup(blocks_key)
+                # Single-flighted even on the fusion path: the block
+                # tensor is derived locally (never fused), so N threads
+                # racing one cold key elect a leader and the rest adopt
+                # its result — at most one persistent-tier read.
+                cached, tier, flight = self.cache.lookup_or_lead(
+                    blocks_key
+                )
                 if cached is not None:
                     # A finished block tensor: skip the backend pass
                     # and the d prefix passes entirely.
@@ -188,34 +195,91 @@ class GridExplorer:
                     )
                     self._blocks = cached
                     return cached
-            tensor = self._fetch_grid()
-            blocks = prefix_combine(tensor, self.aggregate)
+            try:
+                tensor = self._fetch_grid()
+                blocks = prefix_combine(tensor, self.aggregate)
+            except BaseException:
+                if flight is not None:
+                    self.cache.abort_flight(blocks_key)
+                raise
             if blocks_key is not None:
-                blocks = self.cache.put(blocks_key, blocks)
+                blocks = self.cache.complete_flight(blocks_key, blocks)
             self._blocks = blocks
         return self._blocks
 
     def _fetch_grid(self) -> np.ndarray:
         if self.cache is None:
-            tensor = self.layer.execute_grid(self.prepared, self.space)
-            self.cells_executed = int(
-                np.prod(tensor.shape[:-1], dtype=np.int64)
-            )
+            tensor, executed = self._grid_pass()
+            if executed:
+                self.cells_executed = int(
+                    np.prod(tensor.shape[:-1], dtype=np.int64)
+                )
             return tensor
         key = GridTensorCache.key_for(
             self.layer, self.prepared.query, self.space
         )
-        cached, tier = self.cache.lookup(key)
+        if getattr(self.layer, "pass_coalescer", None) is not None:
+            # Fusion path (docs/SERVICE.md): plain lookup — the
+            # coalescer does its own in-flight joining — and misses
+            # route through the coalescer so concurrent requests can
+            # share one merged pass.
+            cached, tier = self.cache.lookup(key)
+            if cached is not None:
+                self.layer.count_cache_event(
+                    True,
+                    int(cached.nbytes),
+                    persistent=tier == "persistent",
+                )
+                return cached
+            tensor, executed = self._grid_pass()
+            if executed:
+                self.cells_executed = int(
+                    np.prod(tensor.shape[:-1], dtype=np.int64)
+                )
+                tensor = self.cache.put(key, tensor)
+                self.layer.count_cache_event(False)
+            else:
+                # Adopted from another request's pass: cache-hit-like
+                # semantics (the leader executed and counted the pass),
+                # mirroring the serial replay where a duplicate query
+                # is served by the shared cache.
+                tensor = self.cache.put(key, tensor)
+            return tensor
+        # Unhooked path: single-flight through the cache so N threads
+        # missing the same grid execute exactly one backend pass.
+        cached, tier, flight = self.cache.lookup_or_lead(key)
         if cached is not None:
             self.layer.count_cache_event(
                 True, int(cached.nbytes), persistent=tier == "persistent"
             )
             return cached
-        tensor = self.layer.execute_grid(self.prepared, self.space)
+        try:
+            tensor = self.layer.execute_grid(self.prepared, self.space)
+        except BaseException:
+            self.cache.abort_flight(key)
+            raise
         self.cells_executed = int(np.prod(tensor.shape[:-1], dtype=np.int64))
-        tensor = self.cache.put(key, tensor)
+        tensor = self.cache.complete_flight(key, tensor)
         self.layer.count_cache_event(False)
         return tensor
+
+    def _grid_pass(self) -> tuple[np.ndarray, bool]:
+        """One full-grid backend pass, fused when a coalescer is up.
+
+        Returns ``(tensor, executed)``: ``executed=False`` means the
+        tensor was adopted from another in-flight request's merged
+        pass and this request must not count the execution.
+        """
+        coalescer = getattr(self.layer, "pass_coalescer", None)
+        if coalescer is not None:
+            lo = (0,) * self.space.d
+            hi = tuple(int(c) for c in self.space.max_coords)
+            fetched = coalescer.fetch_tile(
+                self.layer, self.prepared, self.space, lo, hi
+            )
+            if fetched is not None:
+                return fetched.tensor, fetched.executed
+        return self.layer.execute_grid(self.prepared, self.space), True
 
 
 class TiledGridExplorer:
@@ -489,13 +553,48 @@ class TiledGridExplorer:
         # owning request's stat scopes (idempotent on the request
         # thread itself, where they are already active).
         with scoped_stats(self._scopes):
-            cached = self._cached_tile(lo, hi)
-            if cached is not None:
-                return cached
-            tensor = self.layer.execute_grid_tile(
-                self.prepared, self.space, lo, hi
+            coalescer = getattr(self.layer, "pass_coalescer", None)
+            if self.cache is None or coalescer is not None:
+                cached = self._cached_tile(lo, hi)
+                if cached is not None:
+                    return cached
+                if coalescer is not None:
+                    # Fusion path (docs/SERVICE.md): the miss routes
+                    # through the coalescer so concurrent requests can
+                    # share one merged backend pass.
+                    fetched = coalescer.fetch_tile(
+                        self.layer, self.prepared, self.space, lo, hi
+                    )
+                    if fetched is not None:
+                        if fetched.executed:
+                            return self._store_tile(lo, hi, fetched.tensor)
+                        return self._adopt_tile(lo, hi, fetched.tensor)
+                tensor = self.layer.execute_grid_tile(
+                    self.prepared, self.space, lo, hi
+                )
+                return self._store_tile(lo, hi, tensor)
+            # Unhooked path: single-flight through the cache so N
+            # threads missing the same tile execute exactly one
+            # backend pass.
+            key = GridTensorCache.key_for(
+                self.layer, self.prepared.query, self.space, lo, hi
             )
-            return self._store_tile(lo, hi, tensor)
+            cached, tier, flight = self.cache.lookup_or_lead(key)
+            if cached is not None:
+                self.layer.count_cache_event(
+                    True,
+                    int(cached.nbytes),
+                    persistent=tier == "persistent",
+                )
+                return cached
+            try:
+                tensor = self.layer.execute_grid_tile(
+                    self.prepared, self.space, lo, hi
+                )
+            except BaseException:
+                self.cache.abort_flight(key)
+                raise
+            return self._store_tile(lo, hi, tensor, flight=True)
 
     def _cached_tile(self, lo: Coords, hi: Coords) -> Optional[np.ndarray]:
         """Cell-cache lookup for one tile (None on miss or no cache).
@@ -516,10 +615,19 @@ class TiledGridExplorer:
         return cached
 
     def _store_tile(
-        self, lo: Coords, hi: Coords, tensor: np.ndarray
+        self,
+        lo: Coords,
+        hi: Coords,
+        tensor: np.ndarray,
+        flight: bool = False,
     ) -> np.ndarray:
         """Account for a freshly executed tile and admit it to the
         cell cache (counterpart of a :meth:`_cached_tile` miss).
+
+        With ``flight=True`` the admission goes through
+        :meth:`~repro.core.grid_cache.GridTensorCache.complete_flight`
+        so threads parked on this tile's in-flight entry wake with the
+        tensor (the caller must hold the flight's lead).
 
         Callers handing in a shared-memory view must copy it out first
         when a cache is attached — the cache may retain the array past
@@ -534,9 +642,30 @@ class TiledGridExplorer:
         key = GridTensorCache.key_for(
             self.layer, self.prepared.query, self.space, lo, hi
         )
-        tensor = self.cache.put(key, tensor)
+        if flight:
+            tensor = self.cache.complete_flight(key, tensor)
+        else:
+            tensor = self.cache.put(key, tensor)
         self.layer.count_cache_event(False)
         return tensor
+
+    def _adopt_tile(
+        self, lo: Coords, hi: Coords, tensor: np.ndarray
+    ) -> np.ndarray:
+        """Install a tile adopted from another request's fused pass.
+
+        Cache-hit-like semantics: the pass was executed — and its
+        counters credited — by the leading request, so no
+        ``cells_executed`` and no cache hit/miss event is recorded
+        here, mirroring the serial replay where a duplicate query is
+        served by the shared cache.
+        """
+        if self.cache is None:
+            return tensor
+        key = GridTensorCache.key_for(
+            self.layer, self.prepared.query, self.space, lo, hi
+        )
+        return self.cache.put(key, tensor)
 
 
 class TileScheduler:

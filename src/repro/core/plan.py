@@ -115,6 +115,8 @@ class PlanCalibration:
         self._pass_rates: deque[float] = deque(maxlen=window)
         self._spawn_s: deque[float] = deque(maxlen=window)
         self._ipc_s: deque[float] = deque(maxlen=window)
+        self._fusion_shares: deque[float] = deque(maxlen=window)
+        self._fusion_pass_s: deque[float] = deque(maxlen=window)
 
     def observe(self, estimated: int, actual: int) -> None:
         """Record one (estimate, outcome) pair; zeros are ignored."""
@@ -145,6 +147,47 @@ class PlanCalibration:
         if tiles > 0 and seconds > 0:
             with self._lock:
                 self._ipc_s.append(seconds / tiles)
+
+    def observe_fusion(
+        self, fetches: int, passes: int, pass_s: float = 0.0
+    ) -> None:
+        """Record one coalescer dispatch: ``fetches`` waiting fetches
+        were served by ``passes`` physical backend passes that took
+        ``pass_s`` seconds. The saved fraction feeds
+        :meth:`fusion_share`; the pass latency sizes the adaptive
+        batching window (:meth:`fusion_window_s`)."""
+        if fetches > 0 and passes > 0:
+            with self._lock:
+                self._fusion_shares.append(
+                    max(fetches - passes, 0) / fetches
+                )
+                if pass_s > 0:
+                    self._fusion_pass_s.append(pass_s / passes)
+
+    def fusion_share(self) -> float:
+        """Observed fraction of coalesced fetches served without their
+        own backend pass (0.0 until ``observe_fusion`` data arrives)."""
+        with self._lock:
+            if not self._fusion_shares:
+                return 0.0
+            return sum(self._fusion_shares) / len(self._fusion_shares)
+
+    def fusion_window_s(self, cap_s: float) -> float:
+        """Adaptive coalescer batching window, capped at ``cap_s``.
+
+        Until pass-latency observations arrive the configured cap is
+        the window. Once the mean merged-pass latency is known, waiting
+        longer than half a pass costs more than a merged pass can save,
+        so the window shrinks to ``min(cap_s, pass_s / 2)`` — fast
+        backends batch only genuinely simultaneous arrivals while slow
+        backends keep the full window.
+        """
+        cap = max(float(cap_s), 0.0)
+        with self._lock:
+            if not self._fusion_pass_s:
+                return cap
+            mean_pass = sum(self._fusion_pass_s) / len(self._fusion_pass_s)
+        return max(min(cap, 0.5 * mean_pass), 0.0)
 
     def pass_rate(self) -> float:
         """Observed backend row-access rate in rows/sec (0.0 until
@@ -320,6 +363,23 @@ def choose_explore_mode(
     executor, tile_workers, tile_cells, tiled_cost = _pick_tile_plan(
         layer, config, visited, grid_cells, rows
     )
+
+    # Fusion-aware costing: with a cross-query coalescer installed on
+    # the layer, an observed fraction of grid passes is served by a
+    # neighbour request's merged pass (docs/SERVICE.md), making the
+    # pass-based engines cheaper relative to incremental — whose
+    # per-cell fetches fuse far less often. A no-op until the shared
+    # calibration has seen fused dispatches, so single-request plans
+    # are unchanged.
+    if (
+        calibration is not None
+        and getattr(layer, "pass_coalescer", None) is not None
+    ):
+        share = calibration.fusion_share()
+        if share > 0.0:
+            discount = 1.0 - 0.5 * share
+            materialized_cost = int(materialized_cost * discount)
+            tiled_cost = int(tiled_cost * discount)
 
     best_mode, best_cost = "incremental", incremental_cost
     if tiled_cost < best_cost:

@@ -97,6 +97,17 @@ class ExecutionStats:
     ``process_spawn_s``/``process_ipc_s`` the observed pool start-up
     and per-tile round-trip overheads the planner's calibration feeds
     on (see ``docs/PARALLELISM.md``).
+
+    ``fused_passes``/``fused_cells`` count cross-query fusion (see
+    ``docs/SERVICE.md``): backend passes a request shared with at least
+    one other in-flight request through a
+    :class:`~repro.service.fusion.PassCoalescer`, and the grid cells
+    those shared passes delivered to *this* request. The physical pass
+    is counted (``queries_executed`` etc.) by the one request that
+    executed it; every sharing request instead records the fused
+    counters, so per-request scopes still partition the layer totals
+    exactly. ``fusion_wait_s`` is the time the request spent parked in
+    coalescer batching windows.
     """
 
     queries_executed: int = 0
@@ -121,6 +132,9 @@ class ExecutionStats:
     shm_bytes: int = 0
     process_spawn_s: float = 0.0
     process_ipc_s: float = 0.0
+    fused_passes: int = 0
+    fused_cells: int = 0
+    fusion_wait_s: float = 0.0
     rows_scanned: int = 0
     execution_time_s: float = 0.0
 
@@ -253,6 +267,13 @@ class EvaluationLayer:
     #: The planner's ``tile_executor='auto'`` uses this to decide when
     #: escaping to processes is worth the spawn/IPC overhead.
     parallel_tile_scaling: bool = False
+
+    #: Cross-query pass coalescer installed by the service tier, or
+    #: None (see :class:`repro.service.fusion.PassCoalescer`). The
+    #: attribute is duck-typed so the core never imports the service;
+    #: explorers consult it before paying a backend pass and a bare
+    #: layer costs one attribute read.
+    pass_coalescer = None
 
     def __init__(self) -> None:
         self.stats = ExecutionStats()
@@ -461,6 +482,73 @@ class EvaluationLayer:
         self._count_grid(len(coords_list), round_trip=False, tile=True)
         return tensor
 
+    def execute_grid_tiles(
+        self,
+        prepared: PreparedQuery,
+        space: RefinedSpace,
+        boxes: Sequence[tuple[Sequence[int], Sequence[int]]],
+        max_merged_cells: Optional[int] = None,
+    ) -> list[np.ndarray]:
+        """Cell tensors for several rectangular subgrids, ideally in
+        one merged backend pass.
+
+        ``boxes`` is a sequence of inclusive ``(lo, hi)`` bounds; the
+        return value has one tensor per entry, in order, each
+        bit-identical to :meth:`execute_grid_tile` over the same bounds
+        (duplicate boxes share one read-only tensor). This is the
+        merged entry point of cross-query fusion (``docs/SERVICE.md``):
+        when the bounding box of all distinct boxes holds no more cells
+        than the individual passes would have computed anyway (and no
+        more than ``max_merged_cells``), one pass covers the bounding
+        box and every box becomes a read-only view into it; otherwise
+        the layer issues one pass per distinct box — fusion then
+        degrades to deduplication, never a loss.
+
+        A box spanning the full grid extent routes through
+        :meth:`execute_grid` so whole-grid materializations keep their
+        native path and counters.
+        """
+        normalized = [_check_tile_bounds(space, lo, hi) for lo, hi in boxes]
+        unique = sorted(set(normalized))
+        full = ((0,) * space.d, tuple(space.max_coords))
+        tensors: dict[tuple, np.ndarray] = {}
+        if len(unique) > 1:
+            lo = tuple(
+                min(box[0][axis] for box in unique)
+                for axis in range(space.d)
+            )
+            hi = tuple(
+                max(box[1][axis] for box in unique)
+                for axis in range(space.d)
+            )
+            merged_cells = _box_cells(lo, hi)
+            summed = sum(_box_cells(*box) for box in unique)
+            within_cap = (
+                max_merged_cells is None or merged_cells <= max_merged_cells
+            )
+            if merged_cells <= summed and within_cap:
+                if (lo, hi) == full:
+                    parent = self.execute_grid(prepared, space)
+                else:
+                    parent = self.execute_grid_tile(prepared, space, lo, hi)
+                parent.setflags(write=False)
+                for box_lo, box_hi in unique:
+                    tensors[(box_lo, box_hi)] = parent[
+                        tuple(
+                            slice(l - p, h - p + 1)
+                            for l, h, p in zip(box_lo, box_hi, lo)
+                        )
+                    ]
+                return [tensors[box] for box in normalized]
+        for box in unique:
+            if box == full:
+                tensor = self.execute_grid(prepared, space)
+            else:
+                tensor = self.execute_grid_tile(prepared, space, *box)
+            tensor.setflags(write=False)
+            tensors[box] = tensor
+        return [tensors[box] for box in normalized]
+
     def execute_box(
         self, prepared: PreparedQuery, scores: Sequence[float]
     ) -> AggState:
@@ -627,6 +715,21 @@ class EvaluationLayer:
                 stats.process_spawn_s += spawn_s
                 stats.process_ipc_s += ipc_s
 
+    def count_fused(
+        self, passes: int = 0, cells: int = 0, wait_s: float = 0.0
+    ) -> None:
+        """Record this request's share of cross-query fused passes
+        (see :class:`ExecutionStats`): backend passes it shared with
+        other in-flight requests, the grid cells those passes delivered
+        to it, and the time it spent parked in the coalescer's batching
+        window. Called on the beneficiary's own thread so its request
+        scopes are the ones credited."""
+        with self._stats_lock:
+            for stats in _sinks(self.stats):
+                stats.fused_passes += passes
+                stats.fused_cells += cells
+                stats.fusion_wait_s += wait_s
+
     def merge_stats(self, delta: ExecutionStats) -> None:
         """Fold a worker process's :meth:`ExecutionStats.since` delta
         into this layer's counters.
@@ -681,6 +784,14 @@ def grid_identity_tensor(
     tensor = np.empty(shape + (len(identity),), dtype=np.float64)
     tensor[...] = identity
     return tensor
+
+
+def _box_cells(lo: Sequence[int], hi: Sequence[int]) -> int:
+    """Number of grid cells in the inclusive box ``[lo, hi]``."""
+    cells = 1
+    for low, high in zip(lo, hi):
+        cells *= high - low + 1
+    return cells
 
 
 def _check_tile_bounds(

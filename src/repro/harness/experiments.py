@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 import os
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.core.acquire import AcquireConfig
@@ -1278,10 +1279,13 @@ def service_load(
     corpus_requests: int = 8,
     corpus_seed: int = 7,
     open_loop_rps: float = 40.0,
+    fused_corpus_requests: int = 4,
+    fused_duplicate_fraction: float = 3.0,
+    fusion_window_ms: float = 25.0,
 ) -> ExperimentResult:
     """Load-generate against :class:`repro.service.AcquireService`.
 
-    Three arms, mirroring how a multi-tenant driver is actually judged:
+    Four arms, mirroring how a multi-tenant driver is actually judged:
 
     * ``service/closed/<backend>`` — closed-loop throughput sweep over
       worker counts: N clients per worker hammer one shared backend
@@ -1300,6 +1304,15 @@ def service_load(
       backend-query/row counts the regression baseline pins (the
       concurrent arms' counters depend on request interleaving — two
       simultaneous identical requests may both miss the cache).
+    * ``service/unfused/corpus`` vs ``service/fused/corpus`` — a
+      duplicate-heavy open-loop mix (each sampled triple immediately
+      followed by jittered near-duplicates, so same-key requests race
+      in flight) replayed at equal workers with cross-query pass
+      fusion off and on. The fused arm must complete everything with
+      zero rejections, report ``fused_passes > 0``, and issue
+      *strictly fewer* backend queries than the unfused arm — the
+      merged passes, not the cache, absorb the concurrency
+      (``benchmarks/smoke.py`` gates exactly that).
     """
     import time as _time
 
@@ -1475,15 +1488,91 @@ def service_load(
     finally:
         service.close()
 
+    # -- Arm D: fused vs unfused duplicate-heavy open loop ------------
+    # Batched incremental: the incremental engine never consults the
+    # grid cache, so with fusion off every request pays its own cell
+    # passes — the clean baseline against which the coalescer's merged
+    # passes show up as strictly fewer backend queries at equal
+    # workers (``batched=True`` routes each layer through
+    # ``prime_cells``, the coalescer's cell seam).
+    for method, fusion in (
+        ("service/unfused/corpus", False),
+        ("service/fused/corpus", True),
+    ):
+        service = AcquireService(
+            ServiceConfig(
+                workers=4,
+                max_queue=8,
+                admission="wait",
+                fusion=fusion,
+                fusion_window_ms=fusion_window_ms,
+            )
+        )
+        try:
+            requests = [
+                (name, query, replace(request_config, batched=True))
+                for name, query, request_config in sample_corpus_requests(
+                    service,
+                    fused_corpus_requests,
+                    seed=corpus_seed,
+                    duplicate_fraction=fused_duplicate_fraction,
+                    explore_mode="incremental",
+                    duplicate_placement="adjacent",
+                )
+            ]
+            report = run_open_loop(
+                service, requests, inter_arrival_s=0.002
+            )
+            stats = report.service
+            rows.append(
+                Row(
+                    x_name="fusion",
+                    x_value="on" if fusion else "off",
+                    method=method,
+                    time_ms=report.wall_s * 1000.0,
+                    error=0.0,
+                    qscore=0.0,
+                    aggregate_value=0.0,
+                    queries=report.queries_executed,
+                    rows_scanned=sum(
+                        r.rows_scanned for r in report.records
+                    ),
+                    satisfied=True,
+                    cache_hits=report.cache_hits,
+                    cache_misses=report.cache_misses,
+                    explore_mode="incremental",
+                    extra={
+                        "throughput_rps": report.throughput_rps,
+                        "p50_ms": report.latency_ms(0.50),
+                        "p99_ms": report.latency_ms(0.99),
+                        "requests": len(requests),
+                        "completed": report.completed,
+                        "rejected": report.rejected,
+                        "fused_passes": report.fused_passes,
+                        "fused_cells": report.fused_cells,
+                        "fused_groups": (
+                            stats.fused_groups if stats else 0
+                        ),
+                        "fused_fetches": (
+                            stats.fused_fetches if stats else 0
+                        ),
+                    },
+                )
+            )
+        finally:
+            service.close()
+
     return ExperimentResult(
         name="service_load",
         title="ACQ-as-a-service: latency/throughput under generated load",
         paper_expectation=(
             "The paper's interactive framing implies a multi-query "
             "deployment: throughput scales with service workers on a "
-            "GIL-escaping backend, and overlapping sweeps dedupe tile "
+            "GIL-escaping backend, overlapping sweeps dedupe tile "
             "work through the shared target-independent grid cache "
-            "(cross-request cache hits > 0)."
+            "(cross-request cache hits > 0), and with pass fusion on, "
+            "duplicate-heavy in-flight traffic is served by strictly "
+            "fewer merged backend passes than the unfused replay."
         ),
         rows=rows,
         settings={
@@ -1494,6 +1583,9 @@ def service_load(
             "corpus_requests": corpus_requests,
             "corpus_seed": corpus_seed,
             "open_loop_rps": open_loop_rps,
+            "fused_corpus_requests": fused_corpus_requests,
+            "fused_duplicate_fraction": fused_duplicate_fraction,
+            "fusion_window_ms": fusion_window_ms,
         },
     )
 

@@ -1,0 +1,507 @@
+"""Cross-query pass fusion: one backend pass serves many requests.
+
+The service tier admits N concurrent refinement searches over shared
+backends, and real constraint workloads arrive in bursts of
+near-duplicates — the same tables, predicates, and grid geometry with
+slightly different targets. Each such request pays its own Expand-layer
+backend pass even though the *tensors* those passes compute are
+identical (the grid cache only helps the requests that arrive after a
+tensor is published). :class:`PassCoalescer` closes that gap: it
+intercepts the cell/tile fetches of every in-flight request, groups
+compatible fetches during a short batching window, and issues **one**
+merged backend pass per group, handing each waiting request a read-only
+view of its cells.
+
+Compatibility. Two fetches may share a pass only when their tensors are
+interchangeable, which is exactly the grid cache's target-independent
+key family (``repro.core.grid_cache``): same layer (token — and thus
+the same backend data), same query fingerprint (tables, predicates at
+score 0, aggregate spec; the constraint target deliberately excluded),
+and same space geometry. The coalescer key adds the layer's persistent
+fingerprint (backend class + data digest) when one exists, mirroring
+``TensorKey``; a Hypothesis property test pins that fetches with
+different geometry, layer, or digest can never group.
+
+Windows. The first fetch of a group becomes the *leader*: it parks for
+an adaptive batching window — sized by
+:meth:`~repro.core.plan.PlanCalibration.fusion_window_s` from observed
+pass latency, capped by ``ServiceConfig.fusion_window_ms``, and
+skipped entirely when at most one request is in flight — then executes
+the merged pass on its own thread
+(:meth:`~repro.engine.backends.EvaluationLayer.execute_grid_tiles` for
+tile groups, ``execute_cells`` over the coordinate union for cell
+groups) and distributes results through per-member futures. Fetches
+that arrive while a tile pass is already executing join it in flight
+rather than starting a new one. The window closes early once every
+in-flight request has joined.
+
+Attribution. The leader executes the merged pass under its own request
+scopes, so the *physical* counters (``queries_executed``,
+``grid_cells``, ``rows_scanned``, ...) credit the leader exactly as a
+solo run would. Every request a shared pass served — leader included —
+records the ``fused_passes``/``fused_cells``/``fusion_wait_s``
+counters on its *own* thread via
+:meth:`~repro.engine.backends.EvaluationLayer.count_fused`, so request
+scopes keep partitioning the layer totals counter for counter.
+
+Failure. A merged pass that raises resolves every member with None;
+each member (leader included) then falls back to its own direct
+backend pass, so one request's failure never propagates to another —
+fusion is an optimization, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, Callable, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from repro.core.grid_cache import (
+    layer_cache_token,
+    query_fingerprint,
+    space_fingerprint,
+)
+from repro.engine.backends import current_scopes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.aggregates import AggState
+    from repro.core.plan import PlanCalibration
+    from repro.core.refined_space import RefinedSpace
+    from repro.engine.backends import EvaluationLayer, PreparedQuery
+
+#: Ceiling on a merged bounding-box pass; groups whose bounding box
+#: would exceed it fall back to per-box passes (pure deduplication).
+DEFAULT_MAX_MERGED_CELLS = 1 << 20
+
+#: Bound on a follower's wait for the leader's pass. Generous — merged
+#: passes are ordinary backend passes — but finite, so a stuck backend
+#: degrades to the follower's own fallback pass instead of a hang.
+FOLLOWER_TIMEOUT_S = 120.0
+
+
+class FusedFetch(NamedTuple):
+    """Outcome of a coalesced fetch.
+
+    ``executed`` is True for the member that physically ran the merged
+    pass on its own thread (it must store/count the tensor like any
+    direct pass); False for members that adopted another request's
+    result (they count only the fused counters, which the coalescer
+    already recorded).
+    """
+
+    tensor: np.ndarray
+    executed: bool
+
+
+class _BoxSlot:
+    """One distinct tile box within a group: a shared future plus a
+    back-reference to the group (for the requester set and counters)."""
+
+    __slots__ = ("future", "group")
+
+    def __init__(self, group: "_Group") -> None:
+        self.future: Future = Future()
+        self.group = group
+
+
+class _CellMember:
+    """One request's cell batch within a cell group."""
+
+    __slots__ = ("coords", "future")
+
+    def __init__(self, coords: list[tuple[int, ...]]) -> None:
+        self.coords = coords
+        self.future: Future = Future()
+
+
+class _Group:
+    """One open batching window of compatible fetches.
+
+    ``slots`` maps tile boxes to shared futures (tile groups);
+    ``members`` holds per-request cell batches (cell groups). Both are
+    mutated only under the coalescer lock; ``event`` lets joiners close
+    the window early once every in-flight request is represented.
+    """
+
+    __slots__ = (
+        "key",
+        "prepared",
+        "space",
+        "slots",
+        "members",
+        "requesters",
+        "fetches",
+        "parallelism",
+        "event",
+    )
+
+    def __init__(self, key: tuple, prepared: "PreparedQuery", space: "RefinedSpace") -> None:
+        self.key = key
+        self.prepared = prepared
+        self.space = space
+        self.slots: dict[tuple, _BoxSlot] = {}
+        self.members: list[_CellMember] = []
+        self.requesters: set = set()
+        self.fetches = 0
+        self.parallelism = 1
+        self.event = threading.Event()
+
+
+class PassCoalescer:
+    """Cross-request fetch batcher for one service (see module docs).
+
+    Args:
+        window_s: cap on the batching window in seconds; the effective
+            window adapts below it via ``calibration.fusion_window_s``
+            and drops to zero while at most one request is in flight.
+        calibration: shared :class:`~repro.core.plan.PlanCalibration`
+            fed with every dispatch (and consulted for the window);
+            optional.
+        active_requests: callable returning the number of requests
+            currently in flight — the service's ``in_flight`` gauge.
+        max_merged_cells: ceiling on a merged bounding-box pass.
+        on_fused: callback ``(groups, fetches)`` invoked after each
+            dispatch that actually shared a pass across requests; the
+            service uses it to feed :class:`ServiceStats`.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 0.002,
+        calibration: Optional["PlanCalibration"] = None,
+        active_requests: Optional[Callable[[], int]] = None,
+        max_merged_cells: int = DEFAULT_MAX_MERGED_CELLS,
+        on_fused: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self._window_cap_s = max(float(window_s), 0.0)
+        self._calibration = calibration
+        self._active_requests = active_requests or (lambda: 1)
+        self._max_merged_cells = int(max_merged_cells)
+        self._on_fused = on_fused
+        self._lock = threading.Lock()
+        self._tile_groups: dict[tuple, _Group] = {}
+        self._cell_groups: dict[tuple, _Group] = {}
+        self._inflight: dict[tuple, _BoxSlot] = {}
+        self._closed = False
+
+    # -- keys ---------------------------------------------------------
+    @staticmethod
+    def compatibility_key(
+        family: str,
+        layer: "EvaluationLayer",
+        prepared: "PreparedQuery",
+        space: "RefinedSpace",
+    ) -> tuple:
+        """Target-independent grouping key for one fetch family.
+
+        The same identity the grid cache proves safe: layer token (two
+        layers never share — different data means a different layer),
+        the layer's persistent fingerprint when it has one (backend
+        class + content digest), the query fingerprint (constraint
+        target excluded), and the space geometry.
+        """
+        probe = getattr(layer, "persistent_cache_key", None)
+        fingerprint = probe() if callable(probe) else None
+        return (
+            str(family),
+            layer_cache_token(layer),
+            fingerprint,
+            query_fingerprint(prepared.query),
+            space_fingerprint(space),
+        )
+
+    @staticmethod
+    def _requester_id() -> object:
+        """Identity of the in-flight request behind the calling thread.
+
+        The innermost request scope is one object per admitted request
+        (re-established on pool threads), so its id distinguishes
+        requests even when one request fans tile fetches across
+        threads. Scope-less callers fall back to their thread id.
+        """
+        scopes = current_scopes()
+        if scopes:
+            return id(scopes[-1])
+        return ("thread", threading.get_ident())
+
+    def _window_s(self) -> float:
+        """Effective batching window right now (0 = dispatch at once)."""
+        if self._window_cap_s <= 0.0 or self._active_requests() <= 1:
+            return 0.0
+        if self._calibration is not None:
+            return self._calibration.fusion_window_s(self._window_cap_s)
+        return self._window_cap_s
+
+    # -- tile fetches -------------------------------------------------
+    def fetch_tile(
+        self,
+        layer: "EvaluationLayer",
+        prepared: "PreparedQuery",
+        space: "RefinedSpace",
+        lo: Sequence[int],
+        hi: Sequence[int],
+    ) -> Optional[FusedFetch]:
+        """Coalesce one tile fetch; None means "run it yourself".
+
+        Joins an open window for the compatibility key (or an already
+        executing pass covering the same box), leads a new window when
+        none exists, and returns the tile tensor with ``executed``
+        marking whether this call ran the merged pass. Returns None
+        when the coalescer is closed or the pass failed — the caller
+        then falls back to its own direct backend pass.
+        """
+        box = (
+            tuple(int(c) for c in lo),
+            tuple(int(c) for c in hi),
+        )
+        key = self.compatibility_key("tiles", layer, prepared, space)
+        me = self._requester_id()
+        started = time.perf_counter()
+        lead = False
+        with self._lock:
+            if self._closed:
+                return None
+            slot = self._inflight.get((key, box))
+            if slot is not None:
+                # A pass covering this box is already executing; join.
+                slot.group.requesters.add(me)
+                slot.group.fetches += 1
+            else:
+                group = self._tile_groups.get(key)
+                if group is None:
+                    group = _Group(key, prepared, space)
+                    self._tile_groups[key] = group
+                    lead = True
+                slot = group.slots.get(box)
+                if slot is None:
+                    slot = _BoxSlot(group)
+                    group.slots[box] = slot
+                group.requesters.add(me)
+                group.fetches += 1
+                if (
+                    not lead
+                    and len(group.requesters) >= self._active_requests()
+                ):
+                    group.event.set()
+        if lead:
+            return self._lead_tiles(layer, slot.group, box, me, started)
+        return self._follow(layer, slot, box, me, started)
+
+    def _lead_tiles(
+        self,
+        layer: "EvaluationLayer",
+        group: _Group,
+        own_box: tuple,
+        me: object,
+        started: float,
+    ) -> Optional[FusedFetch]:
+        """Close the window, run the merged pass, distribute results."""
+        window = self._window_s()
+        if window > 0.0:
+            group.event.wait(window)
+        with self._lock:
+            self._tile_groups.pop(group.key, None)
+            slots = dict(group.slots)
+            shared = any(r != me for r in group.requesters)
+            for box in slots:
+                self._inflight[(group.key, box)] = slots[box]
+        boxes = sorted(slots)
+        wait_s = time.perf_counter() - started
+        pass_started = time.perf_counter()
+        try:
+            tensors = layer.execute_grid_tiles(
+                group.prepared,
+                group.space,
+                boxes,
+                max_merged_cells=self._max_merged_cells,
+            )
+        except Exception:
+            self._resolve(group.key, slots, {})
+            return None
+        pass_s = time.perf_counter() - pass_started
+        results = dict(zip(boxes, tensors))
+        self._resolve(group.key, slots, results)
+        self._report(group, passes=len(boxes), pass_s=pass_s, shared=shared)
+        if shared:
+            layer.count_fused(
+                passes=1, cells=_box_cells(own_box), wait_s=wait_s
+            )
+        return FusedFetch(results[own_box], executed=True)
+
+    def _follow(
+        self,
+        layer: "EvaluationLayer",
+        slot: _BoxSlot,
+        box: tuple,
+        me: object,
+        started: float,
+    ) -> Optional[FusedFetch]:
+        """Wait for a leader's pass to deliver this box (or fall back)."""
+        try:
+            tensor = slot.future.result(timeout=FOLLOWER_TIMEOUT_S)
+        except Exception:
+            return None
+        if tensor is None:
+            return None
+        wait_s = time.perf_counter() - started
+        with self._lock:
+            shared = any(r != me for r in slot.group.requesters)
+        if shared:
+            layer.count_fused(
+                passes=1, cells=_box_cells(box), wait_s=wait_s
+            )
+        return FusedFetch(tensor, executed=False)
+
+    def _resolve(
+        self, key: tuple, slots: dict[tuple, _BoxSlot], results: dict
+    ) -> None:
+        """Retire in-flight entries and wake every waiter (None on
+        failure — waiters fall back to their own pass)."""
+        with self._lock:
+            for box in slots:
+                self._inflight.pop((key, box), None)
+        for box, slot in slots.items():
+            slot.future.set_result(results.get(box))
+
+    # -- cell-batch fetches -------------------------------------------
+    def fetch_cells(
+        self,
+        layer: "EvaluationLayer",
+        prepared: "PreparedQuery",
+        space: "RefinedSpace",
+        coords_list: Sequence[Sequence[int]],
+        parallelism: int = 1,
+    ) -> Optional[list["AggState"]]:
+        """Coalesce one incremental cell batch; None means "run it
+        yourself".
+
+        Compatible batches arriving within the window are executed as
+        one ``execute_cells`` pass over their coordinate union; each
+        member receives exactly its own cells, in its own order —
+        bit-identical to executing its batch alone, because a cell's
+        state never depends on what else is in the pass.
+        """
+        coords = [tuple(int(c) for c in item) for item in coords_list]
+        if not coords:
+            return []
+        key = self.compatibility_key("cells", layer, prepared, space)
+        me = self._requester_id()
+        started = time.perf_counter()
+        member = _CellMember(coords)
+        lead = False
+        with self._lock:
+            if self._closed:
+                return None
+            group = self._cell_groups.get(key)
+            if group is None:
+                group = _Group(key, prepared, space)
+                self._cell_groups[key] = group
+                lead = True
+            group.members.append(member)
+            group.requesters.add(me)
+            group.fetches += 1
+            if parallelism > group.parallelism:
+                group.parallelism = parallelism
+            if (
+                not lead
+                and len(group.requesters) >= self._active_requests()
+            ):
+                group.event.set()
+        if lead:
+            return self._lead_cells(layer, group, member, me, started)
+        try:
+            states = member.future.result(timeout=FOLLOWER_TIMEOUT_S)
+        except Exception:
+            return None
+        if states is None:
+            return None
+        with self._lock:
+            shared = any(r != me for r in group.requesters)
+        if shared:
+            layer.count_fused(
+                passes=1,
+                cells=len(coords),
+                wait_s=time.perf_counter() - started,
+            )
+        return states
+
+    def _lead_cells(
+        self,
+        layer: "EvaluationLayer",
+        group: _Group,
+        member: _CellMember,
+        me: object,
+        started: float,
+    ) -> Optional[list["AggState"]]:
+        window = self._window_s()
+        if window > 0.0:
+            group.event.wait(window)
+        with self._lock:
+            self._cell_groups.pop(group.key, None)
+            members = list(group.members)
+            shared = any(r != me for r in group.requesters)
+            parallelism = group.parallelism
+        union = sorted({c for m in members for c in m.coords})
+        wait_s = time.perf_counter() - started
+        pass_started = time.perf_counter()
+        try:
+            states = layer.execute_cells(
+                group.prepared, group.space, union, parallelism=parallelism
+            )
+        except Exception:
+            for other in members:
+                if other is not member:
+                    other.future.set_result(None)
+            return None
+        pass_s = time.perf_counter() - pass_started
+        by_coords = dict(zip(union, states))
+        for other in members:
+            if other is not member:
+                other.future.set_result(
+                    [by_coords[c] for c in other.coords]
+                )
+        self._report(group, passes=1, pass_s=pass_s, shared=shared)
+        if shared:
+            layer.count_fused(
+                passes=1, cells=len(member.coords), wait_s=wait_s
+            )
+        return [by_coords[c] for c in member.coords]
+
+    # -- bookkeeping --------------------------------------------------
+    def _report(
+        self, group: _Group, passes: int, pass_s: float, shared: bool
+    ) -> None:
+        """Feed the calibration and the service after one dispatch."""
+        with self._lock:
+            fetches = group.fetches
+        if self._calibration is not None:
+            self._calibration.observe_fusion(fetches, passes, pass_s)
+        if shared and self._on_fused is not None:
+            self._on_fused(1, fetches)
+
+    def close(self) -> None:
+        """Stop coalescing: later fetches fall through to direct
+        passes. Open windows are still drained by their leaders (every
+        dispatch runs on a requester thread; there is no worker here).
+        """
+        with self._lock:
+            self._closed = True
+
+
+def _box_cells(box: tuple) -> int:
+    """Grid cells in an inclusive ``(lo, hi)`` box."""
+    lo, hi = box
+    cells = 1
+    for low, high in zip(lo, hi):
+        cells *= high - low + 1
+    return cells
+
+
+__all__ = [
+    "DEFAULT_MAX_MERGED_CELLS",
+    "FusedFetch",
+    "PassCoalescer",
+]

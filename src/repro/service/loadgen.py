@@ -54,6 +54,8 @@ class RequestRecord:
     rows_scanned: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    fused_passes: int = 0
+    fused_cells: int = 0
 
 
 @dataclass
@@ -97,6 +99,21 @@ class LoadReport:
     def cache_misses(self) -> int:
         return sum(record.cache_misses for record in self.records)
 
+    @property
+    def queries_executed(self) -> int:
+        """Total backend queries issued across completed requests."""
+        return sum(record.queries_executed for record in self.records)
+
+    @property
+    def fused_passes(self) -> int:
+        """Shared merged passes requests benefited from (fusion)."""
+        return sum(record.fused_passes for record in self.records)
+
+    @property
+    def fused_cells(self) -> int:
+        """Cells those shared merged passes delivered (fusion)."""
+        return sum(record.fused_cells for record in self.records)
+
 
 def percentile(ordered: Sequence[float], quantile: float) -> float:
     """Nearest-rank percentile of an ascending sequence (0 if empty)."""
@@ -119,6 +136,7 @@ def sample_corpus_requests(
     duplicate_fraction: float = 0.5,
     families: Optional[Sequence[str]] = None,
     explore_mode: str = "materialized",
+    duplicate_placement: str = "tail",
 ) -> list[Request]:
     """Register corpus backends on ``service`` and build a request mix.
 
@@ -126,20 +144,34 @@ def sample_corpus_requests(
     ``families``), realizes each one, registers its database as a
     service backend named by the triple id, and returns one request per
     triple **plus** duplicates for the last ``duplicate_fraction`` of
-    the sample. A duplicate targets the same backend with the same
-    refinable shape but a slightly jittered constraint target, so its
-    grid/tile tensors — keyed independently of the target — are served
-    from the shared cache that the original populated: any shared-cache
-    hit the run reports is cross-request dedupe at work.
+    the sample (fractions above 1 cycle through that tail, so a
+    duplicate-*heavy* mix is one call). A duplicate targets the same
+    backend with the same refinable shape but a slightly jittered
+    constraint target, so its grid/tile tensors — keyed independently
+    of the target — are served from the shared cache that the original
+    populated: any shared-cache hit the run reports is cross-request
+    dedupe at work.
 
     ``explore_mode`` overrides each realized config (the incremental
     engine never consults the grid cache, so the default forces the
     materializing path; pass ``""`` to keep the manifest's modes).
+
+    ``duplicate_placement`` shapes the arrival order: ``"tail"``
+    (default) appends every duplicate after the originals, so
+    duplicates find the cache warm; ``"adjacent"`` places each
+    original's duplicates immediately after it, so same-key requests
+    race *in flight* — the shape that exercises cross-query pass
+    fusion (``ServiceConfig(fusion=True)``) rather than the cache.
     """
     from repro.corpus.generator import realize
     from repro.corpus.manifest import DEFAULT_MANIFEST_PATH, load_manifest
     from repro.engine.memory_backend import MemoryBackend
 
+    if duplicate_placement not in ("tail", "adjacent"):
+        raise CorpusError(
+            "duplicate_placement must be 'tail' or 'adjacent', "
+            f"got {duplicate_placement!r}"
+        )
     triples = list(load_manifest(DEFAULT_MANIFEST_PATH).triples)
     if families:
         wanted = set(families)
@@ -160,9 +192,25 @@ def sample_corpus_requests(
         service.register_backend(name, MemoryBackend(database))
         requests.append((name, query, config))
     duplicates = int(len(requests) * duplicate_fraction)
-    for name, query, config in list(requests[-duplicates:]) if duplicates else []:
-        jittered = _jitter_target(query, rng)
-        requests.append((name, jittered, config))
+    if duplicates:
+        total = len(requests)
+        start = total - min(duplicates, total)
+        dups_by_original: dict[int, list[Request]] = {}
+        for index in range(duplicates):
+            source = start + index % (total - start)
+            name, query, config = requests[source]
+            dups_by_original.setdefault(source, []).append(
+                (name, _jitter_target(query, rng), config)
+            )
+        if duplicate_placement == "tail":
+            for source in sorted(dups_by_original):
+                requests.extend(dups_by_original[source])
+        else:
+            interleaved: list[Request] = []
+            for index, original in enumerate(requests):
+                interleaved.append(original)
+                interleaved.extend(dups_by_original.get(index, []))
+            requests = interleaved
     return requests
 
 
@@ -208,6 +256,8 @@ def _issue(
     record.rows_scanned = execution.rows_scanned
     record.cache_hits = execution.cache_hits
     record.cache_misses = execution.cache_misses
+    record.fused_passes = execution.fused_passes
+    record.fused_cells = execution.fused_cells
     return record
 
 

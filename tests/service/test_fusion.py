@@ -1,0 +1,422 @@
+"""Cross-query pass fusion: bit-identity, attribution, single-flight.
+
+The fusion layer's contract is that merging backend passes across
+in-flight requests is *invisible* in the results: a fusion-enabled
+concurrent replay must answer exactly what a serial unfused replay
+answers in every explore mode, and per-request counters must still
+partition each backend's totals exactly — with the new
+``fused_passes``/``fused_cells`` counters credited to every
+beneficiary of a shared pass on its own request scope.
+
+Suites:
+
+* ``TestFusedReplayMatchesSerial`` — the corpus-manifest mix through a
+  4-worker fusion-enabled service vs a 1-worker unfused service, per
+  explore mode (plus the process tile-executor arm), demanding
+  bit-identical answer sets and exact attribution closure.
+* ``TestFusionMergesPasses`` — a duplicate-heavy batched-incremental
+  burst where fusion *must* fire: ``fused_passes > 0``, answers still
+  bit-identical to each request's own serial run.
+* ``TestSingleFlight`` — the cache-miss thundering herd: N threads
+  missing one key through ``lookup_or_lead`` pay exactly one backend
+  pass (``inflight_waits`` counts the parked readers), and N threads
+  over a cold memory tier pay at most one persistent-tier read.
+* ``TestCompatibilityKeys`` — Hypothesis property pinning that the
+  coalescer can never group fetches with differing space geometry,
+  layer, or fetch family, while target-only differences always share.
+"""
+
+import threading
+import time
+from collections import Counter
+from dataclasses import fields as dataclass_fields
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid_cache import GridTensorCache, PersistentGridCache
+from repro.core.grid_explore import GridExplorer
+from repro.core.refined_space import RefinedSpace
+from repro.corpus.generator import realize
+from repro.corpus.manifest import DEFAULT_MANIFEST_PATH, load_manifest
+from repro.engine.backends import ExecutionStats
+from repro.engine.catalog import Database
+from repro.engine.memory_backend import MemoryBackend
+from repro.service import AcquireService, PassCoalescer, ServiceConfig
+from tests.conftest import count_query
+
+MODES = ("incremental", "materialized", "tiled", "auto")
+
+INT_FIELDS = tuple(
+    field.name
+    for field in dataclass_fields(ExecutionStats)
+    if isinstance(getattr(ExecutionStats(), field.name), int)
+)
+
+
+@pytest.fixture(scope="module")
+def corpus_subset():
+    """One realized triple per corpus family (deterministic pick)."""
+    manifest = load_manifest(DEFAULT_MANIFEST_PATH)
+    by_family: dict[str, list] = {}
+    for triple in manifest.triples:
+        by_family.setdefault(triple.spec.family, []).append(triple)
+    realized = []
+    for family, triples in sorted(by_family.items()):
+        spec = triples[0].spec
+        database, query, config = realize(spec)
+        realized.append((spec.triple_id, database, query, config))
+    return realized
+
+
+def _answer_key(result):
+    return [
+        (a.pscores, a.qscore, a.aggregate_value, a.error)
+        for a in result.answers
+    ]
+
+
+def _replay(realized, mode, workers, fusion, repeats=2, updates=None):
+    """Replay the realized mix; return (requests, results, layers).
+
+    ``fusion`` toggles the coalescer (with a generous window so open
+    batching windows actually collect concurrent co-travellers);
+    ``updates`` is an extra dict of per-request config replacements.
+    """
+    requests = []
+    layers = {}
+    service = AcquireService(
+        ServiceConfig(
+            workers=workers,
+            max_queue=64,
+            fusion=fusion,
+            fusion_window_ms=10.0,
+        )
+    )
+    try:
+        for name, database, query, config in realized:
+            layer = MemoryBackend(database)
+            layers[name] = layer
+            service.register_backend(name, layer)
+            config = replace(config, explore_mode=mode, **(updates or {}))
+            requests.append((name, query, config))
+        requests = requests * repeats
+        if workers == 1:
+            results = [
+                service.run(query, config, backend=name)
+                for name, query, config in requests
+            ]
+        else:
+            futures = [
+                service.submit(query, config, backend=name)
+                for name, query, config in requests
+            ]
+            results = [future.result(timeout=300) for future in futures]
+    finally:
+        service.close()
+    return requests, results, layers
+
+
+def _assert_attribution_closes(requests, results, layers):
+    """Summed per-request counters == each backend's own totals."""
+    totals: dict[str, Counter] = {}
+    for (name, _query, _config), result in zip(requests, results):
+        accumulator = totals.setdefault(name, Counter())
+        for field in INT_FIELDS:
+            accumulator[field] += getattr(result.stats.execution, field)
+    for name, layer in layers.items():
+        layer_stats = layer.stats
+        for field in INT_FIELDS:
+            assert totals[name][field] == getattr(layer_stats, field), (
+                f"{name}: per-request {field} sums to "
+                f"{totals[name][field]} but the backend recorded "
+                f"{getattr(layer_stats, field)}"
+            )
+
+
+class TestFusedReplayMatchesSerial:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_bit_identical_and_fully_attributed(self, corpus_subset, mode):
+        _, serial_results, _ = _replay(
+            corpus_subset, mode, workers=1, fusion=False
+        )
+        requests, results, layers = _replay(
+            corpus_subset, mode, workers=4, fusion=True
+        )
+        for index, (serial, fused) in enumerate(
+            zip(serial_results, results)
+        ):
+            assert _answer_key(fused) == _answer_key(serial), (
+                f"request {index}: fused concurrent answers diverged"
+            )
+            assert fused.satisfied == serial.satisfied
+        _assert_attribution_closes(requests, results, layers)
+
+    @pytest.mark.procpool
+    def test_process_executor_arm(self, corpus_subset):
+        updates = {"tile_workers": 2, "tile_executor": "process"}
+        _, serial_results, _ = _replay(
+            corpus_subset, "tiled", workers=1, fusion=False,
+            updates=updates,
+        )
+        requests, results, layers = _replay(
+            corpus_subset, "tiled", workers=4, fusion=True,
+            updates=updates,
+        )
+        for index, (serial, fused) in enumerate(
+            zip(serial_results, results)
+        ):
+            assert _answer_key(fused) == _answer_key(serial), (
+                f"request {index}: fused process-arm answers diverged"
+            )
+        _assert_attribution_closes(requests, results, layers)
+
+
+class TestFusionMergesPasses:
+    """A burst where fusion must actually fire, not just stay safe."""
+
+    def _database(self):
+        rng = np.random.default_rng(11)
+        database = Database()
+        database.create_table(
+            "data",
+            {
+                "x": rng.uniform(0, 100, 600),
+                "y": rng.uniform(0, 100, 600),
+            },
+        )
+        return database
+
+    def test_duplicate_burst_fuses_and_stays_bit_identical(self):
+        database = self._database()
+        # Same refinable shape, different targets: identical
+        # compatibility keys (the target is excluded), so concurrent
+        # batched-incremental layers merge into shared cell passes.
+        targets = (150, 160, 170, 180)
+        queries = [
+            count_query("data", {"x": 35.0, "y": 35.0}, target=target)
+            for target in targets
+        ]
+        config = None
+        serial = []
+        for query in queries:
+            from repro.core.acquire import Acquire, AcquireConfig
+
+            config = AcquireConfig(
+                explore_mode="incremental", batched=True
+            )
+            serial.append(
+                Acquire(MemoryBackend(database)).run(query, config)
+            )
+        service = AcquireService(
+            ServiceConfig(
+                workers=len(queries),
+                max_queue=16,
+                fusion=True,
+                fusion_window_ms=50.0,
+            )
+        )
+        layer = MemoryBackend(database)
+        try:
+            service.register_backend("default", layer)
+            futures = [
+                service.submit(query, config) for query in queries
+            ]
+            results = [future.result(timeout=300) for future in futures]
+            stats = service.stats()
+        finally:
+            service.close()
+        for index, (expected, fused) in enumerate(zip(serial, results)):
+            assert _answer_key(fused) == _answer_key(expected), (
+                f"request {index}: fused answers diverged from serial"
+            )
+        assert layer.stats.fused_passes > 0, (
+            "a 4-way duplicate burst with a 50ms window never shared "
+            "a single merged pass"
+        )
+        assert stats.fused_groups > 0
+        assert stats.fused_fetches > stats.fused_groups
+        requests = [("default", query, config) for query in queries]
+        _assert_attribution_closes(requests, results, {"default": layer})
+
+
+class _SlowGridBackend(MemoryBackend):
+    """MemoryBackend whose grid pass blocks long enough for a herd."""
+
+    def __init__(self, database, delay_s=0.1):
+        super().__init__(database)
+        self.delay_s = delay_s
+        self.grid_passes = 0
+        self._pass_lock = threading.Lock()
+
+    def execute_grid(self, prepared, space):
+        with self._pass_lock:
+            self.grid_passes += 1
+        time.sleep(self.delay_s)
+        return super().execute_grid(prepared, space)
+
+
+class TestSingleFlight:
+    THREADS = 8
+
+    def _setup(self):
+        rng = np.random.default_rng(5)
+        database = Database()
+        database.create_table(
+            "data",
+            {
+                "x": rng.uniform(0, 100, 300),
+                "y": rng.uniform(0, 100, 300),
+            },
+        )
+        query = count_query("data", {"x": 40.0, "y": 40.0}, target=90)
+        return database, query
+
+    def _race(self, layer, query, cache):
+        """Race THREADS GridExplorers over one shared cache."""
+        space = RefinedSpace(query, 20.0, [60.0, 60.0])
+        prepared = layer.prepare(query, [100.0, 100.0])
+        aggregate = query.constraint.spec.aggregate
+        barrier = threading.Barrier(self.THREADS)
+        states: list = [None] * self.THREADS
+        errors: list = []
+
+        def worker(index: int) -> None:
+            explorer = GridExplorer(
+                layer, prepared, space, aggregate, cache=cache
+            )
+            barrier.wait()
+            try:
+                states[index] = explorer.block_state(space.max_coords)
+            except Exception as error:  # noqa: BLE001 - for the assert
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, f"racing explorers crashed: {errors[:1]!r}"
+        assert all(state == states[0] for state in states)
+        return states
+
+    def test_thundering_herd_pays_one_backend_pass(self):
+        database, query = self._setup()
+        layer = _SlowGridBackend(database)
+        cache = GridTensorCache(max_bytes=1 << 24)
+        self._race(layer, query, cache)
+        assert layer.grid_passes == 1, (
+            f"{self.THREADS} threads missing one key executed "
+            f"{layer.grid_passes} grid passes — single-flight broke"
+        )
+        assert cache.inflight_waits >= 1, (
+            "no reader ever parked on the leader's flight"
+        )
+
+    def test_cold_memory_tier_pays_one_persistent_read(self, tmp_path):
+        database, query = self._setup()
+        layer = _SlowGridBackend(database)
+        persistent = PersistentGridCache(str(tmp_path))
+        warm = GridTensorCache(max_bytes=1 << 24, persistent=persistent)
+        self._race(layer, query, warm)
+        passes_after_warm = layer.grid_passes
+        # Fresh memory tier over the same file store: the herd must be
+        # absorbed by one leader's promotion, not N file reads (and no
+        # backend pass at all).
+        cold = GridTensorCache(max_bytes=1 << 24, persistent=persistent)
+        self._race(layer, query, cold)
+        assert layer.grid_passes == passes_after_warm, (
+            "a persistent-tier hit still re-executed the backend pass"
+        )
+        assert cold.persistent_hits == 1, (
+            f"{self.THREADS} threads over a cold memory tier paid "
+            f"{cold.persistent_hits} persistent reads — the leader "
+            "alone should probe the file store"
+        )
+
+
+class _KeyProbe:
+    """Fixed inputs for the compatibility-key property."""
+
+    def __init__(self):
+        rng = np.random.default_rng(3)
+        self.database = Database()
+        self.database.create_table(
+            "data",
+            {
+                "x": rng.uniform(0, 100, 200),
+                "y": rng.uniform(0, 100, 200),
+            },
+        )
+        other = Database()
+        other.create_table(
+            "data",
+            {
+                "x": rng.uniform(0, 100, 220),
+                "y": rng.uniform(0, 100, 220),
+            },
+        )
+        self.layer = MemoryBackend(self.database)
+        self.other_layer = MemoryBackend(other)
+
+    def key(self, family, layer, target, step, dim_cap):
+        query = count_query(
+            "data", {"x": 40.0, "y": 40.0}, target=target
+        )
+        space = RefinedSpace(query, step, [dim_cap, dim_cap])
+        prepared = layer.prepare(query, [100.0, 100.0])
+        return PassCoalescer.compatibility_key(
+            family, layer, prepared, space
+        )
+
+
+_PROBE = _KeyProbe()
+
+
+class TestCompatibilityKeys:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        target_a=st.integers(min_value=10, max_value=500),
+        target_b=st.integers(min_value=10, max_value=500),
+        same_layer=st.booleans(),
+        step_b=st.sampled_from([20.0, 25.0]),
+        dim_cap_b=st.sampled_from([60.0, 80.0]),
+        family_b=st.sampled_from(["tiles", "cells"]),
+    )
+    def test_grouping_is_exactly_target_independence(
+        self, target_a, target_b, same_layer, step_b, dim_cap_b, family_b
+    ):
+        key_a = _PROBE.key("tiles", _PROBE.layer, target_a, 20.0, 60.0)
+        layer_b = _PROBE.layer if same_layer else _PROBE.other_layer
+        key_b = _PROBE.key(
+            family_b, layer_b, target_b, step_b, dim_cap_b
+        )
+        compatible = (
+            same_layer
+            and family_b == "tiles"
+            and step_b == 20.0
+            and dim_cap_b == 60.0
+        )
+        if compatible:
+            # Targets may differ arbitrarily: the key is
+            # target-independent by construction.
+            assert key_a == key_b
+        else:
+            # Differing geometry, layer (and thus backend digest), or
+            # fetch family must never group.
+            assert key_a != key_b
+
+    def test_distinct_layers_over_identical_data_never_group(self):
+        twin = MemoryBackend(_PROBE.database)
+        key_a = _PROBE.key("tiles", _PROBE.layer, 100, 20.0, 60.0)
+        key_b = _PROBE.key("tiles", twin, 100, 20.0, 60.0)
+        assert key_a != key_b, (
+            "two layer instances may not share passes: a merged pass "
+            "executes against exactly one layer object"
+        )

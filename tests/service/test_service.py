@@ -136,7 +136,8 @@ def _stub_run_admitted(instance):
         instance._stats.completed += 1
     instance._slots.release()
     execution = SimpleNamespace(
-        queries_executed=0, rows_scanned=0, cache_hits=0, cache_misses=0
+        queries_executed=0, rows_scanned=0, cache_hits=0, cache_misses=0,
+        fused_passes=0, fused_cells=0,
     )
     return SimpleNamespace(
         satisfied=True, stats=SimpleNamespace(execution=execution)
